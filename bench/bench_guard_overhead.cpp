@@ -1,0 +1,74 @@
+// Reproduces Table 4.4: the overhead of currency guards, for local and
+// remote execution of the three paper query types. For each query we compare
+// a traditional plan (no currency checking) with the dynamic plan, executed
+// once with the guards passing (local branches) and once with the regions
+// artificially aged so the guards fail (remote branches) — the paper's
+// two-run methodology.
+
+#include <cstdio>
+
+#include "guard_bench_common.h"
+
+using namespace rcc;         // NOLINT
+using namespace rcc::bench;  // NOLINT
+
+int main() {
+  auto sys = MakePaperSystem(/*scale=*/0.1);
+
+  PrintHeader("Currency-guard overhead (paper Table 4.4)");
+  PrintRegionSettings(sys.get());
+  std::printf(
+      "\n%-4s %-26s | %-10s %-10s %-9s %-7s | %-10s %-10s %-9s %-7s\n", "",
+      "", "local(ms)", "+guard", "ovh(ms)", "ovh(%)", "remote(ms)", "+guard",
+      "ovh(ms)", "ovh(%)");
+
+  for (const GuardQuery& q : PaperGuardQueries()) {
+    PlanVariants v = MakeVariants(sys.get(), q);
+
+    // Sanity: route checking.
+    {
+      auto lg = sys->cache()->ExecutePrepared(v.guarded);
+      if (!lg.ok() || lg->stats.switch_local == 0) {
+        std::fprintf(stderr, "%s: guard did not choose local\n", q.id);
+        return 1;
+      }
+      ForcedStaleness stale(sys.get());
+      auto rg = sys->cache()->ExecutePrepared(v.guarded);
+      if (!rg.ok() || rg->stats.switch_remote == 0 ||
+          rg->stats.switch_local != 0) {
+        std::fprintf(stderr, "%s: guard did not choose remote when stale\n",
+                     q.id);
+        return 1;
+      }
+    }
+
+    int64_t rows = 0;
+    double local_plain =
+        RunPlan(sys.get(), v.local_plain, q.local_iters, nullptr, &rows);
+    double local_guarded =
+        RunPlan(sys.get(), v.guarded, q.local_iters, nullptr, &rows);
+    double remote_plain =
+        RunPlan(sys.get(), v.remote_plain, q.remote_iters, nullptr, &rows);
+    double remote_guarded = 0;
+    {
+      ForcedStaleness stale(sys.get());
+      remote_guarded =
+          RunPlan(sys.get(), v.guarded, q.remote_iters, nullptr, &rows);
+    }
+
+    double lo = local_guarded - local_plain;
+    double ro = remote_guarded - remote_plain;
+    std::printf(
+        "%-4s %-26s | %-10.5f %-10.5f %-9.5f %-7.2f | %-10.5f %-10.5f "
+        "%-9.5f %-7.2f   rows=%lld\n",
+        q.id, q.description, local_plain, local_guarded, lo,
+        100.0 * lo / local_plain, remote_plain, remote_guarded, ro,
+        100.0 * ro / remote_plain, static_cast<long long>(rows));
+  }
+
+  std::printf(
+      "\nShape check (paper): absolute overhead far below a millisecond; "
+      "relative overhead\nlargest for tiny local queries (Q1/Q2), small for "
+      "remote and scan-heavy queries (Q3).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks for the pipeline stages: parsing the
+// extended SQL (currency clause included), constraint normalization,
+// cache-mode optimization, guard evaluation, and end-to-end execution of the
+// paper's Q1. These are the building blocks behind Tables 4.4/4.5.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/switch_union.h"
+#include "semantics/resolver.h"
+
+namespace rcc {
+namespace {
+
+const char* kJoinSql =
+    "SELECT C.c_name, O.o_orderkey, O.o_totalprice "
+    "FROM Customer C, Orders O "
+    "WHERE C.c_custkey = 42 AND O.o_custkey = C.c_custkey "
+    "CURRENCY BOUND 10 MIN ON (C), 30 SECONDS ON (O)";
+
+RccSystem* System() {
+  static RccSystem* sys = [] {
+    auto owned = bench::MakePaperSystem(0.01);
+    return owned.release();
+  }();
+  return sys;
+}
+
+void BM_ParseCurrencyClauseQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = ParseSelect(kJoinSql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseCurrencyClauseQuery);
+
+void BM_ResolveAndNormalize(benchmark::State& state) {
+  auto stmt = ParseSelect(kJoinSql);
+  const Catalog& catalog = System()->cache()->catalog();
+  for (auto _ : state) {
+    auto rq = ResolveQuery(**stmt, catalog);
+    benchmark::DoNotOptimize(rq);
+  }
+}
+BENCHMARK(BM_ResolveAndNormalize);
+
+void BM_NormalizeConstraint(benchmark::State& state) {
+  // A chain of overlapping tuples forcing repeated merging.
+  CcConstraint raw;
+  for (uint32_t i = 0; i + 1 < 8; ++i) {
+    CcTuple t;
+    t.bound_ms = 1000 * (i + 1);
+    t.operands = {i, i + 1};
+    raw.tuples.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    auto n = NormalizeConstraint(raw, 8);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_NormalizeConstraint);
+
+void BM_OptimizeCacheMode(benchmark::State& state) {
+  auto stmt = ParseSelect(kJoinSql);
+  CacheDbms* cache = System()->cache();
+  for (auto _ : state) {
+    auto plan = cache->Prepare(**stmt);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeCacheMode);
+
+void BM_GuardEvaluation(benchmark::State& state) {
+  RccSystem* sys = System();
+  PhysicalOp op;
+  op.kind = PhysOpKind::kSwitchUnion;
+  op.guard_region = 1;
+  op.guard_bound_ms = 600000;
+  ExecStats stats;
+  ExecContext ctx = sys->cache()->MakeExecContext(&stats);
+  for (auto _ : state) {
+    bool ok = SwitchUnionIterator::EvaluateGuard(op, &ctx);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_GuardEvaluation);
+
+void BM_ExecuteLocalPointLookup(benchmark::State& state) {
+  RccSystem* sys = System();
+  auto stmt = ParseSelect(
+      "SELECT c_custkey, c_name, c_acctbal FROM Customer C "
+      "WHERE C.c_custkey = 42 CURRENCY BOUND 10 MIN ON (C)");
+  auto plan = sys->cache()->Prepare(**stmt);
+  if (!plan.ok()) state.SkipWithError("prepare failed");
+  for (auto _ : state) {
+    auto outcome = sys->cache()->ExecutePrepared(*plan);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ExecuteLocalPointLookup);
+
+void BM_ExecuteRemotePointLookup(benchmark::State& state) {
+  RccSystem* sys = System();
+  auto stmt = ParseSelect(
+      "SELECT c_custkey, c_name, c_acctbal FROM Customer C "
+      "WHERE C.c_custkey = 42");
+  auto plan = sys->cache()->Prepare(**stmt);
+  if (!plan.ok()) state.SkipWithError("prepare failed");
+  for (auto _ : state) {
+    auto outcome = sys->cache()->ExecutePrepared(*plan);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ExecuteRemotePointLookup);
+
+void BM_ReplicationDelivery(benchmark::State& state) {
+  // One full sync cycle of both regions, including heartbeats.
+  RccSystem* sys = System();
+  for (auto _ : state) {
+    sys->AdvanceBy(15000);
+  }
+}
+BENCHMARK(BM_ReplicationDelivery);
+
+}  // namespace
+}  // namespace rcc
+
+BENCHMARK_MAIN();

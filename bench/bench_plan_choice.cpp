@@ -1,0 +1,110 @@
+// Reproduces the paper's query-optimization experiment (§4.1): Tables 4.2 /
+// 4.3 and the plan classes of Figure 4.1. For each query variant we print
+// the currency clause, the chosen plan shape, and the plan tree, and check
+// the qualitative choice against the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace rcc;         // NOLINT
+using namespace rcc::bench;  // NOLINT
+
+namespace {
+
+struct Variant {
+  const char* id;
+  const char* description;
+  std::string sql;
+  PlanShape expected;
+  const char* paper_plan;
+};
+
+int failures = 0;
+
+void RunVariant(Session* session, const Variant& v) {
+  auto plan = session->Prepare(v.sql);
+  if (!plan.ok()) {
+    std::printf("%-4s ERROR: %s\n", v.id, plan.status().ToString().c_str());
+    ++failures;
+    return;
+  }
+  PlanShape shape = plan->Shape();
+  bool ok = shape == v.expected;
+  if (!ok) ++failures;
+  std::printf("%-4s %-52s -> %-26s (paper: %s) %s\n", v.id, v.description,
+              std::string(PlanShapeName(shape)).c_str(), v.paper_plan,
+              ok ? "[OK]" : "[MISMATCH]");
+  std::printf("     query: %s\n", v.sql.c_str());
+  std::printf("%s\n", plan->DescribeTree().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto sys = MakePaperSystem(/*scale=*/0.1);  // 15,000 customers
+  auto session = sys->CreateSession();
+
+  PrintHeader("Plan choice vs. C&C constraints (paper Tables 4.2/4.3, Fig 4.1)");
+  PrintRegionSettings(sys.get());
+  std::printf("\n");
+
+  // Query schemas S1/S2 of Table 4.2, with the Table 4.3 variants.
+  const char* join =
+      "SELECT C.c_name, O.o_orderkey, O.o_totalprice "
+      "FROM Customer C, Orders O "
+      "WHERE C.c_custkey = %s AND O.o_custkey = C.c_custkey %s";
+  const char* range =
+      "SELECT c_custkey, c_acctbal FROM Customer C WHERE c_acctbal > %s %s";
+
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"Q1",
+       "selective join, no currency clause",
+       StrPrintf(join, "42", ""),
+       PlanShape::kRemoteOnly, "plan 1 (remote)"});
+  variants.push_back(
+      {"Q2",
+       "wide join (all customers), no currency clause",
+       "SELECT C.c_name, O.o_orderkey, O.o_totalprice "
+       "FROM Customer C, Orders O WHERE O.o_custkey = C.c_custkey",
+       PlanShape::kLocalJoinRemoteFetches,
+       "plan 2 (local join, remote fetches)"});
+  variants.push_back(
+      {"Q3",
+       "10 min bounds, C and O mutually consistent",
+       StrPrintf(join, "42", "CURRENCY BOUND 10 MIN ON (C, O)"),
+       PlanShape::kRemoteOnly, "plan 1 (remote: regions differ)"});
+  variants.push_back(
+      {"Q4",
+       "3s bound on C (< delay), 10 min on O",
+       StrPrintf(join, "42",
+                 "CURRENCY BOUND 3 SECONDS ON (C), 10 MIN ON (O)"),
+       PlanShape::kMixed, "plan 4 (mixed)"});
+  variants.push_back(
+      {"Q5",
+       "10 min on C and O separately",
+       StrPrintf(join, "42",
+                 "CURRENCY BOUND 10 MIN ON (C), 10 MIN ON (O)"),
+       PlanShape::kAllLocal, "plan 5 (all local)"});
+  variants.push_back(
+      {"Q6",
+       "highly selective range on c_acctbal, 10 min",
+       StrPrintf(range, "9995", "CURRENCY BOUND 10 MIN ON (C)"),
+       PlanShape::kRemoteOnly,
+       "remote (back-end secondary index wins)"});
+  variants.push_back(
+      {"Q7",
+       "wide range on c_acctbal, 10 min",
+       StrPrintf(range, "1000", "CURRENCY BOUND 10 MIN ON (C)"),
+       PlanShape::kAllLocal, "local (scan beats remote index)"});
+
+  for (const Variant& v : variants) {
+    RunVariant(session.get(), v);
+  }
+
+  std::printf("summary: %d/%zu plan choices match the paper\n",
+              static_cast<int>(variants.size()) - failures, variants.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+#ifndef RCC_BENCH_BENCH_UTIL_H_
+#define RCC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "core/rcc.h"
+#include "workload/tpcd.h"
+
+namespace rcc {
+namespace bench {
+
+/// Milliseconds of real time spent in `fn`.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Builds the paper's evaluation system (§4): TPCD at `scale` with the
+/// Table 4.1 cache configuration, advanced past warm-up so regions are in
+/// steady state.
+inline std::unique_ptr<RccSystem> MakePaperSystem(double scale) {
+  auto sys = std::make_unique<RccSystem>();
+  TpcdConfig config;
+  config.scale = scale;
+  Status st = LoadTpcd(sys.get(), config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  st = SetupPaperCache(sys.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "cache setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  sys->AdvanceTo(60000);
+  return sys;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the Table 4.1 region settings actually in effect.
+inline void PrintRegionSettings(RccSystem* sys) {
+  std::printf("Currency region settings (paper Table 4.1):\n");
+  std::printf("  %-4s %-12s %-9s %s\n", "cid", "interval(s)", "delay(s)",
+              "views");
+  for (const RegionDef& def : sys->cache()->catalog().AllRegions()) {
+    std::string views;
+    for (const ViewDef* v : sys->cache()->catalog().AllViews()) {
+      if (v->region == def.cid) {
+        if (!views.empty()) views += ", ";
+        views += v->name;
+      }
+    }
+    std::printf("  CR%-2d %-12lld %-9lld %s\n", def.cid,
+                static_cast<long long>(def.update_interval / 1000),
+                static_cast<long long>(def.update_delay / 1000),
+                views.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace rcc
+
+#endif  // RCC_BENCH_BENCH_UTIL_H_

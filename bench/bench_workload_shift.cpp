@@ -1,0 +1,111 @@
+// Reproduces Figure 4.2: how the workload shifts between the cache and the
+// back-end (a) as the currency bound B is relaxed (f = 100s, d = 1, 5, 10s)
+// and (b) as the refresh interval f grows (B = 10s, d = 1, 5, 8s). For each
+// point we print the analytic p of Eq. (1) next to the fraction measured by
+// actually executing the guarded query at uniformly distributed times.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "optimizer/cost_model.h"
+#include "workload/driver.h"
+
+using namespace rcc;         // NOLINT
+using namespace rcc::bench;  // NOLINT
+
+namespace {
+
+constexpr int kExecutions = 300;
+
+/// Fresh system whose CR1 has the given interval/delay (seconds).
+std::unique_ptr<RccSystem> MakeSystem(SimTimeMs interval_s, SimTimeMs delay_s) {
+  auto sys = std::make_unique<RccSystem>();
+  TpcdConfig config;
+  config.scale = 0.01;
+  Status st = LoadTpcd(sys.get(), config);
+  if (st.ok()) {
+    RegionDef cr1;
+    cr1.cid = 1;
+    cr1.update_interval = interval_s * 1000;
+    cr1.update_delay = delay_s * 1000;
+    cr1.heartbeat_interval = 200;
+    RegionDef cr2 = cr1;
+    cr2.cid = 2;
+    st = SetupPaperCacheWithRegions(sys.get(), cr1, cr2);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  // Warm up a few cycles so the sawtooth is in steady state.
+  sys->AdvanceTo(interval_s * 1000 * 3 + delay_s * 1000 * 3 + 5000);
+  return sys;
+}
+
+double Measure(RccSystem* sys, SimTimeMs bound_s, uint64_t seed) {
+  std::string sql = StrPrintf(
+      "SELECT c_custkey FROM Customer C WHERE c_acctbal > 1000 "
+      "CURRENCY BOUND %lld SECONDS ON (C)",
+      static_cast<long long>(bound_s));
+  // Horizon: many full sync cycles.
+  auto run = RunUniformWorkload(sys, sql, kExecutions,
+                                /*horizon=*/600000, seed);
+  if (!run.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return 100.0 * run->LocalFraction();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 4.2(a): local workload % vs currency bound (f = 100s)");
+  std::printf("%-10s", "bound(s)");
+  for (int d : {1, 5, 10}) {
+    std::printf(" | d=%-2d analytic  measured", d);
+  }
+  std::printf("\n");
+  {
+    std::unique_ptr<RccSystem> systems[3] = {
+        MakeSystem(100, 1), MakeSystem(100, 5), MakeSystem(100, 10)};
+    for (int bound = 0; bound <= 120; bound += 10) {
+      std::printf("%-10d", bound);
+      int i = 0;
+      for (int d : {1, 5, 10}) {
+        double analytic =
+            100.0 * EstimateLocalProbability(bound * 1000, d * 1000, 100000);
+        double measured = Measure(systems[i].get(), bound,
+                                  static_cast<uint64_t>(bound * 10 + d));
+        std::printf(" | %8.1f%%  %8.1f%%", analytic, measured);
+        ++i;
+      }
+      std::printf("\n");
+    }
+  }
+
+  PrintHeader("Fig 4.2(b): local workload % vs refresh interval (B = 10s)");
+  std::printf("%-12s", "interval(s)");
+  for (int d : {1, 5, 8}) {
+    std::printf(" | d=%-2d analytic  measured", d);
+  }
+  std::printf("\n");
+  for (int f = 2; f <= 100; f += (f < 20 ? 2 : 20)) {
+    std::printf("%-12d", f);
+    for (int d : {1, 5, 8}) {
+      auto sys = MakeSystem(f, d);
+      double analytic =
+          100.0 * EstimateLocalProbability(10000, d * 1000, f * 1000);
+      double measured =
+          Measure(sys.get(), 10, static_cast<uint64_t>(f * 10 + d));
+      std::printf(" | %8.1f%%  %8.1f%%", analytic, measured);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check (paper): (a) 0%% below B=d, then linear to 100%% at "
+      "B=d+f;\n(b) 100%% while f <= B-d, then decaying, steep first.\n");
+  return 0;
+}

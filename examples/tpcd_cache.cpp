@@ -1,0 +1,106 @@
+// The paper's §4 evaluation scenario driven interactively: the TPCD
+// Customer/Orders back-end with the Table 4.1 cache configuration, live
+// update traffic, and a mixed query stream. Prints how the workload splits
+// between the cache and the back-end, and how staleness evolves over the
+// regions' sync cycles (the Fig 3.2 sawtooth).
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/rcc.h"
+#include "workload/driver.h"
+#include "workload/tpcd.h"
+
+using namespace rcc;  // NOLINT — example code
+
+namespace {
+
+void Fail(const Status& st) {
+  std::fprintf(stderr, "FATAL: %s\n", st.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  RccSystem sys;
+  TpcdConfig config;
+  config.scale = 0.02;  // 3,000 customers / ~30,000 orders
+  if (Status st = LoadTpcd(&sys, config); !st.ok()) Fail(st);
+  if (Status st = SetupPaperCache(&sys); !st.ok()) Fail(st);
+  StartUpdateTraffic(&sys, /*period_ms=*/250, /*seed=*/2024);
+  auto session = sys.CreateSession();
+
+  std::printf("TPCD mid-tier cache demo: %lld customers, regions CR1 "
+              "(15s/5s) and CR2 (10s/5s)\n",
+              static_cast<long long>(TpcdCustomerCount(config)));
+
+  // 1. Watch the staleness sawtooth of CR1 over two sync cycles.
+  std::printf("\nCR1 staleness over time (Fig 3.2 sawtooth):\n  t(s):  ");
+  for (int t = 30; t <= 75; t += 3) std::printf("%6d", t);
+  std::printf("\n  stale: ");
+  for (int t = 30; t <= 75; t += 3) {
+    sys.AdvanceTo(t * 1000);
+    SimTimeMs s = sys.Now() - sys.cache()->LocalHeartbeat(1);
+    std::printf("%5.1fs", static_cast<double>(s) / 1000.0);
+  }
+  std::printf("\n");
+
+  // 2. One customer-facing query, three freshness tiers.
+  struct Tier {
+    const char* label;
+    const char* clause;
+  };
+  const Tier tiers[] = {
+      {"current (no clause)", ""},
+      {"30s bound", " CURRENCY BOUND 30 SECONDS ON (C)"},
+      {"8s bound", " CURRENCY BOUND 8 SECONDS ON (C)"},
+  };
+  std::printf("\nAccount-balance lookup under different currency tiers:\n");
+  for (const Tier& tier : tiers) {
+    std::string sql = std::string("SELECT c_custkey, c_acctbal FROM "
+                                  "Customer C WHERE C.c_custkey = 77") +
+                      tier.clause;
+    auto r = session->Execute(sql);
+    if (!r.ok()) Fail(r.status());
+    std::printf("  %-22s -> %-26s acctbal=%s\n", tier.label,
+                std::string(PlanShapeName(r->shape)).c_str(),
+                r->rows.empty() ? "?" : r->rows[0][1].ToString().c_str());
+  }
+
+  // 3. A report query repeated across sync cycles: the 12s bound sits
+  //    between CR1's delay (5s) and delay+interval (20s), so the guard
+  //    routes a predictable fraction locally (Eq. (1): p = 7/15 = 47%).
+  auto run = RunUniformWorkload(
+      &sys,
+      "SELECT c_nationkey, count(*) AS customers, avg(c_acctbal) AS avg_bal "
+      "FROM Customer C WHERE c_acctbal > 0 GROUP BY c_nationkey "
+      "CURRENCY BOUND 12 SECONDS ON (C)",
+      /*executions=*/200, /*horizon=*/300000, /*seed=*/5);
+  if (!run.ok()) Fail(run.status());
+  std::printf(
+      "\nNation report, 12s bound, 200 runs over 5 minutes:\n"
+      "  local executions: %lld (%.1f%%), remote: %lld — Eq.(1) predicts "
+      "%.1f%%\n",
+      static_cast<long long>(run->local), 100.0 * run->LocalFraction(),
+      static_cast<long long>(run->remote),
+      100.0 * (12.0 - 5.0) / 15.0);
+
+  // 4. The answer a relaxed query returns is the *cached* snapshot: show the
+  //    divergence against the master copy, then catch up.
+  const char* probe =
+      "SELECT sum(c_acctbal) AS total FROM Customer C "
+      "CURRENCY BOUND 5 MIN ON (C)";
+  auto stale_total = session->Execute(probe);
+  auto fresh_total = session->Execute(
+      "SELECT sum(c_acctbal) AS total FROM Customer C");
+  if (!stale_total.ok() || !fresh_total.ok()) Fail(stale_total.status());
+  std::printf(
+      "\nSUM(acctbal) cached=%.2f vs current=%.2f (update stream keeps them "
+      "apart)\n",
+      stale_total->rows[0][0].AsDouble(),
+      fresh_total->rows[0][0].AsDouble());
+
+  std::printf("\ntpcd_cache demo finished OK\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "backend/backend_server.h"
+
+#include "common/strings.h"
+#include "semantics/resolver.h"
+
+namespace rcc {
+
+Status BackendServer::CreateTable(const TableDef& def) {
+  RCC_RETURN_NOT_OK(catalog_.AddTable(def));
+  std::vector<size_t> key =
+      Catalog::ResolveColumns(def.schema, def.clustered_key);
+  auto table = std::make_unique<Table>(def.name, def.schema, std::move(key));
+  for (const IndexDef& idx : def.secondary_indexes) {
+    std::vector<size_t> cols = Catalog::ResolveColumns(def.schema, idx.columns);
+    RCC_RETURN_NOT_OK(table->CreateSecondaryIndex(idx.name, std::move(cols)));
+  }
+  tables_[ToLower(def.name)] = std::move(table);
+  return Status::OK();
+}
+
+Status BackendServer::BulkLoad(const std::string& table_name,
+                               const std::vector<Row>& rows) {
+  Table* table = mutable_table(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + table_name + " not found");
+  }
+  for (const Row& row : rows) {
+    RCC_RETURN_NOT_OK(table->Insert(row));
+  }
+  return RefreshStats(table_name);
+}
+
+Status BackendServer::RefreshStats(const std::string& table_name) {
+  const Table* table = this->table(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + table_name + " not found");
+  }
+  catalog_.SetStats(table_name, ComputeTableStats(*table));
+  return Status::OK();
+}
+
+Result<TxnTimestamp> BackendServer::ExecuteTransaction(
+    std::vector<RowOp> ops) {
+  // Apply to master tables first (strict 2PL with a single writer collapses
+  // to immediate application); abort-free by validating before applying.
+  for (RowOp& op : ops) {
+    Table* table = mutable_table(op.table);
+    if (table == nullptr) {
+      return Status::NotFound("table " + op.table + " not found");
+    }
+    switch (op.kind) {
+      case RowOp::Kind::kInsert:
+        RCC_RETURN_NOT_OK(table->Insert(op.row));
+        op.key = table->KeyOf(op.row);
+        break;
+      case RowOp::Kind::kUpdate:
+        RCC_RETURN_NOT_OK(table->Update(op.row));
+        op.key = table->KeyOf(op.row);
+        break;
+      case RowOp::Kind::kDelete:
+        RCC_RETURN_NOT_OK(table->Delete(op.key));
+        break;
+    }
+  }
+  CommittedTxn txn;
+  txn.commit_time = clock_->Now();
+  txn.id = oracle_.NextCommit(txn.commit_time);
+  txn.ops = std::move(ops);
+  TxnTimestamp id = txn.id;
+  log_.Append(std::move(txn));
+  return id;
+}
+
+Result<ExecutedQuery> BackendServer::ExecuteQuery(const SelectStmt& stmt) {
+  RCC_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(stmt, catalog_));
+  OptimizerOptions opts;
+  opts.mode = PlanMode::kBackend;
+  opts.costs = costs_;
+  RCC_ASSIGN_OR_RETURN(QueryPlan plan,
+                       Optimize(std::move(resolved), catalog_, opts));
+
+  ExecContext ctx;
+  ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
+    return target.is_view ? nullptr : table(target.name);
+  };
+  ctx.local_heartbeat = [](RegionId) { return SimTimeMs{0}; };
+  ctx.clock = clock_;
+  ctx.stats = &stats_;
+  return ExecutePlan(plan, &ctx);
+}
+
+Result<RemoteResult> BackendServer::ExecuteRemote(const SelectStmt& stmt) {
+  RCC_ASSIGN_OR_RETURN(ExecutedQuery result, ExecuteQuery(stmt));
+  RemoteResult out;
+  out.layout = std::move(result.layout);
+  out.rows = std::move(result.rows);
+  return out;
+}
+
+void BackendServer::RegisterRegionHeartbeat(const RegionDef& region,
+                                            SimulationScheduler* scheduler) {
+  heartbeat_.Beat(region.cid, clock_->Now());
+  RegionId cid = region.cid;
+  scheduler->SchedulePeriodic(
+      clock_->Now() + region.heartbeat_interval, region.heartbeat_interval,
+      [this, cid](SimTimeMs now) { heartbeat_.Beat(cid, now); });
+}
+
+const Table* BackendServer::table(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* BackendServer::mutable_table(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace rcc

@@ -1,0 +1,94 @@
+#ifndef RCC_BACKEND_BACKEND_SERVER_H_
+#define RCC_BACKEND_BACKEND_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "replication/heartbeat.h"
+#include "txn/oracle.h"
+#include "txn/update_log.h"
+
+namespace rcc {
+
+/// The back-end database server: owner of the master data, the commit
+/// history (update log), and the global heartbeat table. All update
+/// transactions run here; the cache forwards queries it cannot (or should
+/// not) answer locally.
+class BackendServer {
+ public:
+  BackendServer(VirtualClock* clock, CostParams costs)
+      : clock_(clock), costs_(costs) {}
+
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  /// -- schema & loading ------------------------------------------------------
+
+  /// Creates a base table with its clustered key and secondary indexes.
+  Status CreateTable(const TableDef& def);
+
+  /// Loads initial rows (the H0 snapshot; not logged) and computes exact
+  /// statistics for the catalog.
+  Status BulkLoad(const std::string& table_name, const std::vector<Row>& rows);
+
+  /// Recomputes and stores statistics for a table (after ad-hoc loading).
+  Status RefreshStats(const std::string& table_name);
+
+  /// -- transactions -----------------------------------------------------------
+
+  /// Applies an update transaction to the master tables at the current
+  /// virtual time, assigns it a commit timestamp, and appends it to the
+  /// update log for replication.
+  Result<TxnTimestamp> ExecuteTransaction(std::vector<RowOp> ops);
+
+  /// -- queries -----------------------------------------------------------------
+
+  /// Plans (back-end mode: base tables + indexes only) and executes a query.
+  Result<ExecutedQuery> ExecuteQuery(const SelectStmt& stmt);
+
+  /// Adapter used as the cache's remote executor.
+  Result<RemoteResult> ExecuteRemote(const SelectStmt& stmt);
+
+  /// -- heartbeats ---------------------------------------------------------------
+
+  /// Registers a currency region's heartbeat row and schedules its beats.
+  void RegisterRegionHeartbeat(const RegionDef& region,
+                               SimulationScheduler* scheduler);
+
+  /// -- accessors ------------------------------------------------------------------
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& mutable_catalog() { return catalog_; }
+  const UpdateLog& log() const { return log_; }
+  const HeartbeatStore& heartbeat() const { return heartbeat_; }
+  HeartbeatStore& mutable_heartbeat() { return heartbeat_; }
+  const TimestampOracle& oracle() const { return oracle_; }
+  VirtualClock* clock() const { return clock_; }
+
+  /// Master storage for a table; nullptr when unknown.
+  const Table* table(std::string_view name) const;
+  Table* mutable_table(std::string_view name);
+
+  /// Cumulative executor statistics of all queries run at the back-end.
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  VirtualClock* clock_;
+  CostParams costs_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case name
+  TimestampOracle oracle_;
+  UpdateLog log_;
+  HeartbeatStore heartbeat_;
+  ExecStats stats_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_BACKEND_BACKEND_SERVER_H_

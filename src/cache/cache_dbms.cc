@@ -1,0 +1,138 @@
+#include "cache/cache_dbms.h"
+
+#include "common/strings.h"
+#include "semantics/resolver.h"
+
+namespace rcc {
+
+Status CacheDbms::CreateShadow() {
+  for (const std::string& name : backend_->catalog().TableNames()) {
+    const TableDef* def = backend_->catalog().FindTable(name);
+    RCC_RETURN_NOT_OK(catalog_.AddTable(*def));
+    catalog_.SetStats(name, backend_->catalog().GetStats(name));
+  }
+  return Status::OK();
+}
+
+Status CacheDbms::DefineRegion(const RegionDef& def) {
+  RCC_RETURN_NOT_OK(catalog_.AddRegion(def));
+  auto region = std::make_unique<CurrencyRegion>(def);
+  // The initial population reflects the back-end as of "now".
+  region->set_local_heartbeat(backend_->clock()->Now());
+  region->set_as_of(backend_->oracle().last_committed());
+  region->set_applied_log_pos(backend_->log().size());
+  auto agent = std::make_unique<DistributionAgent>(
+      region.get(), &backend_->log(), &backend_->heartbeat(), scheduler_);
+  agent->Start(backend_->clock()->Now() + def.update_interval);
+  backend_->RegisterRegionHeartbeat(def, scheduler_);
+  regions_[def.cid] = std::move(region);
+  agents_.push_back(std::move(agent));
+  return Status::OK();
+}
+
+Status CacheDbms::CreateView(const ViewDef& def) {
+  RCC_RETURN_NOT_OK(catalog_.AddView(def));
+  const TableDef* source = catalog_.FindTable(def.source_table);
+  RCC_ASSIGN_OR_RETURN(auto view, MaterializedView::Create(def, *source));
+  const Table* master = backend_->table(def.source_table);
+  if (master == nullptr) {
+    return Status::NotFound("master table " + def.source_table + " missing");
+  }
+  view->PopulateFrom(*master);
+  // Secondary indexes declared on the view.
+  for (const IndexDef& idx : def.secondary_indexes) {
+    std::vector<size_t> cols =
+        Catalog::ResolveColumns(view->schema(), idx.columns);
+    RCC_RETURN_NOT_OK(
+        view->mutable_data().CreateSecondaryIndex(idx.name, std::move(cols)));
+  }
+  auto rit = regions_.find(def.region);
+  if (rit == regions_.end()) {
+    return Status::NotFound("region " + std::to_string(def.region) +
+                            " not defined");
+  }
+  rit->second->AddView(view.get());
+  views_[ToLower(def.name)] = std::move(view);
+  return Status::OK();
+}
+
+Status CacheDbms::CreateLogicalView(const std::string& name,
+                                    const std::string& sql) {
+  return catalog_.AddLogicalView(name, sql);
+}
+
+OptimizerOptions CacheDbms::default_options() const {
+  OptimizerOptions opts;
+  opts.mode = PlanMode::kCache;
+  opts.costs = costs_;
+  return opts;
+}
+
+Result<QueryPlan> CacheDbms::Prepare(const SelectStmt& stmt) const {
+  return Prepare(stmt, default_options());
+}
+
+Result<QueryPlan> CacheDbms::Prepare(const SelectStmt& stmt,
+                                     const OptimizerOptions& opts) const {
+  RCC_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(stmt, catalog_));
+  return Optimize(std::move(resolved), catalog_, opts);
+}
+
+ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
+                                       SimTimeMs timeline_floor) const {
+  ExecContext ctx;
+  ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
+    if (!target.is_view) return nullptr;  // no base tables on the cache
+    auto it = views_.find(ToLower(target.name));
+    return it == views_.end() ? nullptr : &it->second->data();
+  };
+  ctx.remote_executor = [this](const SelectStmt& stmt) {
+    return backend_->ExecuteRemote(stmt);
+  };
+  ctx.local_heartbeat = [this](RegionId cid) { return LocalHeartbeat(cid); };
+  ctx.clock = backend_->clock();
+  ctx.stats = stats;
+  ctx.timeline_floor_ms = timeline_floor;
+  return ctx;
+}
+
+Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
+    const QueryPlan& plan, SimTimeMs timeline_floor) {
+  CacheQueryOutcome out;
+  ExecContext ctx = MakeExecContext(&out.stats, timeline_floor);
+  RCC_ASSIGN_OR_RETURN(out.result, ExecutePlan(plan, &ctx));
+  out.shape = plan.Shape();
+  out.plan_text = plan.DescribeTree();
+  out.constraint = plan.resolved.constraint;
+  out.executed_at = backend_->clock()->Now();
+  out.max_seen_heartbeat = out.stats.max_seen_heartbeat;
+  return out;
+}
+
+Result<CacheQueryOutcome> CacheDbms::Execute(const SelectStmt& stmt,
+                                             SimTimeMs timeline_floor) {
+  RCC_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(stmt));
+  return ExecutePrepared(plan, timeline_floor);
+}
+
+CurrencyRegion* CacheDbms::region(RegionId cid) {
+  auto it = regions_.find(cid);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+const CurrencyRegion* CacheDbms::region(RegionId cid) const {
+  auto it = regions_.find(cid);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+MaterializedView* CacheDbms::view(std::string_view name) {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+SimTimeMs CacheDbms::LocalHeartbeat(RegionId cid) const {
+  const CurrencyRegion* r = region(cid);
+  return r == nullptr ? 0 : r->local_heartbeat();
+}
+
+}  // namespace rcc

@@ -1,0 +1,113 @@
+#ifndef RCC_CACHE_CACHE_DBMS_H_
+#define RCC_CACHE_CACHE_DBMS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_server.h"
+#include "replication/agent.h"
+#include "replication/region.h"
+
+namespace rcc {
+
+/// Outcome of one query executed through the cache: the rows plus everything
+/// an application (or a test) may want to inspect about how the C&C
+/// constraints were handled.
+struct CacheQueryOutcome {
+  ExecutedQuery result;
+  ExecStats stats;
+  PlanShape shape = PlanShape::kRemoteOnly;
+  std::string plan_text;
+  NormalizedConstraint constraint;
+  SimTimeMs executed_at = 0;
+  /// Highest source snapshot time the query observed (timeline tracking).
+  SimTimeMs max_seen_heartbeat = -1;
+};
+
+/// MTCache: the mid-tier database cache (paper §3). It holds a shadow
+/// catalog (back-end schema + statistics, empty tables), materialized views
+/// maintained by transactional replication, currency regions with local
+/// heartbeats, and a cost-based optimizer extended with consistency
+/// properties and currency guards.
+class CacheDbms {
+ public:
+  /// `backend` and `scheduler` must outlive the cache.
+  CacheDbms(BackendServer* backend, SimulationScheduler* scheduler,
+            CostParams costs)
+      : backend_(backend), scheduler_(scheduler), costs_(costs) {}
+
+  CacheDbms(const CacheDbms&) = delete;
+  CacheDbms& operator=(const CacheDbms&) = delete;
+
+  /// -- setup -----------------------------------------------------------------
+
+  /// Builds the shadow database: copies every back-end table definition and
+  /// its statistics into the local catalog (tables stay empty; paper §3
+  /// item 1). Call after the back-end schema is loaded.
+  Status CreateShadow();
+
+  /// Defines a currency region: catalog entry, runtime state, distribution
+  /// agent (started at its first update_interval), and the back-end
+  /// heartbeat row.
+  Status DefineRegion(const RegionDef& def);
+
+  /// Creates a materialized view, populates it from the current master data
+  /// (the replication subscription's initial snapshot), and attaches it to
+  /// its currency region. Views should be created before update traffic
+  /// starts (matching the prototype's static cache configuration).
+  Status CreateView(const ViewDef& def);
+
+  /// Registers a logical (non-materialized) view usable in queries.
+  Status CreateLogicalView(const std::string& name, const std::string& sql);
+
+  /// -- query pipeline -----------------------------------------------------------
+
+  /// Parses nothing: takes an AST. Resolves, optimizes (cache mode) and
+  /// returns the plan without executing — the optimizer-experiment entry.
+  Result<QueryPlan> Prepare(const SelectStmt& stmt) const;
+  Result<QueryPlan> Prepare(const SelectStmt& stmt,
+                            const OptimizerOptions& opts) const;
+
+  /// Executes a prepared plan. `timeline_floor` < 0 disables timeline mode.
+  Result<CacheQueryOutcome> ExecutePrepared(const QueryPlan& plan,
+                                            SimTimeMs timeline_floor = -1);
+
+  /// Full pipeline: resolve + optimize + execute.
+  Result<CacheQueryOutcome> Execute(const SelectStmt& stmt,
+                                    SimTimeMs timeline_floor = -1);
+
+  /// -- accessors -------------------------------------------------------------------
+  const Catalog& catalog() const { return catalog_; }
+  BackendServer* backend() const { return backend_; }
+  CurrencyRegion* region(RegionId cid);
+  const CurrencyRegion* region(RegionId cid) const;
+  MaterializedView* view(std::string_view name);
+  const std::vector<std::unique_ptr<DistributionAgent>>& agents() const {
+    return agents_;
+  }
+  /// Local heartbeat value for a region (the currency-guard input).
+  SimTimeMs LocalHeartbeat(RegionId cid) const;
+
+  const CostParams& costs() const { return costs_; }
+  OptimizerOptions default_options() const;
+
+  /// Builds the ExecContext used for local execution (exposed for benches
+  /// that drive the executor directly).
+  ExecContext MakeExecContext(ExecStats* stats,
+                              SimTimeMs timeline_floor = -1) const;
+
+ private:
+  BackendServer* backend_;
+  SimulationScheduler* scheduler_;
+  CostParams costs_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  std::map<RegionId, std::unique_ptr<CurrencyRegion>> regions_;
+  std::vector<std::unique_ptr<DistributionAgent>> agents_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_CACHE_CACHE_DBMS_H_

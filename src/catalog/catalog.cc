@@ -1,0 +1,171 @@
+#include "catalog/catalog.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rcc {
+
+Status Catalog::AddTable(TableDef def) {
+  std::string key = ToLower(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + def.name + " already exists");
+  }
+  for (const std::string& c : def.clustered_key) {
+    if (!def.schema.FindColumn(c)) {
+      return Status::InvalidArgument("clustered key column " + c +
+                                     " not in schema of " + def.name);
+    }
+  }
+  tables_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, def] : tables_) out.push_back(def.name);
+  return out;
+}
+
+Status Catalog::AddView(ViewDef def) {
+  std::string key = ToLower(def.name);
+  if (views_.count(key) > 0) {
+    return Status::AlreadyExists("view " + def.name + " already exists");
+  }
+  const TableDef* src = FindTable(def.source_table);
+  if (src == nullptr) {
+    return Status::NotFound("view source table " + def.source_table +
+                            " not found");
+  }
+  for (const std::string& c : def.columns) {
+    if (!src->schema.FindColumn(c)) {
+      return Status::InvalidArgument("view column " + c + " not in " +
+                                     def.source_table);
+    }
+  }
+  // The view must carry the source clustered key for incremental maintenance.
+  for (const std::string& kc : src->clustered_key) {
+    bool found = false;
+    for (const std::string& c : def.columns) {
+      if (EqualsIgnoreCase(c, kc)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("view " + def.name +
+                                     " must project clustered key column " +
+                                     kc);
+    }
+  }
+  if (regions_.count(def.region) == 0) {
+    return Status::NotFound("currency region " + std::to_string(def.region) +
+                            " not defined");
+  }
+  views_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+const ViewDef* Catalog::FindView(std::string_view name) const {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ViewDef*> Catalog::ViewsOnTable(
+    std::string_view table_name) const {
+  std::vector<const ViewDef*> out;
+  for (const auto& [key, view] : views_) {
+    if (EqualsIgnoreCase(view.source_table, table_name)) {
+      out.push_back(&view);
+    }
+  }
+  return out;
+}
+
+std::vector<const ViewDef*> Catalog::AllViews() const {
+  std::vector<const ViewDef*> out;
+  out.reserve(views_.size());
+  for (const auto& [key, view] : views_) out.push_back(&view);
+  return out;
+}
+
+Status Catalog::AddLogicalView(std::string name, std::string sql) {
+  std::string key = ToLower(name);
+  if (logical_views_.count(key) > 0 || tables_.count(key) > 0) {
+    return Status::AlreadyExists("name " + name + " already in use");
+  }
+  logical_views_.emplace(std::move(key), std::move(sql));
+  return Status::OK();
+}
+
+const std::string* Catalog::FindLogicalView(std::string_view name) const {
+  auto it = logical_views_.find(ToLower(name));
+  return it == logical_views_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::AddRegion(RegionDef def) {
+  if (def.cid == kBackendRegion) {
+    return Status::InvalidArgument(
+        "region id 0 is reserved for the back-end");
+  }
+  if (regions_.count(def.cid) > 0) {
+    return Status::AlreadyExists("region " + std::to_string(def.cid) +
+                                 " already exists");
+  }
+  regions_.emplace(def.cid, def);
+  return Status::OK();
+}
+
+const RegionDef* Catalog::FindRegion(RegionId cid) const {
+  auto it = regions_.find(cid);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+std::vector<RegionDef> Catalog::AllRegions() const {
+  std::vector<RegionDef> out;
+  out.reserve(regions_.size());
+  for (const auto& [cid, def] : regions_) out.push_back(def);
+  return out;
+}
+
+void Catalog::SetStats(const std::string& table_name, TableStats stats) {
+  stats_[ToLower(table_name)] = std::move(stats);
+}
+
+const TableStats& Catalog::GetStats(std::string_view table_name) const {
+  auto it = stats_.find(ToLower(table_name));
+  return it == stats_.end() ? empty_stats_ : it->second;
+}
+
+std::vector<size_t> Catalog::ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    auto idx = schema.FindColumn(n);
+    RCC_CHECK(idx.has_value(), "column not found during resolution");
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Result<Schema> Catalog::ViewSchema(const ViewDef& view) const {
+  const TableDef* src = FindTable(view.source_table);
+  if (src == nullptr) {
+    return Status::NotFound("source table " + view.source_table);
+  }
+  std::vector<Column> cols;
+  for (const std::string& c : view.columns) {
+    auto idx = src->schema.FindColumn(c);
+    if (!idx) return Status::NotFound("column " + c);
+    cols.push_back(src->schema.column(*idx));
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace rcc

@@ -1,0 +1,135 @@
+#ifndef RCC_CATALOG_CATALOG_H_
+#define RCC_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace rcc {
+
+/// Identifier of a currency region ("cid" in the paper's catalog columns).
+using RegionId = int32_t;
+
+/// Reserved region for data fetched from the back-end server: always current
+/// and mutually consistent within one query execution.
+inline constexpr RegionId kBackendRegion = 0;
+
+/// Secondary-index definition (by column names).
+struct IndexDef {
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+/// Definition of a base table (on the back-end; shadowed on the cache).
+struct TableDef {
+  std::string name;
+  Schema schema;
+  /// Clustered (primary) key column names.
+  std::vector<std::string> clustered_key;
+  std::vector<IndexDef> secondary_indexes;
+};
+
+/// An inclusive range restriction on one column, used for materialized-view
+/// predicates and for predicate subsumption during view matching.
+struct ColumnRange {
+  std::string column;
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+};
+
+/// Definition of a materialized view on the cache DBMS. Views are selections
+/// and projections of a single back-end table (paper §3 item 2), kept up to
+/// date by transactional replication, and assigned to one currency region.
+struct ViewDef {
+  std::string name;
+  std::string source_table;
+  /// Projected columns (must include the source's clustered key so the view
+  /// can be maintained incrementally).
+  std::vector<std::string> columns;
+  /// Conjunction of column ranges; empty = whole table.
+  std::vector<ColumnRange> predicate;
+  RegionId region = kBackendRegion;
+  std::vector<IndexDef> secondary_indexes;
+};
+
+/// Currency-region metadata: the three catalog columns the prototype added
+/// (cid, update_interval, update_delay; paper §3.1) plus the heartbeat rate.
+struct RegionDef {
+  RegionId cid = 0;
+  /// How often the distribution agent propagates updates (f), ms.
+  SimTimeMs update_interval = 0;
+  /// Delay for an update to reach the cache (d), ms.
+  SimTimeMs update_delay = 0;
+  /// How often the region's heartbeat row is touched at the back-end, ms.
+  SimTimeMs heartbeat_interval = 1000;
+};
+
+/// Schema + statistics + region metadata shared by the back-end and cache.
+/// Thread-unsafe by design: the simulator is single-threaded.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Move-only (catalogs are large; copying is almost always a bug).
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// -- Tables ------------------------------------------------------------
+  Status AddTable(TableDef def);
+  const TableDef* FindTable(std::string_view name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// -- Materialized views (cache side) ------------------------------------
+  Status AddView(ViewDef def);
+  const ViewDef* FindView(std::string_view name) const;
+  /// All views whose source is `table_name`.
+  std::vector<const ViewDef*> ViewsOnTable(std::string_view table_name) const;
+  std::vector<const ViewDef*> AllViews() const;
+
+  /// -- Logical views ---------------------------------------------------------
+  /// A logical (non-materialized) view: a named SELECT that the resolver
+  /// expands in place, exercising the paper's view-expansion step of
+  /// constraint normalization. Stored as text so the catalog stays
+  /// independent of the SQL front-end.
+  Status AddLogicalView(std::string name, std::string sql);
+  /// The view's SELECT text, or nullptr.
+  const std::string* FindLogicalView(std::string_view name) const;
+
+  /// -- Currency regions ----------------------------------------------------
+  Status AddRegion(RegionDef def);
+  const RegionDef* FindRegion(RegionId cid) const;
+  std::vector<RegionDef> AllRegions() const;
+
+  /// -- Statistics ----------------------------------------------------------
+  void SetStats(const std::string& table_name, TableStats stats);
+  /// Statistics for a base table; empty stats if unknown.
+  const TableStats& GetStats(std::string_view table_name) const;
+
+  /// Resolves the clustered-key column positions for a table definition.
+  static std::vector<size_t> ResolveColumns(
+      const Schema& schema, const std::vector<std::string>& names);
+
+  /// Schema of a view = projection of the source table's schema.
+  Result<Schema> ViewSchema(const ViewDef& view) const;
+
+ private:
+  std::map<std::string, TableDef> tables_;  // lower-case name -> def
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, std::string> logical_views_;
+  std::map<RegionId, RegionDef> regions_;
+  std::map<std::string, TableStats> stats_;
+  TableStats empty_stats_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_CATALOG_CATALOG_H_

@@ -1,0 +1,80 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace rcc {
+
+double TableStats::EstimatedPages(double page_bytes) const {
+  double pages = static_cast<double>(row_count) * avg_row_bytes / page_bytes;
+  return pages < 1.0 ? 1.0 : pages;
+}
+
+double TableStats::EqSelectivity(const std::string& column) const {
+  auto it = columns.find(column);
+  if (it == columns.end() || it->second.distinct_count <= 0) return 0.1;
+  double sel = 1.0 / static_cast<double>(it->second.distinct_count);
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double TableStats::RangeSelectivity(const std::string& column, const Value* lo,
+                                    const Value* hi) const {
+  auto it = columns.find(column);
+  if (it == columns.end()) return 0.3;  // default guess
+  const ColumnStats& cs = it->second;
+  if (!cs.min.is_numeric() || !cs.max.is_numeric()) return 0.3;
+  double mn = cs.min.AsDouble();
+  double mx = cs.max.AsDouble();
+  if (mx <= mn) return 1.0;
+  double a = lo && lo->is_numeric() ? std::max(lo->AsDouble(), mn) : mn;
+  double b = hi && hi->is_numeric() ? std::min(hi->AsDouble(), mx) : mx;
+  if (b < a) return 0.0;
+  return std::clamp((b - a) / (mx - mn), 0.0, 1.0);
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(table.num_rows());
+  const Schema& schema = table.schema();
+
+  std::vector<std::set<std::string>> distinct(schema.num_columns());
+  std::vector<Value> mins(schema.num_columns());
+  std::vector<Value> maxs(schema.num_columns());
+  std::vector<bool> seen(schema.num_columns(), false);
+  double total_bytes = 0;
+
+  table.Scan([&](const Row& row) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      if (!seen[c]) {
+        mins[c] = v;
+        maxs[c] = v;
+        seen[c] = true;
+      } else {
+        if (v.Compare(mins[c]) < 0) mins[c] = v;
+        if (maxs[c].Compare(v) < 0) maxs[c] = v;
+      }
+      distinct[c].insert(v.ToString());
+      total_bytes += v.is_string() ? 16.0 + v.AsString().size() : 8.0;
+    }
+    return true;
+  });
+
+  if (stats.row_count > 0) {
+    stats.avg_row_bytes = total_bytes / static_cast<double>(stats.row_count);
+  }
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats cs;
+    if (seen[c]) {
+      cs.min = mins[c];
+      cs.max = maxs[c];
+      cs.distinct_count = static_cast<int64_t>(distinct[c].size());
+    }
+    stats.columns[schema.column(c).name] = cs;
+  }
+  return stats;
+}
+
+}  // namespace rcc

@@ -1,0 +1,47 @@
+#ifndef RCC_CATALOG_STATISTICS_H_
+#define RCC_CATALOG_STATISTICS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "storage/table.h"
+
+namespace rcc {
+
+/// Per-column statistics: value bounds and distinct count, enough for the
+/// uniform-distribution selectivity estimates the optimizer uses.
+struct ColumnStats {
+  Value min;
+  Value max;
+  int64_t distinct_count = 1;
+};
+
+/// Table-level statistics. The cache DBMS keeps the *back-end's* statistics
+/// on its shadow tables (paper §3 item 1), so optimization on the cache sees
+/// the same cardinalities the back-end would.
+struct TableStats {
+  int64_t row_count = 0;
+  /// Average row width in bytes; drives page-count and transfer estimates.
+  double avg_row_bytes = 64.0;
+  std::map<std::string, ColumnStats> columns;
+
+  /// Estimated pages at `page_bytes` bytes per page (>= 1).
+  double EstimatedPages(double page_bytes = 8192.0) const;
+
+  /// Selectivity of `col = literal` (1/distinct, clamped to [0,1]).
+  double EqSelectivity(const std::string& column) const;
+
+  /// Selectivity of an inclusive range predicate over `column`; open bounds
+  /// are allowed. Assumes a uniform distribution between min and max.
+  double RangeSelectivity(const std::string& column, const Value* lo,
+                          const Value* hi) const;
+};
+
+/// Computes exact statistics by scanning a table (used when loading data into
+/// the back-end; the cache imports the result).
+TableStats ComputeTableStats(const Table& table);
+
+}  // namespace rcc
+
+#endif  // RCC_CATALOG_STATISTICS_H_

@@ -1,0 +1,51 @@
+#include "common/clock.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace rcc {
+
+void VirtualClock::AdvanceTo(SimTimeMs t) {
+  if (t > now_) now_ = t;
+}
+
+void SimulationScheduler::ScheduleAt(SimTimeMs at,
+                                     std::function<void(SimTimeMs)> fn) {
+  SimEvent ev;
+  ev.at = at < clock_->Now() ? clock_->Now() : at;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+void SimulationScheduler::SchedulePeriodic(SimTimeMs first, SimTimeMs period,
+                                           std::function<void(SimTimeMs)> fn) {
+  // The wrapper reschedules itself after each firing.
+  auto wrapper = std::make_shared<std::function<void(SimTimeMs)>>();
+  auto body = fn;
+  *wrapper = [this, period, body, wrapper](SimTimeMs now) {
+    body(now);
+    ScheduleAt(now + period, *wrapper);
+  };
+  ScheduleAt(first, *wrapper);
+}
+
+void SimulationScheduler::RunUntil(SimTimeMs t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    SimEvent ev = queue_.top();
+    queue_.pop();
+    clock_->AdvanceTo(ev.at);
+    ev.fn(clock_->Now());
+  }
+  clock_->AdvanceTo(t);
+}
+
+std::string FormatSimTime(SimTimeMs t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%03llds",
+                static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  return buf;
+}
+
+}  // namespace rcc

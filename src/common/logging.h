@@ -1,0 +1,31 @@
+#ifndef RCC_COMMON_LOGGING_H_
+#define RCC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcc {
+
+/// Internal invariant check: aborts with a message when violated. Used for
+/// conditions that indicate a bug in the library, never for user errors
+/// (those surface as Status).
+#define RCC_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "RCC_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, (msg));                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define RCC_DCHECK(cond, msg) RCC_CHECK(cond, msg)
+#else
+#define RCC_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#endif
+
+}  // namespace rcc
+
+#endif  // RCC_COMMON_LOGGING_H_

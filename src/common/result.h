@@ -1,0 +1,79 @@
+#ifndef RCC_COMMON_RESULT_H_
+#define RCC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rcc {
+
+/// Value-or-Status, in the style of arrow::Result. A Result is either OK and
+/// holds a T, or holds a non-OK Status. Accessing the value of a failed
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; only valid when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_{Status::OK()};
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its error; on success binds
+/// the value to `lhs`. `lhs` may include a declaration, e.g.
+///   RCC_ASSIGN_OR_RETURN(auto plan, Optimize(q));
+#define RCC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define RCC_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define RCC_ASSIGN_OR_RETURN_CONCAT(a, b) RCC_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define RCC_ASSIGN_OR_RETURN(lhs, expr) \
+  RCC_ASSIGN_OR_RETURN_IMPL(            \
+      RCC_ASSIGN_OR_RETURN_CONCAT(_rcc_result_, __LINE__), lhs, expr)
+
+}  // namespace rcc
+
+#endif  // RCC_COMMON_RESULT_H_

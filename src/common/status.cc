@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace rcc {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,33 @@
+#ifndef RCC_COMMON_STRINGS_H_
+#define RCC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcc {
+
+/// Lower-cases ASCII characters; SQL identifiers/keywords are
+/// case-insensitive in our dialect.
+std::string ToLower(std::string_view s);
+
+/// True if two strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, trimming surrounding whitespace from each
+/// piece; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rcc
+
+#endif  // RCC_COMMON_STRINGS_H_

@@ -1,0 +1,34 @@
+#ifndef RCC_CORE_QUERY_RESULT_H_
+#define RCC_CORE_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_dbms.h"
+
+namespace rcc {
+
+/// What a session returns for one statement. For BEGIN/END TIMEORDERED the
+/// row set is empty and `message` describes the mode change.
+struct QueryResult {
+  RowLayout layout;
+  std::vector<Row> rows;
+  /// Coarse plan shape (paper Fig. 4.1 classes).
+  PlanShape shape = PlanShape::kRemoteOnly;
+  /// Full plan rendering.
+  std::string plan_text;
+  ExecStats stats;
+  /// The normalized C&C constraint the plan was required to satisfy.
+  NormalizedConstraint constraint;
+  SimTimeMs executed_at = 0;
+  std::string message;
+  /// Rows touched by a DML statement (INSERT/UPDATE/DELETE).
+  int64_t rows_affected = 0;
+
+  /// Pretty ASCII table of the result rows (used by the examples).
+  std::string ToTable(size_t max_rows = 20) const;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_CORE_QUERY_RESULT_H_

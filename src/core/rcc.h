@@ -1,0 +1,14 @@
+#ifndef RCC_CORE_RCC_H_
+#define RCC_CORE_RCC_H_
+
+/// Umbrella header for the RCC library: everything a downstream application
+/// needs to stand up a back-end + MTCache pair, define currency regions and
+/// materialized views, and run SQL with currency-and-consistency clauses.
+
+#include "core/query_result.h"   // IWYU pragma: export
+#include "core/session.h"        // IWYU pragma: export
+#include "core/system.h"         // IWYU pragma: export
+#include "semantics/model.h"     // IWYU pragma: export
+#include "sql/parser.h"          // IWYU pragma: export
+
+#endif  // RCC_CORE_RCC_H_

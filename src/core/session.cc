@@ -1,0 +1,311 @@
+#include "core/session.h"
+
+#include <functional>
+
+#include "common/strings.h"
+#include "exec/switch_union.h"
+#include "sql/parser.h"
+
+namespace rcc {
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
+  QueryResult out;
+  switch (stmt.kind) {
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del);
+    case StatementKind::kBeginTimeOrdered:
+      timeordered_ = true;
+      timeline_floor_ = -1;
+      out.message = "timeline consistency ON";
+      return out;
+    case StatementKind::kEndTimeOrdered:
+      timeordered_ = false;
+      timeline_floor_ = -1;
+      out.message = "timeline consistency OFF";
+      return out;
+    case StatementKind::kSelect:
+      break;
+  }
+
+  CacheDbms* cache = system_->cache();
+  RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
+  SimTimeMs floor = timeordered_ ? timeline_floor_ : -1;
+  RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
+                       cache->ExecutePrepared(plan, floor));
+  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor_) {
+    timeline_floor_ = outcome.max_seen_heartbeat;
+  }
+  out.layout = std::move(outcome.result.layout);
+  out.rows = std::move(outcome.result.rows);
+  out.shape = outcome.shape;
+  out.plan_text = std::move(outcome.plan_text);
+  out.stats = outcome.stats;
+  out.constraint = std::move(outcome.constraint);
+  out.executed_at = outcome.executed_at;
+  return out;
+}
+
+namespace {
+
+/// Scope over one master-table row for evaluating DML predicates and
+/// assignment expressions. The table is addressable by its own name.
+struct TableRowScope {
+  explicit TableRowScope(const TableDef& def) {
+    for (const Column& c : def.schema.columns()) {
+      layout.Add(0, c.name, c.type);
+    }
+    aliases[ToLower(def.name)] = 0;
+  }
+  EvalScope For(const Row& row) {
+    EvalScope s;
+    s.layout = &layout;
+    s.row = &row;
+    s.aliases = &aliases;
+    return s;
+  }
+  RowLayout layout;
+  AliasMap aliases;
+};
+
+Result<QueryResult> ForwardTransaction(RccSystem* system,
+                                       std::vector<RowOp> ops,
+                                       const char* verb) {
+  int64_t affected = static_cast<int64_t>(ops.size());
+  RCC_ASSIGN_OR_RETURN(TxnTimestamp ts,
+                       system->backend()->ExecuteTransaction(std::move(ops)));
+  QueryResult out;
+  out.rows_affected = affected;
+  out.executed_at = system->Now();
+  out.message = std::string(verb) + " " + std::to_string(affected) +
+                " row(s), committed as txn " + std::to_string(ts) +
+                " at the back-end";
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResult> Session::ExecuteInsert(const InsertStmt& stmt) {
+  const TableDef* def = system_->backend()->catalog().FindTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table " + stmt.table + " not found");
+  }
+  // Map listed columns (or the full schema) to positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < def->schema.num_columns(); ++i) {
+      positions.push_back(i);
+    }
+  } else {
+    for (const std::string& c : stmt.columns) {
+      auto idx = def->schema.FindColumn(c);
+      if (!idx) {
+        return Status::NotFound("column " + c + " not in " + stmt.table);
+      }
+      positions.push_back(*idx);
+    }
+  }
+  std::vector<RowOp> ops;
+  EvalScope empty;
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(def->schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      RCC_ASSIGN_OR_RETURN(Value v, EvalExpr(*exprs[i], empty, nullptr));
+      row[positions[i]] = std::move(v);
+    }
+    RowOp op;
+    op.kind = RowOp::Kind::kInsert;
+    op.table = def->name;
+    op.row = std::move(row);
+    ops.push_back(std::move(op));
+  }
+  return ForwardTransaction(system_, std::move(ops), "inserted");
+}
+
+Result<QueryResult> Session::ExecuteUpdate(const UpdateStmt& stmt) {
+  const TableDef* def = system_->backend()->catalog().FindTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table " + stmt.table + " not found");
+  }
+  const Table* master = system_->backend()->table(stmt.table);
+  std::vector<size_t> positions;
+  for (const auto& [col, expr] : stmt.assignments) {
+    auto idx = def->schema.FindColumn(col);
+    if (!idx) return Status::NotFound("column " + col + " not in " + stmt.table);
+    positions.push_back(*idx);
+  }
+  TableRowScope scope(*def);
+  std::vector<RowOp> ops;
+  Status failure = Status::OK();
+  master->Scan([&](const Row& row) {
+    EvalScope s = scope.For(row);
+    if (stmt.where != nullptr) {
+      auto match = EvalPredicate(*stmt.where, s, nullptr);
+      if (!match.ok()) {
+        failure = match.status();
+        return false;
+      }
+      if (!*match) return true;
+    }
+    Row updated = row;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      auto v = EvalExpr(*stmt.assignments[i].second, s, nullptr);
+      if (!v.ok()) {
+        failure = v.status();
+        return false;
+      }
+      updated[positions[i]] = std::move(*v);
+    }
+    RowOp op;
+    op.kind = RowOp::Kind::kUpdate;
+    op.table = def->name;
+    op.row = std::move(updated);
+    ops.push_back(std::move(op));
+    return true;
+  });
+  RCC_RETURN_NOT_OK(failure);
+  if (ops.empty()) {
+    QueryResult out;
+    out.message = "updated 0 row(s)";
+    out.executed_at = system_->Now();
+    return out;
+  }
+  return ForwardTransaction(system_, std::move(ops), "updated");
+}
+
+Result<QueryResult> Session::ExecuteDelete(const DeleteStmt& stmt) {
+  const TableDef* def = system_->backend()->catalog().FindTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table " + stmt.table + " not found");
+  }
+  const Table* master = system_->backend()->table(stmt.table);
+  TableRowScope scope(*def);
+  std::vector<RowOp> ops;
+  Status failure = Status::OK();
+  master->Scan([&](const Row& row) {
+    if (stmt.where != nullptr) {
+      EvalScope s = scope.For(row);
+      auto match = EvalPredicate(*stmt.where, s, nullptr);
+      if (!match.ok()) {
+        failure = match.status();
+        return false;
+      }
+      if (!*match) return true;
+    }
+    RowOp op;
+    op.kind = RowOp::Kind::kDelete;
+    op.table = def->name;
+    op.key = master->KeyOf(row);
+    ops.push_back(std::move(op));
+    return true;
+  });
+  RCC_RETURN_NOT_OK(failure);
+  if (ops.empty()) {
+    QueryResult out;
+    out.message = "deleted 0 row(s)";
+    out.executed_at = system_->Now();
+    return out;
+  }
+  return ForwardTransaction(system_, std::move(ops), "deleted");
+}
+
+Result<QueryPlan> Session::Prepare(const std::string& sql) const {
+  RCC_ASSIGN_OR_RETURN(auto select, ParseSelect(sql));
+  return system_->cache()->Prepare(*select);
+}
+
+Status Session::VerifyConstraint(const QueryPlan& plan) const {
+  CacheDbms* cache = system_->cache();
+  BackendServer* backend = system_->backend();
+  const UpdateLog& log = backend->log();
+  SimTimeMs now = system_->Now();
+  TxnTimestamp latest = backend->oracle().last_committed();
+
+  // Determine, per input operand, the snapshot it would be served from if
+  // the plan ran right now (re-evaluating the currency guards).
+  std::map<InputOperandId, semantics::CopyState> sources;
+  ExecStats scratch;
+  ExecContext ctx = cache->MakeExecContext(&scratch);
+
+  std::function<void(const PhysicalOp&)> walk = [&](const PhysicalOp& op) {
+    if (op.kind == PhysOpKind::kSwitchUnion) {
+      bool local = SwitchUnionIterator::EvaluateGuard(op, &ctx);
+      TxnTimestamp as_of = latest;
+      if (local) {
+        const CurrencyRegion* region = cache->region(op.guard_region);
+        as_of = region != nullptr ? region->as_of() : latest;
+      }
+      for (InputOperandId oid : op.children[0]->delivered.AllOperands()) {
+        if (oid < plan.resolved.operands.size()) {
+          semantics::CopyState cs;
+          cs.table = plan.resolved.operands[oid].table->name;
+          cs.as_of = as_of;
+          sources[oid] = cs;
+        }
+      }
+      return;  // don't descend: children share the decision
+    }
+    if (op.kind == PhysOpKind::kRemoteQuery) {
+      for (InputOperandId oid : op.remote_operands) {
+        if (oid < plan.resolved.operands.size()) {
+          semantics::CopyState cs;
+          cs.table = plan.resolved.operands[oid].table->name;
+          cs.as_of = latest;
+          sources[oid] = cs;
+        }
+      }
+      return;
+    }
+    if (op.kind == PhysOpKind::kLocalScan && op.target.is_view) {
+      // Unguarded local access (ablation mode).
+      const ViewDef* view = cache->catalog().FindView(op.target.name);
+      const CurrencyRegion* region =
+          view != nullptr ? cache->region(view->region) : nullptr;
+      semantics::CopyState cs;
+      cs.table = plan.resolved.operands[op.operand].table->name;
+      cs.as_of = region != nullptr ? region->as_of() : latest;
+      sources[op.operand] = cs;
+      return;
+    }
+    for (const auto& child : op.children) walk(*child);
+  };
+  walk(*plan.root);
+  for (const auto& [stmt_ptr, sub] : plan.subplans) walk(*sub.root);
+
+  for (const CcTuple& tuple : plan.resolved.constraint.tuples) {
+    std::vector<semantics::CopyState> copies;
+    for (InputOperandId oid : tuple.operands) {
+      auto it = sources.find(oid);
+      if (it != sources.end()) copies.push_back(it->second);
+    }
+    // Currency: every copy must be within the bound.
+    for (const semantics::CopyState& cs : copies) {
+      SimTimeMs staleness = semantics::CurrencyOf(log, cs.table, cs.as_of, now);
+      if (staleness > tuple.bound_ms) {
+        return Status::ConstraintViolation(
+            "copy of " + cs.table + " is " + std::to_string(staleness) +
+            "ms stale, bound is " + std::to_string(tuple.bound_ms) + "ms");
+      }
+    }
+    // Consistency: the class must be attributable to one snapshot.
+    if (!semantics::MutuallyConsistent(log, copies)) {
+      return Status::ConstraintViolation(
+          "consistency class " + tuple.ToString() +
+          " spans incompatible snapshots");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rcc

@@ -1,0 +1,64 @@
+#ifndef RCC_CORE_SESSION_H_
+#define RCC_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/query_result.h"
+#include "core/system.h"
+#include "semantics/model.h"
+
+namespace rcc {
+
+/// An application session against the cache DBMS. Parses statements,
+/// runs the C&C-aware pipeline, and implements timeline consistency
+/// (paper §2.3): inside BEGIN TIMEORDERED ... END TIMEORDERED, a query never
+/// reads data older than what the session has already seen — currency guards
+/// are additionally floored at the session's high-water snapshot time.
+class Session {
+ public:
+  explicit Session(RccSystem* system) : system_(system) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Executes one SQL statement (SELECT with optional currency clause, or
+  /// BEGIN/END TIMEORDERED).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a pre-parsed statement.
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+
+  /// Optimizes without executing: the entry point of the plan-choice
+  /// experiments.
+  Result<QueryPlan> Prepare(const std::string& sql) const;
+
+  /// Independently verifies — against the appendix semantics model
+  /// interpreting the back-end update log — that the data sources a plan
+  /// would read *right now* satisfy the plan's C&C constraint. Returns OK or
+  /// ConstraintViolation with an explanation. Used by tests and available to
+  /// applications that want the "detect and report" behaviour from the
+  /// paper's introduction.
+  Status VerifyConstraint(const QueryPlan& plan) const;
+
+  bool in_timeordered() const { return timeordered_; }
+
+  /// DML: builds the row operations (evaluating predicates against the
+  /// master data) and forwards them as one transaction to the back-end —
+  /// the cache never applies writes itself (paper §3 item 5).
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
+  /// The session's snapshot high-water mark (virtual time); -1 before any
+  /// query ran in time-ordered mode.
+  SimTimeMs timeline_floor() const { return timeline_floor_; }
+
+ private:
+  RccSystem* system_;
+  bool timeordered_ = false;
+  SimTimeMs timeline_floor_ = -1;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_CORE_SESSION_H_

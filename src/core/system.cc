@@ -1,0 +1,17 @@
+#include "core/system.h"
+
+#include "core/session.h"
+
+namespace rcc {
+
+RccSystem::RccSystem(SystemConfig config)
+    : config_(config),
+      scheduler_(&clock_),
+      backend_(&clock_, config_.costs),
+      cache_(&backend_, &scheduler_, config_.costs) {}
+
+std::unique_ptr<Session> RccSystem::CreateSession() {
+  return std::make_unique<Session>(this);
+}
+
+}  // namespace rcc

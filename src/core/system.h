@@ -1,0 +1,69 @@
+#ifndef RCC_CORE_SYSTEM_H_
+#define RCC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_server.h"
+#include "cache/cache_dbms.h"
+
+namespace rcc {
+
+class Session;
+
+/// System-wide configuration.
+struct SystemConfig {
+  CostParams costs;
+  /// Seed for anything random in the system itself (workloads carry their
+  /// own seeds).
+  uint64_t seed = 42;
+};
+
+/// The complete two-tier system of the paper: a back-end server plus an
+/// MTCache instance, wired together with a shared virtual clock and a
+/// discrete-event scheduler that drives heartbeats and distribution agents.
+///
+/// Typical setup:
+///   RccSystem sys;
+///   sys.backend()->CreateTable(...); sys.backend()->BulkLoad(...);
+///   sys.cache()->CreateShadow();
+///   sys.cache()->DefineRegion({.cid=1, .update_interval=15000, ...});
+///   sys.cache()->CreateView(...);
+///   auto session = sys.CreateSession();
+///   auto result = session->Execute(
+///       "SELECT ... CURRENCY BOUND 10 MIN ON (C)");
+class RccSystem {
+ public:
+  explicit RccSystem(SystemConfig config = {});
+
+  RccSystem(const RccSystem&) = delete;
+  RccSystem& operator=(const RccSystem&) = delete;
+
+  BackendServer* backend() { return &backend_; }
+  CacheDbms* cache() { return &cache_; }
+  VirtualClock* clock() { return &clock_; }
+  SimulationScheduler* scheduler() { return &scheduler_; }
+
+  /// Advances virtual time to `t`, firing heartbeats, agent wake-ups and
+  /// deliveries along the way.
+  void AdvanceTo(SimTimeMs t) { scheduler_.RunUntil(t); }
+  void AdvanceBy(SimTimeMs delta) { AdvanceTo(clock_.Now() + delta); }
+  SimTimeMs Now() const { return clock_.Now(); }
+
+  /// Creates an application session against the cache.
+  std::unique_ptr<Session> CreateSession();
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  VirtualClock clock_;
+  SimulationScheduler scheduler_;
+  BackendServer backend_;
+  CacheDbms cache_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_CORE_SYSTEM_H_

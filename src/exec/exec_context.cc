@@ -1,0 +1,13 @@
+#include "exec/exec_context.h"
+
+namespace rcc {
+
+void ExecStats::Accumulate(const ExecStats& other) {
+  rows_returned += other.rows_returned;
+  remote_queries += other.remote_queries;
+  guard_evaluations += other.guard_evaluations;
+  switch_local += other.switch_local;
+  switch_remote += other.switch_remote;
+}
+
+}  // namespace rcc

@@ -1,0 +1,92 @@
+#ifndef RCC_EXEC_EXEC_CONTEXT_H_
+#define RCC_EXEC_EXEC_CONTEXT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "plan/physical.h"
+#include "storage/table.h"
+
+namespace rcc {
+
+/// Rows returned by a remote (back-end) query, in the remote select-list
+/// order.
+struct RemoteResult {
+  RowLayout layout;
+  std::vector<Row> rows;
+};
+
+/// Per-query execution counters. Phase timings are real (steady-clock) time
+/// because the currency-guard overhead experiments (paper Tables 4.4/4.5)
+/// measure actual executor work; everything currency-related runs on the
+/// virtual clock instead.
+struct ExecStats {
+  int64_t rows_returned = 0;
+  int64_t remote_queries = 0;
+  int64_t guard_evaluations = 0;
+  /// SwitchUnion decisions.
+  int64_t switch_local = 0;
+  int64_t switch_remote = 0;
+  /// Executor phases, milliseconds of real time.
+  double setup_ms = 0;
+  double run_ms = 0;
+  double shutdown_ms = 0;
+  /// Highest snapshot timestamp (virtual time) among the data sources the
+  /// query actually read: local branches contribute their region's local
+  /// heartbeat, remote fetches the current virtual time. Drives timeline
+  /// consistency (paper §2.3). -1 when no source was touched.
+  SimTimeMs max_seen_heartbeat = -1;
+
+  void Reset() { *this = ExecStats(); }
+  /// Accumulates counters (not timings) from another stats object.
+  void Accumulate(const ExecStats& other);
+};
+
+/// Everything an iterator tree needs at run time. The engine layer (cache /
+/// back-end) fills in the callbacks; exec stays independent of it.
+struct ExecContext {
+  /// Resolves a scan target to its storage. Returns nullptr when unknown.
+  std::function<const Table*(const ScanTarget&)> table_provider;
+
+  /// Ships a statement to the back-end server (cache side only).
+  std::function<Result<RemoteResult>(const SelectStmt&)> remote_executor;
+
+  /// The local heartbeat timestamp of a currency region: the currency guard
+  /// input (paper §3.2.3).
+  std::function<SimTimeMs(RegionId)> local_heartbeat;
+
+  const VirtualClock* clock = nullptr;
+  ExecStats* stats = nullptr;
+
+  /// Plans for nested EXISTS/IN subqueries, keyed by AST node.
+  const std::map<const SelectStmt*, SubPlan>* subplans = nullptr;
+
+  /// Timeline-consistency floor (paper §2.3): when >= 0, currency guards
+  /// additionally require the region's heartbeat to be at least this value,
+  /// so a session never reads data older than what it has already seen.
+  SimTimeMs timeline_floor_ms = -1;
+};
+
+/// Volcano-style iterator. Open may be called again after Close (inner sides
+/// of nested-loop joins re-open per outer row, with the outer row's scope).
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// `outer` supplies bindings for correlated/parameterized references; may
+  /// be nullptr at the plan root.
+  virtual Status Open(const EvalScope* outer) = 0;
+  /// Produces the next row; returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+  virtual Status Close() = 0;
+
+  /// Row shape produced by this iterator.
+  virtual const RowLayout& layout() const = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,55 @@
+#include "exec/executor.h"
+
+#include <chrono>
+
+#include "exec/iterators.h"
+
+namespace rcc {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  auto d = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+Result<ExecutedQuery> ExecutePlan(const QueryPlan& plan, ExecContext* ctx) {
+  ctx->subplans = &plan.subplans;
+
+  // Setup phase: instantiate the executable tree and bind resources.
+  auto t0 = std::chrono::steady_clock::now();
+  RCC_ASSIGN_OR_RETURN(auto iter, BuildIterator(*plan.root, ctx,
+                                                &plan.aliases));
+  RCC_RETURN_NOT_OK(iter->Open(nullptr));
+  double setup_ms = MsSince(t0);
+
+  // Run phase: produce the result rows.
+  auto t1 = std::chrono::steady_clock::now();
+  ExecutedQuery out;
+  out.layout = iter->layout();
+  Row row;
+  while (true) {
+    RCC_ASSIGN_OR_RETURN(bool more, iter->Next(&row));
+    if (!more) break;
+    out.rows.push_back(std::move(row));
+  }
+  double run_ms = MsSince(t1);
+
+  // Shutdown phase.
+  auto t2 = std::chrono::steady_clock::now();
+  RCC_RETURN_NOT_OK(iter->Close());
+  iter.reset();
+  double shutdown_ms = MsSince(t2);
+
+  if (ctx->stats != nullptr) {
+    ctx->stats->rows_returned += static_cast<int64_t>(out.rows.size());
+    ctx->stats->setup_ms += setup_ms;
+    ctx->stats->run_ms += run_ms;
+    ctx->stats->shutdown_ms += shutdown_ms;
+  }
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,24 @@
+#ifndef RCC_EXEC_EXECUTOR_H_
+#define RCC_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace rcc {
+
+/// A fully materialized query result.
+struct ExecutedQuery {
+  RowLayout layout;
+  std::vector<Row> rows;
+};
+
+/// Executes an optimized plan: instantiates the iterator tree (setup phase),
+/// drains it (run phase), and tears it down (shutdown phase). Phase timings
+/// land in ctx->stats — they are what the currency-guard overhead
+/// experiments (paper Tables 4.4/4.5) report.
+Result<ExecutedQuery> ExecutePlan(const QueryPlan& plan, ExecContext* ctx);
+
+}  // namespace rcc
+
+#endif  // RCC_EXEC_EXECUTOR_H_

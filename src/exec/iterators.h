@@ -1,0 +1,22 @@
+#ifndef RCC_EXEC_ITERATORS_H_
+#define RCC_EXEC_ITERATORS_H_
+
+#include <memory>
+
+#include "exec/exec_context.h"
+
+namespace rcc {
+
+/// Builds the iterator tree for a physical plan. `aliases` is the alias map
+/// of the block the plan belongs to (subquery plans pass their own).
+Result<std::unique_ptr<RowIterator>> BuildIterator(const PhysicalOp& op,
+                                                   ExecContext* ctx,
+                                                   const AliasMap* aliases);
+
+/// Creates the evaluator for nested EXISTS/IN subqueries, backed by
+/// ctx->subplans. EXISTS returns 1/0; IN returns 1, 0, or NULL per SQL.
+SubqueryEvaluator MakeSubqueryEvaluator(ExecContext* ctx);
+
+}  // namespace rcc
+
+#endif  // RCC_EXEC_ITERATORS_H_

@@ -1,0 +1,133 @@
+#include "exec/remote.h"
+
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace rcc {
+
+namespace {
+
+/// Collects the FROM aliases of `stmt` and all nested blocks (these must NOT
+/// be parameterized away).
+void CollectOwnAliases(const SelectStmt& stmt, std::set<std::string>* out) {
+  for (const TableRef& ref : stmt.from) {
+    out->insert(ToLower(ref.alias));
+    if (ref.subquery) CollectOwnAliases(*ref.subquery, out);
+  }
+  std::function<void(const Expr*)> walk = [&](const Expr* e) {
+    if (e == nullptr) return;
+    if (e->subquery) CollectOwnAliases(*e->subquery, out);
+    walk(e->left.get());
+    walk(e->right.get());
+    for (const auto& a : e->args) walk(a.get());
+  };
+  walk(stmt.where.get());
+  for (const auto& item : stmt.items) walk(item.expr.get());
+}
+
+/// Replaces column refs resolvable in the outer scope with literals.
+Status SubstituteExpr(Expr* e, const std::set<std::string>& own,
+                      const EvalScope& outer) {
+  if (e == nullptr) return Status::OK();
+  if (e->kind == ExprKind::kColumnRef) {
+    bool is_own =
+        !e->table.empty() ? own.count(ToLower(e->table)) > 0 : true;
+    if (is_own) return Status::OK();
+    auto v = EvalExpr(*e, outer, nullptr);
+    if (!v.ok()) {
+      return Status::Internal("cannot parameterize outer reference " +
+                              e->ToString() + ": " + v.status().ToString());
+    }
+    e->kind = ExprKind::kLiteral;
+    e->literal = std::move(v).value();
+    e->table.clear();
+    e->column.clear();
+    return Status::OK();
+  }
+  RCC_RETURN_NOT_OK(SubstituteExpr(e->left.get(), own, outer));
+  RCC_RETURN_NOT_OK(SubstituteExpr(e->right.get(), own, outer));
+  for (auto& a : e->args) {
+    RCC_RETURN_NOT_OK(SubstituteExpr(a.get(), own, outer));
+  }
+  if (e->subquery != nullptr) {
+    // Nested blocks share the same "own" alias universe (already collected
+    // recursively).
+    SelectStmt* s = e->subquery.get();
+    if (s->where) RCC_RETURN_NOT_OK(SubstituteExpr(s->where.get(), own, outer));
+    for (auto& item : s->items) {
+      RCC_RETURN_NOT_OK(SubstituteExpr(item.expr.get(), own, outer));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParameterizeStmt(const SelectStmt& stmt,
+                                                     const EvalScope& outer) {
+  auto clone = CloneSelectStmt(stmt);
+  std::set<std::string> own;
+  CollectOwnAliases(*clone, &own);
+  if (clone->where) {
+    RCC_RETURN_NOT_OK(SubstituteExpr(clone->where.get(), own, outer));
+  }
+  for (auto& item : clone->items) {
+    RCC_RETURN_NOT_OK(SubstituteExpr(item.expr.get(), own, outer));
+  }
+  for (auto& ref : clone->from) {
+    if (ref.subquery && ref.subquery->where) {
+      RCC_RETURN_NOT_OK(
+          SubstituteExpr(ref.subquery->where.get(), own, outer));
+    }
+  }
+  return clone;
+}
+
+Status RemoteQueryIterator::Open(const EvalScope* outer) {
+  rows_.clear();
+  pos_ = 0;
+  if (!ctx_->remote_executor) {
+    return Status::Internal("no remote executor configured");
+  }
+  Result<RemoteResult> result = Status::OK();
+  if (outer != nullptr && outer->row != nullptr) {
+    // Possibly correlated: substitute outer references before shipping.
+    RCC_ASSIGN_OR_RETURN(auto stmt, ParameterizeStmt(*op_.remote_stmt, *outer));
+    result = ctx_->remote_executor(*stmt);
+  } else {
+    result = ctx_->remote_executor(*op_.remote_stmt);
+  }
+  if (!result.ok()) return result.status();
+  if (ctx_->stats != nullptr) {
+    ++ctx_->stats->remote_queries;
+    // A remote fetch reads the latest back-end snapshot.
+    SimTimeMs now = ctx_->clock != nullptr ? ctx_->clock->Now() : 0;
+    if (now > ctx_->stats->max_seen_heartbeat) {
+      ctx_->stats->max_seen_heartbeat = now;
+    }
+  }
+  if (result->layout.num_slots() != op_.layout.num_slots()) {
+    return Status::Internal(
+        "remote result shape mismatch: got " +
+        std::to_string(result->layout.num_slots()) + " columns, expected " +
+        std::to_string(op_.layout.num_slots()));
+  }
+  rows_ = std::move(result->rows);
+  return Status::OK();
+}
+
+Result<bool> RemoteQueryIterator::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+Status RemoteQueryIterator::Close() {
+  rows_.clear();
+  pos_ = 0;
+  return Status::OK();
+}
+
+}  // namespace rcc

@@ -1,0 +1,60 @@
+#include "exec/switch_union.h"
+
+namespace rcc {
+
+bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
+                                        ExecContext* ctx) {
+  // Heartbeat_R.TimeStamp > now - B  <=>  the region reflects a snapshot no
+  // older than the currency bound.
+  SimTimeMs hb = ctx->local_heartbeat(op.guard_region);
+  SimTimeMs now = ctx->clock->Now();
+  if (ctx->stats != nullptr) ++ctx->stats->guard_evaluations;
+  bool fresh_enough = hb > now - op.guard_bound_ms;
+  // Timeline consistency: never fall behind what the session already saw.
+  if (ctx->timeline_floor_ms >= 0 && hb < ctx->timeline_floor_ms) {
+    fresh_enough = false;
+  }
+  return fresh_enough;
+}
+
+Status SwitchUnionIterator::Open(const EvalScope* outer) {
+  if (cached_decision_ < 0) {
+    bool local_ok = EvaluateGuard(op_, ctx_);
+    if (!local_ok && !op_.remote_fallback_allowed) {
+      // Replica-only mode: report instead of silently serving stale data or
+      // forwarding to the back-end (paper §1, "return the data but with an
+      // error code" / "abort the request").
+      return Status::Unavailable(
+          "local replica of region " + std::to_string(op_.guard_region) +
+          " is staler than the currency bound and remote fallback is "
+          "disabled");
+    }
+    cached_decision_ = local_ok ? 1 : 0;
+    if (ctx_->stats != nullptr) {
+      if (local_ok) {
+        ++ctx_->stats->switch_local;
+        SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region);
+        if (hb > ctx_->stats->max_seen_heartbeat) {
+          ctx_->stats->max_seen_heartbeat = hb;
+        }
+      } else {
+        ++ctx_->stats->switch_remote;
+      }
+    }
+  }
+  chosen_ = cached_decision_ == 1 ? local_.get() : remote_.get();
+  return chosen_->Open(outer);
+}
+
+Result<bool> SwitchUnionIterator::Next(Row* out) {
+  return chosen_->Next(out);
+}
+
+Status SwitchUnionIterator::Close() {
+  if (chosen_ == nullptr) return Status::OK();
+  Status st = chosen_->Close();
+  chosen_ = nullptr;
+  return st;
+}
+
+}  // namespace rcc

@@ -1,0 +1,50 @@
+#ifndef RCC_EXEC_SWITCH_UNION_H_
+#define RCC_EXEC_SWITCH_UNION_H_
+
+#include <memory>
+
+#include "exec/exec_context.h"
+
+namespace rcc {
+
+/// The paper's SwitchUnion with a currency guard (§3.2.3): child 0 is the
+/// local branch (guarded local view access), child 1 the remote branch. At
+/// Open, the guard — equivalent to
+///   EXISTS (SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B)
+/// — probes the region's local heartbeat; if the local data is fresh enough
+/// the local branch is opened, otherwise the remote branch. Only the chosen
+/// branch is touched.
+class SwitchUnionIterator : public RowIterator {
+ public:
+  SwitchUnionIterator(const PhysicalOp& op, ExecContext* ctx,
+                      std::unique_ptr<RowIterator> local,
+                      std::unique_ptr<RowIterator> remote)
+      : op_(op),
+        ctx_(ctx),
+        local_(std::move(local)),
+        remote_(std::move(remote)) {}
+
+  Status Open(const EvalScope* outer) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  const RowLayout& layout() const override { return op_.layout; }
+
+  /// Evaluates the currency guard against the context (exposed for tests and
+  /// for cost-model validation): true = local branch qualifies.
+  static bool EvaluateGuard(const PhysicalOp& op, ExecContext* ctx);
+
+ private:
+  const PhysicalOp& op_;
+  ExecContext* ctx_;
+  std::unique_ptr<RowIterator> local_;
+  std::unique_ptr<RowIterator> remote_;
+  RowIterator* chosen_ = nullptr;
+  /// Guard outcome, evaluated once per execution and cached across re-opens
+  /// (inner side of nested-loop joins): all probes must read the same branch
+  /// or one operand's rows could mix snapshots. -1 = not yet evaluated.
+  int cached_decision_ = -1;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_EXEC_SWITCH_UNION_H_

@@ -1,0 +1,49 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+
+namespace rcc {
+
+double EstimateLocalProbability(SimTimeMs bound_ms, SimTimeMs delay_ms,
+                                SimTimeMs interval_ms) {
+  double slack = static_cast<double>(bound_ms - delay_ms);
+  if (slack <= 0) return 0.0;
+  if (interval_ms <= 0) return 1.0;  // continuous propagation
+  if (slack > static_cast<double>(interval_ms)) return 1.0;
+  return slack / static_cast<double>(interval_ms);
+}
+
+double SwitchUnionCost(double p, double local_cost, double remote_cost,
+                       const CostParams& params) {
+  return p * local_cost + (1.0 - p) * remote_cost + params.guard_ms;
+}
+
+double FullScanCost(const TableStats& stats, const CostParams& params) {
+  return stats.EstimatedPages(params.page_bytes) * params.page_io_ms +
+         static_cast<double>(stats.row_count) * params.cpu_per_row;
+}
+
+double ClusteredRangeCost(const TableStats& stats, double matches,
+                          const CostParams& params) {
+  double frac = stats.row_count > 0
+                    ? matches / static_cast<double>(stats.row_count)
+                    : 0.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  return params.seek_ms +
+         stats.EstimatedPages(params.page_bytes) * frac * params.page_io_ms +
+         matches * params.cpu_per_row;
+}
+
+double SecondaryIndexCost(double matches, const CostParams& params) {
+  return params.seek_ms +
+         matches * (params.random_fetch_ms + params.cpu_per_row);
+}
+
+double RemoteQueryCost(double backend_cost, double result_rows,
+                       double result_cols, const CostParams& params) {
+  return params.remote_rtt_ms + params.backend_load_factor * backend_cost +
+         result_rows * (params.remote_per_row_ms +
+                        result_cols * params.remote_per_cell_ms);
+}
+
+}  // namespace rcc

@@ -1,0 +1,70 @@
+#ifndef RCC_OPTIMIZER_COST_MODEL_H_
+#define RCC_OPTIMIZER_COST_MODEL_H_
+
+#include "catalog/statistics.h"
+#include "common/clock.h"
+
+namespace rcc {
+
+/// Calibration constants of the cost model, all in milliseconds. Absolute
+/// values are arbitrary; plan choices depend only on their ratios (e.g.
+/// remote round-trip vs. page scan), which mirror the paper's environment:
+/// a LAN round trip to the back-end costs as much as scanning many pages.
+struct CostParams {
+  double cpu_per_row = 0.0002;
+  double page_io_ms = 0.2;
+  double seek_ms = 0.05;
+  /// Random row fetch through a secondary index (one per match).
+  double random_fetch_ms = 0.004;
+  double hash_row_ms = 0.0006;
+  /// Fixed cost of any remote query (round trip + remote setup).
+  double remote_rtt_ms = 2.0;
+  /// Per transferred row / per transferred value cell. Width-aware transfer
+  /// is what makes fetching base tables and joining locally beat shipping a
+  /// join whose result is larger than its inputs (paper Q2 / plan 2).
+  double remote_per_row_ms = 0.001;
+  double remote_per_cell_ms = 0.0005;
+  /// Work done at the back-end is weighted by this factor: the whole point
+  /// of the mid-tier cache is that back-end capacity is the scarce resource
+  /// (paper §1, "a back-end database server that is overloaded").
+  double backend_load_factor = 5.0;
+  /// Evaluating one currency guard (heartbeat probe + comparison).
+  double guard_ms = 0.03;
+  double page_bytes = 8192.0;
+};
+
+/// The paper's Eq. (1): probability that the local branch of a guarded plan
+/// qualifies, for currency bound B, propagation delay d and propagation
+/// interval f, with query start uniform over the sync cycle:
+///   p = 0           if B - d <= 0
+///   p = (B - d)/f   if 0 < B - d <= f
+///   p = 1           if B - d > f
+/// Continuous propagation (f = 0) degenerates to p = [B > d].
+double EstimateLocalProbability(SimTimeMs bound_ms, SimTimeMs delay_ms,
+                                SimTimeMs interval_ms);
+
+/// Expected cost of a SwitchUnion with a currency guard (paper §3.2.4):
+///   c = p * c_local + (1 - p) * c_remote + c_guard.
+double SwitchUnionCost(double p, double local_cost, double remote_cost,
+                       const CostParams& params);
+
+/// Cost of a full scan of `stats.row_count` rows.
+double FullScanCost(const TableStats& stats, const CostParams& params);
+
+/// Cost of a clustered-key range scan returning `matches` rows (fraction of
+/// the pages proportional to selectivity).
+double ClusteredRangeCost(const TableStats& stats, double matches,
+                          const CostParams& params);
+
+/// Cost of a secondary-index range scan returning `matches` rows (one random
+/// row fetch per match).
+double SecondaryIndexCost(double matches, const CostParams& params);
+
+/// Cost of shipping a query remotely given the back-end execution cost and
+/// the estimated result size (`result_cols` values per row).
+double RemoteQueryCost(double backend_cost, double result_rows,
+                       double result_cols, const CostParams& params);
+
+}  // namespace rcc
+
+#endif  // RCC_OPTIMIZER_COST_MODEL_H_

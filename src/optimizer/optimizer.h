@@ -1,0 +1,60 @@
+#ifndef RCC_OPTIMIZER_OPTIMIZER_H_
+#define RCC_OPTIMIZER_OPTIMIZER_H_
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "plan/physical.h"
+#include "semantics/resolver.h"
+
+namespace rcc {
+
+/// Where a plan will run. The cache DBMS considers local materialized views
+/// (guarded by currency checks) and remote queries; the back-end only its
+/// own base tables and indexes. The cache plans "remote" subtrees by
+/// simulating back-end optimization against its shadow statistics, exactly
+/// like MTCache's shadow database lets SQL Server cost remote subqueries.
+enum class PlanMode { kCache, kBackend };
+
+/// Optimizer configuration. The two `enable_*` switches exist for the
+/// ablation benchmarks: disabling view matching forces all-remote plans;
+/// disabling currency guards uses matched views unguarded (unsound — it can
+/// violate currency bounds — which the ablation demonstrates).
+struct OptimizerOptions {
+  PlanMode mode = PlanMode::kCache;
+  CostParams costs;
+  bool enable_view_matching = true;
+  bool enable_currency_guards = true;
+  /// When false, the cache may not forward work to the back-end — the
+  /// paper's *traditional replicated database* scenario (§1): queries must
+  /// run against local replicas, and a query whose C&C constraint cannot be
+  /// met by any replica fails with ConstraintViolation at compile time
+  /// (bound below the region delay) or Unavailable at run time (guard
+  /// failed and there is nowhere to fall back to).
+  bool allow_remote = true;
+  /// Upper bound on enumerated placements (local/remote assignments).
+  int max_placements = 512;
+};
+
+/// Optimizes a resolved query. Consistency constraints are enforced at
+/// compile time here — placements whose delivered consistency property
+/// violates the required property are pruned (paper §3.2.2) — while currency
+/// constraints become run-time guards in the emitted SwitchUnion operators
+/// (§3.2.3). Fails with ConstraintViolation only if no valid plan exists
+/// (cannot happen in practice: the all-remote plan always satisfies any
+/// constraint).
+Result<QueryPlan> Optimize(ResolvedQuery resolved, const Catalog& catalog,
+                           const OptimizerOptions& options);
+
+/// Cost/cardinality estimate of running `stmt` at the back-end; used to cost
+/// remote subqueries and exposed for the cost-model tests.
+struct RemoteEstimate {
+  double cost = 0;
+  double rows = 0;
+};
+Result<RemoteEstimate> EstimateBackendQuery(const SelectStmt& stmt,
+                                            const Catalog& catalog,
+                                            const CostParams& costs);
+
+}  // namespace rcc
+
+#endif  // RCC_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,134 @@
+#include "plan/physical.h"
+
+#include "common/strings.h"
+
+namespace rcc {
+
+std::string_view PhysOpKindName(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kLocalScan:
+      return "Scan";
+    case PhysOpKind::kRemoteQuery:
+      return "RemoteQuery";
+    case PhysOpKind::kFilter:
+      return "Filter";
+    case PhysOpKind::kProject:
+      return "Project";
+    case PhysOpKind::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PhysOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysOpKind::kSort:
+      return "Sort";
+    case PhysOpKind::kHashAggregate:
+      return "HashAggregate";
+    case PhysOpKind::kSwitchUnion:
+      return "SwitchUnion";
+  }
+  return "?";
+}
+
+std::string_view PlanShapeName(PlanShape shape) {
+  switch (shape) {
+    case PlanShape::kRemoteOnly:
+      return "remote-only";
+    case PlanShape::kLocalJoinRemoteFetches:
+      return "local-join-remote-fetches";
+    case PlanShape::kMixed:
+      return "mixed";
+    case PlanShape::kAllLocal:
+      return "all-local";
+  }
+  return "?";
+}
+
+std::string PhysicalOp::Describe() const {
+  std::string out(PhysOpKindName(kind));
+  switch (kind) {
+    case PhysOpKind::kLocalScan: {
+      out += " " + target.name;
+      if (!index_name.empty()) out += " index=" + index_name;
+      if (!seek_lo.empty() || !seek_hi.empty()) out += " seek";
+      if (residual) out += " residual=" + residual->ToString();
+      break;
+    }
+    case PhysOpKind::kRemoteQuery:
+      out += " [" + remote_stmt->ToString() + "]";
+      break;
+    case PhysOpKind::kFilter:
+    case PhysOpKind::kNestedLoopJoin:
+      if (residual) out += " pred=" + residual->ToString();
+      break;
+    case PhysOpKind::kHashJoin: {
+      out += " keys=";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i > 0) out += ",";
+        out += exprs[i]->ToString() + "=" + exprs2[i]->ToString();
+      }
+      if (residual) out += " residual=" + residual->ToString();
+      break;
+    }
+    case PhysOpKind::kSwitchUnion:
+      out += StrPrintf(" guard(region=%d, bound=%lldms)", guard_region,
+                       static_cast<long long>(guard_bound_ms));
+      break;
+    default:
+      break;
+  }
+  out += StrPrintf("  {rows=%.0f cost=%.3f}", est_rows, est_cost);
+  return out;
+}
+
+std::string PhysicalOp::DescribeTree(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->DescribeTree(indent + 1);
+  }
+  return out;
+}
+
+namespace {
+
+void CountLeaves(const PhysicalOp& op, int* switch_unions, int* bare_remotes,
+                 int* bare_scans, bool under_switch = false) {
+  if (op.kind == PhysOpKind::kSwitchUnion) {
+    ++*switch_unions;
+    for (const auto& c : op.children) {
+      CountLeaves(*c, switch_unions, bare_remotes, bare_scans, true);
+    }
+    return;
+  }
+  if (op.kind == PhysOpKind::kRemoteQuery) {
+    if (!under_switch) ++*bare_remotes;
+    return;
+  }
+  if (op.kind == PhysOpKind::kLocalScan) {
+    if (!under_switch) ++*bare_scans;
+    return;
+  }
+  for (const auto& c : op.children) {
+    CountLeaves(*c, switch_unions, bare_remotes, bare_scans, under_switch);
+  }
+}
+
+}  // namespace
+
+PlanShape QueryPlan::Shape() const {
+  int switch_unions = 0;
+  int bare_remotes = 0;
+  int bare_scans = 0;
+  CountLeaves(*root, &switch_unions, &bare_remotes, &bare_scans);
+  if (switch_unions == 0) {
+    // No guarded local access at all.
+    if (bare_remotes <= 1 && bare_scans == 0) return PlanShape::kRemoteOnly;
+    return PlanShape::kLocalJoinRemoteFetches;
+  }
+  if (bare_remotes > 0) return PlanShape::kMixed;
+  return PlanShape::kAllLocal;
+}
+
+std::string QueryPlan::DescribeTree() const { return root->DescribeTree(); }
+
+}  // namespace rcc

@@ -1,0 +1,158 @@
+#include "plan/properties.h"
+
+#include <algorithm>
+
+namespace rcc {
+
+ConsistencyProperty ConsistencyProperty::Leaf(RegionId region,
+                                              InputOperandId op) {
+  ConsistencyProperty p;
+  Group g;
+  g.region = region;
+  g.operands.insert(op);
+  p.groups_.push_back(std::move(g));
+  return p;
+}
+
+ConsistencyProperty ConsistencyProperty::Uniform(
+    RegionId region, const std::set<InputOperandId>& ops) {
+  ConsistencyProperty p;
+  Group g;
+  g.region = region;
+  g.operands = ops;
+  p.groups_.push_back(std::move(g));
+  return p;
+}
+
+ConsistencyProperty ConsistencyProperty::Join(const ConsistencyProperty& a,
+                                              const ConsistencyProperty& b) {
+  ConsistencyProperty out = a;
+  for (const Group& gb : b.groups_) {
+    bool merged = false;
+    for (Group& ga : out.groups_) {
+      if (ga.region == gb.region) {
+        ga.operands.insert(gb.operands.begin(), gb.operands.end());
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.groups_.push_back(gb);
+  }
+  return out;
+}
+
+ConsistencyProperty ConsistencyProperty::SwitchUnion(
+    const std::vector<ConsistencyProperty>& children,
+    RegionId* next_dynamic_id) {
+  ConsistencyProperty out;
+  if (children.empty()) return out;
+
+  // Two operands stay together iff they share a group in every child.
+  std::set<InputOperandId> ops = children[0].AllOperands();
+  // Partition refinement: start with the first child's groups restricted to
+  // `ops`, then split by each subsequent child.
+  std::vector<std::set<InputOperandId>> parts;
+  for (const Group& g : children[0].groups()) parts.push_back(g.operands);
+  for (size_t c = 1; c < children.size(); ++c) {
+    std::vector<std::set<InputOperandId>> next;
+    for (const auto& part : parts) {
+      for (const Group& g : children[c].groups()) {
+        std::set<InputOperandId> inter;
+        std::set_intersection(part.begin(), part.end(), g.operands.begin(),
+                              g.operands.end(),
+                              std::inserter(inter, inter.begin()));
+        if (!inter.empty()) next.push_back(std::move(inter));
+      }
+    }
+    parts = std::move(next);
+  }
+  for (auto& part : parts) {
+    Group g;
+    g.region = (*next_dynamic_id)++;
+    g.operands = std::move(part);
+    out.groups_.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::set<InputOperandId> ConsistencyProperty::AllOperands() const {
+  std::set<InputOperandId> out;
+  for (const Group& g : groups_) {
+    out.insert(g.operands.begin(), g.operands.end());
+  }
+  return out;
+}
+
+bool ConsistencyProperty::IsConflicting() const {
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    for (size_t j = i + 1; j < groups_.size(); ++j) {
+      if (groups_[i].region == groups_[j].region) continue;
+      for (InputOperandId op : groups_[i].operands) {
+        if (groups_[j].operands.count(op) > 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ConsistencyProperty::Satisfies(
+    const NormalizedConstraint& required) const {
+  if (IsConflicting()) return false;
+  for (const CcTuple& tuple : required.tuples) {
+    if (tuple.operands.empty()) continue;
+    bool contained = false;
+    for (const Group& g : groups_) {
+      if (std::includes(g.operands.begin(), g.operands.end(),
+                        tuple.operands.begin(), tuple.operands.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool ConsistencyProperty::Violates(
+    const NormalizedConstraint& required) const {
+  if (IsConflicting()) return true;
+  for (const Group& g : groups_) {
+    int classes_hit = 0;
+    for (const CcTuple& tuple : required.tuples) {
+      bool hit = std::any_of(
+          g.operands.begin(), g.operands.end(),
+          [&](InputOperandId op) { return tuple.operands.count(op) > 0; });
+      if (hit) ++classes_hit;
+      if (classes_hit > 1) return true;
+    }
+  }
+  return false;
+}
+
+std::string ConsistencyProperty::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Group& g = groups_[i];
+    out += "<";
+    if (g.region == kBackendRegion) {
+      out += "backend";
+    } else if (g.region >= kDynamicRegionBase) {
+      out += "dyn" + std::to_string(g.region - kDynamicRegionBase);
+    } else {
+      out += "R" + std::to_string(g.region);
+    }
+    out += ", {";
+    bool first = true;
+    for (InputOperandId op : g.operands) {
+      if (!first) out += ",";
+      out += std::to_string(op);
+      first = false;
+    }
+    out += "}>";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,85 @@
+#ifndef RCC_PLAN_PROPERTIES_H_
+#define RCC_PLAN_PROPERTIES_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "semantics/constraint.h"
+
+namespace rcc {
+
+/// Region ids >= kDynamicRegionBase denote the *dynamic* output of a
+/// SwitchUnion: at run time the rows come either from the local region or
+/// from the back-end, so the only safe static guarantee is "the operands
+/// under this SwitchUnion are mutually consistent with each other" — which a
+/// fresh region id expresses (it never merges with any other group).
+inline constexpr RegionId kDynamicRegionBase = 1 << 20;
+
+/// The *delivered consistency property* of a (partial) physical plan: a set
+/// of tuples <Ri, Si> where Si is the set of input operands of the current
+/// expression that belong to currency region Ri (paper §3.2.2).
+class ConsistencyProperty {
+ public:
+  struct Group {
+    RegionId region = kBackendRegion;
+    std::set<InputOperandId> operands;
+  };
+
+  ConsistencyProperty() = default;
+
+  /// Property of a leaf access: one operand served from one region (the
+  /// back-end region for remote fetches).
+  static ConsistencyProperty Leaf(RegionId region, InputOperandId op);
+
+  /// Property of a multi-operand access served from one region/source (e.g.
+  /// a remote query computing a join: all its operands come from the same
+  /// back-end snapshot).
+  static ConsistencyProperty Uniform(RegionId region,
+                                     const std::set<InputOperandId>& ops);
+
+  /// Join combine: union of the groups; groups with the same region id merge
+  /// (paper: "If they have two tuples with the same region id, the input
+  /// sets of the two tuples are merged").
+  static ConsistencyProperty Join(const ConsistencyProperty& a,
+                                  const ConsistencyProperty& b);
+
+  /// SwitchUnion combine: "we can only guarantee that two input operands are
+  /// consistent if they are consistent in all children". Operands consistent
+  /// in every child form a group tagged with a fresh dynamic region id drawn
+  /// from `next_dynamic_id` (incremented).
+  static ConsistencyProperty SwitchUnion(
+      const std::vector<ConsistencyProperty>& children,
+      RegionId* next_dynamic_id);
+
+  const std::vector<Group>& groups() const { return groups_; }
+
+  /// All operands covered by this property.
+  std::set<InputOperandId> AllOperands() const;
+
+  /// Conflicting property: some operand appears in two groups with different
+  /// region ids (paper's "Conflicting consistency property" definition; can
+  /// arise from joining two projection views of one table from different
+  /// regions).
+  bool IsConflicting() const;
+
+  /// Consistency satisfaction rule (complete plans): not conflicting, and
+  /// every required consistency class is contained in some delivered group.
+  bool Satisfies(const NormalizedConstraint& required) const;
+
+  /// Consistency violation rule (partial plans): conflicting, or some
+  /// delivered group intersects more than one required class — such a plan
+  /// can never be extended into a satisfying one and is discarded early.
+  bool Violates(const NormalizedConstraint& required) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Group> groups_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_PLAN_PROPERTIES_H_

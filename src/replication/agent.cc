@@ -1,0 +1,54 @@
+#include "replication/agent.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rcc {
+
+void DistributionAgent::Start(SimTimeMs first_wakeup) {
+  scheduler_->SchedulePeriodic(first_wakeup, region_->def().update_interval,
+                               [this](SimTimeMs now) { Wakeup(now); });
+}
+
+void DistributionAgent::Wakeup(SimTimeMs now) {
+  // Snapshot what is committed *now*; it arrives update_delay later. The
+  // captured heartbeat value is the region's global heartbeat row at the
+  // snapshot, which is what the replica of that row will contain.
+  size_t snapshot_pos = log_->UpperBoundByCommitTime(now);
+  SimTimeMs captured_hb = global_heartbeat_->Get(region_->id());
+  SimTimeMs deliver_at = now + region_->def().update_delay;
+  scheduler_->ScheduleAt(deliver_at,
+                         [this, snapshot_pos, captured_hb](SimTimeMs) {
+                           Deliver(snapshot_pos, captured_hb);
+                         });
+}
+
+void DistributionAgent::Deliver(size_t snapshot_pos,
+                                SimTimeMs captured_heartbeat) {
+  // Deliveries are scheduled in wake-up order with a constant delay, so
+  // snapshot positions arrive non-decreasing.
+  size_t from = region_->applied_log_pos();
+  for (size_t i = from; i < snapshot_pos; ++i) {
+    const CommittedTxn& txn = log_->at(i);
+    // Apply the whole transaction to every view in the region before moving
+    // to the next one: commit-order, transaction-at-a-time application.
+    for (const RowOp& op : txn.ops) {
+      for (MaterializedView* view : region_->views()) {
+        if (EqualsIgnoreCase(view->def().source_table, op.table)) {
+          view->ApplyOp(op);
+          ++ops_applied_;
+        }
+      }
+    }
+  }
+  if (snapshot_pos > from) {
+    region_->set_applied_log_pos(snapshot_pos);
+    region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
+  }
+  if (captured_heartbeat > region_->local_heartbeat()) {
+    region_->set_local_heartbeat(captured_heartbeat);
+  }
+  ++deliveries_;
+}
+
+}  // namespace rcc

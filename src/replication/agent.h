@@ -1,0 +1,63 @@
+#ifndef RCC_REPLICATION_AGENT_H_
+#define RCC_REPLICATION_AGENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "replication/heartbeat.h"
+#include "replication/region.h"
+#include "txn/update_log.h"
+
+namespace rcc {
+
+/// A distribution agent ("a process that wakes up regularly and checks for
+/// work to do", paper §3.1). One agent serves exactly one currency region.
+/// At every update_interval it snapshots the back-end log position and the
+/// region's global heartbeat row, and delivers everything after update_delay,
+/// applying transactions one at a time in commit order — so the region's
+/// views always reflect a single committed back-end snapshot.
+class DistributionAgent {
+ public:
+  /// All pointers must outlive the agent.
+  DistributionAgent(CurrencyRegion* region, const UpdateLog* log,
+                    const HeartbeatStore* global_heartbeat,
+                    SimulationScheduler* scheduler)
+      : region_(region),
+        log_(log),
+        global_heartbeat_(global_heartbeat),
+        scheduler_(scheduler) {}
+
+  DistributionAgent(const DistributionAgent&) = delete;
+  DistributionAgent& operator=(const DistributionAgent&) = delete;
+
+  /// Schedules the periodic wake-ups, first firing at `first_wakeup`.
+  void Start(SimTimeMs first_wakeup);
+
+  /// One wake-up: snapshot back-end state at `now`, schedule delivery at
+  /// now + update_delay. Exposed for deterministic unit testing.
+  void Wakeup(SimTimeMs now);
+
+  /// Number of deliveries applied so far.
+  int64_t deliveries() const { return deliveries_; }
+  /// Number of row operations applied so far.
+  int64_t ops_applied() const { return ops_applied_; }
+
+  CurrencyRegion* region() const { return region_; }
+
+ private:
+  /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
+  /// the captured heartbeat value.
+  void Deliver(size_t snapshot_pos, SimTimeMs captured_heartbeat);
+
+  CurrencyRegion* region_;
+  const UpdateLog* log_;
+  const HeartbeatStore* global_heartbeat_;
+  SimulationScheduler* scheduler_;
+  int64_t deliveries_ = 0;
+  int64_t ops_applied_ = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_AGENT_H_

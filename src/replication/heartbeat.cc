@@ -1,0 +1,5 @@
+#include "replication/heartbeat.h"
+
+// HeartbeatStore is header-only; this translation unit anchors the library.
+
+namespace rcc {}  // namespace rcc

@@ -1,0 +1,41 @@
+#ifndef RCC_REPLICATION_HEARTBEAT_H_
+#define RCC_REPLICATION_HEARTBEAT_H_
+
+#include <map>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+
+namespace rcc {
+
+/// The heartbeat table of paper §3.1: one row per currency region holding a
+/// timestamp. The back-end hosts the *global* heartbeat table whose rows are
+/// "beaten" (set to the current time) at each region's heartbeat interval; a
+/// replica of each row travels to the cache with the region's other updates
+/// and becomes the *local* heartbeat, bounding the staleness of the region's
+/// data: if the local value is T at current time t, all updates up to T have
+/// been applied, so the region reflects a snapshot no older than t - T.
+class HeartbeatStore {
+ public:
+  HeartbeatStore() = default;
+
+  /// Sets region `cid`'s heartbeat row to `now` (the back-end stored proc).
+  void Beat(RegionId cid, SimTimeMs now) { rows_[cid] = now; }
+
+  /// Current timestamp value of region `cid`'s row (0 if never beaten,
+  /// i.e. synced at simulation start).
+  SimTimeMs Get(RegionId cid) const {
+    auto it = rows_.find(cid);
+    return it == rows_.end() ? 0 : it->second;
+  }
+
+  /// Number of heartbeat rows.
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::map<RegionId, SimTimeMs> rows_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_HEARTBEAT_H_

@@ -1,0 +1,115 @@
+#include "replication/region.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rcc {
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
+    ViewDef def, const TableDef& source) {
+  // Resolve view columns against the source schema.
+  std::vector<size_t> proj;
+  std::vector<Column> view_cols;
+  for (const std::string& c : def.columns) {
+    auto idx = source.schema.FindColumn(c);
+    if (!idx) {
+      return Status::NotFound("view column " + c + " not in table " +
+                              source.name);
+    }
+    proj.push_back(*idx);
+    view_cols.push_back(source.schema.column(*idx));
+  }
+  Schema view_schema((std::vector<Column>(view_cols)));
+
+  // The view's clustered key = projection of the source clustered key.
+  std::vector<size_t> view_key;
+  for (const std::string& kc : source.clustered_key) {
+    auto src_idx = source.schema.FindColumn(kc);
+    RCC_CHECK(src_idx.has_value(), "source clustered key must resolve");
+    bool found = false;
+    for (size_t vi = 0; vi < proj.size(); ++vi) {
+      if (proj[vi] == *src_idx) {
+        view_key.push_back(vi);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("view " + def.name +
+                                     " does not project key column " + kc);
+    }
+  }
+
+  // Resolve predicate columns (positions in the source schema).
+  std::vector<size_t> pred_cols;
+  for (const ColumnRange& range : def.predicate) {
+    auto idx = source.schema.FindColumn(range.column);
+    if (!idx) {
+      return Status::NotFound("predicate column " + range.column +
+                              " not in table " + source.name);
+    }
+    pred_cols.push_back(*idx);
+  }
+
+  return std::unique_ptr<MaterializedView>(
+      new MaterializedView(std::move(def), std::move(view_schema),
+                           std::move(view_key), std::move(proj),
+                           std::move(pred_cols)));
+}
+
+bool MaterializedView::PredicateMatches(const Row& source_row) const {
+  for (size_t i = 0; i < def_.predicate.size(); ++i) {
+    const ColumnRange& range = def_.predicate[i];
+    const Value& v = source_row[pred_cols_[i]];
+    if (v.is_null()) return false;
+    if (range.lo && v.Compare(*range.lo) < 0) return false;
+    if (range.hi && range.hi->Compare(v) < 0) return false;
+  }
+  return true;
+}
+
+Row MaterializedView::ProjectRow(const Row& source_row) const {
+  Row out;
+  out.reserve(proj_.size());
+  for (size_t c : proj_) out.push_back(source_row[c]);
+  return out;
+}
+
+void MaterializedView::ApplyOp(const RowOp& op) {
+  switch (op.kind) {
+    case RowOp::Kind::kInsert:
+    case RowOp::Kind::kUpdate: {
+      if (PredicateMatches(op.row)) {
+        data_.Upsert(ProjectRow(op.row));
+      } else {
+        // The (possibly pre-existing) row no longer qualifies.
+        Row projected = ProjectRow(op.row);
+        TableKey key = data_.KeyOf(projected);
+        if (data_.Get(key) != nullptr) {
+          Status st = data_.Delete(key);
+          RCC_CHECK(st.ok(), "delete of disqualified view row failed");
+        }
+      }
+      break;
+    }
+    case RowOp::Kind::kDelete: {
+      // op.key is the source primary key; the view key is its projection in
+      // the same column order, so the values coincide.
+      if (data_.Get(op.key) != nullptr) {
+        Status st = data_.Delete(op.key);
+        RCC_CHECK(st.ok(), "view delete failed");
+      }
+      break;
+    }
+  }
+}
+
+void MaterializedView::PopulateFrom(const Table& master) {
+  data_.Clear();
+  master.Scan([&](const Row& row) {
+    if (PredicateMatches(row)) data_.Upsert(ProjectRow(row));
+    return true;
+  });
+}
+
+}  // namespace rcc

@@ -1,0 +1,111 @@
+#ifndef RCC_REPLICATION_REGION_H_
+#define RCC_REPLICATION_REGION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "storage/table.h"
+#include "txn/update_log.h"
+
+namespace rcc {
+
+/// A materialized view on the cache DBMS: a selection + projection of one
+/// back-end table, stored as a local table and maintained incrementally by
+/// the region's distribution agent applying back-end transactions in commit
+/// order.
+class MaterializedView {
+ public:
+  /// `source` must outlive the view. The view's clustered key is the
+  /// projection of the source's clustered key.
+  static Result<std::unique_ptr<MaterializedView>> Create(
+      ViewDef def, const TableDef& source);
+
+  const ViewDef& def() const { return def_; }
+  const Table& data() const { return data_; }
+  Table& mutable_data() { return data_; }
+  const Schema& schema() const { return data_.schema(); }
+
+  /// Positions (in the source schema) of the view's columns, in view order.
+  const std::vector<size_t>& source_projection() const { return proj_; }
+
+  /// True when a source row falls inside the view's predicate.
+  bool PredicateMatches(const Row& source_row) const;
+
+  /// Projects a source row into the view's schema.
+  Row ProjectRow(const Row& source_row) const;
+
+  /// Applies one replicated row operation (against the *source* table's
+  /// schema) to the view, honoring the selection predicate: updates that move
+  /// a row out of range delete it; updates that move a row into range insert
+  /// it.
+  void ApplyOp(const RowOp& op);
+
+  /// Bulk-loads the view from the current contents of the master table
+  /// (initial population when the replication subscription is created).
+  void PopulateFrom(const Table& master);
+
+ private:
+  MaterializedView(ViewDef def, Schema schema,
+                   std::vector<size_t> clustered_key, std::vector<size_t> proj,
+                   std::vector<size_t> pred_cols)
+      : def_(std::move(def)),
+        data_(def_.name, std::move(schema), std::move(clustered_key)),
+        proj_(std::move(proj)),
+        pred_cols_(std::move(pred_cols)) {}
+
+  ViewDef def_;
+  Table data_;
+  std::vector<size_t> proj_;
+  /// Source-schema column positions of def_.predicate, parallel to it.
+  std::vector<size_t> pred_cols_;
+};
+
+/// Runtime state of a currency region on the cache: its definition, the views
+/// it maintains, the local heartbeat value, and the back-end snapshot the
+/// region currently reflects. All views in one region are updated atomically
+/// by the same agent and are therefore mutually consistent at all times
+/// (paper §3.1).
+class CurrencyRegion {
+ public:
+  explicit CurrencyRegion(RegionDef def) : def_(def) {}
+
+  CurrencyRegion(const CurrencyRegion&) = delete;
+  CurrencyRegion& operator=(const CurrencyRegion&) = delete;
+
+  const RegionDef& def() const { return def_; }
+  RegionId id() const { return def_.cid; }
+
+  void AddView(MaterializedView* view) { views_.push_back(view); }
+  const std::vector<MaterializedView*>& views() const { return views_; }
+
+  /// Local heartbeat timestamp T: all back-end updates committed at or before
+  /// virtual time T have been applied here.
+  SimTimeMs local_heartbeat() const { return local_heartbeat_; }
+  void set_local_heartbeat(SimTimeMs t) { local_heartbeat_ = t; }
+
+  /// Upper bound on the staleness of this region's data at time `now`
+  /// (t - T in the paper).
+  SimTimeMs CurrencyAt(SimTimeMs now) const { return now - local_heartbeat_; }
+
+  /// The region's data reflects the back-end snapshot H_{as_of}.
+  TxnTimestamp as_of() const { return as_of_; }
+  void set_as_of(TxnTimestamp ts) { as_of_ = ts; }
+
+  /// Log position the region has applied up to.
+  size_t applied_log_pos() const { return applied_log_pos_; }
+  void set_applied_log_pos(size_t p) { applied_log_pos_ = p; }
+
+ private:
+  RegionDef def_;
+  std::vector<MaterializedView*> views_;
+  SimTimeMs local_heartbeat_ = 0;
+  TxnTimestamp as_of_ = kInitialTimestamp;
+  size_t applied_log_pos_ = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_REGION_H_

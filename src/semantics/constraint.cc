@@ -1,0 +1,131 @@
+#include "semantics/constraint.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/strings.h"
+
+namespace rcc {
+
+std::string CcTuple::ToString() const {
+  std::string out = "<" + std::to_string(bound_ms) + "ms, {";
+  bool first = true;
+  for (InputOperandId op : operands) {
+    if (!first) out += ",";
+    out += std::to_string(op);
+    first = false;
+  }
+  out += "}";
+  if (!by_columns.empty()) {
+    out += ", by(";
+    for (size_t i = 0; i < by_columns.size(); ++i) {
+      if (i > 0) out += ",";
+      out += by_columns[i];
+    }
+    out += ")";
+  }
+  out += ">";
+  return out;
+}
+
+void CcConstraint::UnionWith(const CcConstraint& other) {
+  tuples.insert(tuples.end(), other.tuples.begin(), other.tuples.end());
+}
+
+std::string CcConstraint::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+const CcTuple* NormalizedConstraint::TupleFor(InputOperandId op) const {
+  for (const CcTuple& t : tuples) {
+    if (t.operands.count(op) > 0) return &t;
+  }
+  return nullptr;
+}
+
+SimTimeMs NormalizedConstraint::BoundFor(InputOperandId op) const {
+  const CcTuple* t = TupleFor(op);
+  return t == nullptr ? 0 : t->bound_ms;
+}
+
+bool NormalizedConstraint::RequiresConsistent(InputOperandId a,
+                                              InputOperandId b) const {
+  const CcTuple* ta = TupleFor(a);
+  return ta != nullptr && ta->operands.count(b) > 0;
+}
+
+std::string NormalizedConstraint::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+NormalizedConstraint NormalizeConstraint(const CcConstraint& raw,
+                                         uint32_t num_operands) {
+  std::vector<CcTuple> work = raw.tuples;
+
+  // Operands not covered by any tuple form one shared default class with
+  // bound 0 (traditional semantics).
+  std::set<InputOperandId> covered;
+  for (const CcTuple& t : work) {
+    covered.insert(t.operands.begin(), t.operands.end());
+  }
+  CcTuple defaults;
+  defaults.bound_ms = 0;
+  for (InputOperandId op = 0; op < num_operands; ++op) {
+    if (covered.count(op) == 0) defaults.operands.insert(op);
+  }
+  if (!defaults.operands.empty()) work.push_back(std::move(defaults));
+
+  // Repeatedly merge tuples with overlapping operand sets. Operands from a
+  // shared snapshot are equally stale, so the merged bound is the minimum.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < work.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < work.size() && !changed; ++j) {
+        bool overlap = std::any_of(
+            work[i].operands.begin(), work[i].operands.end(),
+            [&](InputOperandId op) { return work[j].operands.count(op) > 0; });
+        if (!overlap) continue;
+        CcTuple merged;
+        merged.bound_ms = std::min(work[i].bound_ms, work[j].bound_ms);
+        merged.operands = work[i].operands;
+        merged.operands.insert(work[j].operands.begin(),
+                               work[j].operands.end());
+        // Grouping columns survive only when identical; dropping them is
+        // strictly tighter, hence safe.
+        if (work[i].by_columns == work[j].by_columns) {
+          merged.by_columns = work[i].by_columns;
+        }
+        work[j] = std::move(merged);
+        work.erase(work.begin() + static_cast<ptrdiff_t>(i));
+        changed = true;
+      }
+    }
+  }
+
+  // Canonical order (by smallest operand) for deterministic output.
+  std::sort(work.begin(), work.end(), [](const CcTuple& a, const CcTuple& b) {
+    if (a.operands.empty() || b.operands.empty()) {
+      return a.operands.size() < b.operands.size();
+    }
+    return *a.operands.begin() < *b.operands.begin();
+  });
+
+  NormalizedConstraint out;
+  out.tuples = std::move(work);
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,85 @@
+#ifndef RCC_SEMANTICS_CONSTRAINT_H_
+#define RCC_SEMANTICS_CONSTRAINT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace rcc {
+
+/// Identifies one *input operand*: a base-table instance appearing in the
+/// (view-expanded) query. Two references to the same table are distinct
+/// operands, matching the paper's definition of a normalized constraint.
+using InputOperandId = uint32_t;
+
+/// One tuple <b, S, K> of a C&C constraint: currency bound b over the
+/// consistency class S, optionally partitioned into consistency groups by
+/// the columns K (paper §2.1: "a C&C constraint in a query consists of a set
+/// of triples").
+struct CcTuple {
+  /// Maximum acceptable staleness of the operands in `operands`.
+  SimTimeMs bound_ms = 0;
+  /// The consistency class: operands that must be mutually consistent.
+  std::set<InputOperandId> operands;
+  /// Grouping columns: rows that agree on these columns must come from one
+  /// snapshot, but different groups may come from different snapshots.
+  /// Empty = the whole class forms a single group (strictest).
+  std::vector<std::string> by_columns;
+
+  std::string ToString() const;
+};
+
+/// A C&C constraint: a set of tuples. Constraints from different clauses of
+/// a multi-block query combine by set union (paper §3.2.1).
+struct CcConstraint {
+  std::vector<CcTuple> tuples;
+
+  /// Appends all tuples of `other`.
+  void UnionWith(const CcConstraint& other);
+
+  /// True when no tuple exists (query had no currency clause anywhere).
+  bool empty() const { return tuples.empty(); }
+
+  std::string ToString() const;
+};
+
+/// A constraint in the paper's *normalized form*: all operands reference
+/// base-table instances, and the operand sets are pairwise disjoint. Produced
+/// by `NormalizeConstraint`.
+struct NormalizedConstraint {
+  std::vector<CcTuple> tuples;
+
+  /// Tuple covering `op`, or nullptr (operands covered by the default tuple
+  /// always have one).
+  const CcTuple* TupleFor(InputOperandId op) const;
+
+  /// The currency bound applying to `op`; 0 (tightest) when uncovered.
+  SimTimeMs BoundFor(InputOperandId op) const;
+
+  /// True if `a` and `b` are required to be mutually consistent.
+  bool RequiresConsistent(InputOperandId a, InputOperandId b) const;
+
+  std::string ToString() const;
+};
+
+/// Normalizes a raw constraint over `num_operands` operands:
+///  1. operands referencing expanded views were already replaced by their
+///     base operands during resolution;
+///  2. tuples with overlapping operand sets are merged repeatedly — the
+///     merged bound is the minimum of the inputs (operands from one snapshot
+///     are equally stale, so the tighter bound governs);
+///  3. grouping columns survive a merge only when identical on both sides —
+///     otherwise they are dropped, which is strictly tighter and thus safe;
+///  4. operands not covered by any tuple get the *default* requirement:
+///     bound 0 and membership in one shared consistency class, i.e. queries
+///     (or inputs) without a currency clause retain traditional semantics
+///     and are served from the back-end.
+NormalizedConstraint NormalizeConstraint(const CcConstraint& raw,
+                                         uint32_t num_operands);
+
+}  // namespace rcc
+
+#endif  // RCC_SEMANTICS_CONSTRAINT_H_

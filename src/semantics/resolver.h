@@ -1,0 +1,57 @@
+#ifndef RCC_SEMANTICS_RESOLVER_H_
+#define RCC_SEMANTICS_RESOLVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "semantics/constraint.h"
+#include "sql/ast.h"
+
+namespace rcc {
+
+/// One resolved base-table instance of a query.
+struct ResolvedOperand {
+  InputOperandId id = 0;
+  /// Alias visible in the query (unique-ified for expanded views).
+  std::string alias;
+  /// Base table (catalog definition; outlives the query).
+  const TableDef* table = nullptr;
+};
+
+/// A fully resolved query: logical views expanded, every base-table instance
+/// assigned an input-operand id, the raw C&C constraint extracted from all
+/// currency clauses, and its normalized form (paper §3.2.1).
+struct ResolvedQuery {
+  /// View-expanded statement; TableRef::resolved_operand is filled in.
+  std::unique_ptr<SelectStmt> stmt;
+  /// Indexed by InputOperandId.
+  std::vector<ResolvedOperand> operands;
+  /// Union of all currency clauses, with aliases resolved to operand ids.
+  CcConstraint raw_constraint;
+  /// The query's required consistency property.
+  NormalizedConstraint constraint;
+  /// True when no block carried a currency clause, i.e. the normalized
+  /// constraint is entirely the tight default.
+  bool used_default_constraint = false;
+
+  /// Operand ids appearing beneath one FROM item (the operand itself, or all
+  /// operands of a derived table).
+  static std::vector<InputOperandId> OperandsOf(const TableRef& ref);
+};
+
+/// Resolves a parsed SELECT against `catalog`:
+///  - expands logical views referenced in FROM clauses (recursively);
+///  - verifies every base table exists;
+///  - assigns operand ids depth-first;
+///  - resolves currency-clause targets using WHERE-clause scoping rules
+///    (current block first, then enclosing blocks; paper §2.1);
+///  - extracts + normalizes the C&C constraint.
+Result<ResolvedQuery> ResolveQuery(const SelectStmt& stmt,
+                                   const Catalog& catalog);
+
+}  // namespace rcc
+
+#endif  // RCC_SEMANTICS_RESOLVER_H_

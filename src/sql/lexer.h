@@ -1,0 +1,35 @@
+#ifndef RCC_SQL_LEXER_H_
+#define RCC_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rcc {
+
+/// Token categories produced by the SQL lexer.
+enum class TokenType {
+  kIdent,    // identifiers and keywords (keywords resolved by the parser)
+  kInt,      // integer literal
+  kDouble,   // floating-point literal
+  kString,   // 'single quoted'
+  kSymbol,   // punctuation / operators: ( ) , . * + - / = <> < <= > >=
+  kEnd,      // end of input
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier/symbol text (identifiers keep case)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;    // byte offset in the input
+};
+
+/// Splits a SQL string into tokens. Comments (`-- ...`) are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace rcc
+
+#endif  // RCC_SQL_LEXER_H_

@@ -1,0 +1,577 @@
+#include "sql/parser.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace rcc {
+
+namespace {
+
+/// Keywords that terminate an implicit alias position.
+const std::set<std::string>& ReservedWords() {
+  static const auto* kWords = new std::set<std::string>{
+      "select", "from",   "where",  "group",    "order", "by",     "as",
+      "and",    "or",     "not",    "between",  "in",    "exists", "currency",
+      "distinct",
+      "bound",  "on",     "asc",    "desc",     "join",  "inner",  "null",
+      "begin",  "end",    "timeordered",        "insert", "into",
+      "values", "update", "set",    "delete", "having"};
+  return *kWords;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatementTop() {
+    Statement stmt;
+    if (MatchKeyword("begin")) {
+      RCC_RETURN_NOT_OK(ExpectKeyword("timeordered"));
+      stmt.kind = StatementKind::kBeginTimeOrdered;
+      return FinishStatement(std::move(stmt));
+    }
+    if (MatchKeyword("end")) {
+      RCC_RETURN_NOT_OK(ExpectKeyword("timeordered"));
+      stmt.kind = StatementKind::kEndTimeOrdered;
+      return FinishStatement(std::move(stmt));
+    }
+    if (CheckKeyword("insert")) {
+      RCC_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+      stmt.kind = StatementKind::kInsert;
+      return FinishStatement(std::move(stmt));
+    }
+    if (CheckKeyword("update")) {
+      RCC_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+      stmt.kind = StatementKind::kUpdate;
+      return FinishStatement(std::move(stmt));
+    }
+    if (CheckKeyword("delete")) {
+      RCC_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+      stmt.kind = StatementKind::kDelete;
+      return FinishStatement(std::move(stmt));
+    }
+    RCC_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    stmt.kind = StatementKind::kSelect;
+    return FinishStatement(std::move(stmt));
+  }
+
+ private:
+  Result<Statement> FinishStatement(Statement stmt) {
+    if (!AtEnd()) {
+      return Status::ParseError("unexpected trailing input: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+  // -- token helpers --------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool CheckKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) + "' but got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool CheckSymbol(std::string_view s, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == s;
+  }
+  bool MatchSymbol(std::string_view s) {
+    if (CheckSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!MatchSymbol(s)) {
+      return Status::ParseError("expected '" + std::string(s) + "' but got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected identifier but got '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+
+  bool IsReserved(const Token& t) const {
+    return t.type == TokenType::kIdent &&
+           ReservedWords().count(ToLower(t.text)) > 0;
+  }
+
+  // -- statements -----------------------------------------------------------
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    RCC_RETURN_NOT_OK(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (MatchKeyword("distinct")) stmt->distinct = true;
+
+    // Select list.
+    if (MatchSymbol("*")) {
+      stmt->select_star = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        RCC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("as")) {
+          RCC_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+        } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+          item.alias = Advance().text;
+        }
+        stmt->items.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+
+    RCC_RETURN_NOT_OK(ExpectKeyword("from"));
+    {
+      RCC_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      stmt->from.push_back(std::move(first));
+    }
+    while (true) {
+      if (MatchSymbol(",")) {
+        RCC_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      // `[INNER] JOIN t ON pred` sugar: comma-join + WHERE conjunct.
+      if (MatchKeyword("join") ||
+          (CheckKeyword("inner") && CheckKeyword("join", 1) &&
+           (Advance(), Advance(), true))) {
+        RCC_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        RCC_RETURN_NOT_OK(ExpectKeyword("on"));
+        RCC_ASSIGN_OR_RETURN(auto pred, ParseExpr());
+        join_predicates_.push_back(std::move(pred));
+        continue;
+      }
+      break;
+    }
+
+    if (MatchKeyword("where")) {
+      RCC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    // Fold JOIN ... ON predicates into WHERE.
+    while (!join_predicates_.empty()) {
+      auto pred = std::move(join_predicates_.back());
+      join_predicates_.pop_back();
+      stmt->where = stmt->where
+                        ? Expr::MakeBinary(BinaryOp::kAnd, std::move(stmt->where),
+                                           std::move(pred))
+                        : std::move(pred);
+    }
+
+    if (MatchKeyword("group")) {
+      RCC_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        RCC_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+
+    if (MatchKeyword("having")) {
+      RCC_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+
+    if (MatchKeyword("order")) {
+      RCC_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        RCC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+
+    if (MatchKeyword("currency")) {
+      RCC_ASSIGN_OR_RETURN(stmt->currency, ParseCurrencyClause());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    RCC_RETURN_NOT_OK(ExpectKeyword("insert"));
+    RCC_RETURN_NOT_OK(ExpectKeyword("into"));
+    auto stmt = std::make_unique<InsertStmt>();
+    RCC_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (MatchSymbol("(")) {
+      while (true) {
+        RCC_ASSIGN_OR_RETURN(auto col, ExpectIdent());
+        stmt->columns.push_back(std::move(col));
+        if (!MatchSymbol(",")) break;
+      }
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    RCC_RETURN_NOT_OK(ExpectKeyword("values"));
+    while (true) {
+      RCC_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<std::unique_ptr<Expr>> row;
+      while (true) {
+        RCC_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+      if (!MatchSymbol(",")) break;
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    RCC_RETURN_NOT_OK(ExpectKeyword("update"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    RCC_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    RCC_RETURN_NOT_OK(ExpectKeyword("set"));
+    while (true) {
+      RCC_ASSIGN_OR_RETURN(auto col, ExpectIdent());
+      RCC_RETURN_NOT_OK(ExpectSymbol("="));
+      RCC_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+    if (MatchKeyword("where")) {
+      RCC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    RCC_RETURN_NOT_OK(ExpectKeyword("delete"));
+    RCC_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    RCC_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (MatchKeyword("where")) {
+      RCC_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (MatchSymbol("(")) {
+      RCC_ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt());
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      MatchKeyword("as");
+      RCC_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+      return ref;
+    }
+    RCC_ASSIGN_OR_RETURN(ref.table, ExpectIdent());
+    ref.alias = ref.table;
+    if (MatchKeyword("as")) {
+      RCC_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<std::vector<CurrencySpec>> ParseCurrencyClause() {
+    std::vector<CurrencySpec> specs;
+    while (true) {
+      CurrencySpec spec;
+      MatchKeyword("bound");
+      double quantity = 0;
+      if (Peek().type == TokenType::kInt) {
+        quantity = static_cast<double>(Advance().int_value);
+      } else if (Peek().type == TokenType::kDouble) {
+        quantity = Advance().double_value;
+      } else {
+        return Status::ParseError("expected a currency bound but got '" +
+                                  Peek().text + "'");
+      }
+      RCC_ASSIGN_OR_RETURN(spec.bound_ms, ParseTimeUnit(quantity));
+      RCC_RETURN_NOT_OK(ExpectKeyword("on"));
+      if (MatchSymbol("(")) {
+        while (true) {
+          RCC_ASSIGN_OR_RETURN(auto t, ExpectIdent());
+          spec.targets.push_back(std::move(t));
+          if (!MatchSymbol(",")) break;
+        }
+        RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        RCC_ASSIGN_OR_RETURN(auto t, ExpectIdent());
+        spec.targets.push_back(std::move(t));
+      }
+      if (MatchKeyword("by")) {
+        while (true) {
+          RCC_ASSIGN_OR_RETURN(auto col, ParseQualifiedName());
+          spec.by_columns.push_back(std::move(col));
+          // A comma may continue the BY list or start the next spec (which
+          // begins with [BOUND] <number>); disambiguate by lookahead.
+          if (!CheckSymbol(",")) break;
+          const Token& after = Peek(1);
+          if (after.type == TokenType::kInt ||
+              after.type == TokenType::kDouble ||
+              (after.type == TokenType::kIdent &&
+               EqualsIgnoreCase(after.text, "bound"))) {
+            break;
+          }
+          Advance();  // consume ',' within the BY list
+        }
+      }
+      specs.push_back(std::move(spec));
+      if (!MatchSymbol(",")) break;
+    }
+    return specs;
+  }
+
+  Result<int64_t> ParseTimeUnit(double quantity) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected time unit after currency bound");
+    }
+    std::string unit = ToLower(Advance().text);
+    double ms;
+    if (unit == "ms" || unit == "millisecond" || unit == "milliseconds") {
+      ms = quantity;
+    } else if (unit == "sec" || unit == "second" || unit == "seconds" ||
+               unit == "s") {
+      ms = quantity * 1000;
+    } else if (unit == "min" || unit == "minute" || unit == "minutes") {
+      ms = quantity * 60000;
+    } else if (unit == "hour" || unit == "hours" || unit == "hr") {
+      ms = quantity * 3600000;
+    } else {
+      return Status::ParseError("unknown time unit '" + unit + "'");
+    }
+    if (ms < 0) {
+      return Status::ParseError("currency bound must be non-negative");
+    }
+    return static_cast<int64_t>(ms);
+  }
+
+  Result<std::string> ParseQualifiedName() {
+    RCC_ASSIGN_OR_RETURN(auto first, ExpectIdent());
+    if (MatchSymbol(".")) {
+      RCC_ASSIGN_OR_RETURN(auto second, ExpectIdent());
+      return first + "." + second;
+    }
+    return first;
+  }
+
+  // -- expressions ----------------------------------------------------------
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    RCC_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (MatchKeyword("or")) {
+      RCC_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      left = Expr::MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    RCC_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (MatchKeyword("and")) {
+      RCC_ASSIGN_OR_RETURN(auto right, ParseNot());
+      left =
+          Expr::MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (MatchKeyword("not")) {
+      RCC_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kNot;
+      e->right = std::move(operand);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    if (MatchKeyword("exists")) {
+      RCC_RETURN_NOT_OK(ExpectSymbol("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kExists;
+      RCC_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    RCC_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+    if (MatchKeyword("between")) {
+      RCC_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      RCC_RETURN_NOT_OK(ExpectKeyword("and"));
+      RCC_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      // a BETWEEN x AND y  ==>  a >= x AND a <= y
+      auto ge = Expr::MakeBinary(BinaryOp::kGe, left->Clone(), std::move(lo));
+      auto le = Expr::MakeBinary(BinaryOp::kLe, std::move(left), std::move(hi));
+      return Expr::MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    }
+    if (MatchKeyword("in")) {
+      RCC_RETURN_NOT_OK(ExpectSymbol("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInSubquery;
+      e->left = std::move(left);
+      RCC_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+        {"!=", BinaryOp::kNe}, {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (MatchSymbol(m.sym)) {
+        RCC_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+        return Expr::MakeBinary(m.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    RCC_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+    while (true) {
+      if (MatchSymbol("+")) {
+        RCC_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+        left = Expr::MakeBinary(BinaryOp::kAdd, std::move(left),
+                                std::move(right));
+      } else if (MatchSymbol("-")) {
+        RCC_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+        left = Expr::MakeBinary(BinaryOp::kSub, std::move(left),
+                                std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    RCC_ASSIGN_OR_RETURN(auto left, ParsePrimary());
+    while (true) {
+      if (MatchSymbol("*")) {
+        RCC_ASSIGN_OR_RETURN(auto right, ParsePrimary());
+        left = Expr::MakeBinary(BinaryOp::kMul, std::move(left),
+                                std::move(right));
+      } else if (MatchSymbol("/")) {
+        RCC_ASSIGN_OR_RETURN(auto right, ParsePrimary());
+        left = Expr::MakeBinary(BinaryOp::kDiv, std::move(left),
+                                std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kInt) {
+      Advance();
+      return Expr::MakeLiteral(Value::Int(t.int_value));
+    }
+    if (t.type == TokenType::kDouble) {
+      Advance();
+      return Expr::MakeLiteral(Value::Double(t.double_value));
+    }
+    if (t.type == TokenType::kString) {
+      Advance();
+      return Expr::MakeLiteral(Value::Str(t.text));
+    }
+    if (MatchSymbol("-")) {
+      // Unary minus on a numeric literal or expression: 0 - x.
+      RCC_ASSIGN_OR_RETURN(auto operand, ParsePrimary());
+      return Expr::MakeBinary(BinaryOp::kSub,
+                              Expr::MakeLiteral(Value::Int(0)),
+                              std::move(operand));
+    }
+    if (MatchSymbol("(")) {
+      RCC_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.type == TokenType::kIdent) {
+      if (EqualsIgnoreCase(t.text, "null")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Null());
+      }
+      // Function call?
+      if (CheckSymbol("(", 1)) {
+        std::string fname = Advance().text;
+        Advance();  // '('
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kFuncCall;
+        e->func = ToLower(fname);
+        if (MatchSymbol("*")) {
+          e->star = true;
+        } else if (!CheckSymbol(")")) {
+          while (true) {
+            RCC_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+            if (!MatchSymbol(",")) break;
+          }
+        }
+        RCC_RETURN_NOT_OK(ExpectSymbol(")"));
+        return e;
+      }
+      // Column reference, optionally qualified.
+      std::string first = Advance().text;
+      if (MatchSymbol(".")) {
+        RCC_ASSIGN_OR_RETURN(auto second, ExpectIdent());
+        return Expr::MakeColumn(std::move(first), std::move(second));
+      }
+      return Expr::MakeColumn("", std::move(first));
+    }
+    return Status::ParseError("unexpected token '" + t.text +
+                              "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::unique_ptr<Expr>> join_predicates_;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  RCC_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
+  RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace rcc

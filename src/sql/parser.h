@@ -1,0 +1,30 @@
+#ifndef RCC_SQL_PARSER_H_
+#define RCC_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace rcc {
+
+/// Parses one statement: a SELECT (with the paper's currency clause) or a
+/// BEGIN/END TIMEORDERED session marker.
+///
+/// Currency-clause grammar (paper §2, our concrete syntax):
+///   currency_clause := CURRENCY spec (',' spec)*
+///   spec            := [BOUND] number unit ON targets [BY column (',' column)*]
+///   targets         := '(' alias (',' alias)* ')' | alias
+///   unit            := MS | SEC | SECOND[S] | MIN | MINUTE[S] | HOUR[S]
+/// Example (paper Fig. 2.1 E4):
+///   SELECT * FROM Books B, Reviews R WHERE B.isbn = R.isbn
+///   CURRENCY BOUND 10 MIN ON (B, R) BY B.isbn
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// Convenience wrapper: parses and requires a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace rcc
+
+#endif  // RCC_SQL_PARSER_H_

@@ -1,0 +1,43 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace rcc {
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(indexes.size());
+  for (size_t i : indexes) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rcc

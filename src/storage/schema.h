@@ -1,0 +1,50 @@
+#ifndef RCC_STORAGE_SCHEMA_H_
+#define RCC_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace rcc {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered list of columns. Column names are unique within a schema and
+/// matched case-insensitively.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given (case-insensitive) name.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Schema consisting of the columns at `indexes`, in that order.
+  Schema Project(const std::vector<size_t>& indexes) const;
+
+  /// "(a INT, b STRING)" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple; cell i conforms to schema column i.
+using Row = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace rcc
+
+#endif  // RCC_STORAGE_SCHEMA_H_

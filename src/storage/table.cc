@@ -1,0 +1,186 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+
+namespace rcc {
+
+bool TableKeyLess::operator()(const TableKey& a, const TableKey& b) const {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+void SecondaryIndex::Insert(const TableKey& index_key,
+                            const TableKey& primary_key) {
+  entries_.emplace(index_key, primary_key);
+}
+
+void SecondaryIndex::Erase(const TableKey& index_key,
+                           const TableKey& primary_key) {
+  auto [lo, hi] = entries_.equal_range(index_key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == primary_key) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<TableKey> SecondaryIndex::Range(const TableKey* lo,
+                                            const TableKey* hi) const {
+  std::vector<TableKey> out;
+  auto it = lo ? entries_.lower_bound(*lo) : entries_.begin();
+  TableKeyLess less;
+  for (; it != entries_.end(); ++it) {
+    if (hi) {
+      // Inclusive upper bound on the prefix covered by *hi.
+      TableKey prefix(it->first.begin(),
+                      it->first.begin() +
+                          std::min(it->first.size(), hi->size()));
+      if (less(*hi, prefix)) break;
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Table::Table(std::string name, Schema schema,
+             std::vector<size_t> clustered_key)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      clustered_key_(std::move(clustered_key)) {
+  RCC_CHECK(!clustered_key_.empty(), "table requires a clustered key");
+  for (size_t c : clustered_key_) {
+    RCC_CHECK(c < schema_.num_columns(), "clustered key column out of range");
+  }
+}
+
+TableKey Table::KeyOf(const Row& row) const {
+  TableKey key;
+  key.reserve(clustered_key_.size());
+  for (size_t c : clustered_key_) key.push_back(row[c]);
+  return key;
+}
+
+Status Table::Insert(const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table " + name_);
+  }
+  TableKey key = KeyOf(row);
+  auto [it, inserted] = rows_.emplace(key, row);
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate key in table " + name_ + ": " +
+                                 RowToString(key));
+  }
+  IndexInsert(row, key);
+  return Status::OK();
+}
+
+Status Table::Update(const Row& row) {
+  TableKey key = KeyOf(row);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with key " + RowToString(key) +
+                            " in table " + name_);
+  }
+  IndexErase(it->second, key);
+  it->second = row;
+  IndexInsert(row, key);
+  return Status::OK();
+}
+
+void Table::Upsert(const Row& row) {
+  TableKey key = KeyOf(row);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    rows_.emplace(key, row);
+    IndexInsert(row, key);
+  } else {
+    IndexErase(it->second, key);
+    it->second = row;
+    IndexInsert(row, key);
+  }
+}
+
+Status Table::Delete(const TableKey& key) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with key " + RowToString(key) +
+                            " in table " + name_);
+  }
+  IndexErase(it->second, key);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  for (auto& idx : indexes_) {
+    // Rebuild empty indexes preserving definitions.
+    *idx = SecondaryIndex(idx->name(), idx->key_columns());
+  }
+}
+
+const Row* Table::Get(const TableKey& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::CreateSecondaryIndex(std::string index_name,
+                                   std::vector<size_t> key_columns) {
+  if (FindIndex(index_name) != nullptr) {
+    return Status::AlreadyExists("index " + index_name + " already exists");
+  }
+  for (size_t c : key_columns) {
+    if (c >= schema_.num_columns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  auto idx = std::make_unique<SecondaryIndex>(std::move(index_name),
+                                              std::move(key_columns));
+  for (const auto& [pk, row] : rows_) {
+    TableKey ik;
+    for (size_t c : idx->key_columns()) ik.push_back(row[c]);
+    idx->Insert(ik, pk);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const SecondaryIndex* Table::FindIndex(std::string_view index_name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->name() == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+bool Table::ExceedsUpper(const TableKey& key, const TableKey& hi) {
+  // Compare only the prefix covered by hi; inclusive bound.
+  size_t n = std::min(key.size(), hi.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = key[i].Compare(hi[i]);
+    if (c != 0) return c > 0;
+  }
+  return false;
+}
+
+void Table::IndexInsert(const Row& row, const TableKey& pk) {
+  for (auto& idx : indexes_) {
+    TableKey ik;
+    for (size_t c : idx->key_columns()) ik.push_back(row[c]);
+    idx->Insert(ik, pk);
+  }
+}
+
+void Table::IndexErase(const Row& row, const TableKey& pk) {
+  for (auto& idx : indexes_) {
+    TableKey ik;
+    for (size_t c : idx->key_columns()) ik.push_back(row[c]);
+    idx->Erase(ik, pk);
+  }
+}
+
+}  // namespace rcc

@@ -1,0 +1,133 @@
+#ifndef RCC_STORAGE_TABLE_H_
+#define RCC_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace rcc {
+
+/// Composite key: one Value per clustered-key (or index-key) column, compared
+/// lexicographically.
+using TableKey = std::vector<Value>;
+
+/// Lexicographic ordering over composite keys. A shorter key that is a prefix
+/// of a longer one sorts first, which gives prefix range scans for free.
+struct TableKeyLess {
+  bool operator()(const TableKey& a, const TableKey& b) const;
+};
+
+/// A secondary index mapping index-key values to primary (clustered) keys.
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string name, std::vector<size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void Insert(const TableKey& index_key, const TableKey& primary_key);
+  void Erase(const TableKey& index_key, const TableKey& primary_key);
+
+  /// Primary keys of all rows whose index key is in [lo, hi] (inclusive;
+  /// missing bound = open). Cost: O(log n + matches).
+  std::vector<TableKey> Range(const TableKey* lo, const TableKey* hi) const;
+
+  /// Number of entries (== table rows).
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  std::multimap<TableKey, TableKey, TableKeyLess> entries_;
+};
+
+/// An in-memory heap table organized by a clustered (primary) key, mirroring
+/// the paper's setup (Customer clustered on c_custkey, Orders on
+/// (o_custkey, o_orderkey), plus optional secondary indexes).
+class Table {
+ public:
+  /// `clustered_key` lists column positions forming the unique primary key.
+  Table(std::string name, Schema schema, std::vector<size_t> clustered_key);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<size_t>& clustered_key() const { return clustered_key_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Extracts this table's primary key from a full row.
+  TableKey KeyOf(const Row& row) const;
+
+  /// Inserts a new row; fails with AlreadyExists on duplicate primary key.
+  Status Insert(const Row& row);
+  /// Replaces the row with the same primary key; fails with NotFound.
+  Status Update(const Row& row);
+  /// Inserts or replaces.
+  void Upsert(const Row& row);
+  /// Deletes by primary key; fails with NotFound.
+  Status Delete(const TableKey& key);
+  /// Removes all rows (indexes included).
+  void Clear();
+
+  /// Point lookup by primary key; nullptr if absent.
+  const Row* Get(const TableKey& key) const;
+
+  /// Direct access to the clustered storage (key -> row, in key order); used
+  /// by pull-based scan iterators.
+  const std::map<TableKey, Row, TableKeyLess>& rows() const { return rows_; }
+
+  /// Adds a secondary index over `key_columns`, backfilling existing rows.
+  Status CreateSecondaryIndex(std::string index_name,
+                              std::vector<size_t> key_columns);
+  const SecondaryIndex* FindIndex(std::string_view index_name) const;
+  const std::vector<std::unique_ptr<SecondaryIndex>>& secondary_indexes()
+      const {
+    return indexes_;
+  }
+
+  /// Full-scan iteration in clustered-key order.
+  /// The callback returns false to stop early.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    for (const auto& [key, row] : rows_) {
+      if (!fn(row)) break;
+    }
+  }
+
+  /// Clustered-key range scan over [lo, hi] (inclusive; null = open).
+  /// Bounds may be key prefixes.
+  template <typename Fn>
+  void RangeScan(const TableKey* lo, const TableKey* hi, Fn&& fn) const {
+    auto it = lo ? rows_.lower_bound(*lo) : rows_.begin();
+    for (; it != rows_.end(); ++it) {
+      if (hi && ExceedsUpper(it->first, *hi)) break;
+      if (!fn(it->second)) break;
+    }
+  }
+
+  /// True when `key` is beyond the inclusive (possibly prefix) bound `hi`;
+  /// shared with pull-based scan iterators.
+  static bool ExceedsUpper(const TableKey& key, const TableKey& hi);
+
+ private:
+
+  void IndexInsert(const Row& row, const TableKey& pk);
+  void IndexErase(const Row& row, const TableKey& pk);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<size_t> clustered_key_;
+  std::map<TableKey, Row, TableKeyLess> rows_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_STORAGE_TABLE_H_

@@ -1,0 +1,100 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace rcc {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (is_null()) return ValueType::kNull;
+  if (is_int()) return ValueType::kInt64;
+  if (is_double()) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  return std::get<double>(v_);
+}
+
+namespace {
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numbers compare cross-type by numeric value.
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt();
+      int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return Sign(AsDouble() - other.AsDouble());
+  }
+  if (is_numeric() != other.is_numeric()) {
+    // Numbers sort before strings.
+    return is_numeric() ? -1 : 1;
+  }
+  int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like their int counterparts so cross-type
+      // equality implies equal hashes.
+      if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+}  // namespace rcc

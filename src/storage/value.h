@@ -1,0 +1,72 @@
+#ifndef RCC_STORAGE_VALUE_H_
+#define RCC_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace rcc {
+
+/// Column types supported by the engine. The experiments only need the TPCD
+/// subset: integers, decimals (as double), and strings.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT", "DOUBLE", "STRING" or "NULL".
+std::string_view ValueTypeName(ValueType t);
+
+/// A typed scalar cell. Values are small and copyable; ordering follows SQL
+/// semantics with NULL sorting first (used only for index keys, never for
+/// three-valued predicate logic, which the expression evaluator handles).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric: true for int/double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Total order for index keys: NULL < numbers (by numeric value, ints and
+  /// doubles compare cross-type) < strings. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-ish rendering used by examples and tests ("NULL", 42, 3.14, 'abc').
+  std::string ToString() const;
+
+  /// Stable hash for hash joins/aggregation.
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep v) : v_(std::move(v)) {}
+  Rep v_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_STORAGE_VALUE_H_

@@ -1,0 +1,40 @@
+#ifndef RCC_TXN_ORACLE_H_
+#define RCC_TXN_ORACLE_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace rcc {
+
+/// Monotonically increasing commit timestamp, one per update transaction.
+/// Matches the paper's appendix model where "the DBMS assigns [committed
+/// transactions] an integer id—a timestamp—in increasing order".
+using TxnTimestamp = uint64_t;
+
+/// Sentinel for "no transaction" / the initial database state H0.
+inline constexpr TxnTimestamp kInitialTimestamp = 0;
+
+/// Issues commit timestamps and remembers both the logical timestamp and the
+/// virtual commit time of the most recent transaction.
+class TimestampOracle {
+ public:
+  TimestampOracle() = default;
+
+  /// Assigns the next commit timestamp, recording the commit virtual time.
+  TxnTimestamp NextCommit(SimTimeMs commit_time) {
+    last_commit_time_ = commit_time;
+    return ++last_;
+  }
+
+  TxnTimestamp last_committed() const { return last_; }
+  SimTimeMs last_commit_time() const { return last_commit_time_; }
+
+ private:
+  TxnTimestamp last_ = kInitialTimestamp;
+  SimTimeMs last_commit_time_ = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_TXN_ORACLE_H_

@@ -1,0 +1,30 @@
+#include "txn/update_log.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rcc {
+
+void UpdateLog::Append(CommittedTxn txn) {
+  RCC_CHECK(txns_.empty() || txn.id > txns_.back().id,
+            "update log timestamps must be increasing");
+  RCC_CHECK(txns_.empty() || txn.commit_time >= txns_.back().commit_time,
+            "update log commit times must be non-decreasing");
+  txns_.push_back(std::move(txn));
+}
+
+size_t UpdateLog::UpperBoundByCommitTime(SimTimeMs t) const {
+  auto it = std::upper_bound(
+      txns_.begin(), txns_.end(), t,
+      [](SimTimeMs lhs, const CommittedTxn& rhs) { return lhs < rhs.commit_time; });
+  return static_cast<size_t>(it - txns_.begin());
+}
+
+TxnTimestamp UpdateLog::TimestampAtPosition(size_t pos) const {
+  if (pos == 0) return kInitialTimestamp;
+  RCC_CHECK(pos <= txns_.size(), "log position out of range");
+  return txns_[pos - 1].id;
+}
+
+}  // namespace rcc

@@ -1,0 +1,66 @@
+#ifndef RCC_TXN_UPDATE_LOG_H_
+#define RCC_TXN_UPDATE_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/table.h"
+#include "txn/oracle.h"
+
+namespace rcc {
+
+/// A single row modification inside a committed transaction.
+struct RowOp {
+  enum class Kind { kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kInsert;
+  /// Master table the op applies to.
+  std::string table;
+  /// Full new row for insert/update; unused for delete.
+  Row row;
+  /// Primary key for delete; derivable from `row` otherwise.
+  TableKey key;
+};
+
+/// A committed update transaction, as shipped to replicas. Transactional
+/// replication applies these one at a time, in commit order, which is what
+/// makes all views served by the same distribution agent mutually consistent
+/// (paper §3.1).
+struct CommittedTxn {
+  TxnTimestamp id = kInitialTimestamp;
+  /// Virtual time at which the transaction committed on the back-end.
+  SimTimeMs commit_time = 0;
+  std::vector<RowOp> ops;
+};
+
+/// Append-only log of committed transactions on the back-end; distribution
+/// agents each track their own read position.
+class UpdateLog {
+ public:
+  UpdateLog() = default;
+
+  UpdateLog(const UpdateLog&) = delete;
+  UpdateLog& operator=(const UpdateLog&) = delete;
+
+  /// Appends a committed transaction. Ids must be increasing.
+  void Append(CommittedTxn txn);
+
+  size_t size() const { return txns_.size(); }
+  const CommittedTxn& at(size_t i) const { return txns_[i]; }
+
+  /// Index of the first transaction with commit_time > t, i.e. the log
+  /// position an agent snapshotting at time t replicates up to.
+  size_t UpperBoundByCommitTime(SimTimeMs t) const;
+
+  /// Timestamp of the last transaction at or before log position `pos`
+  /// (kInitialTimestamp when pos == 0).
+  TxnTimestamp TimestampAtPosition(size_t pos) const;
+
+ private:
+  std::vector<CommittedTxn> txns_;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_TXN_UPDATE_LOG_H_

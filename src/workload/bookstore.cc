@@ -1,0 +1,116 @@
+#include "workload/bookstore.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rcc {
+
+Status LoadBookstore(RccSystem* system, const BookstoreConfig& config) {
+  BackendServer* backend = system->backend();
+
+  TableDef books;
+  books.name = "Books";
+  books.schema = Schema({
+      {"isbn", ValueType::kInt64},
+      {"title", ValueType::kString},
+      {"price", ValueType::kDouble},
+      {"stock", ValueType::kInt64},
+  });
+  books.clustered_key = {"isbn"};
+  books.secondary_indexes.push_back(IndexDef{"idx_books_price", {"price"}});
+  RCC_RETURN_NOT_OK(backend->CreateTable(books));
+
+  TableDef reviews;
+  reviews.name = "Reviews";
+  reviews.schema = Schema({
+      {"isbn", ValueType::kInt64},
+      {"review_id", ValueType::kInt64},
+      {"rating", ValueType::kInt64},
+  });
+  reviews.clustered_key = {"isbn", "review_id"};
+  RCC_RETURN_NOT_OK(backend->CreateTable(reviews));
+
+  TableDef sales;
+  sales.name = "Sales";
+  sales.schema = Schema({
+      {"sale_id", ValueType::kInt64},
+      {"isbn", ValueType::kInt64},
+      {"year", ValueType::kInt64},
+      {"amount", ValueType::kDouble},
+  });
+  sales.clustered_key = {"sale_id"};
+  sales.secondary_indexes.push_back(IndexDef{"idx_sales_isbn", {"isbn"}});
+  RCC_RETURN_NOT_OK(backend->CreateTable(sales));
+
+  Rng rng(config.seed);
+  std::vector<Row> brows;
+  std::vector<Row> rrows;
+  std::vector<Row> srows;
+  int64_t review_id = 1;
+  int64_t sale_id = 1;
+  for (int64_t isbn = 1; isbn <= config.books; ++isbn) {
+    brows.push_back(Row{
+        Value::Int(isbn),
+        Value::Str(StrPrintf("Book %lld", static_cast<long long>(isbn))),
+        Value::Double(static_cast<double>(rng.Uniform(500, 15000)) / 100.0),
+        Value::Int(rng.Uniform(0, 200)),
+    });
+    int64_t nr = rng.Uniform(1, 2L * config.reviews_per_book - 1);
+    for (int64_t r = 0; r < nr; ++r) {
+      rrows.push_back(Row{Value::Int(isbn), Value::Int(review_id++),
+                          Value::Int(rng.Uniform(1, 5))});
+    }
+    int64_t ns = rng.Uniform(0, 2L * config.sales_per_book);
+    for (int64_t s = 0; s < ns; ++s) {
+      srows.push_back(Row{
+          Value::Int(sale_id++),
+          Value::Int(isbn),
+          Value::Int(rng.Uniform(2001, 2004)),
+          Value::Double(static_cast<double>(rng.Uniform(500, 15000)) / 100.0),
+      });
+    }
+  }
+  RCC_RETURN_NOT_OK(backend->BulkLoad("Books", brows));
+  RCC_RETURN_NOT_OK(backend->BulkLoad("Reviews", rrows));
+  RCC_RETURN_NOT_OK(backend->BulkLoad("Sales", srows));
+  return system->cache()->CreateShadow();
+}
+
+Status SetupBookstoreCache(RccSystem* system, SimTimeMs refresh_interval_ms,
+                           SimTimeMs delay_ms) {
+  CacheDbms* cache = system->cache();
+  RegionDef r1;
+  r1.cid = 1;
+  r1.update_interval = refresh_interval_ms;
+  r1.update_delay = delay_ms;
+  r1.heartbeat_interval = 1000;
+  RegionDef r2 = r1;
+  r2.cid = 2;
+  RCC_RETURN_NOT_OK(cache->DefineRegion(r1));
+  RCC_RETURN_NOT_OK(cache->DefineRegion(r2));
+
+  ViewDef books_copy;
+  books_copy.name = "BooksCopy";
+  books_copy.source_table = "Books";
+  books_copy.columns = {"isbn", "title", "price", "stock"};
+  books_copy.region = 1;
+  RCC_RETURN_NOT_OK(cache->CreateView(books_copy));
+
+  ViewDef reviews_copy;
+  reviews_copy.name = "ReviewsCopy";
+  reviews_copy.source_table = "Reviews";
+  reviews_copy.columns = {"isbn", "review_id", "rating"};
+  reviews_copy.region = 2;
+  RCC_RETURN_NOT_OK(cache->CreateView(reviews_copy));
+
+  ViewDef sales_copy;
+  sales_copy.name = "SalesCopy";
+  sales_copy.source_table = "Sales";
+  sales_copy.columns = {"sale_id", "isbn", "year", "amount"};
+  sales_copy.region = 1;  // consistent with BooksCopy
+  sales_copy.secondary_indexes.push_back(
+      IndexDef{"idx_salescopy_isbn", {"isbn"}});
+  return cache->CreateView(sales_copy);
+}
+
+}  // namespace rcc

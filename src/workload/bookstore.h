@@ -1,0 +1,32 @@
+#ifndef RCC_WORKLOAD_BOOKSTORE_H_
+#define RCC_WORKLOAD_BOOKSTORE_H_
+
+#include "core/system.h"
+
+namespace rcc {
+
+/// The small online book store of the paper's §2: Books, Reviews and Sales.
+/// Used by the specification examples (E1-E4, Q1-Q3) and the bookstore
+/// example application.
+struct BookstoreConfig {
+  int64_t books = 500;
+  int reviews_per_book = 4;
+  int sales_per_book = 6;
+  uint64_t seed = 7;
+};
+
+/// Creates/loads Books(isbn, title, price, stock), Reviews(isbn, review_id,
+/// rating) and Sales(sale_id, isbn, year, amount) on the back-end and the
+/// shadow catalog on the cache.
+Status LoadBookstore(RccSystem* system, const BookstoreConfig& config);
+
+/// Cache configuration for the bookstore: BooksCopy and ReviewsCopy
+/// "refreshed once every hour" in the paper's narrative — here regions R1
+/// and R2 with configurable intervals; SalesCopy shares R1 so queries can
+/// require Books/Sales consistency.
+Status SetupBookstoreCache(RccSystem* system, SimTimeMs refresh_interval_ms,
+                           SimTimeMs delay_ms);
+
+}  // namespace rcc
+
+#endif  // RCC_WORKLOAD_BOOKSTORE_H_

@@ -1,0 +1,41 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+
+namespace rcc {
+
+Result<WorkloadRunResult> RunUniformWorkload(RccSystem* system,
+                                             const std::string& sql,
+                                             int64_t executions,
+                                             SimTimeMs horizon,
+                                             uint64_t seed) {
+  RCC_ASSIGN_OR_RETURN(auto select, ParseSelect(sql));
+  RCC_ASSIGN_OR_RETURN(QueryPlan plan, system->cache()->Prepare(*select));
+
+  // Draw arrival times uniformly over the horizon, then visit in order.
+  Rng rng(seed);
+  SimTimeMs start = system->Now();
+  std::vector<SimTimeMs> arrivals;
+  arrivals.reserve(static_cast<size_t>(executions));
+  for (int64_t i = 0; i < executions; ++i) {
+    arrivals.push_back(start + rng.Uniform(0, horizon - 1));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  WorkloadRunResult out;
+  for (SimTimeMs at : arrivals) {
+    system->AdvanceTo(at);
+    RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
+                         system->cache()->ExecutePrepared(plan));
+    ++out.executions;
+    out.local += outcome.stats.switch_local;
+    out.remote += outcome.stats.switch_remote;
+    out.rows += outcome.stats.rows_returned;
+  }
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,37 @@
+#ifndef RCC_WORKLOAD_DRIVER_H_
+#define RCC_WORKLOAD_DRIVER_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace rcc {
+
+/// Result of repeatedly executing a guarded query over virtual time.
+struct WorkloadRunResult {
+  int64_t executions = 0;
+  int64_t local = 0;   // SwitchUnion decisions that stayed local
+  int64_t remote = 0;  // decisions that went to the back-end
+  int64_t rows = 0;
+
+  double LocalFraction() const {
+    int64_t total = local + remote;
+    return total == 0 ? 0.0 : static_cast<double>(local) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Executes `sql` `executions` times with query start times uniformly
+/// distributed over [start, start + horizon) in virtual time (the Fig. 4.2
+/// setup: "query start time is uniformly distributed"), advancing the
+/// simulation between queries so heartbeats and agents run. The plan is
+/// prepared once and re-executed, like a cached prepared statement.
+Result<WorkloadRunResult> RunUniformWorkload(RccSystem* system,
+                                             const std::string& sql,
+                                             int64_t executions,
+                                             SimTimeMs horizon,
+                                             uint64_t seed = 1);
+
+}  // namespace rcc
+
+#endif  // RCC_WORKLOAD_DRIVER_H_

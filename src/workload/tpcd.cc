@@ -1,0 +1,154 @@
+#include "workload/tpcd.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rcc {
+
+int64_t TpcdCustomerCount(const TpcdConfig& config) {
+  return static_cast<int64_t>(150000.0 * config.scale);
+}
+
+Status LoadTpcd(RccSystem* system, const TpcdConfig& config) {
+  BackendServer* backend = system->backend();
+
+  TableDef customer;
+  customer.name = "Customer";
+  customer.schema = Schema({
+      {"c_custkey", ValueType::kInt64},
+      {"c_name", ValueType::kString},
+      {"c_nationkey", ValueType::kInt64},
+      {"c_acctbal", ValueType::kDouble},
+  });
+  customer.clustered_key = {"c_custkey"};
+  customer.secondary_indexes.push_back(
+      IndexDef{"idx_customer_acctbal", {"c_acctbal"}});
+  RCC_RETURN_NOT_OK(backend->CreateTable(customer));
+
+  TableDef orders;
+  orders.name = "Orders";
+  orders.schema = Schema({
+      {"o_custkey", ValueType::kInt64},
+      {"o_orderkey", ValueType::kInt64},
+      {"o_totalprice", ValueType::kDouble},
+      {"o_orderdate", ValueType::kInt64},  // yyyymmdd
+  });
+  orders.clustered_key = {"o_custkey", "o_orderkey"};
+  RCC_RETURN_NOT_OK(backend->CreateTable(orders));
+
+  Rng rng(config.seed);
+  int64_t customers = TpcdCustomerCount(config);
+  std::vector<Row> crows;
+  std::vector<Row> orows;
+  crows.reserve(static_cast<size_t>(customers));
+  int64_t orderkey = 1;
+  for (int64_t ck = 1; ck <= customers; ++ck) {
+    double acctbal =
+        -999.99 + static_cast<double>(rng.Uniform(0, 1099998)) / 100.0;
+    crows.push_back(Row{
+        Value::Int(ck),
+        Value::Str(StrPrintf("Customer#%09lld", static_cast<long long>(ck))),
+        Value::Int(rng.Uniform(0, 24)),
+        Value::Double(acctbal),
+    });
+    // Paper: customers have 10 orders on average. Vary 5..15.
+    int64_t n = rng.Uniform(config.orders_per_customer - 5,
+                            config.orders_per_customer + 5);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t year = rng.Uniform(1992, 1998);
+      int64_t month = rng.Uniform(1, 12);
+      int64_t day = rng.Uniform(1, 28);
+      orows.push_back(Row{
+          Value::Int(ck),
+          Value::Int(orderkey++),
+          Value::Double(static_cast<double>(rng.Uniform(100, 500000)) / 100.0),
+          Value::Int(year * 10000 + month * 100 + day),
+      });
+    }
+  }
+  RCC_RETURN_NOT_OK(backend->BulkLoad("Customer", crows));
+  RCC_RETURN_NOT_OK(backend->BulkLoad("Orders", orows));
+  return system->cache()->CreateShadow();
+}
+
+Status SetupPaperCache(RccSystem* system) {
+  // Paper Table 4.1 (seconds -> ms): CR1 interval 15 delay 5; CR2 10/5.
+  RegionDef cr1;
+  cr1.cid = 1;
+  cr1.update_interval = 15000;
+  cr1.update_delay = 5000;
+  cr1.heartbeat_interval = 1000;
+  RegionDef cr2;
+  cr2.cid = 2;
+  cr2.update_interval = 10000;
+  cr2.update_delay = 5000;
+  cr2.heartbeat_interval = 1000;
+  return SetupPaperCacheWithRegions(system, cr1, cr2);
+}
+
+Status SetupPaperCacheWithRegions(RccSystem* system, const RegionDef& cr1,
+                                  const RegionDef& cr2) {
+  CacheDbms* cache = system->cache();
+  RCC_RETURN_NOT_OK(cache->DefineRegion(cr1));
+  RCC_RETURN_NOT_OK(cache->DefineRegion(cr2));
+
+  ViewDef cust_prj;
+  cust_prj.name = "cust_prj";
+  cust_prj.source_table = "Customer";
+  cust_prj.columns = {"c_custkey", "c_name", "c_nationkey", "c_acctbal"};
+  cust_prj.region = cr1.cid;
+  RCC_RETURN_NOT_OK(cache->CreateView(cust_prj));
+
+  ViewDef orders_prj;
+  orders_prj.name = "orders_prj";
+  orders_prj.source_table = "Orders";
+  orders_prj.columns = {"o_custkey", "o_orderkey", "o_totalprice"};
+  orders_prj.region = cr2.cid;
+  return cache->CreateView(orders_prj);
+}
+
+void StartUpdateTraffic(RccSystem* system, SimTimeMs period_ms,
+                        uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  BackendServer* backend = system->backend();
+  system->scheduler()->SchedulePeriodic(
+      system->Now() + period_ms, period_ms, [backend, rng](SimTimeMs) {
+        const Table* customer = backend->table("Customer");
+        if (customer == nullptr || customer->num_rows() == 0) return;
+        int64_t customers = static_cast<int64_t>(customer->num_rows());
+        int64_t ck = rng->Uniform(1, customers);
+        const Row* row = customer->Get(TableKey{Value::Int(ck)});
+        if (row == nullptr) return;
+        Row updated = *row;
+        updated[3] = Value::Double(updated[3].AsDouble() + 1.0);
+        RowOp op;
+        op.kind = RowOp::Kind::kUpdate;
+        op.table = "Customer";
+        op.row = std::move(updated);
+        std::vector<RowOp> ops;
+        ops.push_back(std::move(op));
+        // Also touch one order of that customer when present.
+        const Table* orders = backend->table("Orders");
+        if (orders != nullptr) {
+          const Row* orow = nullptr;
+          TableKey lo{Value::Int(ck)};
+          orders->RangeScan(&lo, &lo, [&](const Row& r) {
+            orow = &r;
+            return false;
+          });
+          if (orow != nullptr) {
+            Row oupd = *orow;
+            oupd[2] = Value::Double(oupd[2].AsDouble() + 0.5);
+            RowOp oop;
+            oop.kind = RowOp::Kind::kUpdate;
+            oop.table = "Orders";
+            oop.row = std::move(oupd);
+            ops.push_back(std::move(oop));
+          }
+        }
+        auto st = backend->ExecuteTransaction(std::move(ops));
+        (void)st;
+      });
+}
+
+}  // namespace rcc

@@ -1,0 +1,44 @@
+#ifndef RCC_WORKLOAD_TPCD_H_
+#define RCC_WORKLOAD_TPCD_H_
+
+#include "core/system.h"
+
+namespace rcc {
+
+/// The TPCD subset used in the paper's evaluation (§4): Customer and Orders.
+/// At scale factor 1.0 the paper has 150,000 customers and 1,500,000 orders;
+/// the generator reproduces the same schema, key structure, ratios and value
+/// distributions at any scale.
+struct TpcdConfig {
+  double scale = 0.01;  // 1,500 customers / 15,000 orders
+  uint64_t seed = 20040613;
+  /// Orders per customer (paper: "Customers have 10 orders on average").
+  int orders_per_customer = 10;
+};
+
+/// Number of customers at this scale.
+int64_t TpcdCustomerCount(const TpcdConfig& config);
+
+/// Creates and loads Customer and Orders on the back-end, with the paper's
+/// physical design: Customer clustered on c_custkey with a secondary index
+/// on c_acctbal; Orders clustered on (o_custkey, o_orderkey).
+Status LoadTpcd(RccSystem* system, const TpcdConfig& config);
+
+/// Applies the paper's cache configuration (Table 4.1): currency regions
+/// CR1 (interval 15s, delay 5s) holding cust_prj and CR2 (interval 10s,
+/// delay 5s) holding orders_prj, both projection views.
+Status SetupPaperCache(RccSystem* system);
+
+/// Same, but with configurable region parameters (used by the workload-shift
+/// experiments, which sweep interval and delay).
+Status SetupPaperCacheWithRegions(RccSystem* system, const RegionDef& cr1,
+                                  const RegionDef& cr2);
+
+/// A steady trickle of update transactions against Customer/Orders so the
+/// cached views keep going stale: every `period_ms` one transaction updates
+/// a customer's balance and one order's total price.
+void StartUpdateTraffic(RccSystem* system, SimTimeMs period_ms, uint64_t seed);
+
+}  // namespace rcc
+
+#endif  // RCC_WORKLOAD_TPCD_H_

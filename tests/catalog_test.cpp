@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace rcc {
+namespace {
+
+TableDef CustomerDef() {
+  TableDef def;
+  def.name = "Customer";
+  def.schema = Schema({{"c_custkey", ValueType::kInt64},
+                       {"c_name", ValueType::kString},
+                       {"c_acctbal", ValueType::kDouble}});
+  def.clustered_key = {"c_custkey"};
+  return def;
+}
+
+TEST(CatalogTest, TableRoundTrip) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(CustomerDef()).ok());
+  EXPECT_NE(cat.FindTable("customer"), nullptr);
+  EXPECT_NE(cat.FindTable("CUSTOMER"), nullptr);
+  EXPECT_EQ(cat.FindTable("orders"), nullptr);
+  EXPECT_EQ(cat.AddTable(CustomerDef()).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(cat.TableNames().size(), 1u);
+}
+
+TEST(CatalogTest, BadClusteredKeyRejected) {
+  Catalog cat;
+  TableDef def = CustomerDef();
+  def.clustered_key = {"nope"};
+  EXPECT_FALSE(cat.AddTable(def).ok());
+}
+
+TEST(CatalogTest, RegionRoundTrip) {
+  Catalog cat;
+  RegionDef r;
+  r.cid = 3;
+  r.update_interval = 1000;
+  r.update_delay = 100;
+  ASSERT_TRUE(cat.AddRegion(r).ok());
+  ASSERT_NE(cat.FindRegion(3), nullptr);
+  EXPECT_EQ(cat.FindRegion(3)->update_interval, 1000);
+  EXPECT_EQ(cat.AddRegion(r).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(cat.AllRegions().size(), 1u);
+}
+
+TEST(CatalogTest, BackendRegionIdReserved) {
+  Catalog cat;
+  RegionDef r;
+  r.cid = kBackendRegion;
+  EXPECT_FALSE(cat.AddRegion(r).ok());
+}
+
+TEST(CatalogTest, ViewRequiresSourceAndKeyColumns) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(CustomerDef()).ok());
+  RegionDef r;
+  r.cid = 1;
+  ASSERT_TRUE(cat.AddRegion(r).ok());
+
+  ViewDef v;
+  v.name = "v1";
+  v.source_table = "Customer";
+  v.columns = {"c_name"};  // missing clustered key
+  v.region = 1;
+  EXPECT_FALSE(cat.AddView(v).ok());
+
+  v.columns = {"c_custkey", "c_name"};
+  EXPECT_TRUE(cat.AddView(v).ok());
+  ASSERT_NE(cat.FindView("V1"), nullptr);
+  EXPECT_EQ(cat.ViewsOnTable("customer").size(), 1u);
+  EXPECT_EQ(cat.AllViews().size(), 1u);
+
+  auto schema = cat.ViewSchema(*cat.FindView("v1"));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 2u);
+  EXPECT_EQ(schema->column(1).name, "c_name");
+}
+
+TEST(CatalogTest, ViewInUnknownRegionRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(CustomerDef()).ok());
+  ViewDef v;
+  v.name = "v1";
+  v.source_table = "Customer";
+  v.columns = {"c_custkey"};
+  v.region = 77;
+  EXPECT_TRUE(cat.AddView(v).IsNotFound());
+}
+
+TEST(CatalogTest, LogicalViews) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(CustomerDef()).ok());
+  ASSERT_TRUE(cat.AddLogicalView("rich", "SELECT * FROM Customer").ok());
+  ASSERT_NE(cat.FindLogicalView("RICH"), nullptr);
+  // Name collisions with tables are rejected.
+  EXPECT_FALSE(cat.AddLogicalView("Customer", "SELECT 1 FROM Customer").ok());
+}
+
+TEST(CatalogTest, StatsDefaultEmpty) {
+  Catalog cat;
+  EXPECT_EQ(cat.GetStats("nothing").row_count, 0);
+}
+
+// -- statistics -------------------------------------------------------------
+
+TEST(StatsTest, ComputeTableStats) {
+  Table t("t",
+          Schema({{"k", ValueType::kInt64}, {"v", ValueType::kDouble}}), {0});
+  for (int64_t i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(
+        t.Insert({Value::Int(i), Value::Double((i % 10) * 1.0)}).ok());
+  }
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_EQ(stats.row_count, 100);
+  EXPECT_EQ(stats.columns.at("k").distinct_count, 100);
+  EXPECT_EQ(stats.columns.at("v").distinct_count, 10);
+  EXPECT_EQ(stats.columns.at("k").min.AsInt(), 1);
+  EXPECT_EQ(stats.columns.at("k").max.AsInt(), 100);
+}
+
+TEST(StatsTest, EqSelectivity) {
+  TableStats stats;
+  stats.row_count = 100;
+  stats.columns["c"] = ColumnStats{Value::Int(0), Value::Int(9), 10};
+  EXPECT_DOUBLE_EQ(stats.EqSelectivity("c"), 0.1);
+  EXPECT_DOUBLE_EQ(stats.EqSelectivity("missing"), 0.1);  // default guess
+}
+
+TEST(StatsTest, RangeSelectivityUniform) {
+  TableStats stats;
+  stats.row_count = 100;
+  stats.columns["c"] = ColumnStats{Value::Double(0), Value::Double(100), 100};
+  Value lo = Value::Double(25);
+  Value hi = Value::Double(75);
+  EXPECT_NEAR(stats.RangeSelectivity("c", &lo, &hi), 0.5, 1e-9);
+  EXPECT_NEAR(stats.RangeSelectivity("c", &lo, nullptr), 0.75, 1e-9);
+  EXPECT_NEAR(stats.RangeSelectivity("c", nullptr, &hi), 0.75, 1e-9);
+  EXPECT_NEAR(stats.RangeSelectivity("c", nullptr, nullptr), 1.0, 1e-9);
+  // Out-of-domain ranges clamp.
+  Value below = Value::Double(-50);
+  EXPECT_NEAR(stats.RangeSelectivity("c", nullptr, &below), 0.0, 1e-9);
+}
+
+TEST(StatsTest, EstimatedPagesAtLeastOne) {
+  TableStats stats;
+  stats.row_count = 1;
+  stats.avg_row_bytes = 10;
+  EXPECT_DOUBLE_EQ(stats.EstimatedPages(8192), 1.0);
+  stats.row_count = 10000;
+  stats.avg_row_bytes = 100;
+  EXPECT_NEAR(stats.EstimatedPages(8192), 10000 * 100 / 8192.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace rcc {
+namespace {
+
+// -- Status / Result ----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kConstraintViolation, StatusCode::kNotSupported,
+        StatusCode::kInternal, StatusCode::kUnavailable}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  RCC_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+// -- VirtualClock / Scheduler ----------------------------------------------------
+
+TEST(ClockTest, NeverMovesBackwards) {
+  VirtualClock clock;
+  clock.AdvanceTo(100);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceBy(25);
+  EXPECT_EQ(clock.Now(), 125);
+}
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  VirtualClock clock;
+  SimulationScheduler sched(&clock);
+  std::vector<int> fired;
+  sched.ScheduleAt(30, [&](SimTimeMs) { fired.push_back(3); });
+  sched.ScheduleAt(10, [&](SimTimeMs) { fired.push_back(1); });
+  sched.ScheduleAt(20, [&](SimTimeMs) { fired.push_back(2); });
+  sched.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(clock.Now(), 25);
+  sched.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, EqualTimesFireInScheduleOrder) {
+  VirtualClock clock;
+  SimulationScheduler sched(&clock);
+  std::vector<int> fired;
+  sched.ScheduleAt(10, [&](SimTimeMs) { fired.push_back(1); });
+  sched.ScheduleAt(10, [&](SimTimeMs) { fired.push_back(2); });
+  sched.RunUntil(10);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, PeriodicReschedulesItself) {
+  VirtualClock clock;
+  SimulationScheduler sched(&clock);
+  int count = 0;
+  sched.SchedulePeriodic(10, 10, [&](SimTimeMs) { ++count; });
+  sched.RunUntil(55);
+  EXPECT_EQ(count, 5);  // t = 10,20,30,40,50
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  VirtualClock clock;
+  SimulationScheduler sched(&clock);
+  std::vector<SimTimeMs> fired;
+  sched.ScheduleAt(10, [&](SimTimeMs now) {
+    fired.push_back(now);
+    sched.ScheduleAt(now + 5, [&](SimTimeMs n2) { fired.push_back(n2); });
+  });
+  sched.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<SimTimeMs>{10, 15}));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  VirtualClock clock;
+  SimulationScheduler sched(&clock);
+  clock.AdvanceTo(100);
+  bool fired = false;
+  sched.ScheduleAt(10, [&](SimTimeMs) { fired = true; });
+  sched.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ClockTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(0), "0.000s");
+  EXPECT_EQ(FormatSimTime(12345), "12.345s");
+}
+
+// -- strings -------------------------------------------------------------------
+
+TEST(StringsTest, ToLowerAndEquals) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a, b , c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("%s", ""), "");
+}
+
+// -- rng --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rcc

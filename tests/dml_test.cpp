@@ -1,0 +1,121 @@
+// SQL DML through the session: inserts/updates/deletes are forwarded to the
+// back-end as one transaction (paper §3 item 5) and reach the cached views
+// through normal replication.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::BookstoreFixture;
+using testing_util::MustExecute;
+
+class DmlTest : public ::testing::Test {
+ protected:
+  DmlTest() : fx_(5000, 1000) {}
+
+  QueryResult Run(const std::string& sql) {
+    return MustExecute(fx_.session.get(), sql);
+  }
+
+  BookstoreFixture fx_;
+};
+
+TEST_F(DmlTest, InsertSingleRow) {
+  QueryResult r = Run(
+      "INSERT INTO Books (isbn, title, price, stock) "
+      "VALUES (9001, 'Inserted', 12.5, 3)");
+  EXPECT_EQ(r.rows_affected, 1);
+  EXPECT_NE(r.message.find("committed as txn"), std::string::npos);
+  const Row* row = fx_.sys.backend()->table("Books")->Get({Value::Int(9001)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].AsString(), "Inserted");
+}
+
+TEST_F(DmlTest, InsertMultipleRowsAndPartialColumns) {
+  QueryResult r = Run(
+      "INSERT INTO Books (isbn, title) VALUES (9002, 'A'), (9003, 'B')");
+  EXPECT_EQ(r.rows_affected, 2);
+  const Row* row = fx_.sys.backend()->table("Books")->Get({Value::Int(9002)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE((*row)[2].is_null());  // unlisted price is NULL
+}
+
+TEST_F(DmlTest, InsertErrors) {
+  // Duplicate key fails (surfacing the back-end error) ...
+  EXPECT_FALSE(fx_.session
+                   ->Execute("INSERT INTO Books (isbn, title) "
+                             "VALUES (1, 'dup')")
+                   .ok());
+  // ... as do arity mismatches and unknown tables/columns.
+  EXPECT_FALSE(
+      fx_.session->Execute("INSERT INTO Books (isbn) VALUES (1, 2)").ok());
+  EXPECT_FALSE(
+      fx_.session->Execute("INSERT INTO Nope (a) VALUES (1)").ok());
+  EXPECT_FALSE(
+      fx_.session->Execute("INSERT INTO Books (zzz) VALUES (1)").ok());
+}
+
+TEST_F(DmlTest, UpdateWithPredicateAndExpression) {
+  QueryResult r = Run("UPDATE Books SET price = price + 100 WHERE isbn <= 3");
+  EXPECT_EQ(r.rows_affected, 3);
+  // Current read sees the change immediately.
+  QueryResult fresh = Run("SELECT price FROM Books B WHERE B.isbn = 1");
+  QueryResult relaxed = Run(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_DOUBLE_EQ(fresh.rows[0][0].AsDouble(),
+                   relaxed.rows[0][0].AsDouble() + 100.0);
+  // After a refresh cycle the cached view catches up.
+  fx_.sys.AdvanceTo(7000);
+  QueryResult later = Run(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_DOUBLE_EQ(later.rows[0][0].AsDouble(), fresh.rows[0][0].AsDouble());
+}
+
+TEST_F(DmlTest, UpdateNoMatchesAffectsZero) {
+  QueryResult r = Run("UPDATE Books SET stock = 0 WHERE isbn = 123456");
+  EXPECT_EQ(r.rows_affected, 0);
+}
+
+TEST_F(DmlTest, DeleteWithPredicate) {
+  QueryResult r = Run("DELETE FROM Books WHERE isbn >= 499");
+  EXPECT_EQ(r.rows_affected, 2);  // 499, 500
+  EXPECT_EQ(fx_.sys.backend()->table("Books")->num_rows(), 498u);
+  // Replicates to the view.
+  fx_.sys.AdvanceTo(7000);
+  QueryResult count = Run(
+      "SELECT count(*) FROM Books B CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(count.rows[0][0].AsInt(), 498);
+}
+
+TEST_F(DmlTest, DmlIsOneTransaction) {
+  size_t before = fx_.sys.backend()->log().size();
+  Run("UPDATE Books SET stock = stock + 1 WHERE isbn <= 10");
+  EXPECT_EQ(fx_.sys.backend()->log().size(), before + 1);
+  EXPECT_EQ(fx_.sys.backend()->log().at(before).ops.size(), 10u);
+}
+
+TEST_F(DmlTest, WriterSeesOwnWriteUnderTimeline) {
+  fx_.sys.AdvanceTo(12000);
+  ASSERT_TRUE(fx_.session->Execute("BEGIN TIMEORDERED").ok());
+  Run("UPDATE Books SET price = 77.25 WHERE isbn = 9");
+  // The write itself advances nothing in the session; a tight read does.
+  Run("SELECT price FROM Books B WHERE B.isbn = 9");
+  QueryResult relaxed = Run(
+      "SELECT price FROM Books B WHERE B.isbn = 9 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_DOUBLE_EQ(relaxed.rows[0][0].AsDouble(), 77.25);
+}
+
+TEST_F(DmlTest, ParserRejectsMalformedDml) {
+  EXPECT_FALSE(fx_.session->Execute("INSERT Books VALUES (1)").ok());
+  EXPECT_FALSE(fx_.session->Execute("UPDATE Books price = 1").ok());
+  EXPECT_FALSE(fx_.session->Execute("DELETE Books").ok());
+}
+
+}  // namespace
+}  // namespace rcc

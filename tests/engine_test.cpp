@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::MustExecute;
+
+// -- BackendServer -------------------------------------------------------------
+
+TEST(BackendTest, CreateTableAndLoad) {
+  RccSystem sys;
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  def.clustered_key = {"k"};
+  ASSERT_TRUE(sys.backend()->CreateTable(def).ok());
+  EXPECT_EQ(sys.backend()->CreateTable(def).code(),
+            StatusCode::kAlreadyExists);
+  std::vector<Row> rows;
+  for (int64_t i = 1; i <= 10; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i * i)});
+  }
+  ASSERT_TRUE(sys.backend()->BulkLoad("T", rows).ok());
+  EXPECT_EQ(sys.backend()->table("T")->num_rows(), 10u);
+  EXPECT_EQ(sys.backend()->catalog().GetStats("T").row_count, 10);
+  EXPECT_TRUE(sys.backend()->BulkLoad("nope", rows).IsNotFound());
+}
+
+TEST(BackendTest, TransactionsAppendToLogWithTimestamps) {
+  RccSystem sys;
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  def.clustered_key = {"k"};
+  ASSERT_TRUE(sys.backend()->CreateTable(def).ok());
+
+  sys.AdvanceTo(100);
+  RowOp ins;
+  ins.kind = RowOp::Kind::kInsert;
+  ins.table = "T";
+  ins.row = {Value::Int(1), Value::Int(10)};
+  auto t1 = sys.backend()->ExecuteTransaction({ins});
+  ASSERT_TRUE(t1.ok());
+
+  sys.AdvanceTo(200);
+  RowOp upd;
+  upd.kind = RowOp::Kind::kUpdate;
+  upd.table = "T";
+  upd.row = {Value::Int(1), Value::Int(20)};
+  auto t2 = sys.backend()->ExecuteTransaction({upd});
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(*t2, *t1);
+
+  const UpdateLog& log = sys.backend()->log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.at(0).commit_time, 100);
+  EXPECT_EQ(log.at(1).commit_time, 200);
+  // Delete fills in the key.
+  EXPECT_EQ(log.at(1).ops[0].key.size(), 1u);
+
+  // Failing ops surface.
+  RowOp bad;
+  bad.kind = RowOp::Kind::kDelete;
+  bad.table = "T";
+  bad.key = {Value::Int(99)};
+  EXPECT_TRUE(sys.backend()->ExecuteTransaction({bad}).status().IsNotFound());
+}
+
+TEST(BackendTest, ExecutesQueriesOverBaseTables) {
+  testing_util::BookstoreFixture fx;
+  auto stmt = ParseSelect("SELECT count(*) FROM Books");
+  ASSERT_TRUE(stmt.ok());
+  auto result = fx.sys.backend()->ExecuteQuery(**stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt(), 500);
+}
+
+// -- CacheDbms setup ---------------------------------------------------------------
+
+TEST(CacheSetupTest, ShadowCopiesSchemaAndStats) {
+  testing_util::BookstoreFixture fx;
+  const Catalog& shadow = fx.sys.cache()->catalog();
+  ASSERT_NE(shadow.FindTable("Books"), nullptr);
+  EXPECT_EQ(shadow.GetStats("Books").row_count,
+            fx.sys.backend()->catalog().GetStats("Books").row_count);
+}
+
+TEST(CacheSetupTest, ViewValidation) {
+  testing_util::BookstoreFixture fx;
+  ViewDef v;
+  v.name = "bad";
+  v.source_table = "Missing";
+  v.columns = {"x"};
+  v.region = 1;
+  EXPECT_FALSE(fx.sys.cache()->CreateView(v).ok());
+
+  v.source_table = "Books";
+  v.columns = {"isbn", "nosuch"};
+  EXPECT_FALSE(fx.sys.cache()->CreateView(v).ok());
+
+  v.columns = {"isbn", "price"};
+  v.region = 99;
+  EXPECT_FALSE(fx.sys.cache()->CreateView(v).ok());
+}
+
+TEST(CacheSetupTest, RegionRedefinitionRejected) {
+  testing_util::BookstoreFixture fx;
+  RegionDef dup;
+  dup.cid = 1;
+  dup.update_interval = 1000;
+  EXPECT_EQ(fx.sys.cache()->DefineRegion(dup).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// -- Partitioned selection views -----------------------------------------------
+
+class PartitionedViewTest : public ::testing::Test {
+ protected:
+  PartitionedViewTest() {
+    TpcdConfig config;
+    config.scale = 0.005;
+    EXPECT_TRUE(LoadTpcd(&sys_, config).ok());
+    RegionDef r1;
+    r1.cid = 1;
+    r1.update_interval = 10000;
+    r1.update_delay = 2000;
+    RegionDef r2 = r1;
+    r2.cid = 2;
+    EXPECT_TRUE(sys_.cache()->DefineRegion(r1).ok());
+    EXPECT_TRUE(sys_.cache()->DefineRegion(r2).ok());
+
+    // Customer partitioned by nation: low nations cached in R1, high in R2.
+    ViewDef low;
+    low.name = "cust_low_nation";
+    low.source_table = "Customer";
+    low.columns = {"c_custkey", "c_name", "c_nationkey", "c_acctbal"};
+    low.predicate = {ColumnRange{"c_nationkey", Value::Int(0), Value::Int(11)}};
+    low.region = 1;
+    EXPECT_TRUE(sys_.cache()->CreateView(low).ok());
+
+    ViewDef high = low;
+    high.name = "cust_high_nation";
+    high.predicate = {
+        ColumnRange{"c_nationkey", Value::Int(12), Value::Int(24)}};
+    high.region = 2;
+    EXPECT_TRUE(sys_.cache()->CreateView(high).ok());
+    session_ = sys_.CreateSession();
+  }
+
+  RccSystem sys_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(PartitionedViewTest, PartitionsSplitTheTable) {
+  size_t low = sys_.cache()->view("cust_low_nation")->data().num_rows();
+  size_t high = sys_.cache()->view("cust_high_nation")->data().num_rows();
+  EXPECT_EQ(low + high, sys_.backend()->table("Customer")->num_rows());
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(high, 0u);
+}
+
+TEST_F(PartitionedViewTest, QueryInsidePartitionUsesIt) {
+  QueryResult r = MustExecute(
+      session_.get(),
+      "SELECT c_custkey FROM Customer C "
+      "WHERE C.c_nationkey >= 2 AND C.c_nationkey <= 5 "
+      "CURRENCY BOUND 10 MIN ON (C)");
+  EXPECT_EQ(r.shape, PlanShape::kAllLocal);
+  EXPECT_GT(r.rows.size(), 0u);
+  // Cross-check against the back-end.
+  QueryResult ground = MustExecute(
+      session_.get(),
+      "SELECT c_custkey FROM Customer C "
+      "WHERE C.c_nationkey >= 2 AND C.c_nationkey <= 5");
+  EXPECT_EQ(r.rows.size(), ground.rows.size());
+}
+
+TEST_F(PartitionedViewTest, QuerySpanningPartitionsGoesRemote) {
+  // No single view subsumes nations 8..16; single-view substitution only
+  // (like the prototype), so the query runs remotely.
+  QueryResult r = MustExecute(
+      session_.get(),
+      "SELECT c_custkey FROM Customer C "
+      "WHERE C.c_nationkey >= 8 AND C.c_nationkey <= 16 "
+      "CURRENCY BOUND 10 MIN ON (C)");
+  EXPECT_EQ(r.shape, PlanShape::kRemoteOnly);
+}
+
+TEST_F(PartitionedViewTest, QueryWithoutPartitionPredicateGoesRemote) {
+  QueryResult r = MustExecute(session_.get(),
+                              "SELECT c_custkey FROM Customer C "
+                              "WHERE C.c_acctbal > 0 "
+                              "CURRENCY BOUND 10 MIN ON (C)");
+  EXPECT_EQ(r.shape, PlanShape::kRemoteOnly);
+}
+
+TEST_F(PartitionedViewTest, PartitionMaintainedAcrossMovingUpdate) {
+  // Move customer 1 from a low nation to a high nation; after propagation
+  // the row must migrate between the partitioned views.
+  const Row* row = sys_.backend()->table("Customer")->Get({Value::Int(1)});
+  ASSERT_NE(row, nullptr);
+  Row updated = *row;
+  updated[2] = Value::Int(20);  // high partition
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = "Customer";
+  op.row = updated;
+  ASSERT_TRUE(sys_.backend()->ExecuteTransaction({op}).ok());
+  sys_.AdvanceTo(15000);  // wakeups at 10s + 2s delay
+  EXPECT_EQ(sys_.cache()->view("cust_low_nation")->data().Get(
+                {Value::Int(1)}),
+            nullptr);
+  ASSERT_NE(sys_.cache()->view("cust_high_nation")->data().Get(
+                {Value::Int(1)}),
+            nullptr);
+}
+
+// -- Replica-only mode (traditional replicated database, paper §1) ---------------
+
+class ReplicaOnlyTest : public ::testing::Test {
+ protected:
+  ReplicaOnlyTest() : fx_(10000, 2000) { fx_.sys.AdvanceTo(30000); }
+
+  Result<QueryPlan> PrepareReplicaOnly(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    OptimizerOptions opts = fx_.sys.cache()->default_options();
+    opts.allow_remote = false;
+    return fx_.sys.cache()->Prepare(**select, opts);
+  }
+
+  testing_util::BookstoreFixture fx_;
+};
+
+TEST_F(ReplicaOnlyTest, RelaxedQueryRunsOnReplica) {
+  auto plan = PrepareReplicaOnly(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+  ASSERT_TRUE(plan.ok());
+  auto outcome = fx_.sys.cache()->ExecutePrepared(*plan);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->stats.switch_local, 1);
+}
+
+TEST_F(ReplicaOnlyTest, UnsatisfiableBoundFailsAtCompileTime) {
+  // Bound below the region delay: no replica can ever satisfy it and there
+  // is no back-end fallback.
+  auto plan = PrepareReplicaOnly(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 SECONDS ON (B)");
+  EXPECT_TRUE(plan.status().IsConstraintViolation());
+}
+
+TEST_F(ReplicaOnlyTest, StaleReplicaFailsAtRunTime) {
+  auto plan = PrepareReplicaOnly(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 6 SECONDS ON (B)");
+  ASSERT_TRUE(plan.ok());
+  // Find a moment where staleness exceeds 6s (cycle spans 2..12s).
+  CurrencyRegion* region = fx_.sys.cache()->region(1);
+  fx_.sys.AdvanceTo(region->local_heartbeat() + 8000);
+  auto outcome = fx_.sys.cache()->ExecutePrepared(*plan);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicaOnlyTest, DefaultTightQueryImpossible) {
+  auto plan = PrepareReplicaOnly("SELECT isbn FROM Books B WHERE B.isbn = 1");
+  EXPECT_TRUE(plan.status().IsConstraintViolation());
+}
+
+}  // namespace
+}  // namespace rcc

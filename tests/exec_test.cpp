@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::BookstoreFixture;
+using testing_util::IntColumn;
+using testing_util::MustExecute;
+
+// All queries here use a relaxed bound so they run against the cached views
+// (fresh at t=0, so local results equal the master data), unless stated.
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : fx_(10000, 2000) {}
+
+  QueryResult Run(const std::string& sql) {
+    return MustExecute(fx_.session.get(), sql);
+  }
+
+  BookstoreFixture fx_;
+};
+
+TEST_F(ExecTest, PointLookup) {
+  QueryResult r = Run(
+      "SELECT isbn, title FROM Books B WHERE B.isbn = 7 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r.shape, PlanShape::kAllLocal);
+}
+
+TEST_F(ExecTest, RangePredicate) {
+  QueryResult r = Run(
+      "SELECT isbn FROM Books B WHERE B.isbn >= 10 AND B.isbn <= 15 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{10, 11, 12, 13, 14, 15}));
+}
+
+TEST_F(ExecTest, LocalAndRemoteAgree) {
+  // At t=0 the views are fresh: a local plan and a forced-remote plan (tight
+  // default) must return identical results.
+  const char* base =
+      "SELECT B.isbn, B.price FROM Books B WHERE B.price > 100 ";
+  QueryResult remote = Run(base);
+  QueryResult local =
+      Run(std::string(base) + "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(remote.shape, PlanShape::kRemoteOnly);
+  EXPECT_EQ(local.shape, PlanShape::kAllLocal);
+  ASSERT_EQ(remote.rows.size(), local.rows.size());
+  auto key = [](const Row& row) { return row[0].AsInt(); };
+  std::vector<int64_t> a;
+  std::vector<int64_t> b;
+  for (const Row& row : remote.rows) a.push_back(key(row));
+  for (const Row& row : local.rows) b.push_back(key(row));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExecTest, JoinLocalViews) {
+  QueryResult r = Run(
+      "SELECT B.isbn, R.review_id, R.rating FROM Books B, Reviews R "
+      "WHERE B.isbn = R.isbn AND B.isbn <= 3 "
+      "CURRENCY BOUND 1 HOUR ON (B), 1 HOUR ON (R)");
+  EXPECT_EQ(r.shape, PlanShape::kAllLocal);
+  ASSERT_GT(r.rows.size(), 0u);
+  for (const Row& row : r.rows) {
+    EXPECT_LE(row[0].AsInt(), 3);
+  }
+}
+
+TEST_F(ExecTest, OrderByAscDesc) {
+  QueryResult r = Run(
+      "SELECT isbn FROM Books B WHERE B.isbn <= 5 ORDER BY isbn DESC "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{5, 4, 3, 2, 1}));
+}
+
+TEST_F(ExecTest, AggregatesGlobal) {
+  QueryResult r = Run(
+      "SELECT count(*) AS n, min(isbn) AS lo, max(isbn) AS hi "
+      "FROM Books B CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 500);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 500);
+}
+
+TEST_F(ExecTest, AggregatesGroupBy) {
+  QueryResult r = Run(
+      "SELECT R.rating, count(*) AS n FROM Reviews R "
+      "GROUP BY R.rating ORDER BY R.rating "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  ASSERT_EQ(r.rows.size(), 5u);  // ratings 1..5
+  int64_t total = 0;
+  for (const Row& row : r.rows) total += row[1].AsInt();
+  // Equals total review count.
+  QueryResult all = Run(
+      "SELECT count(*) FROM Reviews R CURRENCY BOUND 1 HOUR ON (R)");
+  EXPECT_EQ(total, all.rows[0][0].AsInt());
+}
+
+TEST_F(ExecTest, AvgAndSum) {
+  QueryResult r = Run(
+      "SELECT sum(R.rating) AS s, avg(R.rating) AS a, count(R.rating) AS c "
+      "FROM Reviews R CURRENCY BOUND 1 HOUR ON (R)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  double sum = static_cast<double>(r.rows[0][0].AsInt());
+  double avg = r.rows[0][1].AsDouble();
+  double cnt = static_cast<double>(r.rows[0][2].AsInt());
+  EXPECT_NEAR(avg, sum / cnt, 1e-9);
+}
+
+TEST_F(ExecTest, EmptyAggregateYieldsOneRow) {
+  QueryResult r = Run(
+      "SELECT count(*) FROM Books B WHERE B.isbn > 100000 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ExecTest, ExistsCorrelatedSubquery) {
+  // Books with at least one sale in 2003 (paper Q3 shape).
+  QueryResult with_sales = Run(
+      "SELECT B.isbn FROM Books B "
+      "WHERE B.isbn <= 20 AND EXISTS ("
+      " SELECT 1 FROM Sales S WHERE S.isbn = B.isbn AND S.year = 2003 "
+      " CURRENCY BOUND 1 HOUR ON (S)) "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  // Validate against a remote join-based ground truth.
+  QueryResult ground = Run(
+      "SELECT B.isbn, count(*) FROM Books B, Sales S "
+      "WHERE S.isbn = B.isbn AND S.year = 2003 AND B.isbn <= 20 "
+      "GROUP BY B.isbn");
+  EXPECT_EQ(with_sales.rows.size(), ground.rows.size());
+}
+
+TEST_F(ExecTest, InSubquery) {
+  QueryResult r = Run(
+      "SELECT B.isbn FROM Books B "
+      "WHERE B.isbn IN (SELECT S.isbn FROM Sales S WHERE S.year = 2002) "
+      "AND B.isbn <= 10");
+  for (int64_t isbn : IntColumn(r)) {
+    EXPECT_LE(isbn, 10);
+  }
+  // Cross-check one membership with a direct count.
+  if (!r.rows.empty()) {
+    int64_t isbn = r.rows[0][0].AsInt();
+    QueryResult n = Run(
+        "SELECT count(*) FROM Sales S WHERE S.isbn = " +
+        std::to_string(isbn) + " AND S.year = 2002");
+    EXPECT_GT(n.rows[0][0].AsInt(), 0);
+  }
+}
+
+TEST_F(ExecTest, DerivedTable) {
+  QueryResult r = Run(
+      "SELECT T.isbn FROM (SELECT B.isbn AS isbn FROM Books B "
+      " WHERE B.isbn <= 4 CURRENCY BOUND 1 HOUR ON (B)) T "
+      "WHERE T.isbn > 1");
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{2, 3, 4}));
+}
+
+TEST_F(ExecTest, HavingFiltersGroups) {
+  QueryResult r = Run(
+      "SELECT R.rating, count(*) AS n FROM Reviews R "
+      "GROUP BY R.rating HAVING count(*) > 100 ORDER BY R.rating "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  QueryResult all = Run(
+      "SELECT R.rating, count(*) AS n FROM Reviews R "
+      "GROUP BY R.rating ORDER BY R.rating "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  // Having keeps exactly the groups whose count exceeds the threshold.
+  size_t expected = 0;
+  for (const Row& row : all.rows) {
+    if (row[1].AsInt() > 100) ++expected;
+  }
+  EXPECT_EQ(r.rows.size(), expected);
+  for (const Row& row : r.rows) {
+    EXPECT_GT(row[1].AsInt(), 100);
+  }
+}
+
+TEST_F(ExecTest, HavingWithHiddenAggregate) {
+  // The HAVING aggregate (min) is not in the select list: a hidden slot.
+  QueryResult r = Run(
+      "SELECT R.rating, count(*) AS n FROM Reviews R "
+      "GROUP BY R.rating HAVING min(R.isbn) = 1 "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  // Only the output columns of the select list survive.
+  EXPECT_EQ(r.layout.num_slots(), 2u);
+  for (const Row& row : r.rows) {
+    // Verify group membership: rating groups containing isbn 1.
+    QueryResult probe = Run(
+        "SELECT count(*) FROM Reviews R WHERE R.isbn = 1 AND R.rating = " +
+        row[0].ToString());
+    EXPECT_GT(probe.rows[0][0].AsInt(), 0);
+  }
+}
+
+TEST_F(ExecTest, HavingWithoutGroupingRejected) {
+  auto result = fx_.session->Execute(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 HAVING isbn > 0");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecTest, SelectDistinct) {
+  QueryResult dup = Run(
+      "SELECT R.rating FROM Reviews R WHERE R.isbn <= 10 "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  QueryResult distinct = Run(
+      "SELECT DISTINCT R.rating FROM Reviews R WHERE R.isbn <= 10 "
+      "CURRENCY BOUND 1 HOUR ON (R)");
+  EXPECT_GT(dup.rows.size(), distinct.rows.size());
+  std::set<int64_t> unique;
+  for (const Row& row : dup.rows) unique.insert(row[0].AsInt());
+  EXPECT_EQ(distinct.rows.size(), unique.size());
+}
+
+TEST_F(ExecTest, ProjectionExpressions) {
+  QueryResult r = Run(
+      "SELECT B.isbn * 2 + 1 AS x FROM Books B WHERE B.isbn <= 3 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{3, 5, 7}));
+}
+
+TEST_F(ExecTest, GuardSwitchesToRemoteWhenStale) {
+  // Make the view stale relative to a tight-ish bound: advance past several
+  // refresh cycles, then ask for <= 1s currency. delay=2000 > 1s, so the
+  // optimizer won't even consider the local view.
+  fx_.sys.AdvanceTo(60000);
+  QueryResult r = Run(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 SECONDS ON (B)");
+  EXPECT_EQ(r.shape, PlanShape::kRemoteOnly);
+}
+
+TEST_F(ExecTest, GuardFallsBackAtRunTime) {
+  // Bound between delay and delay+interval: the plan keeps both branches and
+  // decides at run time. Freeze replication by never advancing the clock
+  // past deliveries, then advance far: local heartbeat lags, guard fails.
+  QueryResult fresh = Run(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 8 SECONDS ON (B)");
+  EXPECT_EQ(fresh.shape, PlanShape::kAllLocal);
+  EXPECT_EQ(fresh.stats.switch_local, 1);
+
+  // Stop heartbeat deliveries from advancing by jumping between agent
+  // deliveries: right after t=10s wakeup + 2s delay, data reflects t=10s.
+  // At t=19.9s staleness is 9.9s > 8s -> remote branch.
+  fx_.sys.AdvanceTo(19900);
+  QueryResult stale = MustExecute(
+      fx_.session.get(),
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 8 SECONDS ON (B)");
+  EXPECT_EQ(stale.stats.switch_remote, 1);
+  EXPECT_EQ(stale.rows.size(), 1u);
+}
+
+TEST_F(ExecTest, StaleReadsSeeOldData) {
+  // Update a book at the back-end; a relaxed read still sees the old price
+  // until the agent delivers, then sees the new one.
+  BackendServer* backend = fx_.sys.backend();
+  const Row* master = backend->table("Books")->Get({Value::Int(1)});
+  ASSERT_NE(master, nullptr);
+  double old_price = (*master)[2].AsDouble();
+
+  fx_.sys.AdvanceTo(500);
+  Row updated = *master;
+  updated[2] = Value::Double(old_price + 111.0);
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = "Books";
+  op.row = updated;
+  ASSERT_TRUE(backend->ExecuteTransaction({op}).ok());
+
+  const char* sql =
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)";
+  QueryResult before = Run(sql);
+  EXPECT_DOUBLE_EQ(before.rows[0][0].AsDouble(), old_price);
+
+  // Tight query sees the new value immediately.
+  QueryResult current = Run("SELECT price FROM Books B WHERE B.isbn = 1");
+  EXPECT_DOUBLE_EQ(current.rows[0][0].AsDouble(), old_price + 111.0);
+
+  // After a full refresh cycle (wakeup at 10s + delay 2s) the relaxed read
+  // catches up.
+  fx_.sys.AdvanceTo(13000);
+  QueryResult after = Run(sql);
+  EXPECT_DOUBLE_EQ(after.rows[0][0].AsDouble(), old_price + 111.0);
+}
+
+TEST_F(ExecTest, RemoteParameterizedInnerJoin) {
+  // Join where the inner is local (clustered prefix seek on Reviews);
+  // verifies parameterized seeks produce the same rows as a hash join.
+  QueryResult seek = Run(
+      "SELECT B.isbn, R.review_id FROM Books B, Reviews R "
+      "WHERE B.isbn = R.isbn AND B.isbn = 9 "
+      "CURRENCY BOUND 1 HOUR ON (B), 1 HOUR ON (R)");
+  QueryResult ground = Run(
+      "SELECT R.review_id, count(*) FROM Reviews R WHERE R.isbn = 9 "
+      "GROUP BY R.review_id");
+  EXPECT_EQ(seek.rows.size(), ground.rows.size());
+}
+
+TEST_F(ExecTest, SelectStar) {
+  QueryResult r = Run(
+      "SELECT * FROM Books B WHERE B.isbn = 2 CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.layout.num_slots(), 4u);
+}
+
+
+TEST_F(ExecTest, CoLocatedViewsSatisfyConsistencyWithOneGuard) {
+  // BooksCopy and SalesCopy share region 1: a consistency class over both
+  // CAN be satisfied locally — by a single SwitchUnion guarding the joined
+  // unit (the delivered property keeps the operands together).
+  QueryResult r = Run(
+      "SELECT B.isbn, S.amount FROM Books B, Sales S "
+      "WHERE B.isbn = S.isbn AND B.isbn <= 5 "
+      "CURRENCY BOUND 10 MIN ON (B, S)");
+  EXPECT_EQ(r.shape, PlanShape::kAllLocal);
+  // Exactly one guard decision for the whole class.
+  EXPECT_EQ(r.stats.switch_local + r.stats.switch_remote, 1);
+  // Ground truth from the back-end.
+  QueryResult ground = Run(
+      "SELECT B.isbn, S.amount FROM Books B, Sales S "
+      "WHERE B.isbn = S.isbn AND B.isbn <= 5");
+  EXPECT_EQ(r.rows.size(), ground.rows.size());
+}
+
+TEST_F(ExecTest, CrossRegionClassCannotUseOneGuard) {
+  // Books (R1) with Reviews (R2): same query shape, but the class spans
+  // regions, so only the back-end can guarantee a shared snapshot.
+  QueryResult r = Run(
+      "SELECT B.isbn, R.rating FROM Books B, Reviews R "
+      "WHERE B.isbn = R.isbn AND B.isbn <= 5 "
+      "CURRENCY BOUND 10 MIN ON (B, R)");
+  EXPECT_EQ(r.shape, PlanShape::kRemoteOnly);
+}
+
+TEST_F(ExecTest, GuardBoundaryIsStrict) {
+  // The guard predicate is Heartbeat > now - B (strict): staleness == B
+  // fails, staleness == B - 1ms passes.
+  CurrencyRegion* region = fx_.sys.cache()->region(1);
+  SimTimeMs hb = region->local_heartbeat();
+  const char* sql =
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 7 SECONDS ON (B)";
+  fx_.sys.clock()->AdvanceTo(hb + 7000);  // staleness exactly == bound
+  QueryResult at_bound = Run(sql);
+  EXPECT_EQ(at_bound.stats.switch_remote, 1);
+
+  // Re-prime a fresh system state one millisecond earlier.
+  region->set_local_heartbeat(fx_.sys.Now() - 6999);
+  QueryResult inside = Run(sql);
+  EXPECT_EQ(inside.stats.switch_local, 1);
+  region->set_local_heartbeat(hb);
+}
+TEST_F(ExecTest, PhaseTimingsPopulated) {
+  QueryResult r = Run(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_GE(r.stats.setup_ms, 0.0);
+  EXPECT_GT(r.stats.setup_ms + r.stats.run_ms + r.stats.shutdown_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace rcc

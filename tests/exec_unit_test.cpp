@@ -1,0 +1,334 @@
+// Direct unit tests for the execution layer: hand-built physical plans over
+// a raw table, independent of the optimizer; plus the remote-statement
+// parameterization and the currency guard in isolation.
+
+#include <gtest/gtest.h>
+
+#include "exec/iterators.h"
+#include "exec/remote.h"
+#include "exec/switch_union.h"
+#include "sql/parser.h"
+
+namespace rcc {
+namespace {
+
+class ExecUnitTest : public ::testing::Test {
+ protected:
+  ExecUnitTest()
+      : table_("items",
+               Schema({{"id", ValueType::kInt64},
+                       {"grp", ValueType::kInt64},
+                       {"price", ValueType::kDouble}}),
+               {0}) {
+    for (int64_t i = 1; i <= 20; ++i) {
+      EXPECT_TRUE(table_
+                      .Insert({Value::Int(i), Value::Int(i % 4),
+                               Value::Double(i * 10.0)})
+                      .ok());
+    }
+    EXPECT_TRUE(table_.CreateSecondaryIndex("idx_grp", {1}).ok());
+    aliases_["i"] = 0;
+    ctx_.table_provider = [this](const ScanTarget& target) -> const Table* {
+      return target.name == "items" ? &table_ : nullptr;
+    };
+    ctx_.local_heartbeat = [this](RegionId) { return heartbeat_; };
+    ctx_.clock = &clock_;
+    ctx_.stats = &stats_;
+  }
+
+  /// Scan node over the full table.
+  std::unique_ptr<PhysicalOp> MakeScan() {
+    auto scan = std::make_unique<PhysicalOp>();
+    scan->kind = PhysOpKind::kLocalScan;
+    scan->target = ScanTarget{false, "items"};
+    scan->operand = 0;
+    for (const Column& c : table_.schema().columns()) {
+      scan->layout.Add(0, c.name, c.type);
+    }
+    return scan;
+  }
+
+  std::vector<Row> Drain(RowIterator* iter) {
+    EXPECT_TRUE(iter->Open(nullptr).ok());
+    std::vector<Row> rows;
+    Row row;
+    while (true) {
+      auto more = iter->Next(&row);
+      EXPECT_TRUE(more.ok());
+      if (!more.ok() || !*more) break;
+      rows.push_back(row);
+    }
+    EXPECT_TRUE(iter->Close().ok());
+    return rows;
+  }
+
+  std::unique_ptr<Expr> Pred(const std::string& text) {
+    auto stmt = ParseSelect("SELECT 1 FROM i WHERE " + text);
+    EXPECT_TRUE(stmt.ok());
+    return std::move((*stmt)->where);
+  }
+
+  Table table_;
+  AliasMap aliases_;
+  ExecContext ctx_;
+  ExecStats stats_;
+  VirtualClock clock_;
+  SimTimeMs heartbeat_ = 0;
+};
+
+TEST_F(ExecUnitTest, FullScan) {
+  auto scan = MakeScan();
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  EXPECT_EQ(Drain(iter->get()).size(), 20u);
+}
+
+TEST_F(ExecUnitTest, ClusteredSeek) {
+  auto scan = MakeScan();
+  scan->seek_lo.push_back(Expr::MakeLiteral(Value::Int(5)));
+  scan->seek_hi.push_back(Expr::MakeLiteral(Value::Int(8)));
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  auto rows = Drain(iter->get());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front()[0].AsInt(), 5);
+  EXPECT_EQ(rows.back()[0].AsInt(), 8);
+}
+
+TEST_F(ExecUnitTest, SecondaryIndexSeekWithResidual) {
+  auto scan = MakeScan();
+  scan->index_name = "idx_grp";
+  scan->seek_lo.push_back(Expr::MakeLiteral(Value::Int(2)));
+  scan->seek_hi.push_back(Expr::MakeLiteral(Value::Int(2)));
+  scan->residual = Pred("i.price > 100");
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  // grp == 2: ids 2,6,10,14,18; price > 100 keeps 14, 18.
+  auto rows = Drain(iter->get());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1].AsInt(), 2);
+    EXPECT_GT(row[2].AsDouble(), 100.0);
+  }
+}
+
+TEST_F(ExecUnitTest, MissingIndexSurfaces) {
+  auto scan = MakeScan();
+  scan->index_name = "nope";
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  EXPECT_TRUE((*iter)->Open(nullptr).IsNotFound());
+}
+
+TEST_F(ExecUnitTest, MissingTableSurfaces) {
+  auto scan = MakeScan();
+  scan->target.name = "missing";
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  EXPECT_TRUE((*iter)->Open(nullptr).IsNotFound());
+}
+
+TEST_F(ExecUnitTest, IteratorsReopenCleanly) {
+  auto scan = MakeScan();
+  scan->seek_lo.push_back(Expr::MakeLiteral(Value::Int(1)));
+  scan->seek_hi.push_back(Expr::MakeLiteral(Value::Int(3)));
+  auto iter = BuildIterator(*scan, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  EXPECT_EQ(Drain(iter->get()).size(), 3u);
+  EXPECT_EQ(Drain(iter->get()).size(), 3u);  // re-open produces same rows
+}
+
+TEST_F(ExecUnitTest, HashJoinSelfJoin) {
+  // items i JOIN items j ON i.grp = j.grp, with i restricted to id <= 2.
+  auto left = MakeScan();
+  left->seek_hi.push_back(Expr::MakeLiteral(Value::Int(2)));
+  auto right = MakeScan();
+  // Right side aliased 'j': re-tag its layout to operand 1.
+  right->layout = RowLayout();
+  for (const Column& c : table_.schema().columns()) {
+    right->layout.Add(1, c.name, c.type);
+  }
+  AliasMap aliases = aliases_;
+  aliases["j"] = 1;
+
+  auto join = std::make_unique<PhysicalOp>();
+  join->kind = PhysOpKind::kHashJoin;
+  join->exprs.push_back(Expr::MakeColumn("i", "grp"));
+  join->exprs2.push_back(Expr::MakeColumn("j", "grp"));
+  join->layout = RowLayout::Concat(left->layout, right->layout);
+  join->children.push_back(std::move(left));
+  join->children.push_back(std::move(right));
+
+  auto iter = BuildIterator(*join, &ctx_, &aliases);
+  ASSERT_TRUE(iter.ok());
+  // Each of ids 1,2 joins the 5 rows of its group.
+  auto rows = Drain(iter->get());
+  EXPECT_EQ(rows.size(), 10u);
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1].AsInt(), row[4].AsInt());  // grp == grp
+  }
+}
+
+TEST_F(ExecUnitTest, NestedLoopJoinWithParameterizedSeek) {
+  auto outer = MakeScan();
+  outer->seek_hi.push_back(Expr::MakeLiteral(Value::Int(3)));
+  auto inner = MakeScan();
+  inner->layout = RowLayout();
+  for (const Column& c : table_.schema().columns()) {
+    inner->layout.Add(1, c.name, c.type);
+  }
+  // Inner point-seek on id = i.id: a parameterized clustered lookup.
+  inner->seek_lo.push_back(Expr::MakeColumn("i", "id"));
+  inner->seek_hi.push_back(Expr::MakeColumn("i", "id"));
+  AliasMap aliases = aliases_;
+  aliases["j"] = 1;
+
+  auto join = std::make_unique<PhysicalOp>();
+  join->kind = PhysOpKind::kNestedLoopJoin;
+  join->layout = RowLayout::Concat(outer->layout, inner->layout);
+  join->children.push_back(std::move(outer));
+  join->children.push_back(std::move(inner));
+
+  auto iter = BuildIterator(*join, &ctx_, &aliases);
+  ASSERT_TRUE(iter.ok());
+  auto rows = Drain(iter->get());
+  ASSERT_EQ(rows.size(), 3u);  // each outer row matches exactly itself
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[0].AsInt(), row[3].AsInt());
+  }
+}
+
+TEST_F(ExecUnitTest, SortAndProject) {
+  auto scan = MakeScan();
+  scan->seek_hi.push_back(Expr::MakeLiteral(Value::Int(5)));
+
+  auto project = std::make_unique<PhysicalOp>();
+  project->kind = PhysOpKind::kProject;
+  project->exprs.push_back(Expr::MakeColumn("i", "id"));
+  project->layout.Add(0, "id", ValueType::kInt64);
+  project->children.push_back(std::move(scan));
+
+  auto sort = std::make_unique<PhysicalOp>();
+  sort->kind = PhysOpKind::kSort;
+  sort->layout = project->layout;
+  SortKey key;
+  key.expr = Expr::MakeColumn("i", "id");
+  key.descending = true;
+  sort->sort_keys.push_back(std::move(key));
+  sort->children.push_back(std::move(project));
+
+  auto iter = BuildIterator(*sort, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  auto rows = Drain(iter->get());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rows[4][0].AsInt(), 1);
+}
+
+TEST_F(ExecUnitTest, HashAggregate) {
+  auto scan = MakeScan();
+  auto agg = std::make_unique<PhysicalOp>();
+  agg->kind = PhysOpKind::kHashAggregate;
+  agg->exprs.push_back(Expr::MakeColumn("i", "grp"));
+  agg->layout.Add(0, "grp", ValueType::kInt64);
+  AggItem count;
+  count.func = "count";
+  count.star = true;
+  count.out_name = "n";
+  agg->layout.Add(kInvalidOperand, "n", ValueType::kInt64);
+  agg->aggs.push_back(std::move(count));
+  agg->children.push_back(std::move(scan));
+
+  auto iter = BuildIterator(*agg, &ctx_, &aliases_);
+  ASSERT_TRUE(iter.ok());
+  auto rows = Drain(iter->get());
+  ASSERT_EQ(rows.size(), 4u);  // groups 0..3
+  int64_t total = 0;
+  for (const Row& row : rows) total += row[1].AsInt();
+  EXPECT_EQ(total, 20);
+}
+
+// -- SwitchUnion guard in isolation ---------------------------------------------
+
+TEST_F(ExecUnitTest, GuardSemantics) {
+  PhysicalOp op;
+  op.kind = PhysOpKind::kSwitchUnion;
+  op.guard_region = 1;
+  op.guard_bound_ms = 1000;
+  clock_.AdvanceTo(5000);
+  heartbeat_ = 4500;  // staleness 500 < 1000
+  EXPECT_TRUE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+  heartbeat_ = 4000;  // staleness 1000 == bound: strict comparison fails
+  EXPECT_FALSE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+  heartbeat_ = 4001;
+  EXPECT_TRUE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+  EXPECT_EQ(stats_.guard_evaluations, 3);
+}
+
+TEST_F(ExecUnitTest, GuardTimelineFloor) {
+  PhysicalOp op;
+  op.kind = PhysOpKind::kSwitchUnion;
+  op.guard_region = 1;
+  op.guard_bound_ms = 100000;
+  clock_.AdvanceTo(5000);
+  heartbeat_ = 4000;
+  EXPECT_TRUE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+  ctx_.timeline_floor_ms = 4500;  // session already saw t=4500
+  EXPECT_FALSE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+  ctx_.timeline_floor_ms = 4000;  // floor == heartbeat: allowed
+  EXPECT_TRUE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
+}
+
+// -- ParameterizeStmt -------------------------------------------------------------
+
+TEST(ParameterizeTest, SubstitutesOuterRefsOnly) {
+  auto stmt = ParseSelect(
+      "SELECT S.a FROM SalesT S WHERE S.k = OuterT.x AND S.a > 3");
+  ASSERT_TRUE(stmt.ok());
+  RowLayout layout;
+  layout.Add(7, "x", ValueType::kInt64);
+  Row row{Value::Int(42)};
+  AliasMap aliases;
+  aliases["outert"] = 7;
+  EvalScope scope;
+  scope.layout = &layout;
+  scope.row = &row;
+  scope.aliases = &aliases;
+
+  auto parameterized = ParameterizeStmt(**stmt, scope);
+  ASSERT_TRUE(parameterized.ok());
+  std::string text = (*parameterized)->ToString();
+  EXPECT_EQ(text.find("OuterT"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("S.k"), std::string::npos);  // own refs untouched
+  EXPECT_NE(text.find("S.a"), std::string::npos);
+}
+
+TEST(ParameterizeTest, UnresolvableOuterRefFails) {
+  auto stmt = ParseSelect("SELECT S.a FROM SalesT S WHERE S.k = Ghost.x");
+  ASSERT_TRUE(stmt.ok());
+  EvalScope empty;
+  EXPECT_FALSE(ParameterizeStmt(**stmt, empty).ok());
+}
+
+TEST(ParameterizeTest, NestedSubqueryHandled) {
+  auto stmt = ParseSelect(
+      "SELECT S.a FROM SalesT S WHERE EXISTS ("
+      "SELECT 1 FROM T2 WHERE T2.y = Outer2.z)");
+  ASSERT_TRUE(stmt.ok());
+  RowLayout layout;
+  layout.Add(3, "z", ValueType::kInt64);
+  Row row{Value::Int(9)};
+  AliasMap aliases;
+  aliases["outer2"] = 3;
+  EvalScope scope;
+  scope.layout = &layout;
+  scope.row = &row;
+  scope.aliases = &aliases;
+  auto parameterized = ParameterizeStmt(**stmt, scope);
+  ASSERT_TRUE(parameterized.ok());
+  EXPECT_EQ((*parameterized)->ToString().find("Outer2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcc

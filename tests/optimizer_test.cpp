@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/view_matching.h"
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::MustPrepare;
+using testing_util::TpcdFixture;
+
+// -- p-formula (paper Eq. (1)) ---------------------------------------------------
+
+TEST(PFormulaTest, PiecewiseCases) {
+  // B <= d: never local.
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(5, 5, 100), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(3, 5, 100), 0.0);
+  // d < B <= d+f: linear.
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(55, 5, 100), 0.5);
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(105, 5, 100), 1.0);
+  // B > d+f: always local.
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(500, 5, 100), 1.0);
+  // Continuous propagation (f=0): step function.
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(6, 5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateLocalProbability(5, 5, 0), 0.0);
+}
+
+struct PCase {
+  SimTimeMs bound;
+  SimTimeMs delay;
+  SimTimeMs interval;
+};
+
+class PFormulaSweep : public ::testing::TestWithParam<PCase> {};
+
+TEST_P(PFormulaSweep, MonotoneAndBounded) {
+  const PCase& c = GetParam();
+  double p = EstimateLocalProbability(c.bound, c.delay, c.interval);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // Monotone in the bound:
+  EXPECT_LE(p, EstimateLocalProbability(c.bound + 10, c.delay, c.interval));
+  // Anti-monotone in the delay:
+  EXPECT_GE(p, EstimateLocalProbability(c.bound, c.delay + 10, c.interval));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PFormulaSweep,
+    ::testing::Values(PCase{0, 5, 100}, PCase{10, 5, 100}, PCase{50, 5, 100},
+                      PCase{104, 5, 100}, PCase{106, 5, 100},
+                      PCase{10, 0, 100}, PCase{10, 5, 0},
+                      PCase{10000, 5000, 15000}, PCase{1, 1, 1}));
+
+TEST(CostTest, SwitchUnionExpectedCost) {
+  CostParams costs;
+  costs.guard_ms = 0.5;
+  EXPECT_DOUBLE_EQ(SwitchUnionCost(1.0, 10, 100, costs), 10.5);
+  EXPECT_DOUBLE_EQ(SwitchUnionCost(0.0, 10, 100, costs), 100.5);
+  EXPECT_DOUBLE_EQ(SwitchUnionCost(0.5, 10, 100, costs), 55.5);
+}
+
+TEST(CostTest, AccessPathCosts) {
+  CostParams costs;
+  TableStats stats;
+  stats.row_count = 100000;
+  stats.avg_row_bytes = 64;
+  double full = FullScanCost(stats, costs);
+  double narrow = ClusteredRangeCost(stats, 10, costs);
+  double index = SecondaryIndexCost(10, costs);
+  EXPECT_LT(narrow, full);
+  EXPECT_LT(index, full);
+  // A secondary index fetching nearly everything is worse than scanning.
+  EXPECT_GT(SecondaryIndexCost(100000, costs), full);
+}
+
+// -- bounds extraction & view matching --------------------------------------------
+
+std::unique_ptr<Expr> Where(const std::string& pred) {
+  auto stmt = ParseSelect("SELECT 1 FROM t WHERE " + pred);
+  EXPECT_TRUE(stmt.ok());
+  return std::move((*stmt)->where);
+}
+
+class BoundsTest : public ::testing::Test {
+ protected:
+  BoundsTest() : schema_({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}) {
+    aliases_["t"] = 0;
+  }
+  std::map<std::string, RangeBound> Extract(const std::string& pred) {
+    expr_ = Where(pred);
+    conjuncts_ = SplitConjuncts(expr_.get());
+    return ExtractBounds(conjuncts_, 0, aliases_, schema_);
+  }
+  Schema schema_;
+  AliasMap aliases_;
+  std::unique_ptr<Expr> expr_;
+  std::vector<const Expr*> conjuncts_;
+};
+
+TEST_F(BoundsTest, RangeAndEquality) {
+  auto bounds = Extract("t.a >= 5 AND t.a < 10 AND t.b = 3");
+  ASSERT_EQ(bounds.count("a"), 1u);
+  EXPECT_EQ(bounds["a"].lo->AsInt(), 5);
+  EXPECT_FALSE(bounds["a"].lo_strict);
+  EXPECT_EQ(bounds["a"].hi->AsInt(), 10);
+  EXPECT_TRUE(bounds["a"].hi_strict);
+  EXPECT_TRUE(bounds["b"].has_eq);
+}
+
+TEST_F(BoundsTest, MirroredLiteralComparison) {
+  auto bounds = Extract("5 <= t.a AND 10 > t.a");
+  EXPECT_EQ(bounds["a"].lo->AsInt(), 5);
+  EXPECT_EQ(bounds["a"].hi->AsInt(), 10);
+  EXPECT_TRUE(bounds["a"].hi_strict);
+}
+
+TEST_F(BoundsTest, TightensAcrossConjuncts) {
+  auto bounds = Extract("t.a >= 5 AND t.a >= 8 AND t.a <= 20 AND t.a <= 12");
+  EXPECT_EQ(bounds["a"].lo->AsInt(), 8);
+  EXPECT_EQ(bounds["a"].hi->AsInt(), 12);
+}
+
+TEST_F(BoundsTest, IgnoresJoinPredicates) {
+  auto bounds = Extract("t.a = t.b");
+  EXPECT_TRUE(bounds.empty());
+}
+
+TEST_F(BoundsTest, BareColumnsMatchSchema) {
+  auto bounds = Extract("a > 3 AND zzz > 4");
+  EXPECT_EQ(bounds.count("a"), 1u);
+  EXPECT_EQ(bounds.count("zzz"), 0u);
+}
+
+TEST(RangeSubsumptionTest, Cases) {
+  ColumnRange view_range{"a", Value::Int(0), Value::Int(100)};
+  std::map<std::string, RangeBound> bounds;
+  // No bound on the column: the query may select outside the view.
+  EXPECT_FALSE(RangeSubsumed(view_range, bounds));
+  bounds["a"].lo = Value::Int(10);
+  bounds["a"].hi = Value::Int(90);
+  EXPECT_TRUE(RangeSubsumed(view_range, bounds));
+  bounds["a"].lo = Value::Int(-5);
+  EXPECT_FALSE(RangeSubsumed(view_range, bounds));
+  // Half-open view ranges.
+  ColumnRange lower_only{"a", Value::Int(0), std::nullopt};
+  bounds["a"].lo = Value::Int(10);
+  bounds["a"].hi.reset();
+  EXPECT_TRUE(RangeSubsumed(lower_only, bounds));
+}
+
+// -- plan choice on the paper's TPCD setup ------------------------------------------
+
+class PlanChoiceTest : public ::testing::Test {
+ protected:
+  PlanChoiceTest() : fx_(0.01) {
+    // Run past a few refresh cycles so guards are in steady state.
+    fx_.sys.AdvanceTo(40000);
+  }
+
+  PlanShape ShapeOf(const std::string& sql) {
+    QueryPlan plan = MustPrepare(fx_.session.get(), sql);
+    if (plan.root == nullptr) return PlanShape::kRemoteOnly;
+    return plan.Shape();
+  }
+
+  TpcdFixture fx_;
+};
+
+TEST_F(PlanChoiceTest, Q1DefaultGoesRemote) {
+  // Paper Q1/Q2: no currency clause -> remote (tight default).
+  EXPECT_EQ(ShapeOf("SELECT c_name FROM Customer C WHERE C.c_custkey = 1"),
+            PlanShape::kRemoteOnly);
+}
+
+TEST_F(PlanChoiceTest, Q3ConsistencyAcrossRegionsForcesRemote) {
+  // Views satisfy the bounds but live in different regions: consistency
+  // cannot be guaranteed locally (paper Q3 -> plan 1).
+  EXPECT_EQ(
+      ShapeOf("SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+              "WHERE O.o_custkey = C.c_custkey AND C.c_custkey = 5 "
+              "CURRENCY BOUND 10 MIN ON (C, O)"),
+      PlanShape::kRemoteOnly);
+}
+
+TEST_F(PlanChoiceTest, Q4MixedPlan) {
+  // Paper Q4: consistency relaxed; Customer bound below CR1's delay (5s) so
+  // cust never usable locally, Orders relaxed -> mixed plan (plan 4).
+  EXPECT_EQ(
+      ShapeOf("SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+              "WHERE O.o_custkey = C.c_custkey AND C.c_custkey = 5 "
+              "CURRENCY BOUND 3 SECONDS ON (C), 10 MIN ON (O)"),
+      PlanShape::kMixed);
+}
+
+TEST_F(PlanChoiceTest, Q5AllLocal) {
+  // Paper Q5: both bounds relaxed, separate classes -> both views usable.
+  EXPECT_EQ(
+      ShapeOf("SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+              "WHERE O.o_custkey = C.c_custkey AND C.c_custkey = 5 "
+              "CURRENCY BOUND 10 MIN ON (C), 10 MIN ON (O)"),
+      PlanShape::kAllLocal);
+}
+
+TEST_F(PlanChoiceTest, Q6SelectiveRangePrefersRemoteIndex) {
+  // Paper Q6: highly selective range on c_acctbal; the back-end has a
+  // secondary index, the cached view does not -> remote wins even though
+  // the view satisfies the currency bound.
+  EXPECT_EQ(
+      ShapeOf("SELECT c_custkey, c_acctbal FROM Customer C "
+              "WHERE C.c_acctbal > 9995 "
+              "CURRENCY BOUND 10 MIN ON (C)"),
+      PlanShape::kRemoteOnly);
+}
+
+TEST_F(PlanChoiceTest, Q7WideRangePrefersLocalScan) {
+  // Paper Q7: widening the range erodes the index advantage -> local view.
+  EXPECT_EQ(
+      ShapeOf("SELECT c_custkey, c_acctbal FROM Customer C "
+              "WHERE C.c_acctbal > 1000 "
+              "CURRENCY BOUND 10 MIN ON (C)"),
+      PlanShape::kAllLocal);
+}
+
+TEST_F(PlanChoiceTest, BoundBelowDelayDiscardsLocalAtCompileTime) {
+  QueryPlan plan = MustPrepare(
+      fx_.session.get(),
+      "SELECT c_name FROM Customer C WHERE C.c_custkey = 1 "
+      "CURRENCY BOUND 4 SECONDS ON (C)");  // CR1 delay is 5s
+  EXPECT_EQ(plan.Shape(), PlanShape::kRemoteOnly);
+  // No guard in the plan at all: the check happened at compile time.
+  EXPECT_EQ(plan.DescribeTree().find("SwitchUnion"), std::string::npos);
+}
+
+TEST_F(PlanChoiceTest, DeliveredPropertySatisfiesConstraint) {
+  QueryPlan plan = MustPrepare(
+      fx_.session.get(),
+      "SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+      "WHERE O.o_custkey = C.c_custkey AND C.c_custkey = 5 "
+      "CURRENCY BOUND 10 MIN ON (C), 10 MIN ON (O)");
+  ASSERT_NE(plan.root, nullptr);
+  EXPECT_TRUE(plan.root->delivered.Satisfies(plan.resolved.constraint));
+}
+
+TEST_F(PlanChoiceTest, ViewMatchingDisabledForcesRemote) {
+  auto select = ParseSelect(
+      "SELECT c_name FROM Customer C WHERE C.c_custkey = 1 "
+      "CURRENCY BOUND 10 MIN ON (C)");
+  ASSERT_TRUE(select.ok());
+  OptimizerOptions opts = fx_.sys.cache()->default_options();
+  opts.enable_view_matching = false;
+  auto plan = fx_.sys.cache()->Prepare(**select, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Shape(), PlanShape::kRemoteOnly);
+}
+
+TEST_F(PlanChoiceTest, GuardsDisabledUsesBareLocalScan) {
+  auto select = ParseSelect(
+      "SELECT c_name FROM Customer C WHERE C.c_custkey = 1 "
+      "CURRENCY BOUND 10 MIN ON (C)");
+  ASSERT_TRUE(select.ok());
+  OptimizerOptions opts = fx_.sys.cache()->default_options();
+  opts.enable_currency_guards = false;
+  auto plan = fx_.sys.cache()->Prepare(**select, opts);
+  ASSERT_TRUE(plan.ok());
+  std::string tree = plan->DescribeTree();
+  EXPECT_EQ(tree.find("SwitchUnion"), std::string::npos);
+  EXPECT_NE(tree.find("cust_prj"), std::string::npos);
+}
+
+TEST_F(PlanChoiceTest, EveryLocalAccessIsGuarded) {
+  // Paper: "every local data access is protected by a currency guard".
+  QueryPlan plan = MustPrepare(
+      fx_.session.get(),
+      "SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+      "WHERE O.o_custkey = C.c_custkey AND C.c_custkey = 5 "
+      "CURRENCY BOUND 10 MIN ON (C), 10 MIN ON (O)");
+  // Walk the tree: every kLocalScan of a view must be under a SwitchUnion.
+  std::function<void(const PhysicalOp&, bool)> walk =
+      [&](const PhysicalOp& op, bool guarded) {
+        if (op.kind == PhysOpKind::kLocalScan && op.target.is_view) {
+          EXPECT_TRUE(guarded) << "unguarded view scan of " << op.target.name;
+        }
+        bool next = guarded || op.kind == PhysOpKind::kSwitchUnion;
+        for (const auto& c : op.children) walk(*c, next);
+      };
+  walk(*plan.root, false);
+}
+
+
+// Selectivity sweep across the Q6/Q7 regime: there must be exactly one
+// crossover point — remote (back-end index) for selective predicates,
+// flipping once to local (view scan) as the range widens, never back.
+class SelectivitySweepTest : public ::testing::Test {};
+
+TEST_F(SelectivitySweepTest, SingleCrossoverFromRemoteToLocal) {
+  TpcdFixture fx(0.02);
+  fx.sys.AdvanceTo(40000);
+  // Thresholds from most selective (acctbal close to the max ~10000) down.
+  bool seen_local = false;
+  int flips = 0;
+  PlanShape prev = PlanShape::kRemoteOnly;
+  bool first = true;
+  for (int threshold : {9990, 9900, 9500, 9000, 8000, 6000, 4000, 2000, 0}) {
+    auto plan = MustPrepare(
+        fx.session.get(),
+        StrPrintf("SELECT c_custkey, c_acctbal FROM Customer C "
+                  "WHERE C.c_acctbal > %d CURRENCY BOUND 10 MIN ON (C)",
+                  threshold));
+    ASSERT_NE(plan.root, nullptr);
+    PlanShape shape = plan.Shape();
+    EXPECT_TRUE(shape == PlanShape::kRemoteOnly ||
+                shape == PlanShape::kAllLocal);
+    if (!first && shape != prev) ++flips;
+    if (shape == PlanShape::kAllLocal) seen_local = true;
+    if (seen_local) {
+      // Once local wins it stays local as the range keeps widening.
+      EXPECT_EQ(shape, PlanShape::kAllLocal) << "threshold " << threshold;
+    }
+    prev = shape;
+    first = false;
+  }
+  EXPECT_TRUE(seen_local);
+  EXPECT_LE(flips, 1);
+  // And the most selective end must be remote (the paper's Q6).
+}
+
+// Bound sweep on a join: as the Customer bound crosses CR1's delay, the plan
+// moves monotonically remote-ward: all-local -> mixed -> (never back).
+TEST_F(SelectivitySweepTest, BoundSweepMovesPlanMonotonically) {
+  TpcdFixture fx(0.01);
+  fx.sys.AdvanceTo(40000);
+  auto rank = [](PlanShape s) {
+    switch (s) {
+      case PlanShape::kAllLocal: return 0;
+      case PlanShape::kMixed: return 1;
+      case PlanShape::kLocalJoinRemoteFetches: return 2;
+      case PlanShape::kRemoteOnly: return 2;
+    }
+    return 3;
+  };
+  int prev_rank = -1;
+  // Sweep the Customer bound downward; Orders stays relaxed.
+  for (int bound_s : {600, 60, 20, 8, 4, 1}) {
+    auto plan = MustPrepare(
+        fx.session.get(),
+        StrPrintf("SELECT C.c_name, O.o_totalprice FROM Customer C, Orders O "
+                  "WHERE C.c_custkey = 5 AND O.o_custkey = C.c_custkey "
+                  "CURRENCY BOUND %d SECONDS ON (C), 10 MIN ON (O)",
+                  bound_s));
+    ASSERT_NE(plan.root, nullptr);
+    int r = rank(plan.Shape());
+    EXPECT_GE(r, prev_rank) << "bound " << bound_s << "s moved plan back "
+                            << "toward local";
+    prev_rank = std::max(prev_rank, r);
+  }
+}
+
+TEST_F(PlanChoiceTest, BackendEstimateReasonable) {
+  auto select =
+      ParseSelect("SELECT c_name FROM Customer C WHERE C.c_custkey = 1");
+  ASSERT_TRUE(select.ok());
+  auto est = EstimateBackendQuery(**select, fx_.sys.cache()->catalog(),
+                                  fx_.sys.cache()->costs());
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->cost, 0.0);
+  EXPECT_NEAR(est->rows, 1.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "plan/properties.h"
+
+namespace rcc {
+namespace {
+
+NormalizedConstraint Required(
+    std::vector<std::pair<SimTimeMs, std::set<InputOperandId>>> classes) {
+  NormalizedConstraint n;
+  for (auto& [bound, ops] : classes) {
+    CcTuple t;
+    t.bound_ms = bound;
+    t.operands = std::move(ops);
+    n.tuples.push_back(std::move(t));
+  }
+  return n;
+}
+
+TEST(ConsistencyPropertyTest, LeafAndUniform) {
+  ConsistencyProperty leaf = ConsistencyProperty::Leaf(3, 7);
+  ASSERT_EQ(leaf.groups().size(), 1u);
+  EXPECT_EQ(leaf.groups()[0].region, 3);
+  EXPECT_EQ(leaf.AllOperands(), (std::set<InputOperandId>{7}));
+
+  ConsistencyProperty uni =
+      ConsistencyProperty::Uniform(kBackendRegion, {1, 2, 3});
+  EXPECT_EQ(uni.groups().size(), 1u);
+  EXPECT_EQ(uni.AllOperands().size(), 3u);
+}
+
+TEST(ConsistencyPropertyTest, JoinMergesSameRegion) {
+  // Paper: "If they have two tuples with the same region id, the input sets
+  // of the two tuples are merged."
+  ConsistencyProperty a = ConsistencyProperty::Leaf(1, 0);
+  ConsistencyProperty b = ConsistencyProperty::Leaf(1, 1);
+  ConsistencyProperty joined = ConsistencyProperty::Join(a, b);
+  ASSERT_EQ(joined.groups().size(), 1u);
+  EXPECT_EQ(joined.groups()[0].operands.size(), 2u);
+}
+
+TEST(ConsistencyPropertyTest, JoinKeepsDistinctRegionsApart) {
+  ConsistencyProperty a = ConsistencyProperty::Leaf(1, 0);
+  ConsistencyProperty b = ConsistencyProperty::Leaf(2, 1);
+  ConsistencyProperty joined = ConsistencyProperty::Join(a, b);
+  EXPECT_EQ(joined.groups().size(), 2u);
+  EXPECT_FALSE(joined.IsConflicting());
+}
+
+TEST(ConsistencyPropertyTest, ConflictingWhenOperandInTwoRegions) {
+  // Paper's conflicting example: a join of two projection views of the same
+  // table T from different regions delivers {<R1,T>, <R2,T>}.
+  ConsistencyProperty a = ConsistencyProperty::Leaf(1, 0);
+  ConsistencyProperty b = ConsistencyProperty::Leaf(2, 0);
+  ConsistencyProperty joined = ConsistencyProperty::Join(a, b);
+  EXPECT_TRUE(joined.IsConflicting());
+  // Conflicting properties satisfy nothing and violate everything.
+  NormalizedConstraint req = Required({{1000, {0}}});
+  EXPECT_FALSE(joined.Satisfies(req));
+  EXPECT_TRUE(joined.Violates(req));
+}
+
+TEST(ConsistencyPropertyTest, SwitchUnionKeepsOperandsConsistentInAllChildren) {
+  // Local child: both operands in region 1; remote child: both at the
+  // back-end. They stay together, under a fresh dynamic region.
+  RegionId dyn = kDynamicRegionBase;
+  ConsistencyProperty local = ConsistencyProperty::Uniform(1, {0, 1});
+  ConsistencyProperty remote =
+      ConsistencyProperty::Uniform(kBackendRegion, {0, 1});
+  ConsistencyProperty sw =
+      ConsistencyProperty::SwitchUnion({local, remote}, &dyn);
+  ASSERT_EQ(sw.groups().size(), 1u);
+  EXPECT_GE(sw.groups()[0].region, kDynamicRegionBase);
+  EXPECT_EQ(sw.groups()[0].operands.size(), 2u);
+  EXPECT_EQ(dyn, kDynamicRegionBase + 1);
+}
+
+TEST(ConsistencyPropertyTest, SwitchUnionSplitsWhenOneChildSplits) {
+  // One child keeps {0,1} together, the other splits them: the output can
+  // only guarantee singleton groups.
+  RegionId dyn = kDynamicRegionBase;
+  ConsistencyProperty together = ConsistencyProperty::Uniform(1, {0, 1});
+  ConsistencyProperty split = ConsistencyProperty::Join(
+      ConsistencyProperty::Leaf(2, 0), ConsistencyProperty::Leaf(3, 1));
+  ConsistencyProperty sw =
+      ConsistencyProperty::SwitchUnion({together, split}, &dyn);
+  EXPECT_EQ(sw.groups().size(), 2u);
+  for (const auto& g : sw.groups()) {
+    EXPECT_EQ(g.operands.size(), 1u);
+  }
+}
+
+TEST(ConsistencyPropertyTest, DynamicGroupsNeverMergeAcrossSwitchUnions) {
+  RegionId dyn = kDynamicRegionBase;
+  ConsistencyProperty sw1 = ConsistencyProperty::SwitchUnion(
+      {ConsistencyProperty::Leaf(1, 0),
+       ConsistencyProperty::Leaf(kBackendRegion, 0)},
+      &dyn);
+  ConsistencyProperty sw2 = ConsistencyProperty::SwitchUnion(
+      {ConsistencyProperty::Leaf(1, 1),
+       ConsistencyProperty::Leaf(kBackendRegion, 1)},
+      &dyn);
+  ConsistencyProperty joined = ConsistencyProperty::Join(sw1, sw2);
+  // Two independently-guarded accesses cannot be promised consistent even
+  // when their views share a region: the guards may disagree.
+  EXPECT_EQ(joined.groups().size(), 2u);
+  NormalizedConstraint req = Required({{1000, {0, 1}}});
+  EXPECT_FALSE(joined.Satisfies(req));
+}
+
+// -- satisfaction rule -------------------------------------------------------
+
+TEST(SatisfactionTest, ClassContainedInGroupSatisfies) {
+  ConsistencyProperty p = ConsistencyProperty::Uniform(1, {0, 1, 2});
+  EXPECT_TRUE(p.Satisfies(Required({{10, {0, 1}}, {20, {2}}})));
+}
+
+TEST(SatisfactionTest, ClassSpanningGroupsFails) {
+  ConsistencyProperty p = ConsistencyProperty::Join(
+      ConsistencyProperty::Uniform(1, {0}), ConsistencyProperty::Uniform(
+                                                2, {1}));
+  EXPECT_FALSE(p.Satisfies(Required({{10, {0, 1}}})));
+}
+
+TEST(SatisfactionTest, EmptyConstraintAlwaysSatisfied) {
+  ConsistencyProperty p = ConsistencyProperty::Uniform(1, {0});
+  EXPECT_TRUE(p.Satisfies(NormalizedConstraint{}));
+}
+
+// -- violation rule (partial plans) ----------------------------------------------
+
+TEST(ViolationTest, GroupIntersectingTwoClassesViolates) {
+  // Paper: a delivered group that intersects more than one required class
+  // can never be fixed by adding more operators above.
+  ConsistencyProperty p = ConsistencyProperty::Uniform(1, {0, 1});
+  NormalizedConstraint req = Required({{10, {0}}, {20, {1}}});
+  EXPECT_TRUE(p.Violates(req));
+}
+
+TEST(ViolationTest, PartialCoverageDoesNotViolate) {
+  // Group covering part of one class: fine for a partial plan.
+  ConsistencyProperty p = ConsistencyProperty::Uniform(1, {0});
+  NormalizedConstraint req = Required({{10, {0, 1}}});
+  EXPECT_FALSE(p.Violates(req));
+  // ... even though a complete plan would not satisfy it yet.
+  EXPECT_FALSE(p.Satisfies(req));
+}
+
+TEST(ViolationTest, SatisfiedImpliesNotViolated) {
+  ConsistencyProperty p = ConsistencyProperty::Uniform(1, {0, 1});
+  NormalizedConstraint req = Required({{10, {0, 1}}});
+  EXPECT_TRUE(p.Satisfies(req));
+  EXPECT_FALSE(p.Violates(req));
+}
+
+TEST(PropertyToStringTest, ReadableRendering) {
+  ConsistencyProperty p = ConsistencyProperty::Join(
+      ConsistencyProperty::Leaf(kBackendRegion, 0),
+      ConsistencyProperty::Leaf(2, 1));
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("backend"), std::string::npos);
+  EXPECT_NE(s.find("R2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "replication/agent.h"
+#include "replication/heartbeat.h"
+#include "replication/region.h"
+
+namespace rcc {
+namespace {
+
+TableDef ItemsDef() {
+  TableDef def;
+  def.name = "Items";
+  def.schema = Schema({{"id", ValueType::kInt64},
+                       {"cat", ValueType::kInt64},
+                       {"price", ValueType::kDouble}});
+  def.clustered_key = {"id"};
+  return def;
+}
+
+ViewDef FullView(RegionId region = 1) {
+  ViewDef v;
+  v.name = "items_copy";
+  v.source_table = "Items";
+  v.columns = {"id", "cat", "price"};
+  v.region = region;
+  return v;
+}
+
+Row ItemRow(int64_t id, int64_t cat, double price) {
+  return {Value::Int(id), Value::Int(cat), Value::Double(price)};
+}
+
+// -- MaterializedView ---------------------------------------------------------
+
+TEST(MaterializedViewTest, CreateValidatesColumns) {
+  TableDef items = ItemsDef();
+  ViewDef bad = FullView();
+  bad.columns = {"id", "nope"};
+  EXPECT_FALSE(MaterializedView::Create(bad, items).ok());
+
+  ViewDef no_key = FullView();
+  no_key.columns = {"cat", "price"};
+  EXPECT_FALSE(MaterializedView::Create(no_key, items).ok());
+
+  auto ok = MaterializedView::Create(FullView(), items);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->schema().num_columns(), 3u);
+}
+
+TEST(MaterializedViewTest, ProjectionView) {
+  TableDef items = ItemsDef();
+  ViewDef v = FullView();
+  v.columns = {"id", "price"};
+  auto view = MaterializedView::Create(v, items);
+  ASSERT_TRUE(view.ok());
+  RowOp ins;
+  ins.kind = RowOp::Kind::kInsert;
+  ins.table = "Items";
+  ins.row = ItemRow(1, 5, 9.5);
+  (*view)->ApplyOp(ins);
+  const Row* row = (*view)->data().Get({Value::Int(1)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->size(), 2u);
+  EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 9.5);
+}
+
+TEST(MaterializedViewTest, SelectionViewTracksPredicate) {
+  TableDef items = ItemsDef();
+  ViewDef v = FullView();
+  // Only category 1..3.
+  v.predicate = {ColumnRange{"cat", Value::Int(1), Value::Int(3)}};
+  auto view_or = MaterializedView::Create(v, items);
+  ASSERT_TRUE(view_or.ok());
+  MaterializedView* view = view_or->get();
+
+  RowOp in_range;
+  in_range.kind = RowOp::Kind::kInsert;
+  in_range.table = "Items";
+  in_range.row = ItemRow(1, 2, 1.0);
+  view->ApplyOp(in_range);
+  EXPECT_EQ(view->data().num_rows(), 1u);
+
+  RowOp out_of_range;
+  out_of_range.kind = RowOp::Kind::kInsert;
+  out_of_range.table = "Items";
+  out_of_range.row = ItemRow(2, 9, 1.0);
+  view->ApplyOp(out_of_range);
+  EXPECT_EQ(view->data().num_rows(), 1u);
+
+  // Update moving row 1 out of range deletes it from the view.
+  RowOp move_out;
+  move_out.kind = RowOp::Kind::kUpdate;
+  move_out.table = "Items";
+  move_out.row = ItemRow(1, 7, 1.0);
+  view->ApplyOp(move_out);
+  EXPECT_EQ(view->data().num_rows(), 0u);
+
+  // Update moving row 2 into range inserts it.
+  RowOp move_in;
+  move_in.kind = RowOp::Kind::kUpdate;
+  move_in.table = "Items";
+  move_in.row = ItemRow(2, 3, 1.0);
+  view->ApplyOp(move_in);
+  EXPECT_EQ(view->data().num_rows(), 1u);
+
+  // Delete (by source key).
+  RowOp del;
+  del.kind = RowOp::Kind::kDelete;
+  del.table = "Items";
+  del.key = {Value::Int(2)};
+  view->ApplyOp(del);
+  EXPECT_EQ(view->data().num_rows(), 0u);
+  // Deleting an absent row is a no-op.
+  view->ApplyOp(del);
+  EXPECT_EQ(view->data().num_rows(), 0u);
+}
+
+TEST(MaterializedViewTest, PopulateFromMaster) {
+  TableDef items = ItemsDef();
+  Table master("Items", items.schema, {0});
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(master.Insert(ItemRow(i, i % 4, i * 1.0)).ok());
+  }
+  ViewDef v = FullView();
+  v.predicate = {ColumnRange{"cat", Value::Int(0), Value::Int(1)}};
+  auto view = MaterializedView::Create(v, items);
+  ASSERT_TRUE(view.ok());
+  (*view)->PopulateFrom(master);
+  // cats 0 and 1: ids 4,8 (cat 0) and 1,5,9 (cat 1).
+  EXPECT_EQ((*view)->data().num_rows(), 5u);
+}
+
+// -- HeartbeatStore ----------------------------------------------------------
+
+TEST(HeartbeatTest, BeatAndGet) {
+  HeartbeatStore hb;
+  EXPECT_EQ(hb.Get(1), 0);
+  hb.Beat(1, 500);
+  hb.Beat(2, 700);
+  EXPECT_EQ(hb.Get(1), 500);
+  EXPECT_EQ(hb.Get(2), 700);
+  EXPECT_EQ(hb.size(), 2u);
+}
+
+// -- DistributionAgent ------------------------------------------------------
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : sched_(&clock_), items_(ItemsDef()) {}
+
+  /// Sets up one region (interval f, delay d) with a full view of Items.
+  void Setup(SimTimeMs f, SimTimeMs d, SimTimeMs hb_interval = 1000) {
+    RegionDef def;
+    def.cid = 1;
+    def.update_interval = f;
+    def.update_delay = d;
+    def.heartbeat_interval = hb_interval;
+    region_ = std::make_unique<CurrencyRegion>(def);
+    auto view = MaterializedView::Create(FullView(), items_);
+    ASSERT_TRUE(view.ok());
+    view_ = std::move(*view);
+    region_->AddView(view_.get());
+    agent_ = std::make_unique<DistributionAgent>(region_.get(), &log_,
+                                                 &heartbeat_, &sched_);
+    agent_->Start(f);
+    // Heartbeat beats on its own schedule.
+    sched_.SchedulePeriodic(hb_interval, hb_interval, [this](SimTimeMs now) {
+      heartbeat_.Beat(1, now);
+    });
+  }
+
+  void Commit(SimTimeMs at, int64_t id, double price) {
+    // Run the simulation up to the commit point so scheduled wake-ups fire
+    // at their nominal times.
+    sched_.RunUntil(at);
+    CommittedTxn txn;
+    txn.id = ++last_ts_;
+    txn.commit_time = at;
+    RowOp op;
+    op.kind = RowOp::Kind::kInsert;
+    op.table = "Items";
+    op.row = ItemRow(id, 0, price);
+    txn.ops.push_back(std::move(op));
+    log_.Append(std::move(txn));
+  }
+
+  VirtualClock clock_;
+  SimulationScheduler sched_;
+  TableDef items_;
+  UpdateLog log_;
+  HeartbeatStore heartbeat_;
+  std::unique_ptr<CurrencyRegion> region_;
+  std::unique_ptr<MaterializedView> view_;
+  std::unique_ptr<DistributionAgent> agent_;
+  TxnTimestamp last_ts_ = 0;
+};
+
+TEST_F(AgentTest, DeliversAfterDelay) {
+  Setup(/*f=*/10000, /*d=*/5000);
+  Commit(1000, 1, 9.9);
+  // Agent wakes at t=10000, delivery lands at t=15000.
+  sched_.RunUntil(14999);
+  EXPECT_EQ(view_->data().num_rows(), 0u);
+  sched_.RunUntil(15000);
+  EXPECT_EQ(view_->data().num_rows(), 1u);
+  EXPECT_EQ(region_->as_of(), 1u);
+  EXPECT_EQ(region_->applied_log_pos(), 1u);
+}
+
+TEST_F(AgentTest, AppliesInCommitOrder) {
+  Setup(10000, 0);
+  Commit(1000, 1, 1.0);
+  Commit(2000, 2, 2.0);
+  Commit(3000, 3, 3.0);
+  sched_.RunUntil(10000);
+  EXPECT_EQ(view_->data().num_rows(), 3u);
+  EXPECT_EQ(region_->as_of(), 3u);
+}
+
+TEST_F(AgentTest, SnapshotExcludesLaterCommits) {
+  Setup(10000, 5000);
+  Commit(9000, 1, 1.0);
+  // Committed after the wake-up snapshot at t=10000:
+  Commit(12000, 2, 2.0);
+  sched_.RunUntil(15000);  // first delivery
+  EXPECT_EQ(view_->data().num_rows(), 1u);
+  sched_.RunUntil(25000);  // second wake at 20000, delivery at 25000
+  EXPECT_EQ(view_->data().num_rows(), 2u);
+}
+
+TEST_F(AgentTest, HeartbeatBoundsStaleness) {
+  Setup(/*f=*/10000, /*d=*/5000, /*hb=*/1000);
+  sched_.RunUntil(60000);
+  // The local heartbeat was captured at the last wake-up (t=50000..60000):
+  // staleness = now - local_heartbeat must lie within (d, d+f] + hb quantum.
+  SimTimeMs staleness = region_->CurrencyAt(clock_.Now());
+  EXPECT_GT(staleness, 0);
+  EXPECT_LE(staleness, 5000 + 10000 + 1000);
+}
+
+TEST_F(AgentTest, SawtoothCurrencyCycle) {
+  // Fig 3.2: immediately after a delivery the data is ~d out of date, then
+  // currency grows linearly to ~d+f until the next delivery.
+  Setup(/*f=*/10000, /*d=*/3000, /*hb=*/100);
+  sched_.RunUntil(100000);
+  SimTimeMs just_after = 103000;  // delivery at 100000+3000
+  sched_.RunUntil(just_after);
+  SimTimeMs c0 = region_->CurrencyAt(clock_.Now());
+  EXPECT_NEAR(static_cast<double>(c0), 3000.0, 200.0);
+  sched_.RunUntil(just_after + 9000);  // just before next delivery (113000)
+  SimTimeMs c1 = region_->CurrencyAt(clock_.Now());
+  EXPECT_NEAR(static_cast<double>(c1), 12000.0, 200.0);
+}
+
+TEST_F(AgentTest, RandomizedViewMatchesMasterSnapshot) {
+  // Property: after any delivery, the view equals the master table as of the
+  // region's as_of timestamp (mutual-consistency invariant of a region).
+  Setup(5000, 2000, 500);
+  Table master("Items", items_.schema, {0});
+  Rng rng(33);
+  // Interleave commits and deliveries over 200s of virtual time.
+  for (int i = 0; i < 100; ++i) {
+    SimTimeMs at = clock_.Now() + rng.Uniform(100, 3000);
+    sched_.RunUntil(at);
+    int64_t id = rng.Uniform(1, 30);
+    Row row = ItemRow(id, rng.Uniform(0, 5),
+                      static_cast<double>(rng.Uniform(1, 1000)));
+    clock_.AdvanceTo(at);
+    CommittedTxn txn;
+    txn.id = ++last_ts_;
+    txn.commit_time = clock_.Now();
+    RowOp op;
+    op.table = "Items";
+    if (master.Get({Value::Int(id)}) == nullptr) {
+      op.kind = RowOp::Kind::kInsert;
+      op.row = row;
+      ASSERT_TRUE(master.Insert(row).ok());
+    } else if (rng.Uniform(0, 3) == 0) {
+      op.kind = RowOp::Kind::kDelete;
+      op.key = {Value::Int(id)};
+      ASSERT_TRUE(master.Delete({Value::Int(id)}).ok());
+    } else {
+      op.kind = RowOp::Kind::kUpdate;
+      op.row = row;
+      ASSERT_TRUE(master.Update(row).ok());
+    }
+    txn.ops.push_back(std::move(op));
+    log_.Append(std::move(txn));
+  }
+  // Let everything propagate (no more commits).
+  sched_.RunUntil(clock_.Now() + 20000);
+  ASSERT_EQ(region_->as_of(), last_ts_);
+  EXPECT_EQ(view_->data().num_rows(), master.num_rows());
+  master.Scan([&](const Row& row) {
+    const Row* replica = view_->data().Get({row[0]});
+    EXPECT_NE(replica, nullptr);
+    if (replica != nullptr) {
+      EXPECT_EQ(RowToString(*replica), RowToString(row));
+    }
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace rcc

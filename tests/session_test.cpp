@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::BookstoreFixture;
+using testing_util::MustExecute;
+
+TEST(SessionTest, TimeOrderedMarkersToggleMode) {
+  BookstoreFixture fx;
+  EXPECT_FALSE(fx.session->in_timeordered());
+  auto begin = fx.session->Execute("BEGIN TIMEORDERED");
+  ASSERT_TRUE(begin.ok());
+  EXPECT_TRUE(fx.session->in_timeordered());
+  EXPECT_FALSE(begin->message.empty());
+  auto end = fx.session->Execute("END TIMEORDERED");
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(fx.session->in_timeordered());
+}
+
+TEST(SessionTest, ParseErrorsSurface) {
+  BookstoreFixture fx;
+  EXPECT_TRUE(fx.session->Execute("SELEC oops").status().IsParseError());
+}
+
+TEST(SessionTest, TimelineFloorAdvancesWithQueries) {
+  BookstoreFixture fx(10000, 2000);
+  fx.sys.AdvanceTo(30000);
+  ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
+  EXPECT_EQ(fx.session->timeline_floor(), -1);
+  // A tight query reads the back-end: the floor jumps to "now".
+  MustExecute(fx.session.get(),
+              "SELECT price FROM Books B WHERE B.isbn = 1");
+  EXPECT_EQ(fx.session->timeline_floor(), 30000);
+}
+
+TEST(SessionTest, TimelinePreventsGoingBackInTime) {
+  // Paper §2.3: after reading current data, a later query must not read an
+  // older replica, even if its currency bound would allow it.
+  BookstoreFixture fx(/*interval_ms=*/10000, /*delay_ms=*/2000);
+  fx.sys.AdvanceTo(30000);
+  // Local heartbeat lags "now" by at least the delay.
+  SimTimeMs local_hb = fx.sys.cache()->LocalHeartbeat(1);
+  ASSERT_LT(local_hb, 30000);
+
+  ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
+  // 1. Read current data (back-end): floor = 30000.
+  MustExecute(fx.session.get(),
+              "SELECT price FROM Books B WHERE B.isbn = 1");
+  // 2. Relaxed query: without timeline mode this would use the local view
+  //    (bound 1 hour >> staleness), but the replica is older than the floor,
+  //    so the guard must route it to the back-end.
+  QueryResult r = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(r.stats.switch_remote, 1);
+  EXPECT_EQ(r.stats.switch_local, 0);
+
+  // Outside timeline mode the same query goes local.
+  ASSERT_TRUE(fx.session->Execute("END TIMEORDERED").ok());
+  QueryResult r2 = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(r2.stats.switch_local, 1);
+}
+
+TEST(SessionTest, TimelineAllowsLocalWhenReplicaFreshEnough) {
+  BookstoreFixture fx(10000, 2000);
+  fx.sys.AdvanceTo(30000);
+  ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
+  // First query itself reads the local view: the floor becomes the local
+  // heartbeat, so further local reads of the same region remain allowed.
+  QueryResult r1 = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(r1.stats.switch_local, 1);
+  QueryResult r2 = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 2 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_EQ(r2.stats.switch_local, 1);
+}
+
+TEST(SessionTest, TimelineUsersSeeTheirOwnChanges) {
+  // The §2.3 motivation: "users may not even see their own changes unless
+  // timeline consistency is specified".
+  BookstoreFixture fx(10000, 2000);
+  BackendServer* backend = fx.sys.backend();
+  fx.sys.AdvanceTo(25000);
+
+  ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
+  // Writes go to the back-end (and the writer reads its own write through a
+  // tight query, pushing the session floor to now).
+  const Row* row = backend->table("Books")->Get({Value::Int(3)});
+  Row updated = *row;
+  updated[2] = Value::Double(55.55);
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = "Books";
+  op.row = updated;
+  ASSERT_TRUE(backend->ExecuteTransaction({op}).ok());
+  MustExecute(fx.session.get(), "SELECT price FROM Books B WHERE B.isbn = 3");
+
+  // Later relaxed read in the same session must still see the new price.
+  QueryResult later = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 3 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_DOUBLE_EQ(later.rows[0][0].AsDouble(), 55.55);
+}
+
+TEST(SessionTest, WithoutTimelineStaleRereadIsPossible) {
+  // Contrast case documenting the default behaviour the paper warns about.
+  BookstoreFixture fx(10000, 2000);
+  BackendServer* backend = fx.sys.backend();
+  fx.sys.AdvanceTo(25000);
+  const Row* row = backend->table("Books")->Get({Value::Int(3)});
+  Row updated = *row;
+  double old_price = (*row)[2].AsDouble();
+  updated[2] = Value::Double(77.77);
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = "Books";
+  op.row = updated;
+  ASSERT_TRUE(backend->ExecuteTransaction({op}).ok());
+  // Current read sees 77.77; relaxed read still sees the stale price.
+  QueryResult now = MustExecute(
+      fx.session.get(), "SELECT price FROM Books B WHERE B.isbn = 3");
+  EXPECT_DOUBLE_EQ(now.rows[0][0].AsDouble(), 77.77);
+  QueryResult relaxed = MustExecute(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 3 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_DOUBLE_EQ(relaxed.rows[0][0].AsDouble(), old_price);
+}
+
+TEST(SessionTest, ResultMetadataPopulated) {
+  BookstoreFixture fx;
+  QueryResult r = MustExecute(
+      fx.session.get(),
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  EXPECT_FALSE(r.plan_text.empty());
+  EXPECT_EQ(r.shape, PlanShape::kAllLocal);
+  EXPECT_FALSE(r.constraint.tuples.empty());
+  EXPECT_EQ(r.executed_at, fx.sys.Now());
+  EXPECT_FALSE(r.ToTable().empty());
+}
+
+TEST(SessionTest, ToTableTruncates) {
+  BookstoreFixture fx;
+  QueryResult r = MustExecute(
+      fx.session.get(),
+      "SELECT isbn FROM Books B WHERE B.isbn <= 30 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  std::string table = r.ToTable(5);
+  EXPECT_NE(table.find("more rows"), std::string::npos);
+  EXPECT_NE(table.find("(30 rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace rcc {
+namespace {
+
+// -- lexer -----------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a >= 1.5 AND b = 'x''y'");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_EQ(t[0].type, TokenType::kIdent);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[2].type, TokenType::kSymbol);
+  EXPECT_EQ(t[2].text, ",");
+  // find the double and the escaped string
+  bool saw_double = false;
+  bool saw_string = false;
+  for (const Token& tok : t) {
+    if (tok.type == TokenType::kDouble) {
+      EXPECT_DOUBLE_EQ(tok.double_value, 1.5);
+      saw_double = true;
+    }
+    if (tok.type == TokenType::kString) {
+      EXPECT_EQ(tok.text, "x'y");
+      saw_string = true;
+    }
+  }
+  EXPECT_TRUE(saw_double);
+  EXPECT_TRUE(saw_string);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- a comment\n1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[1].int_value, 1);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("<= >= <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "!=");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a # b").status().IsParseError());
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1.5e3 2E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].double_value, 1500.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 0.02);
+}
+
+// -- parser: structure ------------------------------------------------------------
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT a, b AS bee FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE((*stmt)->select_star);
+  ASSERT_EQ((*stmt)->items.size(), 2u);
+  EXPECT_EQ((*stmt)->items[1].alias, "bee");
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0].table, "t");
+  EXPECT_EQ((*stmt)->from[0].alias, "t");
+}
+
+TEST(ParserTest, SelectStarAndAliases) {
+  auto stmt = ParseSelect("SELECT * FROM Books B, Reviews AS R");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->select_star);
+  ASSERT_EQ((*stmt)->from.size(), 2u);
+  EXPECT_EQ((*stmt)->from[0].alias, "B");
+  EXPECT_EQ((*stmt)->from[1].alias, "R");
+}
+
+TEST(ParserTest, WherePrecedence) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* w = (*stmt)->where.get();
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->op, BinaryOp::kOr);  // AND binds tighter
+  EXPECT_EQ(w->right->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseSelect("SELECT a + b * 2 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* e = (*stmt)->items[0].expr.get();
+  EXPECT_EQ(e->op, BinaryOp::kAdd);
+  EXPECT_EQ(e->right->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* w = (*stmt)->where.get();
+  EXPECT_EQ(w->op, BinaryOp::kAnd);
+  EXPECT_EQ(w->left->op, BinaryOp::kGe);
+  EXPECT_EQ(w->right->op, BinaryOp::kLe);
+}
+
+TEST(ParserTest, JoinOnDesugarsToWhere) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->from.size(), 2u);
+  // WHERE = (a.y > 1) AND (a.x = b.x)
+  const Expr* w = (*stmt)->where.get();
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = ParseSelect(
+      "SELECT T.x FROM (SELECT a AS x FROM t) AS T WHERE T.x > 0");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->from[0].is_subquery());
+  EXPECT_EQ((*stmt)->from[0].alias, "T");
+}
+
+TEST(ParserTest, ExistsAndInSubqueries) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.x = t.a) "
+      "AND a IN (SELECT y FROM u)");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* w = (*stmt)->where.get();
+  EXPECT_EQ(w->op, BinaryOp::kAnd);
+  EXPECT_EQ(w->left->kind, ExprKind::kExists);
+  EXPECT_EQ(w->right->kind, ExprKind::kInSubquery);
+}
+
+TEST(ParserTest, GroupOrderBy) {
+  auto stmt = ParseSelect(
+      "SELECT c, count(*) AS n FROM t GROUP BY c ORDER BY c DESC, n");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_EQ((*stmt)->order_by.size(), 2u);
+  EXPECT_TRUE((*stmt)->order_by[0].descending);
+  EXPECT_FALSE((*stmt)->order_by[1].descending);
+}
+
+TEST(ParserTest, AggregatesAndCountStar) {
+  auto stmt = ParseSelect("SELECT count(*), sum(a), avg(b) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->items[0].expr->star);
+  EXPECT_EQ((*stmt)->items[1].expr->func, "sum");
+}
+
+TEST(ParserTest, Having) {
+  auto stmt = ParseSelect(
+      "SELECT c, count(*) FROM t GROUP BY c HAVING count(*) > 2");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE((*stmt)->having, nullptr);
+  EXPECT_EQ((*stmt)->having->op, BinaryOp::kGt);
+}
+
+TEST(ParserTest, SelectDistinct) {
+  auto stmt = ParseSelect("SELECT DISTINCT a, b FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->distinct);
+  EXPECT_EQ((*stmt)->items.size(), 2u);
+  auto plain = ParseSelect("SELECT a FROM t");
+  EXPECT_FALSE((*plain)->distinct);
+}
+
+TEST(ParserTest, UnaryMinusAndNull) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE a > -5 AND b = NULL");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra junk!").ok());
+  EXPECT_FALSE(ParseSelect("").ok());
+}
+
+// -- parser: currency clause ------------------------------------------------------
+
+TEST(CurrencyClauseTest, PaperExampleE1) {
+  // Fig 2.1 E1: bound 10 min on both tables, one consistency class.
+  auto stmt = ParseSelect(
+      "SELECT * FROM Books B, Reviews R WHERE B.isbn = R.isbn "
+      "CURRENCY BOUND 10 MIN ON (B, R)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->currency.size(), 1u);
+  const CurrencySpec& spec = (*stmt)->currency[0];
+  EXPECT_EQ(spec.bound_ms, 10 * 60000);
+  EXPECT_EQ(spec.targets, (std::vector<std::string>{"B", "R"}));
+  EXPECT_TRUE(spec.by_columns.empty());
+}
+
+TEST(CurrencyClauseTest, PaperExampleE2TwoClasses) {
+  // E2: 10 min on B, 30 min on R, separate classes.
+  auto stmt = ParseSelect(
+      "SELECT * FROM Books B, Reviews R WHERE B.isbn = R.isbn "
+      "CURRENCY BOUND 10 MIN ON (B), 30 MIN ON (R)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->currency.size(), 2u);
+  EXPECT_EQ((*stmt)->currency[1].bound_ms, 30 * 60000);
+  EXPECT_EQ((*stmt)->currency[1].targets,
+            (std::vector<std::string>{"R"}));
+}
+
+TEST(CurrencyClauseTest, PaperExampleE4GroupingColumns) {
+  // E4: per-isbn consistency groups.
+  auto stmt = ParseSelect(
+      "SELECT * FROM Books B, Reviews R WHERE B.isbn = R.isbn "
+      "CURRENCY BOUND 10 MIN ON (B, R) BY B.isbn");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->currency.size(), 1u);
+  EXPECT_EQ((*stmt)->currency[0].by_columns,
+            (std::vector<std::string>{"B.isbn"}));
+}
+
+TEST(CurrencyClauseTest, SingleTargetWithoutParens) {
+  auto stmt =
+      ParseSelect("SELECT a FROM t CURRENCY BOUND 5 SECONDS ON t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->currency[0].bound_ms, 5000);
+}
+
+TEST(CurrencyClauseTest, BoundKeywordOptional) {
+  auto stmt = ParseSelect("SELECT a FROM t CURRENCY 90 SECONDS ON (t)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->currency[0].bound_ms, 90000);
+}
+
+TEST(CurrencyClauseTest, SubqueryCurrencyClause) {
+  // Paper Q3: inner block's clause references the outer table B.
+  auto stmt = ParseSelect(
+      "SELECT * FROM Books B, Reviews R "
+      "WHERE B.isbn = R.isbn AND EXISTS ("
+      "  SELECT 1 FROM Sales S WHERE S.isbn = B.isbn "
+      "  CURRENCY BOUND 10 MIN ON (S, B)) "
+      "CURRENCY BOUND 10 MIN ON (B, R)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->currency.size(), 1u);
+  // The inner clause stays attached to the subquery.
+  const Expr* w = (*stmt)->where.get();
+  const Expr* exists = w->right.get();
+  ASSERT_EQ(exists->kind, ExprKind::kExists);
+  ASSERT_EQ(exists->subquery->currency.size(), 1u);
+  EXPECT_EQ(exists->subquery->currency[0].targets,
+            (std::vector<std::string>{"S", "B"}));
+}
+
+TEST(CurrencyClauseTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t CURRENCY BOUND ON (t)").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t CURRENCY 10 fortnights ON t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t CURRENCY 10 MIN").ok());
+}
+
+// Unit conversion sweep.
+struct UnitCase {
+  const char* unit;
+  int64_t expect_ms;
+};
+
+class TimeUnitTest : public ::testing::TestWithParam<UnitCase> {};
+
+TEST_P(TimeUnitTest, ConvertsToMs) {
+  const UnitCase& c = GetParam();
+  auto stmt = ParseSelect(std::string("SELECT a FROM t CURRENCY BOUND 2 ") +
+                          c.unit + " ON (t)");
+  ASSERT_TRUE(stmt.ok()) << c.unit;
+  EXPECT_EQ((*stmt)->currency[0].bound_ms, c.expect_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Units, TimeUnitTest,
+    ::testing::Values(UnitCase{"MS", 2}, UnitCase{"SEC", 2000},
+                      UnitCase{"SECONDS", 2000}, UnitCase{"second", 2000},
+                      UnitCase{"MIN", 120000}, UnitCase{"minutes", 120000},
+                      UnitCase{"HOUR", 7200000}, UnitCase{"hr", 7200000}));
+
+// -- statements ----------------------------------------------------------------------
+
+TEST(StatementTest, TimeOrderedMarkers) {
+  auto b = ParseStatement("BEGIN TIMEORDERED");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->kind, StatementKind::kBeginTimeOrdered);
+  auto e = ParseStatement("end timeordered");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, StatementKind::kEndTimeOrdered);
+  EXPECT_FALSE(ParseStatement("BEGIN").ok());
+}
+
+// -- round trips --------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ToStringReparses) {
+  auto stmt = ParseSelect(GetParam());
+  ASSERT_TRUE(stmt.ok()) << GetParam();
+  std::string rendered = (*stmt)->ToString();
+  auto again = ParseSelect(rendered);
+  ASSERT_TRUE(again.ok()) << rendered;
+  EXPECT_EQ((*again)->ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "SELECT a FROM t",
+        "SELECT * FROM Books B, Reviews R WHERE B.isbn = R.isbn",
+        "SELECT a, count(*) AS n FROM t WHERE a > 3 GROUP BY a ORDER BY a",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 2 CURRENCY BOUND 10 MIN ON "
+        "(t)",
+        "SELECT T.x FROM (SELECT a AS x FROM t) T",
+        "SELECT DISTINCT a FROM t WHERE a > 1",
+        "SELECT c, count(*) FROM t GROUP BY c HAVING count(*) > 2",
+        "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.x = t.a)",
+        "SELECT a FROM t CURRENCY BOUND 10 MIN ON (t) BY t.a"));
+
+TEST(CloneTest, DeepCopyIsIndependent) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.x = t.a) "
+      "CURRENCY BOUND 1 MIN ON (t)");
+  ASSERT_TRUE(stmt.ok());
+  auto clone = CloneSelectStmt(**stmt);
+  EXPECT_EQ(clone->ToString(), (*stmt)->ToString());
+  // Mutating the clone leaves the original untouched.
+  clone->currency[0].bound_ms = 999;
+  EXPECT_NE(clone->ToString(), (*stmt)->ToString());
+}
+
+}  // namespace
+}  // namespace rcc

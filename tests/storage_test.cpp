@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace rcc {
+namespace {
+
+// -- Value -----------------------------------------------------------------------
+
+TEST(ValueTest, Types) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt64);
+}
+
+TEST(ValueTest, CompareNumbersCrossType) {
+  EXPECT_EQ(Value::Int(42).Compare(Value::Double(42.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumbersSortBeforeStrings) {
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("0")), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("abc").Compare(Value::Str("abc")), 0);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTest, HashConsistentWithCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Double(42.0).Hash());
+}
+
+// -- Schema ----------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  Schema s({{"A", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(*s.FindColumn("a"), 0u);
+  EXPECT_EQ(*s.FindColumn("B"), 1u);
+  EXPECT_FALSE(s.FindColumn("c").has_value());
+}
+
+TEST(SchemaTest, Project) {
+  Schema s({{"a", ValueType::kInt64},
+            {"b", ValueType::kString},
+            {"c", ValueType::kDouble}});
+  Schema p = s.Project({2, 0});
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "c");
+  EXPECT_EQ(p.column(1).name, "a");
+}
+
+// -- Table -----------------------------------------------------------------------
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : table_("t",
+               Schema({{"k", ValueType::kInt64},
+                       {"v", ValueType::kString},
+                       {"n", ValueType::kInt64}}),
+               {0}) {}
+
+  Table table_;
+};
+
+TEST_F(TableTest, InsertGetDelete) {
+  ASSERT_TRUE(table_.Insert({Value::Int(1), Value::Str("a"), Value::Int(10)})
+                  .ok());
+  ASSERT_TRUE(table_.Insert({Value::Int(2), Value::Str("b"), Value::Int(20)})
+                  .ok());
+  EXPECT_EQ(table_.num_rows(), 2u);
+  const Row* row = table_.Get({Value::Int(1)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].AsString(), "a");
+  EXPECT_TRUE(table_.Delete({Value::Int(1)}).ok());
+  EXPECT_EQ(table_.Get({Value::Int(1)}), nullptr);
+  EXPECT_TRUE(table_.Delete({Value::Int(1)}).IsNotFound());
+}
+
+TEST_F(TableTest, DuplicateInsertFails) {
+  ASSERT_TRUE(table_.Insert({Value::Int(1), Value::Str("a"), Value::Int(1)})
+                  .ok());
+  Status st = table_.Insert({Value::Int(1), Value::Str("b"), Value::Int(2)});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, UpdateReplacesRow) {
+  ASSERT_TRUE(table_.Insert({Value::Int(1), Value::Str("a"), Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(table_.Update({Value::Int(1), Value::Str("z"), Value::Int(9)})
+                  .ok());
+  EXPECT_EQ((*table_.Get({Value::Int(1)}))[1].AsString(), "z");
+  EXPECT_TRUE(
+      table_.Update({Value::Int(5), Value::Str("x"), Value::Int(0)})
+          .IsNotFound());
+}
+
+TEST_F(TableTest, UpsertInsertsOrReplaces) {
+  table_.Upsert({Value::Int(1), Value::Str("a"), Value::Int(1)});
+  table_.Upsert({Value::Int(1), Value::Str("b"), Value::Int(2)});
+  EXPECT_EQ(table_.num_rows(), 1u);
+  EXPECT_EQ((*table_.Get({Value::Int(1)}))[1].AsString(), "b");
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  EXPECT_FALSE(table_.Insert({Value::Int(1)}).ok());
+}
+
+TEST_F(TableTest, ScanInKeyOrder) {
+  for (int64_t k : {5, 1, 3, 2, 4}) {
+    ASSERT_TRUE(
+        table_.Insert({Value::Int(k), Value::Str("x"), Value::Int(k)}).ok());
+  }
+  std::vector<int64_t> seen;
+  table_.Scan([&](const Row& row) {
+    seen.push_back(row[0].AsInt());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(TableTest, ScanEarlyStop) {
+  for (int64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(
+        table_.Insert({Value::Int(k), Value::Str("x"), Value::Int(k)}).ok());
+  }
+  int count = 0;
+  table_.Scan([&](const Row&) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(TableTest, RangeScanInclusiveBounds) {
+  for (int64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(
+        table_.Insert({Value::Int(k), Value::Str("x"), Value::Int(k)}).ok());
+  }
+  TableKey lo{Value::Int(3)};
+  TableKey hi{Value::Int(6)};
+  std::vector<int64_t> seen;
+  table_.RangeScan(&lo, &hi, [&](const Row& row) {
+    seen.push_back(row[0].AsInt());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{3, 4, 5, 6}));
+}
+
+TEST_F(TableTest, SecondaryIndexMaintainedAcrossMutations) {
+  ASSERT_TRUE(table_.CreateSecondaryIndex("idx_n", {2}).ok());
+  for (int64_t k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(table_
+                    .Insert({Value::Int(k), Value::Str("x"),
+                             Value::Int(100 - k)})
+                    .ok());
+  }
+  const SecondaryIndex* idx = table_.FindIndex("idx_n");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->size(), 5u);
+  // Update moves the index entry.
+  ASSERT_TRUE(table_.Update({Value::Int(1), Value::Str("x"), Value::Int(1)})
+                  .ok());
+  TableKey lo{Value::Int(1)};
+  TableKey hi{Value::Int(1)};
+  auto pks = idx->Range(&lo, &hi);
+  ASSERT_EQ(pks.size(), 1u);
+  EXPECT_EQ(pks[0][0].AsInt(), 1);
+  // Delete removes it.
+  ASSERT_TRUE(table_.Delete({Value::Int(1)}).ok());
+  EXPECT_EQ(idx->Range(&lo, &hi).size(), 0u);
+  EXPECT_EQ(idx->size(), 4u);
+}
+
+TEST_F(TableTest, IndexBackfillsExistingRows) {
+  for (int64_t k = 1; k <= 4; ++k) {
+    ASSERT_TRUE(
+        table_.Insert({Value::Int(k), Value::Str("x"), Value::Int(k * 2)})
+            .ok());
+  }
+  ASSERT_TRUE(table_.CreateSecondaryIndex("idx_n", {2}).ok());
+  EXPECT_EQ(table_.FindIndex("idx_n")->size(), 4u);
+  EXPECT_TRUE(table_.CreateSecondaryIndex("idx_n", {2}).code() ==
+              StatusCode::kAlreadyExists);
+}
+
+// Composite-key table (like Orders: clustered on (o_custkey, o_orderkey)).
+class CompositeKeyTest : public ::testing::Test {
+ protected:
+  CompositeKeyTest()
+      : table_("orders",
+               Schema({{"ck", ValueType::kInt64},
+                       {"ok", ValueType::kInt64},
+                       {"price", ValueType::kDouble}}),
+               {0, 1}) {
+    for (int64_t ck = 1; ck <= 3; ++ck) {
+      for (int64_t ok = 1; ok <= 4; ++ok) {
+        EXPECT_TRUE(table_
+                        .Insert({Value::Int(ck), Value::Int(ok),
+                                 Value::Double(ck * 10.0 + ok)})
+                        .ok());
+      }
+    }
+  }
+  Table table_;
+};
+
+TEST_F(CompositeKeyTest, PrefixRangeScan) {
+  // All orders of customer 2: prefix bound.
+  TableKey lo{Value::Int(2)};
+  TableKey hi{Value::Int(2)};
+  std::vector<int64_t> oks;
+  table_.RangeScan(&lo, &hi, [&](const Row& row) {
+    EXPECT_EQ(row[0].AsInt(), 2);
+    oks.push_back(row[1].AsInt());
+    return true;
+  });
+  EXPECT_EQ(oks, (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(CompositeKeyTest, FullKeyLookup) {
+  const Row* row = table_.Get({Value::Int(3), Value::Int(2)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ((*row)[2].AsDouble(), 32.0);
+}
+
+TEST_F(CompositeKeyTest, ClearResetsRowsAndIndexes) {
+  ASSERT_TRUE(table_.CreateSecondaryIndex("i", {2}).ok());
+  table_.Clear();
+  EXPECT_EQ(table_.num_rows(), 0u);
+  EXPECT_EQ(table_.FindIndex("i")->size(), 0u);
+  // Table remains usable.
+  EXPECT_TRUE(
+      table_.Insert({Value::Int(1), Value::Int(1), Value::Double(1)}).ok());
+  EXPECT_EQ(table_.FindIndex("i")->size(), 1u);
+}
+
+// Key-ordering property sweep.
+class TableKeyOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableKeyOrderTest, LexicographicOrderMatchesValueCompare) {
+  int n = GetParam();
+  TableKeyLess less;
+  TableKey a{Value::Int(n)};
+  TableKey b{Value::Int(n), Value::Int(0)};
+  // A prefix sorts before any extension.
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  TableKey c{Value::Int(n + 1)};
+  EXPECT_TRUE(less(a, c));
+  EXPECT_TRUE(less(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, TableKeyOrderTest,
+                         ::testing::Values(-5, 0, 1, 7, 1000));
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,72 @@
+#ifndef RCC_TESTS_TEST_UTIL_H_
+#define RCC_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "core/rcc.h"
+#include "workload/bookstore.h"
+#include "workload/tpcd.h"
+
+namespace rcc {
+namespace testing_util {
+
+/// Executes a SELECT through a session, asserting success.
+inline QueryResult MustExecute(Session* session, const std::string& sql) {
+  auto result = session->Execute(sql);
+  EXPECT_TRUE(result.ok()) << sql << "\n  -> " << result.status().ToString();
+  return result.ok() ? std::move(*result) : QueryResult{};
+}
+
+/// Optimizes a SELECT, asserting success.
+inline QueryPlan MustPrepare(Session* session, const std::string& sql) {
+  auto plan = session->Prepare(sql);
+  EXPECT_TRUE(plan.ok()) << sql << "\n  -> " << plan.status().ToString();
+  if (!plan.ok()) return QueryPlan{};
+  return std::move(*plan);
+}
+
+/// Single-column integer result values, in row order.
+inline std::vector<int64_t> IntColumn(const QueryResult& result,
+                                      size_t col = 0) {
+  std::vector<int64_t> out;
+  for (const Row& row : result.rows) {
+    out.push_back(row[col].is_int()
+                      ? row[col].AsInt()
+                      : static_cast<int64_t>(row[col].AsDouble()));
+  }
+  return out;
+}
+
+/// A tiny fully-wired system over the bookstore schema, with both regions
+/// refreshing every `interval_ms` after `delay_ms`.
+struct BookstoreFixture {
+  RccSystem sys;
+  std::unique_ptr<Session> session;
+
+  explicit BookstoreFixture(SimTimeMs interval_ms = 10000,
+                            SimTimeMs delay_ms = 2000,
+                            BookstoreConfig config = {}) {
+    EXPECT_TRUE(LoadBookstore(&sys, config).ok());
+    EXPECT_TRUE(SetupBookstoreCache(&sys, interval_ms, delay_ms).ok());
+    session = sys.CreateSession();
+  }
+};
+
+/// TPCD fixture with the paper's cache configuration (Table 4.1).
+struct TpcdFixture {
+  RccSystem sys;
+  std::unique_ptr<Session> session;
+
+  explicit TpcdFixture(double scale = 0.01) {
+    TpcdConfig config;
+    config.scale = scale;
+    EXPECT_TRUE(LoadTpcd(&sys, config).ok());
+    EXPECT_TRUE(SetupPaperCache(&sys).ok());
+    session = sys.CreateSession();
+  }
+};
+
+}  // namespace testing_util
+}  // namespace rcc
+
+#endif  // RCC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "txn/oracle.h"
+#include "txn/update_log.h"
+
+namespace rcc {
+namespace {
+
+TEST(OracleTest, TimestampsIncrease) {
+  TimestampOracle oracle;
+  EXPECT_EQ(oracle.last_committed(), kInitialTimestamp);
+  TxnTimestamp a = oracle.NextCommit(10);
+  TxnTimestamp b = oracle.NextCommit(20);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(oracle.last_committed(), b);
+  EXPECT_EQ(oracle.last_commit_time(), 20);
+}
+
+CommittedTxn MakeTxn(TxnTimestamp id, SimTimeMs at, const std::string& table) {
+  CommittedTxn txn;
+  txn.id = id;
+  txn.commit_time = at;
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = table;
+  txn.ops.push_back(std::move(op));
+  return txn;
+}
+
+TEST(UpdateLogTest, AppendAndAccess) {
+  UpdateLog log;
+  log.Append(MakeTxn(1, 100, "t"));
+  log.Append(MakeTxn(2, 150, "t"));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.at(0).id, 1u);
+  EXPECT_EQ(log.at(1).commit_time, 150);
+}
+
+TEST(UpdateLogTest, UpperBoundByCommitTime) {
+  UpdateLog log;
+  log.Append(MakeTxn(1, 100, "t"));
+  log.Append(MakeTxn(2, 150, "t"));
+  log.Append(MakeTxn(3, 150, "t"));
+  log.Append(MakeTxn(4, 200, "t"));
+  EXPECT_EQ(log.UpperBoundByCommitTime(99), 0u);
+  EXPECT_EQ(log.UpperBoundByCommitTime(100), 1u);
+  EXPECT_EQ(log.UpperBoundByCommitTime(150), 3u);
+  EXPECT_EQ(log.UpperBoundByCommitTime(151), 3u);
+  EXPECT_EQ(log.UpperBoundByCommitTime(10000), 4u);
+}
+
+TEST(UpdateLogTest, TimestampAtPosition) {
+  UpdateLog log;
+  log.Append(MakeTxn(5, 100, "t"));
+  log.Append(MakeTxn(9, 150, "t"));
+  EXPECT_EQ(log.TimestampAtPosition(0), kInitialTimestamp);
+  EXPECT_EQ(log.TimestampAtPosition(1), 5u);
+  EXPECT_EQ(log.TimestampAtPosition(2), 9u);
+}
+
+TEST(UpdateLogDeathTest, RejectsNonIncreasingIds) {
+  UpdateLog log;
+  log.Append(MakeTxn(2, 100, "t"));
+  EXPECT_DEATH(log.Append(MakeTxn(2, 150, "t")), "increasing");
+}
+
+}  // namespace
+}  // namespace rcc

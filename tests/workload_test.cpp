@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/driver.h"
+
+namespace rcc {
+namespace {
+
+TEST(TpcdGenTest, DeterministicFromSeed) {
+  RccSystem a;
+  RccSystem b;
+  TpcdConfig config;
+  config.scale = 0.003;
+  ASSERT_TRUE(LoadTpcd(&a, config).ok());
+  ASSERT_TRUE(LoadTpcd(&b, config).ok());
+  EXPECT_EQ(a.backend()->table("Customer")->num_rows(),
+            b.backend()->table("Customer")->num_rows());
+  EXPECT_EQ(a.backend()->table("Orders")->num_rows(),
+            b.backend()->table("Orders")->num_rows());
+  const Row* ra = a.backend()->table("Customer")->Get({Value::Int(7)});
+  const Row* rb = b.backend()->table("Customer")->Get({Value::Int(7)});
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(RowToString(*ra), RowToString(*rb));
+}
+
+TEST(TpcdGenTest, ScaleAndRatios) {
+  RccSystem sys;
+  TpcdConfig config;
+  config.scale = 0.01;
+  ASSERT_TRUE(LoadTpcd(&sys, config).ok());
+  EXPECT_EQ(TpcdCustomerCount(config), 1500);
+  EXPECT_EQ(sys.backend()->table("Customer")->num_rows(), 1500u);
+  // "Customers have 10 orders on average": within 20%.
+  double ratio =
+      static_cast<double>(sys.backend()->table("Orders")->num_rows()) / 1500.0;
+  EXPECT_NEAR(ratio, 10.0, 2.0);
+}
+
+TEST(TpcdGenTest, PhysicalDesignMatchesPaper) {
+  RccSystem sys;
+  TpcdConfig config;
+  config.scale = 0.003;
+  ASSERT_TRUE(LoadTpcd(&sys, config).ok());
+  const TableDef* customer = sys.backend()->catalog().FindTable("Customer");
+  ASSERT_NE(customer, nullptr);
+  EXPECT_EQ(customer->clustered_key, (std::vector<std::string>{"c_custkey"}));
+  ASSERT_EQ(customer->secondary_indexes.size(), 1u);
+  EXPECT_EQ(customer->secondary_indexes[0].columns,
+            (std::vector<std::string>{"c_acctbal"}));
+  const TableDef* orders = sys.backend()->catalog().FindTable("Orders");
+  EXPECT_EQ(orders->clustered_key,
+            (std::vector<std::string>{"o_custkey", "o_orderkey"}));
+  // The cached views must NOT have the acctbal index (Q6's whole point).
+  ASSERT_TRUE(SetupPaperCache(&sys).ok());
+  EXPECT_TRUE(
+      sys.cache()->catalog().FindView("cust_prj")->secondary_indexes.empty());
+}
+
+TEST(TpcdGenTest, ValueDomains) {
+  RccSystem sys;
+  TpcdConfig config;
+  config.scale = 0.003;
+  ASSERT_TRUE(LoadTpcd(&sys, config).ok());
+  sys.backend()->table("Customer")->Scan([&](const Row& row) {
+    EXPECT_GE(row[3].AsDouble(), -1000.0);
+    EXPECT_LE(row[3].AsDouble(), 10000.0);
+    EXPECT_GE(row[2].AsInt(), 0);
+    EXPECT_LE(row[2].AsInt(), 24);
+    return true;
+  });
+}
+
+TEST(BookstoreGenTest, TablesPopulated) {
+  RccSystem sys;
+  BookstoreConfig config;
+  config.books = 100;
+  ASSERT_TRUE(LoadBookstore(&sys, config).ok());
+  EXPECT_EQ(sys.backend()->table("Books")->num_rows(), 100u);
+  EXPECT_GT(sys.backend()->table("Reviews")->num_rows(), 100u);
+  EXPECT_GT(sys.backend()->table("Sales")->num_rows(), 0u);
+}
+
+TEST(UpdateTrafficTest, ProducesCommits) {
+  testing_util::TpcdFixture fx(0.003);
+  size_t before = fx.sys.backend()->log().size();
+  StartUpdateTraffic(&fx.sys, /*period_ms=*/500, /*seed=*/1);
+  fx.sys.AdvanceBy(10000);
+  EXPECT_GE(fx.sys.backend()->log().size(), before + 15u);
+}
+
+TEST(DriverTest, UniformWorkloadCountsDecisions) {
+  testing_util::TpcdFixture fx(0.003);
+  fx.sys.AdvanceTo(30000);
+  auto run = RunUniformWorkload(
+      &fx.sys,
+      "SELECT c_custkey FROM Customer C WHERE c_acctbal > 0 "
+      "CURRENCY BOUND 10 MIN ON (C)",
+      30, 60000, 9);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->executions, 30);
+  EXPECT_EQ(run->local + run->remote, 30);
+  EXPECT_EQ(run->remote, 0);  // 10-minute bound always passes
+  EXPECT_DOUBLE_EQ(run->LocalFraction(), 1.0);
+}
+
+TEST(DriverTest, ParseErrorSurfaces) {
+  testing_util::TpcdFixture fx(0.003);
+  EXPECT_FALSE(RunUniformWorkload(&fx.sys, "SELEC x", 1, 1000, 1).ok());
+}
+
+}  // namespace
+}  // namespace rcc
