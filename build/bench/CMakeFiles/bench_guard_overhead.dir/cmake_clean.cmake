@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_overhead.dir/bench_guard_overhead.cpp.o"
+  "CMakeFiles/bench_guard_overhead.dir/bench_guard_overhead.cpp.o.d"
+  "bench_guard_overhead"
+  "bench_guard_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

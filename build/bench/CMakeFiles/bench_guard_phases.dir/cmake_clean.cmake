@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_phases.dir/bench_guard_phases.cpp.o"
+  "CMakeFiles/bench_guard_phases.dir/bench_guard_phases.cpp.o.d"
+  "bench_guard_phases"
+  "bench_guard_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

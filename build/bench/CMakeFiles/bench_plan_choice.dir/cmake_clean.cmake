@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_choice.dir/bench_plan_choice.cpp.o"
+  "CMakeFiles/bench_plan_choice.dir/bench_plan_choice.cpp.o.d"
+  "bench_plan_choice"
+  "bench_plan_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_shift.dir/bench_workload_shift.cpp.o"
+  "CMakeFiles/bench_workload_shift.dir/bench_workload_shift.cpp.o.d"
+  "bench_workload_shift"
+  "bench_workload_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_session.dir/timeline_session.cpp.o"
+  "CMakeFiles/timeline_session.dir/timeline_session.cpp.o.d"
+  "timeline_session"
+  "timeline_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

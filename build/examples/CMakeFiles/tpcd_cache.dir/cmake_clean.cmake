@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_cache.dir/tpcd_cache.cpp.o"
+  "CMakeFiles/tpcd_cache.dir/tpcd_cache.cpp.o.d"
+  "tpcd_cache"
+  "tpcd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

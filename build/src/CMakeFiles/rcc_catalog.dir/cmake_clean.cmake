@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/rcc_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/rcc_catalog.dir/catalog/statistics.cc.o"
+  "CMakeFiles/rcc_catalog.dir/catalog/statistics.cc.o.d"
+  "librcc_catalog.a"
+  "librcc_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_common.dir/common/clock.cc.o"
+  "CMakeFiles/rcc_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/rcc_common.dir/common/status.cc.o"
+  "CMakeFiles/rcc_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rcc_common.dir/common/strings.cc.o"
+  "CMakeFiles/rcc_common.dir/common/strings.cc.o.d"
+  "librcc_common.a"
+  "librcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/query_result.cc" "src/CMakeFiles/rcc_core.dir/core/query_result.cc.o" "gcc" "src/CMakeFiles/rcc_core.dir/core/query_result.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/rcc_core.dir/core/session.cc.o" "gcc" "src/CMakeFiles/rcc_core.dir/core/session.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/rcc_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/rcc_core.dir/core/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_core.dir/core/query_result.cc.o"
+  "CMakeFiles/rcc_core.dir/core/query_result.cc.o.d"
+  "CMakeFiles/rcc_core.dir/core/session.cc.o"
+  "CMakeFiles/rcc_core.dir/core/session.cc.o.d"
+  "CMakeFiles/rcc_core.dir/core/system.cc.o"
+  "CMakeFiles/rcc_core.dir/core/system.cc.o.d"
+  "librcc_core.a"
+  "librcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

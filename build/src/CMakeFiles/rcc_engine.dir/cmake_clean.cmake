@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_engine.dir/backend/backend_server.cc.o"
+  "CMakeFiles/rcc_engine.dir/backend/backend_server.cc.o.d"
+  "CMakeFiles/rcc_engine.dir/cache/cache_dbms.cc.o"
+  "CMakeFiles/rcc_engine.dir/cache/cache_dbms.cc.o.d"
+  "librcc_engine.a"
+  "librcc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

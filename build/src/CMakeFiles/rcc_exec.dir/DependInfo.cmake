@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/rcc_exec.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/rcc_exec.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/rcc_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/rcc_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/iterators.cc" "src/CMakeFiles/rcc_exec.dir/exec/iterators.cc.o" "gcc" "src/CMakeFiles/rcc_exec.dir/exec/iterators.cc.o.d"
+  "/root/repo/src/exec/remote.cc" "src/CMakeFiles/rcc_exec.dir/exec/remote.cc.o" "gcc" "src/CMakeFiles/rcc_exec.dir/exec/remote.cc.o.d"
+  "/root/repo/src/exec/switch_union.cc" "src/CMakeFiles/rcc_exec.dir/exec/switch_union.cc.o" "gcc" "src/CMakeFiles/rcc_exec.dir/exec/switch_union.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

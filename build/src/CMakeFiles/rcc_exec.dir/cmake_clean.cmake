@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_exec.dir/exec/exec_context.cc.o"
+  "CMakeFiles/rcc_exec.dir/exec/exec_context.cc.o.d"
+  "CMakeFiles/rcc_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/rcc_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/rcc_exec.dir/exec/iterators.cc.o"
+  "CMakeFiles/rcc_exec.dir/exec/iterators.cc.o.d"
+  "CMakeFiles/rcc_exec.dir/exec/remote.cc.o"
+  "CMakeFiles/rcc_exec.dir/exec/remote.cc.o.d"
+  "CMakeFiles/rcc_exec.dir/exec/switch_union.cc.o"
+  "CMakeFiles/rcc_exec.dir/exec/switch_union.cc.o.d"
+  "librcc_exec.a"
+  "librcc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/rcc_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/rcc_optimizer.dir/optimizer/optimizer.cc.o"
+  "CMakeFiles/rcc_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "CMakeFiles/rcc_optimizer.dir/optimizer/view_matching.cc.o"
+  "CMakeFiles/rcc_optimizer.dir/optimizer/view_matching.cc.o.d"
+  "librcc_optimizer.a"
+  "librcc_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_plan.dir/plan/expr.cc.o"
+  "CMakeFiles/rcc_plan.dir/plan/expr.cc.o.d"
+  "CMakeFiles/rcc_plan.dir/plan/physical.cc.o"
+  "CMakeFiles/rcc_plan.dir/plan/physical.cc.o.d"
+  "CMakeFiles/rcc_plan.dir/plan/properties.cc.o"
+  "CMakeFiles/rcc_plan.dir/plan/properties.cc.o.d"
+  "librcc_plan.a"
+  "librcc_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/agent.cc" "src/CMakeFiles/rcc_replication.dir/replication/agent.cc.o" "gcc" "src/CMakeFiles/rcc_replication.dir/replication/agent.cc.o.d"
+  "/root/repo/src/replication/heartbeat.cc" "src/CMakeFiles/rcc_replication.dir/replication/heartbeat.cc.o" "gcc" "src/CMakeFiles/rcc_replication.dir/replication/heartbeat.cc.o.d"
+  "/root/repo/src/replication/region.cc" "src/CMakeFiles/rcc_replication.dir/replication/region.cc.o" "gcc" "src/CMakeFiles/rcc_replication.dir/replication/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_replication.dir/replication/agent.cc.o"
+  "CMakeFiles/rcc_replication.dir/replication/agent.cc.o.d"
+  "CMakeFiles/rcc_replication.dir/replication/heartbeat.cc.o"
+  "CMakeFiles/rcc_replication.dir/replication/heartbeat.cc.o.d"
+  "CMakeFiles/rcc_replication.dir/replication/region.cc.o"
+  "CMakeFiles/rcc_replication.dir/replication/region.cc.o.d"
+  "librcc_replication.a"
+  "librcc_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

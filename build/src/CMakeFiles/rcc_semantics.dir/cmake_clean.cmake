@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_semantics.dir/semantics/constraint.cc.o"
+  "CMakeFiles/rcc_semantics.dir/semantics/constraint.cc.o.d"
+  "CMakeFiles/rcc_semantics.dir/semantics/model.cc.o"
+  "CMakeFiles/rcc_semantics.dir/semantics/model.cc.o.d"
+  "CMakeFiles/rcc_semantics.dir/semantics/resolver.cc.o"
+  "CMakeFiles/rcc_semantics.dir/semantics/resolver.cc.o.d"
+  "librcc_semantics.a"
+  "librcc_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

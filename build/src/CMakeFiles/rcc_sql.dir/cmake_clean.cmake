@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/rcc_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/rcc_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/rcc_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/rcc_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/rcc_sql.dir/sql/parser.cc.o.d"
+  "librcc_sql.a"
+  "librcc_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

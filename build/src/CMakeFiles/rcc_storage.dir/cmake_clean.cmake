@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/rcc_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/rcc_storage.dir/storage/table.cc.o"
+  "CMakeFiles/rcc_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/rcc_storage.dir/storage/value.cc.o"
+  "CMakeFiles/rcc_storage.dir/storage/value.cc.o.d"
+  "librcc_storage.a"
+  "librcc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

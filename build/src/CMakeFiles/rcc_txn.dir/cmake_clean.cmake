@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_txn.dir/txn/update_log.cc.o"
+  "CMakeFiles/rcc_txn.dir/txn/update_log.cc.o.d"
+  "librcc_txn.a"
+  "librcc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_workload.dir/workload/bookstore.cc.o"
+  "CMakeFiles/rcc_workload.dir/workload/bookstore.cc.o.d"
+  "CMakeFiles/rcc_workload.dir/workload/driver.cc.o"
+  "CMakeFiles/rcc_workload.dir/workload/driver.cc.o.d"
+  "CMakeFiles/rcc_workload.dir/workload/tpcd.cc.o"
+  "CMakeFiles/rcc_workload.dir/workload/tpcd.cc.o.d"
+  "librcc_workload.a"
+  "librcc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

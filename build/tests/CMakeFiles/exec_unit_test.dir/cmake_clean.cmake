@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_unit_test.dir/exec_unit_test.cpp.o"
+  "CMakeFiles/exec_unit_test.dir/exec_unit_test.cpp.o.d"
+  "exec_unit_test"
+  "exec_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
