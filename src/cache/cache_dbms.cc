@@ -61,6 +61,58 @@ Status CacheDbms::CreateLogicalView(const std::string& name,
   return catalog_.AddLogicalView(name, sql);
 }
 
+RemoteAttemptFn CacheDbms::MakeAttemptFn() const {
+  auto inner = [this](const SelectStmt& stmt) {
+    return backend_->ExecuteRemote(stmt);
+  };
+  if (fault_injector_ != nullptr) return fault_injector_->Wrap(inner);
+  // Healthy link: an attempt is just the back-end call, zero latency.
+  return [inner](const SelectStmt& stmt) {
+    RemoteAttempt attempt;
+    Result<RemoteResult> r = inner(stmt);
+    attempt.status = r.ok() ? Status::OK() : r.status();
+    if (r.ok()) attempt.data = std::move(r).value();
+    return attempt;
+  };
+}
+
+void CacheDbms::SetFaultInjector(FaultInjectorConfig config) {
+  fault_injector_ =
+      std::make_unique<FaultInjector>(std::move(config), backend_->clock());
+  if (remote_policy_ != nullptr) remote_policy_->set_attempt(MakeAttemptFn());
+}
+
+void CacheDbms::ClearFaultInjector() {
+  fault_injector_.reset();
+  if (remote_policy_ != nullptr) remote_policy_->set_attempt(MakeAttemptFn());
+}
+
+void CacheDbms::SetRemotePolicy(RemotePolicy policy) {
+  // Waiting (attempt latency, retry backoff) runs the simulation forward, so
+  // heartbeats and replication deliveries land while the policy waits.
+  remote_policy_ = std::make_unique<ResilientRemoteExecutor>(
+      policy, MakeAttemptFn(), backend_->clock(), [this](SimTimeMs delta) {
+        scheduler_->RunUntil(scheduler_->clock()->Now() + delta);
+      });
+}
+
+void CacheDbms::ClearRemotePolicy() { remote_policy_.reset(); }
+
+Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
+                                              ExecStats* stats) const {
+  if (remote_policy_ != nullptr) return remote_policy_->Execute(stmt, stats);
+  if (fault_injector_ != nullptr) {
+    // Vanilla channel under faults: one bare attempt, failures surface
+    // immediately.
+    RemoteAttempt attempt = fault_injector_->Execute(
+        stmt,
+        [this](const SelectStmt& s) { return backend_->ExecuteRemote(s); });
+    if (!attempt.status.ok()) return attempt.status;
+    return std::move(attempt.data);
+  }
+  return backend_->ExecuteRemote(stmt);
+}
+
 OptimizerOptions CacheDbms::default_options() const {
   OptimizerOptions opts;
   opts.mode = PlanMode::kCache;
@@ -79,28 +131,36 @@ Result<QueryPlan> CacheDbms::Prepare(const SelectStmt& stmt,
 }
 
 ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
-                                       SimTimeMs timeline_floor) const {
+                                       SimTimeMs timeline_floor,
+                                       DegradeMode degrade) const {
   ExecContext ctx;
   ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
     if (!target.is_view) return nullptr;  // no base tables on the cache
     auto it = views_.find(ToLower(target.name));
     return it == views_.end() ? nullptr : &it->second->data();
   };
-  ctx.remote_executor = [this](const SelectStmt& stmt) {
-    return backend_->ExecuteRemote(stmt);
+  ctx.remote_executor = [this, stats](const SelectStmt& stmt) {
+    return ExecuteRemote(stmt, stats);
   };
   ctx.local_heartbeat = [this](RegionId cid) { return LocalHeartbeat(cid); };
   ctx.clock = backend_->clock();
   ctx.stats = stats;
   ctx.timeline_floor_ms = timeline_floor;
+  ctx.degrade = degrade;
   return ctx;
 }
 
-Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
-    const QueryPlan& plan, SimTimeMs timeline_floor) {
+Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
+                                                     SimTimeMs timeline_floor,
+                                                     DegradeMode degrade) {
   CacheQueryOutcome out;
-  ExecContext ctx = MakeExecContext(&out.stats, timeline_floor);
-  RCC_ASSIGN_OR_RETURN(out.result, ExecutePlan(plan, &ctx));
+  ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade);
+  Result<ExecutedQuery> executed = ExecutePlan(plan, &ctx);
+  // Failed queries still spent retries / tripped the breaker; account for
+  // them in the link-wide counters.
+  cumulative_stats_.Accumulate(out.stats);
+  if (!executed.ok()) return executed.status();
+  out.result = std::move(executed).value();
   out.shape = plan.Shape();
   out.plan_text = plan.DescribeTree();
   out.constraint = plan.resolved.constraint;
@@ -110,9 +170,10 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
 }
 
 Result<CacheQueryOutcome> CacheDbms::Execute(const SelectStmt& stmt,
-                                             SimTimeMs timeline_floor) {
+                                             SimTimeMs timeline_floor,
+                                             DegradeMode degrade) {
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(stmt));
-  return ExecutePrepared(plan, timeline_floor);
+  return ExecutePrepared(plan, timeline_floor, degrade);
 }
 
 CurrencyRegion* CacheDbms::region(RegionId cid) {

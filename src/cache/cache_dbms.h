@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "backend/backend_server.h"
+#include "backend/fault_injector.h"
+#include "exec/remote_policy.h"
 #include "replication/agent.h"
 #include "replication/region.h"
 
@@ -62,6 +64,26 @@ class CacheDbms {
   /// Registers a logical (non-materialized) view usable in queries.
   Status CreateLogicalView(const std::string& name, const std::string& sql);
 
+  /// -- cache↔back-end link resilience -----------------------------------------
+
+  /// Installs a fault injector on the remote-query channel (latency spikes,
+  /// transient errors, outage windows; see FaultInjectorConfig). Replaces
+  /// any previous injector. Replication is unaffected: the injector models
+  /// the query channel only.
+  void SetFaultInjector(FaultInjectorConfig config);
+  void ClearFaultInjector();
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  /// Installs the resilient remote-execution policy (timeout, retries with
+  /// backoff, circuit breaker). Without it, remote queries are one bare
+  /// attempt — any failure surfaces immediately ("vanilla" behaviour).
+  /// While the policy waits (attempt latency, backoff) the simulation
+  /// scheduler advances, so heartbeats and replication deliveries land
+  /// during the wait.
+  void SetRemotePolicy(RemotePolicy policy);
+  void ClearRemotePolicy();
+  ResilientRemoteExecutor* remote_policy() { return remote_policy_.get(); }
+
   /// -- query pipeline -----------------------------------------------------------
 
   /// Parses nothing: takes an AST. Resolves, optimizes (cache mode) and
@@ -70,13 +92,16 @@ class CacheDbms {
   Result<QueryPlan> Prepare(const SelectStmt& stmt,
                             const OptimizerOptions& opts) const;
 
-  /// Executes a prepared plan. `timeline_floor` < 0 disables timeline mode.
-  Result<CacheQueryOutcome> ExecutePrepared(const QueryPlan& plan,
-                                            SimTimeMs timeline_floor = -1);
+  /// Executes a prepared plan. `timeline_floor` < 0 disables timeline mode;
+  /// `degrade` controls stale-serve behaviour when the remote branch fails.
+  Result<CacheQueryOutcome> ExecutePrepared(
+      const QueryPlan& plan, SimTimeMs timeline_floor = -1,
+      DegradeMode degrade = DegradeMode::kNone);
 
   /// Full pipeline: resolve + optimize + execute.
   Result<CacheQueryOutcome> Execute(const SelectStmt& stmt,
-                                    SimTimeMs timeline_floor = -1);
+                                    SimTimeMs timeline_floor = -1,
+                                    DegradeMode degrade = DegradeMode::kNone);
 
   /// -- accessors -------------------------------------------------------------------
   const Catalog& catalog() const { return catalog_; }
@@ -95,10 +120,22 @@ class CacheDbms {
 
   /// Builds the ExecContext used for local execution (exposed for benches
   /// that drive the executor directly).
-  ExecContext MakeExecContext(ExecStats* stats,
-                              SimTimeMs timeline_floor = -1) const;
+  ExecContext MakeExecContext(ExecStats* stats, SimTimeMs timeline_floor = -1,
+                              DegradeMode degrade = DegradeMode::kNone) const;
+
+  /// Counters accumulated over every query executed through this cache
+  /// (retries, timeouts, degraded serves, breaker trips, ...).
+  const ExecStats& cumulative_stats() const { return cumulative_stats_; }
+  void ResetCumulativeStats() { cumulative_stats_.Reset(); }
 
  private:
+  /// One remote execution through the configured stack: policy (if any) over
+  /// injector (if any) over the back-end adapter.
+  Result<RemoteResult> ExecuteRemote(const SelectStmt& stmt,
+                                     ExecStats* stats) const;
+  /// The attempt function feeding the policy layer (injector-wrapped or
+  /// plain back-end).
+  RemoteAttemptFn MakeAttemptFn() const;
   BackendServer* backend_;
   SimulationScheduler* scheduler_;
   CostParams costs_;
@@ -106,6 +143,9 @@ class CacheDbms {
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
   std::map<RegionId, std::unique_ptr<CurrencyRegion>> regions_;
   std::vector<std::unique_ptr<DistributionAgent>> agents_;
+  std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<ResilientRemoteExecutor> remote_policy_;
+  ExecStats cumulative_stats_;
 };
 
 }  // namespace rcc

@@ -17,9 +17,16 @@ class Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit construction from a non-OK status (failure).
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a bug (OK-without-value would make ok()
+  /// false while status().ok() is true, so error propagation would silently
+  /// return OK); the status is coerced to an Internal error so the mistake
+  /// surfaces deterministically in every build type.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ =
+          Status::Internal("Result constructed from OK status without a value");
+    }
   }
 
   Result(const Result&) = default;

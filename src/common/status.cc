@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kStaleOk:
+      return "StaleOk";
   }
   return "Unknown";
 }

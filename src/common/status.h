@@ -23,6 +23,12 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kUnavailable,
+  /// Advisory, not an error: a query was answered from local data that
+  /// misses (or only barely meets) its currency bound because the back-end
+  /// was unreachable — the paper's "return the data but with an error code"
+  /// contract (§1). Carried alongside a result, never returned as the
+  /// operation status of a failed call.
+  kStaleOk,
 };
 
 /// Returns a short human-readable name such as "ParseError".
@@ -68,6 +74,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status StaleOk(std::string msg) {
+    return Status(StatusCode::kStaleOk, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +87,8 @@ class Status {
     return code_ == StatusCode::kConstraintViolation;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsStaleOk() const { return code_ == StatusCode::kStaleOk; }
 
   /// Renders "<Code>: <message>" (or "OK").
   std::string ToString() const;

@@ -24,6 +24,16 @@ struct QueryResult {
   std::string message;
   /// Rows touched by a DML statement (INSERT/UPDATE/DELETE).
   int64_t rows_affected = 0;
+  /// True when some branch was answered from a local view after its remote
+  /// branch failed (see DegradeMode). The rows are correct data, just
+  /// possibly staler than the query's bound.
+  bool degraded = false;
+  /// Staleness (virtual ms) of the most stale degraded serve; 0 when not
+  /// degraded.
+  SimTimeMs staleness_ms = 0;
+  /// StaleOk advisory describing the degradation, Status::OK() otherwise —
+  /// the paper §1 "return the data but with an error code" behaviour.
+  Status advisory = Status::OK();
 
   /// Pretty ASCII table of the result rows (used by the examples).
   std::string ToTable(size_t max_rows = 20) const;

@@ -8,7 +8,44 @@
 
 namespace rcc {
 
+bool Session::ParseSetDegrade(const std::string& sql, DegradeMode* mode) {
+  // Normalize "=", tabs and the trailing ";" to spaces, then tokenize.
+  std::string normalized = sql;
+  for (char& c : normalized) {
+    if (c == '=' || c == ';' || c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  std::vector<std::string> words;
+  for (const std::string& piece : Split(normalized, ' ')) {
+    if (!piece.empty()) words.push_back(piece);
+  }
+  if (words.size() != 3 || !EqualsIgnoreCase(words[0], "SET") ||
+      !EqualsIgnoreCase(words[1], "DEGRADE")) {
+    return false;
+  }
+  if (EqualsIgnoreCase(words[2], "NONE")) {
+    *mode = DegradeMode::kNone;
+  } else if (EqualsIgnoreCase(words[2], "BOUNDED")) {
+    *mode = DegradeMode::kBounded;
+  } else if (EqualsIgnoreCase(words[2], "ALWAYS")) {
+    *mode = DegradeMode::kAlways;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Result<QueryResult> Session::Execute(const std::string& sql) {
+  // Session options are handled before SQL parsing (like BEGIN TIMEORDERED,
+  // they configure the session rather than run a query).
+  DegradeMode mode;
+  if (ParseSetDegrade(sql, &mode)) {
+    degrade_mode_ = mode;
+    QueryResult out;
+    out.message = std::string("degrade mode ") +
+                  std::string(DegradeModeName(degrade_mode_));
+    out.executed_at = system_->Now();
+    return out;
+  }
   RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return ExecuteStatement(stmt);
 }
@@ -40,7 +77,7 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
   SimTimeMs floor = timeordered_ ? timeline_floor_ : -1;
   RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
-                       cache->ExecutePrepared(plan, floor));
+                       cache->ExecutePrepared(plan, floor, degrade_mode_));
   if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor_) {
     timeline_floor_ = outcome.max_seen_heartbeat;
   }
@@ -51,6 +88,13 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   out.stats = outcome.stats;
   out.constraint = std::move(outcome.constraint);
   out.executed_at = outcome.executed_at;
+  if (out.stats.degraded_serves > 0) {
+    out.degraded = true;
+    out.staleness_ms = out.stats.degraded_staleness_ms;
+    out.advisory = Status::StaleOk(
+        "served from local view(s) " + std::to_string(out.staleness_ms) +
+        "ms stale after remote failure");
+  }
   return out;
 }
 

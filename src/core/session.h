@@ -43,6 +43,11 @@ class Session {
 
   bool in_timeordered() const { return timeordered_; }
 
+  /// Degradation policy for remote-branch failures in this session's
+  /// queries. Settable in SQL: SET DEGRADE = NONE | BOUNDED | ALWAYS.
+  DegradeMode degrade_mode() const { return degrade_mode_; }
+  void set_degrade_mode(DegradeMode mode) { degrade_mode_ = mode; }
+
   /// DML: builds the row operations (evaluating predicates against the
   /// master data) and forwards them as one transaction to the back-end —
   /// the cache never applies writes itself (paper §3 item 5).
@@ -54,9 +59,13 @@ class Session {
   SimTimeMs timeline_floor() const { return timeline_floor_; }
 
  private:
+  /// Recognizes "SET DEGRADE [=] <mode>" (handled before SQL parsing).
+  static bool ParseSetDegrade(const std::string& sql, DegradeMode* mode);
+
   RccSystem* system_;
   bool timeordered_ = false;
   SimTimeMs timeline_floor_ = -1;
+  DegradeMode degrade_mode_ = DegradeMode::kNone;
 };
 
 }  // namespace rcc

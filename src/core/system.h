@@ -54,6 +54,10 @@ class RccSystem {
   /// Creates an application session against the cache.
   std::unique_ptr<Session> CreateSession();
 
+  /// Link-wide resilience counters accumulated across every query executed
+  /// through the cache (retries, timeouts, breaker trips, degraded serves).
+  const ExecStats& cache_stats() const { return cache_.cumulative_stats(); }
+
   const SystemConfig& config() const { return config_; }
 
  private:

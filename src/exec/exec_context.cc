@@ -1,6 +1,20 @@
 #include "exec/exec_context.h"
 
+#include <algorithm>
+
 namespace rcc {
+
+std::string_view DegradeModeName(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kNone:
+      return "none";
+    case DegradeMode::kBounded:
+      return "bounded";
+    case DegradeMode::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
 
 void ExecStats::Accumulate(const ExecStats& other) {
   rows_returned += other.rows_returned;
@@ -8,6 +22,16 @@ void ExecStats::Accumulate(const ExecStats& other) {
   guard_evaluations += other.guard_evaluations;
   switch_local += other.switch_local;
   switch_remote += other.switch_remote;
+  remote_retries += other.remote_retries;
+  remote_timeouts += other.remote_timeouts;
+  breaker_opens += other.breaker_opens;
+  degraded_serves += other.degraded_serves;
+  degraded_staleness_ms = std::max(degraded_staleness_ms,
+                                   other.degraded_staleness_ms);
+  // The timeline-consistency floor input (paper §2.3): the merged object must
+  // reflect the newest snapshot either side has seen, or sessions that
+  // accumulate per-query stats would lose their floor.
+  max_seen_heartbeat = std::max(max_seen_heartbeat, other.max_seen_heartbeat);
 }
 
 }  // namespace rcc

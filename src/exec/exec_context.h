@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -19,6 +20,23 @@ struct RemoteResult {
   std::vector<Row> rows;
 };
 
+/// How a query may degrade when its remote branch fails and the local view
+/// misses (or meets) the currency bound (paper §1: "return the data but with
+/// an error code" instead of failing outright).
+enum class DegradeMode {
+  /// Never degrade: a remote-branch failure fails the query.
+  kNone,
+  /// Serve the local view only if a guard re-probe shows it satisfies the
+  /// currency bound (the bound may have become satisfiable while the retry
+  /// policy waited out back-end failures).
+  kBounded,
+  /// Serve the local view even beyond the bound, annotated with how stale it
+  /// is. The timeline-consistency floor is still enforced.
+  kAlways,
+};
+
+std::string_view DegradeModeName(DegradeMode mode);
+
 /// Per-query execution counters. Phase timings are real (steady-clock) time
 /// because the currency-guard overhead experiments (paper Tables 4.4/4.5)
 /// measure actual executor work; everything currency-related runs on the
@@ -30,6 +48,15 @@ struct ExecStats {
   /// SwitchUnion decisions.
   int64_t switch_local = 0;
   int64_t switch_remote = 0;
+  /// Resilience-policy events on the cache↔back-end link.
+  int64_t remote_retries = 0;
+  int64_t remote_timeouts = 0;
+  int64_t breaker_opens = 0;
+  /// Queries answered from a local view after the remote branch failed.
+  int64_t degraded_serves = 0;
+  /// Largest staleness (virtual ms) among this object's degraded serves;
+  /// 0 when none happened.
+  SimTimeMs degraded_staleness_ms = 0;
   /// Executor phases, milliseconds of real time.
   double setup_ms = 0;
   double run_ms = 0;
@@ -60,6 +87,9 @@ struct ExecContext {
 
   const VirtualClock* clock = nullptr;
   ExecStats* stats = nullptr;
+
+  /// Degradation policy for remote-branch failures (see DegradeMode).
+  DegradeMode degrade = DegradeMode::kNone;
 
   /// Plans for nested EXISTS/IN subqueries, keyed by AST node.
   const std::map<const SelectStmt*, SubPlan>* subplans = nullptr;

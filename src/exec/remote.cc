@@ -9,6 +9,25 @@ namespace rcc {
 
 namespace {
 
+/// Applies `fn` to every expression position of `stmt` (select items, WHERE,
+/// GROUP BY, HAVING, ORDER BY) and recurses into derived tables in FROM.
+/// Expression-nested subqueries (EXISTS/IN) are handled by the expression
+/// walkers themselves.
+Status ForEachStmtExpr(SelectStmt* stmt,
+                       const std::function<Status(Expr*)>& fn) {
+  for (auto& item : stmt->items) RCC_RETURN_NOT_OK(fn(item.expr.get()));
+  RCC_RETURN_NOT_OK(fn(stmt->where.get()));
+  for (auto& g : stmt->group_by) RCC_RETURN_NOT_OK(fn(g.get()));
+  RCC_RETURN_NOT_OK(fn(stmt->having.get()));
+  for (auto& o : stmt->order_by) RCC_RETURN_NOT_OK(fn(o.expr.get()));
+  for (auto& ref : stmt->from) {
+    if (ref.subquery) {
+      RCC_RETURN_NOT_OK(ForEachStmtExpr(ref.subquery.get(), fn));
+    }
+  }
+  return Status::OK();
+}
+
 /// Collects the FROM aliases of `stmt` and all nested blocks (these must NOT
 /// be parameterized away).
 void CollectOwnAliases(const SelectStmt& stmt, std::set<std::string>* out) {
@@ -16,15 +35,17 @@ void CollectOwnAliases(const SelectStmt& stmt, std::set<std::string>* out) {
     out->insert(ToLower(ref.alias));
     if (ref.subquery) CollectOwnAliases(*ref.subquery, out);
   }
-  std::function<void(const Expr*)> walk = [&](const Expr* e) {
-    if (e == nullptr) return;
+  std::function<Status(Expr*)> walk = [&](Expr* e) -> Status {
+    if (e == nullptr) return Status::OK();
     if (e->subquery) CollectOwnAliases(*e->subquery, out);
-    walk(e->left.get());
-    walk(e->right.get());
-    for (const auto& a : e->args) walk(a.get());
+    RCC_RETURN_NOT_OK(walk(e->left.get()));
+    RCC_RETURN_NOT_OK(walk(e->right.get()));
+    for (const auto& a : e->args) RCC_RETURN_NOT_OK(walk(a.get()));
+    return Status::OK();
   };
-  walk(stmt.where.get());
-  for (const auto& item : stmt.items) walk(item.expr.get());
+  // const_cast is safe: `walk` never mutates, it only needs the mutable
+  // signature that ForEachStmtExpr shares with the substitution pass.
+  ForEachStmtExpr(const_cast<SelectStmt*>(&stmt), walk);
 }
 
 /// Replaces column refs resolvable in the outer scope with literals.
@@ -53,12 +74,11 @@ Status SubstituteExpr(Expr* e, const std::set<std::string>& own,
   }
   if (e->subquery != nullptr) {
     // Nested blocks share the same "own" alias universe (already collected
-    // recursively).
-    SelectStmt* s = e->subquery.get();
-    if (s->where) RCC_RETURN_NOT_OK(SubstituteExpr(s->where.get(), own, outer));
-    for (auto& item : s->items) {
-      RCC_RETURN_NOT_OK(SubstituteExpr(item.expr.get(), own, outer));
-    }
+    // recursively). All their expression positions carry potential outer
+    // references, not only WHERE and the select list.
+    RCC_RETURN_NOT_OK(ForEachStmtExpr(
+        e->subquery.get(),
+        [&](Expr* sub) { return SubstituteExpr(sub, own, outer); }));
   }
   return Status::OK();
 }
@@ -70,18 +90,12 @@ Result<std::unique_ptr<SelectStmt>> ParameterizeStmt(const SelectStmt& stmt,
   auto clone = CloneSelectStmt(stmt);
   std::set<std::string> own;
   CollectOwnAliases(*clone, &own);
-  if (clone->where) {
-    RCC_RETURN_NOT_OK(SubstituteExpr(clone->where.get(), own, outer));
-  }
-  for (auto& item : clone->items) {
-    RCC_RETURN_NOT_OK(SubstituteExpr(item.expr.get(), own, outer));
-  }
-  for (auto& ref : clone->from) {
-    if (ref.subquery && ref.subquery->where) {
-      RCC_RETURN_NOT_OK(
-          SubstituteExpr(ref.subquery->where.get(), own, outer));
-    }
-  }
+  // Correlated outer references may sit in any expression position of the
+  // cloned statement — WHERE and the select list, but also GROUP BY, HAVING,
+  // ORDER BY and derived tables; all of them ship to the back-end and must be
+  // self-contained.
+  RCC_RETURN_NOT_OK(ForEachStmtExpr(
+      clone.get(), [&](Expr* e) { return SubstituteExpr(e, own, outer); }));
   return clone;
 }
 
@@ -91,14 +105,15 @@ Status RemoteQueryIterator::Open(const EvalScope* outer) {
   if (!ctx_->remote_executor) {
     return Status::Internal("no remote executor configured");
   }
-  Result<RemoteResult> result = Status::OK();
+  // Substitute outer references before shipping (possibly correlated).
+  const SelectStmt* stmt = op_.remote_stmt.get();
+  std::unique_ptr<SelectStmt> parameterized;
   if (outer != nullptr && outer->row != nullptr) {
-    // Possibly correlated: substitute outer references before shipping.
-    RCC_ASSIGN_OR_RETURN(auto stmt, ParameterizeStmt(*op_.remote_stmt, *outer));
-    result = ctx_->remote_executor(*stmt);
-  } else {
-    result = ctx_->remote_executor(*op_.remote_stmt);
+    RCC_ASSIGN_OR_RETURN(parameterized,
+                         ParameterizeStmt(*op_.remote_stmt, *outer));
+    stmt = parameterized.get();
   }
+  Result<RemoteResult> result = ctx_->remote_executor(*stmt);
   if (!result.ok()) return result.status();
   if (ctx_->stats != nullptr) {
     ++ctx_->stats->remote_queries;

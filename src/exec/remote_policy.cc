@@ -1,0 +1,60 @@
+#include "exec/remote_policy.h"
+
+#include <algorithm>
+#include <string>
+
+namespace rcc {
+
+Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
+                                                      ExecStats* stats) {
+  if (breaker_open()) {
+    return Status::Unavailable(
+        "circuit breaker open: back-end marked down until " +
+        FormatSimTime(breaker_open_until_));
+  }
+
+  Status last = Status::Unavailable("remote query not attempted");
+  for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff + jitter before re-issuing.
+      double scaled = static_cast<double>(policy_.backoff_base_ms);
+      for (int i = 1; i < attempt; ++i) scaled *= policy_.backoff_multiplier;
+      SimTimeMs delay = static_cast<SimTimeMs>(scaled);
+      if (policy_.backoff_jitter_ms > 0) {
+        delay += rng_.Uniform(0, policy_.backoff_jitter_ms);
+      }
+      Wait(delay);
+      if (stats != nullptr) ++stats->remote_retries;
+    }
+
+    RemoteAttempt result = attempt_(stmt);
+    // The caller never waits longer than the timeout for one attempt.
+    Wait(std::min(result.latency_ms, policy_.timeout_ms));
+    if (result.status.ok() && result.latency_ms > policy_.timeout_ms) {
+      last = Status::Unavailable(
+          "remote attempt timed out after " +
+          FormatSimTime(policy_.timeout_ms) + " (back-end took " +
+          FormatSimTime(result.latency_ms) + ")");
+      if (stats != nullptr) ++stats->remote_timeouts;
+    } else if (!result.status.ok()) {
+      last = result.status;
+    } else {
+      consecutive_failures_ = 0;
+      return std::move(result.data);
+    }
+
+    if (policy_.breaker_threshold > 0 &&
+        ++consecutive_failures_ >= policy_.breaker_threshold) {
+      breaker_open_until_ = clock_->Now() + policy_.breaker_cooldown_ms;
+      consecutive_failures_ = 0;
+      ++breaker_opens_;
+      if (stats != nullptr) ++stats->breaker_opens;
+      // Opening the breaker abandons the remaining retries: the link is
+      // considered down, not flaky.
+      break;
+    }
+  }
+  return last;
+}
+
+}  // namespace rcc

@@ -1,5 +1,7 @@
 #include "exec/switch_union.h"
 
+#include <string>
+
 namespace rcc {
 
 bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
@@ -43,6 +45,64 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
     }
   }
   chosen_ = cached_decision_ == 1 ? local_.get() : remote_.get();
+  Status st = chosen_->Open(outer);
+  if (!st.ok() && chosen_ == remote_.get()) {
+    return DegradeToLocal(outer, std::move(st));
+  }
+  if (st.ok() && chosen_ == remote_.get()) served_remote_ = true;
+  return st;
+}
+
+Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
+                                           Status remote_error) {
+  if (ctx_->degrade == DegradeMode::kNone || local_ == nullptr) {
+    return remote_error;
+  }
+  if (served_remote_) {
+    // An earlier probe of this execution already produced remote rows;
+    // switching branches mid-join would mix snapshots within one operand.
+    return remote_error;
+  }
+  // Re-probe the guard: the retry policy may have waited through a
+  // replication delivery, so the local view can be fresher than at the first
+  // probe (possibly even within the bound again).
+  SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region);
+  SimTimeMs now = ctx_->clock->Now();
+  SimTimeMs staleness = now - hb;
+  bool within_bound = hb > now - op_.guard_bound_ms;
+  if (ctx_->stats != nullptr) ++ctx_->stats->guard_evaluations;
+  // The timeline-consistency floor is never relaxed, not even in kAlways
+  // mode: serving data older than what the session already saw would break
+  // the §2.3 contract outright rather than merely stretch a bound.
+  if (ctx_->timeline_floor_ms >= 0 && hb < ctx_->timeline_floor_ms) {
+    return Status::ConstraintViolation(
+        "cannot degrade: local replica of region " +
+        std::to_string(op_.guard_region) + " (heartbeat " +
+        FormatSimTime(hb) + ") is older than the session timeline floor " +
+        FormatSimTime(ctx_->timeline_floor_ms) +
+        "; remote branch failed with: " + remote_error.ToString());
+  }
+  if (!within_bound && ctx_->degrade == DegradeMode::kBounded) {
+    return Status::Unavailable(
+        "cannot degrade within bound: local replica of region " +
+        std::to_string(op_.guard_region) + " is " + FormatSimTime(staleness) +
+        " stale, bound is " + FormatSimTime(op_.guard_bound_ms) +
+        "; remote branch failed with: " + remote_error.ToString());
+  }
+  // Serve the local view, flagged stale (the paper's "return the data but
+  // with an error code"). Later re-opens (inner side of nested-loop joins)
+  // must stick to the local branch so all probes read one snapshot.
+  cached_decision_ = 1;
+  if (ctx_->stats != nullptr) {
+    ++ctx_->stats->degraded_serves;
+    if (staleness > ctx_->stats->degraded_staleness_ms) {
+      ctx_->stats->degraded_staleness_ms = staleness;
+    }
+    if (hb > ctx_->stats->max_seen_heartbeat) {
+      ctx_->stats->max_seen_heartbeat = hb;
+    }
+  }
+  chosen_ = local_.get();
   return chosen_->Open(outer);
 }
 

@@ -34,6 +34,11 @@ class SwitchUnionIterator : public RowIterator {
   static bool EvaluateGuard(const PhysicalOp& op, ExecContext* ctx);
 
  private:
+  /// Remote branch failed at Open: per ctx->degrade, re-probe the guard and
+  /// serve the local branch (flagged stale via ExecStats) or propagate
+  /// `remote_error`. The timeline floor is enforced in every mode.
+  Status DegradeToLocal(const EvalScope* outer, Status remote_error);
+
   const PhysicalOp& op_;
   ExecContext* ctx_;
   std::unique_ptr<RowIterator> local_;
@@ -43,6 +48,9 @@ class SwitchUnionIterator : public RowIterator {
   /// (inner side of nested-loop joins): all probes must read the same branch
   /// or one operand's rows could mix snapshots. -1 = not yet evaluated.
   int cached_decision_ = -1;
+  /// True once the remote branch opened successfully; blocks a later
+  /// degraded switch to the local branch (snapshot mixing).
+  bool served_remote_ = false;
 };
 
 }  // namespace rcc

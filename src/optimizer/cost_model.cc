@@ -15,7 +15,21 @@ double EstimateLocalProbability(SimTimeMs bound_ms, SimTimeMs delay_ms,
 
 double SwitchUnionCost(double p, double local_cost, double remote_cost,
                        const CostParams& params) {
-  return p * local_cost + (1.0 - p) * remote_cost + params.guard_ms;
+  double remote_eff = remote_cost;
+  double q = std::clamp(params.remote_failure_rate, 0.0, 0.95);
+  if (q > 0) {
+    // Geometric expectation of retry rounds before a success.
+    remote_eff += q / (1.0 - q) * (params.remote_retry_ms +
+                                   params.remote_rtt_ms);
+  }
+  double o = std::clamp(params.remote_outage_rate, 0.0, 1.0);
+  if (o > 0) {
+    // Degraded branch: the retry budget is burned, then a guard re-probe and
+    // the local serve replace the remote result.
+    double degraded = params.remote_retry_ms + params.guard_ms + local_cost;
+    remote_eff = (1.0 - o) * remote_eff + o * degraded;
+  }
+  return p * local_cost + (1.0 - p) * remote_eff + params.guard_ms;
 }
 
 double FullScanCost(const TableStats& stats, const CostParams& params) {

@@ -31,6 +31,16 @@ struct CostParams {
   /// Evaluating one currency guard (heartbeat probe + comparison).
   double guard_ms = 0.03;
   double page_bytes = 8192.0;
+  /// -- fault model (resilient remote policy; all default to a healthy link
+  /// so existing plan choices are unchanged) ------------------------------
+  /// Probability that one remote attempt fails transiently and is retried.
+  double remote_failure_rate = 0.0;
+  /// Charged per retry round: backoff wait + re-issue overhead.
+  double remote_retry_ms = 1.0;
+  /// Probability that the back-end is hard-down (outage / open breaker) when
+  /// the remote branch fires; the query then degrades to a guard re-probe
+  /// plus a local-view serve.
+  double remote_outage_rate = 0.0;
 };
 
 /// The paper's Eq. (1): probability that the local branch of a guarded plan
@@ -44,7 +54,16 @@ double EstimateLocalProbability(SimTimeMs bound_ms, SimTimeMs delay_ms,
                                 SimTimeMs interval_ms);
 
 /// Expected cost of a SwitchUnion with a currency guard (paper §3.2.4):
-///   c = p * c_local + (1 - p) * c_remote + c_guard.
+///   c = p * c_local + (1 - p) * c_remote_eff + c_guard
+/// where c_remote_eff extends the paper's c_remote with the fault model:
+/// transient failures add the geometric expectation of retry rounds
+/// (q/(1-q) rounds of backoff + round trip for attempt-failure rate q), and
+/// a hard outage (rate o) replaces the remote serve with the degraded
+/// branch — one guard re-probe plus the local serve:
+///   c_remote_eff = (1-o) * (c_remote + q/(1-q) * (retry + rtt))
+///                +    o  * (retry_budget + guard + c_local).
+/// With the default healthy-link parameters (q = o = 0) this reduces
+/// exactly to the paper's formula.
 double SwitchUnionCost(double p, double local_cost, double remote_cost,
                        const CostParams& params);
 

@@ -28,16 +28,25 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
   // Deliveries are scheduled in wake-up order with a constant delay, so
   // snapshot positions arrive non-decreasing.
   size_t from = region_->applied_log_pos();
+  // Ops of one transaction typically hit one table; memoize the last
+  // lower-casing so the common case pays no allocation either.
+  std::string last_table;
+  std::string last_lower;
   for (size_t i = from; i < snapshot_pos; ++i) {
     const CommittedTxn& txn = log_->at(i);
     // Apply the whole transaction to every view in the region before moving
     // to the next one: commit-order, transaction-at-a-time application.
     for (const RowOp& op : txn.ops) {
-      for (MaterializedView* view : region_->views()) {
-        if (EqualsIgnoreCase(view->def().source_table, op.table)) {
-          view->ApplyOp(op);
-          ++ops_applied_;
-        }
+      if (op.table != last_table) {
+        last_table = op.table;
+        last_lower = ToLower(op.table);
+      }
+      const std::vector<MaterializedView*>* views =
+          region_->ViewsOf(last_lower);
+      if (views == nullptr) continue;
+      for (MaterializedView* view : *views) {
+        view->ApplyOp(op);
+        ++ops_applied_;
       }
     }
   }

@@ -112,4 +112,15 @@ void MaterializedView::PopulateFrom(const Table& master) {
   });
 }
 
+void CurrencyRegion::AddView(MaterializedView* view) {
+  views_.push_back(view);
+  views_by_source_[ToLower(view->def().source_table)].push_back(view);
+}
+
+const std::vector<MaterializedView*>* CurrencyRegion::ViewsOf(
+    const std::string& lower_table) const {
+  auto it = views_by_source_.find(lower_table);
+  return it == views_by_source_.end() ? nullptr : &it->second;
+}
+
 }  // namespace rcc

@@ -1,6 +1,7 @@
 #ifndef RCC_REPLICATION_REGION_H_
 #define RCC_REPLICATION_REGION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,8 +79,15 @@ class CurrencyRegion {
   const RegionDef& def() const { return def_; }
   RegionId id() const { return def_.cid; }
 
-  void AddView(MaterializedView* view) { views_.push_back(view); }
+  void AddView(MaterializedView* view);
   const std::vector<MaterializedView*>& views() const { return views_; }
+
+  /// Views whose source is `lower_table` (an already lower-cased table
+  /// name); nullptr when the region maintains none. This is the delivery
+  /// hot path: one map lookup per row op instead of a case-insensitive
+  /// string compare per (op × view).
+  const std::vector<MaterializedView*>* ViewsOf(
+      const std::string& lower_table) const;
 
   /// Local heartbeat timestamp T: all back-end updates committed at or before
   /// virtual time T have been applied here.
@@ -101,6 +109,8 @@ class CurrencyRegion {
  private:
   RegionDef def_;
   std::vector<MaterializedView*> views_;
+  /// Lower-cased source-table name → views maintained from it.
+  std::map<std::string, std::vector<MaterializedView*>> views_by_source_;
   SimTimeMs local_heartbeat_ = 0;
   TxnTimestamp as_of_ = kInitialTimestamp;
   size_t applied_log_pos_ = 0;

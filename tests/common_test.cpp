@@ -31,7 +31,8 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kParseError,
         StatusCode::kConstraintViolation, StatusCode::kNotSupported,
-        StatusCode::kInternal, StatusCode::kUnavailable}) {
+        StatusCode::kInternal, StatusCode::kUnavailable,
+        StatusCode::kStaleOk}) {
     EXPECT_FALSE(StatusCodeName(code).empty());
     EXPECT_NE(StatusCodeName(code), "Unknown");
   }
@@ -49,6 +50,34 @@ TEST(ResultTest, HoldsError) {
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotFound());
   EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(StatusTest, StaleOkIsAdvisory) {
+  Status st = Status::StaleOk("2000ms stale");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsStaleOk());
+  EXPECT_EQ(st.code(), StatusCode::kStaleOk);
+}
+
+TEST(ResultTest, RejectsOkStatusWithoutValue) {
+  // A Result built from an OK status would be ok()==false while
+  // status().ok()==true — error propagation (RCC_ASSIGN_OR_RETURN) would then
+  // silently return OK from the enclosing function. The constructor coerces
+  // such a status to an Internal error instead.
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, RejectedOkStatusDoesNotPropagateAsSuccess) {
+  auto passthrough = [](Result<int> in) -> Result<int> {
+    RCC_ASSIGN_OR_RETURN(int v, std::move(in));
+    return v;
+  };
+  Result<int> out = passthrough(Status::OK());
+  ASSERT_FALSE(out.ok());
+  EXPECT_FALSE(out.status().ok());
 }
 
 Result<int> Doubler(Result<int> in) {

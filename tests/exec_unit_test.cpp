@@ -279,6 +279,46 @@ TEST_F(ExecUnitTest, GuardTimelineFloor) {
   EXPECT_TRUE(SwitchUnionIterator::EvaluateGuard(op, &ctx_));
 }
 
+// -- ExecStats --------------------------------------------------------------------
+
+TEST(ExecStatsTest, AccumulateMergesHeartbeatWithMax) {
+  // max_seen_heartbeat is an input of the session timeline floor; dropping it
+  // in Accumulate (or overwriting with the later value) would let a
+  // time-ordered session regress below data it already saw.
+  ExecStats total;
+  ExecStats first;
+  first.max_seen_heartbeat = 9000;
+  ExecStats second;
+  second.max_seen_heartbeat = 4000;
+  total.Accumulate(first);
+  total.Accumulate(second);
+  EXPECT_EQ(total.max_seen_heartbeat, 9000);
+  // -1 (= no source touched) never wins over a real timestamp.
+  total.Accumulate(ExecStats());
+  EXPECT_EQ(total.max_seen_heartbeat, 9000);
+}
+
+TEST(ExecStatsTest, AccumulateSumsResilienceCounters) {
+  ExecStats total;
+  ExecStats a;
+  a.remote_retries = 2;
+  a.remote_timeouts = 1;
+  a.breaker_opens = 1;
+  a.degraded_serves = 1;
+  a.degraded_staleness_ms = 7000;
+  ExecStats b;
+  b.remote_retries = 3;
+  b.degraded_serves = 2;
+  b.degraded_staleness_ms = 2500;
+  total.Accumulate(a);
+  total.Accumulate(b);
+  EXPECT_EQ(total.remote_retries, 5);
+  EXPECT_EQ(total.remote_timeouts, 1);
+  EXPECT_EQ(total.breaker_opens, 1);
+  EXPECT_EQ(total.degraded_serves, 3);
+  EXPECT_EQ(total.degraded_staleness_ms, 7000);  // max, not sum
+}
+
 // -- ParameterizeStmt -------------------------------------------------------------
 
 TEST(ParameterizeTest, SubstitutesOuterRefsOnly) {
@@ -309,6 +349,48 @@ TEST(ParameterizeTest, UnresolvableOuterRefFails) {
   ASSERT_TRUE(stmt.ok());
   EvalScope empty;
   EXPECT_FALSE(ParameterizeStmt(**stmt, empty).ok());
+}
+
+TEST(ParameterizeTest, SubstitutesInAllClauses) {
+  // Outer refs must be substituted everywhere an expression can appear —
+  // GROUP BY, HAVING and ORDER BY included, not just WHERE and the select
+  // items (a remote statement shipping an unresolved outer name fails at the
+  // back-end resolver).
+  auto stmt = ParseSelect(
+      "SELECT S.a, SUM(S.b) FROM SalesT S WHERE S.k > 0 "
+      "GROUP BY S.a, OuterT.x HAVING SUM(S.b) > OuterT.x "
+      "ORDER BY OuterT.x DESC");
+  ASSERT_TRUE(stmt.ok());
+  RowLayout layout;
+  layout.Add(7, "x", ValueType::kInt64);
+  Row row{Value::Int(42)};
+  AliasMap aliases;
+  aliases["outert"] = 7;
+  EvalScope scope;
+  scope.layout = &layout;
+  scope.row = &row;
+  scope.aliases = &aliases;
+
+  auto parameterized = ParameterizeStmt(**stmt, scope);
+  ASSERT_TRUE(parameterized.ok());
+  std::string text = (*parameterized)->ToString();
+  EXPECT_EQ(text.find("OuterT"), std::string::npos) << text;
+  EXPECT_NE(text.find("GROUP BY"), std::string::npos) << text;
+  EXPECT_NE(text.find("HAVING"), std::string::npos) << text;
+  EXPECT_NE(text.find("ORDER BY"), std::string::npos) << text;
+}
+
+TEST(ParameterizeTest, OwnAliasInGroupByNotTreatedAsOuter) {
+  // A table's own alias referenced only in GROUP BY / ORDER BY must be
+  // recognized as local (alias collection walks every clause too).
+  auto stmt = ParseSelect(
+      "SELECT COUNT(1) FROM SalesT S GROUP BY S.a ORDER BY S.a");
+  ASSERT_TRUE(stmt.ok());
+  EvalScope empty;
+  auto parameterized = ParameterizeStmt(**stmt, empty);
+  ASSERT_TRUE(parameterized.ok())
+      << parameterized.status().ToString();
+  EXPECT_NE((*parameterized)->ToString().find("S.a"), std::string::npos);
 }
 
 TEST(ParameterizeTest, NestedSubqueryHandled) {

@@ -253,6 +253,47 @@ TEST_F(AgentTest, SawtoothCurrencyCycle) {
   EXPECT_NEAR(static_cast<double>(c1), 12000.0, 200.0);
 }
 
+TEST_F(AgentTest, DeliveryMatchesTableNamesCaseInsensitively) {
+  // Ops logged with a differently-cased table name ("ITEMS" vs the view's
+  // source "Items") must still reach the view: our SQL dialect treats
+  // identifiers case-insensitively everywhere else.
+  Setup(10000, 0);
+  sched_.RunUntil(1000);
+  CommittedTxn txn;
+  txn.id = ++last_ts_;
+  txn.commit_time = 1000;
+  RowOp op;
+  op.kind = RowOp::Kind::kInsert;
+  op.table = "ITEMS";
+  op.row = ItemRow(1, 0, 1.5);
+  txn.ops.push_back(std::move(op));
+  // A second op for a table no view subscribes to is skipped, not fatal.
+  RowOp other;
+  other.kind = RowOp::Kind::kInsert;
+  other.table = "Unrelated";
+  other.row = ItemRow(2, 0, 2.5);
+  txn.ops.push_back(std::move(other));
+  log_.Append(std::move(txn));
+  sched_.RunUntil(10000);
+  EXPECT_EQ(view_->data().num_rows(), 1u);
+  EXPECT_NE(view_->data().Get({Value::Int(1)}), nullptr);
+}
+
+TEST(CurrencyRegionTest, ViewsOfIndexesBySourceTable) {
+  RegionDef def;
+  def.cid = 1;
+  CurrencyRegion region(def);
+  TableDef items = ItemsDef();
+  auto view = MaterializedView::Create(FullView(), items);
+  ASSERT_TRUE(view.ok());
+  region.AddView(view->get());
+  ASSERT_NE(region.ViewsOf("items"), nullptr);
+  EXPECT_EQ(region.ViewsOf("items")->size(), 1u);
+  // The map is keyed by lower-cased names; unknown tables yield nullptr.
+  EXPECT_EQ(region.ViewsOf("Items"), nullptr);
+  EXPECT_EQ(region.ViewsOf("ghost"), nullptr);
+}
+
 TEST_F(AgentTest, RandomizedViewMatchesMasterSnapshot) {
   // Property: after any delivery, the view equals the master table as of the
   // region's as_of timestamp (mutual-consistency invariant of a region).
