@@ -1,0 +1,105 @@
+// QPS scaling of the concurrent batch engine: the paper's guard workload
+// (point lookups + range scans with relaxed currency bounds, so guards pass
+// and queries stay on the cache) executed through RccSystem::ExecuteConcurrent
+// at 1, 2, 4 and 8 workers. Speedups are bounded by the host's core count —
+// the harness prints hardware_concurrency so numbers from small containers
+// read correctly.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+
+namespace rcc {
+namespace bench {
+namespace {
+
+std::vector<std::string> MakeWorkload(int queries) {
+  // Read-mostly mix modelled on the §4.3 guard queries: mostly Q1-style
+  // clustered point lookups, with a Q3-style wide scan every 8th query. The
+  // 10-minute bounds keep every guard passing, so the batch measures pure
+  // cache-side execution (the remote channel is serialized and would
+  // otherwise dominate).
+  std::vector<std::string> sqls;
+  sqls.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
+    if (i % 8 == 7) {
+      sqls.push_back(
+          "SELECT c_custkey, c_acctbal FROM Customer C "
+          "WHERE C.c_acctbal > 5000 CURRENCY BOUND 10 MIN ON (C)");
+    } else {
+      int key = 1 + (i * 37) % 1000;
+      sqls.push_back(
+          "SELECT c_custkey, c_name, c_acctbal FROM Customer C "
+          "WHERE C.c_custkey = " +
+          std::to_string(key) + " CURRENCY BOUND 10 MIN ON (C)");
+    }
+  }
+  return sqls;
+}
+
+void Run() {
+  PrintHeader("Concurrent batch throughput (worker-pool scaling)");
+  std::printf("hardware_concurrency: %u, ThreadPool default: %d\n",
+              std::thread::hardware_concurrency(),
+              ThreadPool::DefaultWorkers());
+
+  auto sys = MakePaperSystem(/*scale=*/0.05);
+  const int kQueries = 512;
+  std::vector<std::string> sqls = MakeWorkload(kQueries);
+
+  // Warm-up pass (first-touch allocations, catalog caches).
+  {
+    ConcurrentBatchOptions opts;
+    opts.workers = 1;
+    auto results = sys->ExecuteConcurrent(sqls, opts);
+    int64_t rows = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+      rows += static_cast<int64_t>(r->rows.size());
+    }
+    std::printf("workload: %d queries/batch, %lld rows/batch\n", kQueries,
+                static_cast<long long>(rows));
+  }
+
+  std::printf("\n  %-8s %-12s %-12s %s\n", "workers", "batch(ms)", "QPS",
+              "speedup vs 1");
+  double base_qps = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    ConcurrentBatchOptions opts;
+    opts.workers = workers;
+    // Best of several batches: scheduler noise only ever adds time.
+    double best_ms = -1;
+    for (int rep = 0; rep < 5; ++rep) {
+      double elapsed = TimeMs([&] {
+        auto results = sys->ExecuteConcurrent(sqls, opts);
+        if (!results.front().ok() || !results.back().ok()) std::exit(1);
+      });
+      if (best_ms < 0 || elapsed < best_ms) best_ms = elapsed;
+    }
+    double qps = kQueries / (best_ms / 1000.0);
+    if (workers == 1) base_qps = qps;
+    std::printf("  %-8d %-12.1f %-12.0f %.2fx\n", workers, best_ms, qps,
+                qps / base_qps);
+  }
+  std::printf(
+      "\nNote: speedup is capped by physical cores; on a single-core host\n"
+      "all worker counts collapse to ~1x while remaining correct (the\n"
+      "equivalence tests in concurrency_test assert pooled == serial).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rcc
+
+int main() {
+  rcc::bench::Run();
+  return 0;
+}

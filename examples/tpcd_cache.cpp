@@ -41,7 +41,7 @@ int main() {
   std::printf("\n  stale: ");
   for (int t = 30; t <= 75; t += 3) {
     sys.AdvanceTo(t * 1000);
-    SimTimeMs s = sys.Now() - sys.cache()->LocalHeartbeat(1);
+    SimTimeMs s = sys.Now() - sys.cache()->LocalHeartbeat(1).value_or(0);
     std::printf("%5.1fs", static_cast<double>(s) / 1000.0);
   }
   std::printf("\n");

@@ -53,10 +53,25 @@ Result<TxnTimestamp> BackendServer::ExecuteTransaction(
         RCC_RETURN_NOT_OK(table->Insert(op.row));
         op.key = table->KeyOf(op.row);
         break;
-      case RowOp::Kind::kUpdate:
-        RCC_RETURN_NOT_OK(table->Update(op.row));
-        op.key = table->KeyOf(op.row);
+      case RowOp::Kind::kUpdate: {
+        // The logged key is the *pre-image* primary key: replicas use it to
+        // find the row this update replaces. Writers that didn't set it are
+        // declaring the key unchanged; a key-changing update is applied as
+        // delete(old) + insert(new) at the master.
+        TableKey new_key = table->KeyOf(op.row);
+        if (op.key.empty()) op.key = new_key;
+        if (op.key != new_key) {
+          if (table->Get(op.key) == nullptr) {
+            return Status::NotFound("update pre-image not found in " +
+                                    op.table);
+          }
+          RCC_RETURN_NOT_OK(table->Delete(op.key));
+          RCC_RETURN_NOT_OK(table->Insert(op.row));
+        } else {
+          RCC_RETURN_NOT_OK(table->Update(op.row));
+        }
         break;
+      }
       case RowOp::Kind::kDelete:
         RCC_RETURN_NOT_OK(table->Delete(op.key));
         break;
@@ -83,7 +98,8 @@ Result<ExecutedQuery> BackendServer::ExecuteQuery(const SelectStmt& stmt) {
   ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
     return target.is_view ? nullptr : table(target.name);
   };
-  ctx.local_heartbeat = [](RegionId) { return SimTimeMs{0}; };
+  // The back-end has no currency regions; back-end plans never carry guards.
+  ctx.local_heartbeat = [](RegionId) { return std::optional<SimTimeMs>{}; };
   ctx.clock = clock_;
   ctx.stats = &stats_;
   return ExecutePlan(plan, &ctx);

@@ -1,5 +1,7 @@
 #include "cache/cache_dbms.h"
 
+#include <shared_mutex>
+
 #include "common/strings.h"
 #include "semantics/resolver.h"
 
@@ -89,9 +91,14 @@ void CacheDbms::ClearFaultInjector() {
 
 void CacheDbms::SetRemotePolicy(RemotePolicy policy) {
   // Waiting (attempt latency, retry backoff) runs the simulation forward, so
-  // heartbeats and replication deliveries land while the policy waits.
+  // heartbeats and replication deliveries land while the policy waits. In
+  // concurrent-batch mode the wait is a no-op instead: the scheduler is not
+  // thread-safe and the virtual clock stays frozen for the whole batch, so
+  // retries collapse to one instant of virtual time (the documented
+  // null-WaitFn behaviour of ResilientRemoteExecutor).
   remote_policy_ = std::make_unique<ResilientRemoteExecutor>(
       policy, MakeAttemptFn(), backend_->clock(), [this](SimTimeMs delta) {
+        if (in_concurrent_batch()) return;
         scheduler_->RunUntil(scheduler_->clock()->Now() + delta);
       });
 }
@@ -100,6 +107,9 @@ void CacheDbms::ClearRemotePolicy() { remote_policy_.reset(); }
 
 Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
                                               ExecStats* stats) const {
+  // The whole remote stack (breaker state, injector RNG, back-end executor
+  // counters) is single-threaded; workers of a concurrent batch take turns.
+  std::lock_guard<std::mutex> channel_guard(remote_mutex_);
   if (remote_policy_ != nullptr) return remote_policy_->Execute(stmt, stats);
   if (fault_injector_ != nullptr) {
     // Vanilla channel under faults: one bare attempt, failures surface
@@ -155,10 +165,26 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
                                                      DegradeMode degrade) {
   CacheQueryOutcome out;
   ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade);
+  // Concurrent batch: hold every region's data lock shared while the plan
+  // runs, so a replication delivery (exclusive) can never mutate a view
+  // mid-scan. Regions are locked in ascending cid order (map order), the
+  // engine-wide lock hierarchy. Serial mode skips this: the single thread
+  // may re-enter the scheduler (policy waits), and a Deliver fired from
+  // there taking the exclusive lock over our shared one would self-deadlock.
+  std::vector<std::shared_lock<std::shared_mutex>> region_guards;
+  if (in_concurrent_batch()) {
+    region_guards.reserve(regions_.size());
+    for (const auto& [cid, region] : regions_) {
+      region_guards.emplace_back(region->data_lock());
+    }
+  }
   Result<ExecutedQuery> executed = ExecutePlan(plan, &ctx);
   // Failed queries still spent retries / tripped the breaker; account for
-  // them in the link-wide counters.
-  cumulative_stats_.Accumulate(out.stats);
+  // them in the link-wide counters (worker threads accumulate under a lock).
+  {
+    std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+    cumulative_stats_.Accumulate(out.stats);
+  }
   if (!executed.ok()) return executed.status();
   out.result = std::move(executed).value();
   out.shape = plan.Shape();
@@ -191,9 +217,10 @@ MaterializedView* CacheDbms::view(std::string_view name) {
   return it == views_.end() ? nullptr : it->second.get();
 }
 
-SimTimeMs CacheDbms::LocalHeartbeat(RegionId cid) const {
+std::optional<SimTimeMs> CacheDbms::LocalHeartbeat(RegionId cid) const {
   const CurrencyRegion* r = region(cid);
-  return r == nullptr ? 0 : r->local_heartbeat();
+  if (r == nullptr) return std::nullopt;
+  return r->local_heartbeat();
 }
 
 }  // namespace rcc

@@ -1,8 +1,11 @@
 #ifndef RCC_CACHE_CACHE_DBMS_H_
 #define RCC_CACHE_CACHE_DBMS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -103,6 +106,27 @@ class CacheDbms {
                                     SimTimeMs timeline_floor = -1,
                                     DegradeMode degrade = DegradeMode::kNone);
 
+  /// -- concurrent batch mode ---------------------------------------------------
+
+  /// Enters concurrent-batch mode (`RccSystem::ExecuteConcurrent`). While
+  /// active: (a) every ExecutePrepared holds all region data locks shared
+  /// for the duration of its plan, so replication deliveries — which take a
+  /// region's lock exclusively — can never interleave with a scan; (b) the
+  /// remote channel is serialized behind a mutex (policy/injector state is
+  /// single-threaded); (c) resilience-policy waits stop advancing the
+  /// simulation scheduler, freezing the virtual clock so every query in the
+  /// batch observes the same instant. The scheduler must only be run between
+  /// batches (the determinism contract; see DESIGN.md §8).
+  void BeginConcurrentBatch() {
+    concurrent_batch_.store(true, std::memory_order_release);
+  }
+  void EndConcurrentBatch() {
+    concurrent_batch_.store(false, std::memory_order_release);
+  }
+  bool in_concurrent_batch() const {
+    return concurrent_batch_.load(std::memory_order_acquire);
+  }
+
   /// -- accessors -------------------------------------------------------------------
   const Catalog& catalog() const { return catalog_; }
   BackendServer* backend() const { return backend_; }
@@ -112,8 +136,10 @@ class CacheDbms {
   const std::vector<std::unique_ptr<DistributionAgent>>& agents() const {
     return agents_;
   }
-  /// Local heartbeat value for a region (the currency-guard input).
-  SimTimeMs LocalHeartbeat(RegionId cid) const;
+  /// Local heartbeat value for a region (the currency-guard input); nullopt
+  /// when the region is unknown — guards must treat that as "freshness not
+  /// certifiable", not as stale-since-simulation-start.
+  std::optional<SimTimeMs> LocalHeartbeat(RegionId cid) const;
 
   const CostParams& costs() const { return costs_; }
   OptimizerOptions default_options() const;
@@ -146,6 +172,13 @@ class CacheDbms {
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<ResilientRemoteExecutor> remote_policy_;
   ExecStats cumulative_stats_;
+  /// Guards cumulative_stats_: queries of a concurrent batch accumulate from
+  /// worker threads.
+  std::mutex stats_mutex_;
+  /// Serializes the remote channel (policy retries/breaker, injector RNG,
+  /// back-end executor stats are all single-threaded state).
+  mutable std::mutex remote_mutex_;
+  std::atomic<bool> concurrent_batch_{false};
 };
 
 }  // namespace rcc

@@ -72,7 +72,10 @@ struct RegionDef {
 };
 
 /// Schema + statistics + region metadata shared by the back-end and cache.
-/// Thread-unsafe by design: the simulator is single-threaded.
+/// Mutations (AddTable/AddView/AddRegion/SetStats) are single-threaded setup
+/// operations; once the system is configured, catalogs are read-only and the
+/// const accessors are safe to call from concurrent query workers
+/// (DESIGN.md §8).
 class Catalog {
  public:
   Catalog() = default;

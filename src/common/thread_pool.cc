@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+
+namespace rcc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Per-call completion state, shared with the wrapped tasks so overlapping
+  // Run calls (from different threads) each wait on their own batch only.
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    Submit([barrier, body = std::move(task)] {
+      body();
+      std::lock_guard<std::mutex> lock(barrier->mu);
+      if (--barrier->remaining == 0) barrier->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(barrier->mu);
+  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+}
+
+int ThreadPool::DefaultWorkers() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rcc

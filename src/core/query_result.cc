@@ -4,6 +4,25 @@
 
 namespace rcc {
 
+QueryResult MakeQueryResult(CacheQueryOutcome outcome) {
+  QueryResult out;
+  out.layout = std::move(outcome.result.layout);
+  out.rows = std::move(outcome.result.rows);
+  out.shape = outcome.shape;
+  out.plan_text = std::move(outcome.plan_text);
+  out.stats = outcome.stats;
+  out.constraint = std::move(outcome.constraint);
+  out.executed_at = outcome.executed_at;
+  if (out.stats.degraded_serves > 0) {
+    out.degraded = true;
+    out.staleness_ms = out.stats.degraded_staleness_ms;
+    out.advisory = Status::StaleOk(
+        "served from local view(s) " + std::to_string(out.staleness_ms) +
+        "ms stale after remote failure");
+  }
+  return out;
+}
+
 std::string QueryResult::ToTable(size_t max_rows) const {
   // Column widths.
   size_t n = layout.num_slots();

@@ -39,6 +39,11 @@ struct QueryResult {
   std::string ToTable(size_t max_rows = 20) const;
 };
 
+/// Converts a cache execution outcome into the session-level result shape,
+/// including the degraded-serve advisory. Shared by the serial session path
+/// and the concurrent batch executor so both report identically.
+QueryResult MakeQueryResult(CacheQueryOutcome outcome);
+
 }  // namespace rcc
 
 #endif  // RCC_CORE_QUERY_RESULT_H_

@@ -61,12 +61,12 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
       return ExecuteDelete(*stmt.del);
     case StatementKind::kBeginTimeOrdered:
       timeordered_ = true;
-      timeline_floor_ = -1;
+      timeline_floor_.store(-1, std::memory_order_release);
       out.message = "timeline consistency ON";
       return out;
     case StatementKind::kEndTimeOrdered:
       timeordered_ = false;
-      timeline_floor_ = -1;
+      timeline_floor_.store(-1, std::memory_order_release);
       out.message = "timeline consistency OFF";
       return out;
     case StatementKind::kSelect:
@@ -75,27 +75,26 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
 
   CacheDbms* cache = system_->cache();
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
-  SimTimeMs floor = timeordered_ ? timeline_floor_ : -1;
+  SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
   RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
                        cache->ExecutePrepared(plan, floor, degrade_mode_));
-  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor_) {
-    timeline_floor_ = outcome.max_seen_heartbeat;
+  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
+    timeline_floor_.store(outcome.max_seen_heartbeat,
+                          std::memory_order_release);
   }
-  out.layout = std::move(outcome.result.layout);
-  out.rows = std::move(outcome.result.rows);
-  out.shape = outcome.shape;
-  out.plan_text = std::move(outcome.plan_text);
-  out.stats = outcome.stats;
-  out.constraint = std::move(outcome.constraint);
-  out.executed_at = outcome.executed_at;
-  if (out.stats.degraded_serves > 0) {
-    out.degraded = true;
-    out.staleness_ms = out.stats.degraded_staleness_ms;
-    out.advisory = Status::StaleOk(
-        "served from local view(s) " + std::to_string(out.staleness_ms) +
-        "ms stale after remote failure");
+  return MakeQueryResult(std::move(outcome));
+}
+
+std::vector<Result<QueryResult>> Session::ExecuteBatch(
+    const std::vector<std::string>& sqls, int workers) {
+  ConcurrentBatchOptions opts;
+  opts.workers = workers;
+  opts.degrade = degrade_mode_;
+  if (timeordered_) {
+    opts.timeline_floor = timeline_floor();
+    opts.floor_cell = &timeline_floor_;
   }
-  return out;
+  return system_->ExecuteConcurrent(sqls, opts);
 }
 
 namespace {
@@ -214,6 +213,9 @@ Result<QueryResult> Session::ExecuteUpdate(const UpdateStmt& stmt) {
     RowOp op;
     op.kind = RowOp::Kind::kUpdate;
     op.table = def->name;
+    // Log the pre-image key: if an assignment touched a clustered-key
+    // column, replicas must delete the old row image, not upsert blindly.
+    op.key = master->KeyOf(row);
     op.row = std::move(updated);
     ops.push_back(std::move(op));
     return true;

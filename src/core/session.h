@@ -1,8 +1,10 @@
 #ifndef RCC_CORE_SESSION_H_
 #define RCC_CORE_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/query_result.h"
 #include "core/system.h"
@@ -28,6 +30,16 @@ class Session {
 
   /// Executes a pre-parsed statement.
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
+
+  /// Executes a batch of SELECT statements concurrently on the system's
+  /// worker pool (RccSystem::ExecuteConcurrent), applying this session's
+  /// degrade mode and — in time-ordered mode — sharing its timeline floor:
+  /// every query starts at the current floor and the floor ends at the
+  /// maximum snapshot time any query of the batch observed, exactly as if
+  /// the batch had run serially in some order. `workers` as in
+  /// ConcurrentBatchOptions.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<std::string>& sqls, int workers = 0);
 
   /// Optimizes without executing: the entry point of the plan-choice
   /// experiments.
@@ -56,7 +68,9 @@ class Session {
   Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
   /// The session's snapshot high-water mark (virtual time); -1 before any
   /// query ran in time-ordered mode.
-  SimTimeMs timeline_floor() const { return timeline_floor_; }
+  SimTimeMs timeline_floor() const {
+    return timeline_floor_.load(std::memory_order_acquire);
+  }
 
  private:
   /// Recognizes "SET DEGRADE [=] <mode>" (handled before SQL parsing).
@@ -64,7 +78,9 @@ class Session {
 
   RccSystem* system_;
   bool timeordered_ = false;
-  SimTimeMs timeline_floor_ = -1;
+  /// Atomic because ExecuteBatch workers CAS-max their observed snapshot
+  /// times into it concurrently; the serial path uses it like a plain field.
+  std::atomic<SimTimeMs> timeline_floor_{-1};
   DegradeMode degrade_mode_ = DegradeMode::kNone;
 };
 

@@ -1,6 +1,12 @@
 #include "core/system.h"
 
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
+
 #include "core/session.h"
+#include "sql/parser.h"
 
 namespace rcc {
 
@@ -12,6 +18,75 @@ RccSystem::RccSystem(SystemConfig config)
 
 std::unique_ptr<Session> RccSystem::CreateSession() {
   return std::make_unique<Session>(this);
+}
+
+ThreadPool* RccSystem::EnsurePool(int workers) {
+  if (pool_ == nullptr || pool_workers_ != workers) {
+    pool_.reset();  // join the old pool before spawning the new one
+    pool_ = std::make_unique<ThreadPool>(workers);
+    pool_workers_ = workers;
+  }
+  return pool_.get();
+}
+
+namespace {
+
+/// Raises `*cell` to at least `seen`. Raising is commutative and monotone,
+/// so concurrent calls from any interleaving converge to the same maximum.
+void RaiseFloor(std::atomic<SimTimeMs>* cell, SimTimeMs seen) {
+  SimTimeMs cur = cell->load(std::memory_order_relaxed);
+  while (seen > cur &&
+         !cell->compare_exchange_weak(cur, seen, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<Result<QueryResult>> RccSystem::ExecuteConcurrent(
+    const std::vector<std::string>& sqls, const ConcurrentBatchOptions& opts) {
+  const int workers =
+      opts.workers > 0 ? opts.workers : ThreadPool::DefaultWorkers();
+  // Indexed slots instead of a shared push-back vector: each worker writes
+  // only its own element, so result order is input order by construction.
+  std::vector<std::optional<Result<QueryResult>>> slots(sqls.size());
+
+  auto run_one = [this, &sqls, &opts](size_t i) -> Result<QueryResult> {
+    // Parsing is pure, so it runs inside the worker task too.
+    RCC_ASSIGN_OR_RETURN(auto select, ParseSelect(sqls[i]));
+    RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache_.Prepare(*select));
+    SimTimeMs floor = opts.timeline_floor;
+    if (opts.floor_cell != nullptr) {
+      floor = std::max(floor,
+                       opts.floor_cell->load(std::memory_order_acquire));
+    }
+    RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
+                         cache_.ExecutePrepared(plan, floor, opts.degrade));
+    if (opts.floor_cell != nullptr && outcome.max_seen_heartbeat >= 0) {
+      RaiseFloor(opts.floor_cell, outcome.max_seen_heartbeat);
+    }
+    return MakeQueryResult(std::move(outcome));
+  };
+
+  cache_.BeginConcurrentBatch();
+  if (workers <= 1) {
+    // Inline execution under the same batch contract — the equivalence
+    // baseline for the pooled runs (and what tests compare against).
+    for (size_t i = 0; i < sqls.size(); ++i) slots[i] = run_one(i);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(sqls.size());
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      tasks.push_back([&run_one, &slots, i] { slots[i] = run_one(i); });
+    }
+    EnsurePool(workers)->Run(std::move(tasks));
+  }
+  cache_.EndConcurrentBatch();
+
+  std::vector<Result<QueryResult>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
 }
 
 }  // namespace rcc

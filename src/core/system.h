@@ -1,16 +1,36 @@
 #ifndef RCC_CORE_SYSTEM_H_
 #define RCC_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "backend/backend_server.h"
 #include "cache/cache_dbms.h"
+#include "common/thread_pool.h"
+#include "core/query_result.h"
 
 namespace rcc {
 
 class Session;
+
+/// Options for RccSystem::ExecuteConcurrent.
+struct ConcurrentBatchOptions {
+  /// Worker threads for the batch; 0 picks ThreadPool::DefaultWorkers().
+  /// 1 executes the batch inline on the calling thread (still under the
+  /// concurrent-batch contract, so results match the pooled run exactly).
+  int workers = 0;
+  /// Degradation policy applied to every query of the batch.
+  DegradeMode degrade = DegradeMode::kNone;
+  /// Timeline floor each query starts from (< 0 disables timeline mode).
+  SimTimeMs timeline_floor = -1;
+  /// When set, every query additionally reads the cell as its floor and
+  /// CAS-maxes its observed snapshot time back into it. Raising a floor is
+  /// commutative, so the final cell value is independent of worker
+  /// interleaving — this is how a time-ordered session spans a batch.
+  std::atomic<SimTimeMs>* floor_cell = nullptr;
+};
 
 /// System-wide configuration.
 struct SystemConfig {
@@ -54,6 +74,22 @@ class RccSystem {
   /// Creates an application session against the cache.
   std::unique_ptr<Session> CreateSession();
 
+  /// Executes a batch of read-only statements concurrently on a fixed worker
+  /// pool and returns one result per statement, in input order.
+  ///
+  /// Determinism contract (DESIGN.md §8): the virtual clock is frozen for
+  /// the whole batch — the scheduler only runs between batches (AdvanceTo /
+  /// AdvanceBy), never inside one. Queries take region data locks shared, so
+  /// they observe exactly the view state installed by deliveries that fired
+  /// before the batch. Result rows, plan choices and per-query stats are
+  /// therefore identical for any worker count, including workers=1.
+  ///
+  /// Only SELECT statements (with optional currency clauses) are accepted;
+  /// DML and session-mode statements must go through a Session serially.
+  std::vector<Result<QueryResult>> ExecuteConcurrent(
+      const std::vector<std::string>& sqls,
+      const ConcurrentBatchOptions& opts = {});
+
   /// Link-wide resilience counters accumulated across every query executed
   /// through the cache (retries, timeouts, breaker trips, degraded serves).
   const ExecStats& cache_stats() const { return cache_.cumulative_stats(); }
@@ -61,11 +97,17 @@ class RccSystem {
   const SystemConfig& config() const { return config_; }
 
  private:
+  /// Returns the worker pool, (re)creating it when the requested size
+  /// changes. The pool is lazy: serial-only programs never spawn threads.
+  ThreadPool* EnsurePool(int workers);
+
   SystemConfig config_;
   VirtualClock clock_;
   SimulationScheduler scheduler_;
   BackendServer backend_;
   CacheDbms cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  int pool_workers_ = 0;
 };
 
 }  // namespace rcc

@@ -26,6 +26,7 @@ void ExecStats::Accumulate(const ExecStats& other) {
   remote_timeouts += other.remote_timeouts;
   breaker_opens += other.breaker_opens;
   degraded_serves += other.degraded_serves;
+  guard_unknown_region += other.guard_unknown_region;
   degraded_staleness_ms = std::max(degraded_staleness_ms,
                                    other.degraded_staleness_ms);
   // The timeline-consistency floor input (paper §2.3): the merged object must

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,10 @@ struct ExecStats {
   int64_t breaker_opens = 0;
   /// Queries answered from a local view after the remote branch failed.
   int64_t degraded_serves = 0;
+  /// Guard probes against a region with no known local heartbeat (region
+  /// undefined, or defined mid-run and never synced): the guard fails
+  /// explicitly instead of treating the region as stale-since-time-0.
+  int64_t guard_unknown_region = 0;
   /// Largest staleness (virtual ms) among this object's degraded serves;
   /// 0 when none happened.
   SimTimeMs degraded_staleness_ms = 0;
@@ -82,8 +87,10 @@ struct ExecContext {
   std::function<Result<RemoteResult>(const SelectStmt&)> remote_executor;
 
   /// The local heartbeat timestamp of a currency region: the currency guard
-  /// input (paper §3.2.3).
-  std::function<SimTimeMs(RegionId)> local_heartbeat;
+  /// input (paper §3.2.3). nullopt = unknown (region undefined or never
+  /// synced), which guards treat as "cannot certify freshness" rather than
+  /// as maximal staleness.
+  std::function<std::optional<SimTimeMs>(RegionId)> local_heartbeat;
 
   const VirtualClock* clock = nullptr;
   ExecStats* stats = nullptr;

@@ -1,5 +1,6 @@
 #include "exec/switch_union.h"
 
+#include <optional>
 #include <string>
 
 namespace rcc {
@@ -7,10 +8,20 @@ namespace rcc {
 bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
                                         ExecContext* ctx) {
   // Heartbeat_R.TimeStamp > now - B  <=>  the region reflects a snapshot no
-  // older than the currency bound.
-  SimTimeMs hb = ctx->local_heartbeat(op.guard_region);
-  SimTimeMs now = ctx->clock->Now();
+  // older than the currency bound. The heartbeat is one atomic acquire-load
+  // (see CurrencyRegion::local_heartbeat), so concurrent delivery installs
+  // can never be observed torn — the probe is race-free by construction.
+  std::optional<SimTimeMs> hb_opt = ctx->local_heartbeat(op.guard_region);
   if (ctx->stats != nullptr) ++ctx->stats->guard_evaluations;
+  if (!hb_opt.has_value()) {
+    // Unknown region (undefined, or defined mid-run and never synced): the
+    // guard cannot certify any freshness, so the local branch never
+    // qualifies — explicitly, not via a fake "stale since time 0" value.
+    if (ctx->stats != nullptr) ++ctx->stats->guard_unknown_region;
+    return false;
+  }
+  SimTimeMs hb = *hb_opt;
+  SimTimeMs now = ctx->clock->Now();
   bool fresh_enough = hb > now - op.guard_bound_ms;
   // Timeline consistency: never fall behind what the session already saw.
   if (ctx->timeline_floor_ms >= 0 && hb < ctx->timeline_floor_ms) {
@@ -35,7 +46,8 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
     if (ctx_->stats != nullptr) {
       if (local_ok) {
         ++ctx_->stats->switch_local;
-        SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region);
+        // The guard passed, so the heartbeat is necessarily known.
+        SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region).value_or(0);
         if (hb > ctx_->stats->max_seen_heartbeat) {
           ctx_->stats->max_seen_heartbeat = hb;
         }
@@ -66,11 +78,22 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
   // Re-probe the guard: the retry policy may have waited through a
   // replication delivery, so the local view can be fresher than at the first
   // probe (possibly even within the bound again).
-  SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region);
+  std::optional<SimTimeMs> hb_opt = ctx_->local_heartbeat(op_.guard_region);
+  if (ctx_->stats != nullptr) ++ctx_->stats->guard_evaluations;
+  if (!hb_opt.has_value()) {
+    // No local heartbeat was ever installed: the replica's staleness is
+    // unknown, so there is nothing safe to degrade to in any mode.
+    if (ctx_->stats != nullptr) ++ctx_->stats->guard_unknown_region;
+    return Status::Unavailable(
+        "cannot degrade: region " + std::to_string(op_.guard_region) +
+        " has no local heartbeat (never synced), staleness unknown; remote "
+        "branch failed with: " +
+        remote_error.ToString());
+  }
+  SimTimeMs hb = *hb_opt;
   SimTimeMs now = ctx_->clock->Now();
   SimTimeMs staleness = now - hb;
   bool within_bound = hb > now - op_.guard_bound_ms;
-  if (ctx_->stats != nullptr) ++ctx_->stats->guard_evaluations;
   // The timeline-consistency floor is never relaxed, not even in kAlways
   // mode: serving data older than what the session already saw would break
   // the §2.3 contract outright rather than merely stretch a bound.

@@ -24,9 +24,12 @@ double SwitchUnionCost(double p, double local_cost, double remote_cost,
   }
   double o = std::clamp(params.remote_outage_rate, 0.0, 1.0);
   if (o > 0) {
-    // Degraded branch: the retry budget is burned, then a guard re-probe and
-    // the local serve replace the remote result.
-    double degraded = params.remote_retry_ms + params.guard_ms + local_cost;
+    // Degraded branch: every retry round was actually burned against the
+    // dead link (backoff wait + wasted round trip each) before the guard
+    // re-probe and the local serve replace the remote result.
+    double burned = std::max(0.0, params.remote_retry_rounds) *
+                    (params.remote_retry_ms + params.remote_rtt_ms);
+    double degraded = burned + params.guard_ms + local_cost;
     remote_eff = (1.0 - o) * remote_eff + o * degraded;
   }
   return p * local_cost + (1.0 - p) * remote_eff + params.guard_ms;

@@ -41,6 +41,10 @@ struct CostParams {
   /// the remote branch fires; the query then degrades to a guard re-probe
   /// plus a local-view serve.
   double remote_outage_rate = 0.0;
+  /// Retry rounds the resilience policy burns against a hard-down back-end
+  /// before giving up and degrading (mirrors RemotePolicy::max_retries).
+  /// Each failed round costs a backoff wait plus a wasted round trip.
+  double remote_retry_rounds = 3.0;
 };
 
 /// The paper's Eq. (1): probability that the local branch of a guarded plan
@@ -59,11 +63,16 @@ double EstimateLocalProbability(SimTimeMs bound_ms, SimTimeMs delay_ms,
 /// transient failures add the geometric expectation of retry rounds
 /// (q/(1-q) rounds of backoff + round trip for attempt-failure rate q), and
 /// a hard outage (rate o) replaces the remote serve with the degraded
-/// branch — one guard re-probe plus the local serve:
+/// branch. The degraded branch is *not* free of remote costs: before the
+/// policy gives up it burns its whole retry budget against the dead link —
+/// remote_retry_rounds failed rounds of (backoff + round trip) — and only
+/// then re-probes the guard and serves locally:
 ///   c_remote_eff = (1-o) * (c_remote + q/(1-q) * (retry + rtt))
-///                +    o  * (retry_budget + guard + c_local).
-/// With the default healthy-link parameters (q = o = 0) this reduces
-/// exactly to the paper's formula.
+///                +    o  * (rounds * (retry + rtt) + guard + c_local).
+/// Omitting the burned rounds (as an earlier revision did) priced outages as
+/// nearly-free local serves and biased plans toward remote branches exactly
+/// when the link was least reliable. With the default healthy-link
+/// parameters (q = o = 0) this reduces exactly to the paper's formula.
 double SwitchUnionCost(double p, double local_cost, double remote_cost,
                        const CostParams& params);
 

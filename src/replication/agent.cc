@@ -1,5 +1,8 @@
 #include "replication/agent.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -15,7 +18,7 @@ void DistributionAgent::Wakeup(SimTimeMs now) {
   // captured heartbeat value is the region's global heartbeat row at the
   // snapshot, which is what the replica of that row will contain.
   size_t snapshot_pos = log_->UpperBoundByCommitTime(now);
-  SimTimeMs captured_hb = global_heartbeat_->Get(region_->id());
+  std::optional<SimTimeMs> captured_hb = global_heartbeat_->Get(region_->id());
   SimTimeMs deliver_at = now + region_->def().update_delay;
   scheduler_->ScheduleAt(deliver_at,
                          [this, snapshot_pos, captured_hb](SimTimeMs) {
@@ -24,7 +27,12 @@ void DistributionAgent::Wakeup(SimTimeMs now) {
 }
 
 void DistributionAgent::Deliver(size_t snapshot_pos,
-                                SimTimeMs captured_heartbeat) {
+                                std::optional<SimTimeMs> captured_heartbeat) {
+  // The whole batch is applied under the region's exclusive lock: queries on
+  // worker threads holding it shared never observe a half-applied
+  // transaction, preserving the invariant that every view in the region
+  // reflects one back-end snapshot.
+  std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
   // Deliveries are scheduled in wake-up order with a constant delay, so
   // snapshot positions arrive non-decreasing.
   size_t from = region_->applied_log_pos();
@@ -54,9 +62,15 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
     region_->set_applied_log_pos(snapshot_pos);
     region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
   }
-  if (captured_heartbeat > region_->local_heartbeat()) {
-    region_->set_local_heartbeat(captured_heartbeat);
+  // The heartbeat store is the publication point: it happens after the data
+  // is in place, so a guard observing heartbeat T is guaranteed the region
+  // reflects at least snapshot T. A never-beaten global row contributes
+  // nothing (unknown, not "stale since time 0").
+  if (captured_heartbeat.has_value() &&
+      *captured_heartbeat > region_->local_heartbeat()) {
+    region_->set_local_heartbeat(*captured_heartbeat);
   }
+  region_->BumpDeliveryEpoch();
   ++deliveries_;
 }
 

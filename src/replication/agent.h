@@ -1,6 +1,7 @@
 #ifndef RCC_REPLICATION_AGENT_H_
 #define RCC_REPLICATION_AGENT_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,8 +48,12 @@ class DistributionAgent {
 
  private:
   /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
-  /// the captured heartbeat value.
-  void Deliver(size_t snapshot_pos, SimTimeMs captured_heartbeat);
+  /// the captured heartbeat value (absent when the region's global row had
+  /// never been beaten at snapshot time). Takes the region's exclusive
+  /// data lock for the whole batch, so concurrent readers always see every
+  /// view of the region at one back-end snapshot.
+  void Deliver(size_t snapshot_pos,
+               std::optional<SimTimeMs> captured_heartbeat);
 
   CurrencyRegion* region_;
   const UpdateLog* log_;

@@ -2,6 +2,7 @@
 #define RCC_REPLICATION_HEARTBEAT_H_
 
 #include <map>
+#include <optional>
 
 #include "catalog/catalog.h"
 #include "common/clock.h"
@@ -22,11 +23,19 @@ class HeartbeatStore {
   /// Sets region `cid`'s heartbeat row to `now` (the back-end stored proc).
   void Beat(RegionId cid, SimTimeMs now) { rows_[cid] = now; }
 
-  /// Current timestamp value of region `cid`'s row (0 if never beaten,
-  /// i.e. synced at simulation start).
-  SimTimeMs Get(RegionId cid) const {
+  /// Current timestamp value of region `cid`'s row, or nullopt when the row
+  /// was never beaten. A region defined mid-run has *unknown* currency until
+  /// its first beat — callers must not conflate that with "synced at
+  /// simulation start" (time 0), which would report maximal staleness.
+  std::optional<SimTimeMs> Get(RegionId cid) const {
     auto it = rows_.find(cid);
-    return it == rows_.end() ? 0 : it->second;
+    if (it == rows_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Convenience for callers with a documented fallback.
+  SimTimeMs GetOr(RegionId cid, SimTimeMs fallback) const {
+    return Get(cid).value_or(fallback);
   }
 
   /// Number of heartbeat rows.

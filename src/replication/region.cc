@@ -79,12 +79,26 @@ void MaterializedView::ApplyOp(const RowOp& op) {
   switch (op.kind) {
     case RowOp::Kind::kInsert:
     case RowOp::Kind::kUpdate: {
+      Row projected = ProjectRow(op.row);
+      const TableKey new_key = data_.KeyOf(projected);
+      // op.key is the logged *pre-image* source primary key (empty only for
+      // hand-built ops that never change keys). When an update moved the row
+      // to a new clustered key, the view entry filed under the old key must
+      // go first, or the pre-image lives on beside the new image forever.
+      const bool has_pre_image_key =
+          op.kind == RowOp::Kind::kUpdate && !op.key.empty();
+      if (has_pre_image_key && op.key != new_key &&
+          data_.Get(op.key) != nullptr) {
+        Status st = data_.Delete(op.key);
+        RCC_CHECK(st.ok(), "delete of moved view row failed");
+      }
       if (PredicateMatches(op.row)) {
-        data_.Upsert(ProjectRow(op.row));
+        data_.Upsert(std::move(projected));
       } else {
-        // The (possibly pre-existing) row no longer qualifies.
-        Row projected = ProjectRow(op.row);
-        TableKey key = data_.KeyOf(projected);
+        // The (possibly pre-existing) row no longer qualifies. Delete by the
+        // logged source key — exactly like the kDelete arm — because after a
+        // key change the *new* image's key may never have been in the view.
+        const TableKey& key = has_pre_image_key ? op.key : new_key;
         if (data_.Get(key) != nullptr) {
           Status st = data_.Delete(key);
           RCC_CHECK(st.ok(), "delete of disqualified view row failed");

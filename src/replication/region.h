@@ -1,8 +1,10 @@
 #ifndef RCC_REPLICATION_REGION_H_
 #define RCC_REPLICATION_REGION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,15 @@ class MaterializedView {
 /// region currently reflects. All views in one region are updated atomically
 /// by the same agent and are therefore mutually consistent at all times
 /// (paper §3.1).
+///
+/// Concurrency: a region carries a reader–writer lock (`data_lock()`), the
+/// unit of the engine's lock hierarchy. Concurrent query workers hold it
+/// shared while scanning the region's views; `DistributionAgent::Deliver`
+/// holds it exclusive while applying a replication batch, so every reader
+/// sees all views at one back-end snapshot. The local heartbeat is an atomic
+/// published *after* the batch (release/acquire), so a guard that observes
+/// heartbeat T is guaranteed the region data reflects at least snapshot T;
+/// `delivery_epoch()` stamps each install for race-free re-probe detection.
 class CurrencyRegion {
  public:
   explicit CurrencyRegion(RegionDef def) : def_(def) {}
@@ -90,13 +101,35 @@ class CurrencyRegion {
       const std::string& lower_table) const;
 
   /// Local heartbeat timestamp T: all back-end updates committed at or before
-  /// virtual time T have been applied here.
-  SimTimeMs local_heartbeat() const { return local_heartbeat_; }
-  void set_local_heartbeat(SimTimeMs t) { local_heartbeat_ = t; }
+  /// virtual time T have been applied here. Atomic so currency-guard probes
+  /// on worker threads never race the agent's install.
+  SimTimeMs local_heartbeat() const {
+    return local_heartbeat_.load(std::memory_order_acquire);
+  }
+  void set_local_heartbeat(SimTimeMs t) {
+    local_heartbeat_.store(t, std::memory_order_release);
+  }
 
   /// Upper bound on the staleness of this region's data at time `now`
   /// (t - T in the paper).
-  SimTimeMs CurrencyAt(SimTimeMs now) const { return now - local_heartbeat_; }
+  SimTimeMs CurrencyAt(SimTimeMs now) const { return now - local_heartbeat(); }
+
+  /// Monotonic count of delivery installs; bumped (with release ordering,
+  /// after the heartbeat store) at the end of every `Deliver`. Guard
+  /// re-probes and tests use it to tell "same heartbeat value" from "no new
+  /// delivery happened".
+  uint64_t delivery_epoch() const {
+    return delivery_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpDeliveryEpoch() {
+    delivery_epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Reader–writer lock over the region's view data: shared for query scans
+  /// and guard-plus-scan sequences, exclusive for replication deliveries.
+  /// Lock ordering: regions are always acquired in ascending cid order, and
+  /// no thread takes a second region's lock while holding one exclusively.
+  std::shared_mutex& data_lock() const { return data_lock_; }
 
   /// The region's data reflects the back-end snapshot H_{as_of}.
   TxnTimestamp as_of() const { return as_of_; }
@@ -111,7 +144,12 @@ class CurrencyRegion {
   std::vector<MaterializedView*> views_;
   /// Lower-cased source-table name → views maintained from it.
   std::map<std::string, std::vector<MaterializedView*>> views_by_source_;
-  SimTimeMs local_heartbeat_ = 0;
+  std::atomic<SimTimeMs> local_heartbeat_{0};
+  std::atomic<uint64_t> delivery_epoch_{0};
+  mutable std::shared_mutex data_lock_;
+  /// `as_of_` and `applied_log_pos_` are written under the exclusive
+  /// data_lock_ and read either under it or from the single simulation
+  /// thread between batches.
   TxnTimestamp as_of_ = kInitialTimestamp;
   size_t applied_log_pos_ = 0;
 };

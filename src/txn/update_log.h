@@ -19,7 +19,10 @@ struct RowOp {
   std::string table;
   /// Full new row for insert/update; unused for delete.
   Row row;
-  /// Primary key for delete; derivable from `row` otherwise.
+  /// The *source* primary key the op addresses: the deleted row's key for
+  /// kDelete, the pre-image key for kUpdate (filled in by the back-end when
+  /// the transaction executes; it differs from KeyOf(row) when the update
+  /// changes a clustered-key column), derivable from `row` for kInsert.
   TableKey key;
 };
 

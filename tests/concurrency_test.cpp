@@ -1,0 +1,369 @@
+// Concurrent execution engine: the worker pool, the region reader–writer
+// locks, the deterministic batch API (serial == pooled), the shared timeline
+// floor, and the unknown-heartbeat guard semantics. Registered with the
+// `tsan` ctest label: the tsan preset runs exactly these tests under
+// ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using testing_util::BookstoreFixture;
+using testing_util::MustExecute;
+
+// -- ThreadPool ---------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskAndBlocksUntilDone) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.Run(std::move(tasks));
+  // Run is a barrier: by the time it returns, every task has executed.
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.Run(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmittedWorkDrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // The destructor joins after draining the queue.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1);
+  ThreadPool degenerate(0);  // clamped to one worker, still functional
+  std::atomic<int> counter{0};
+  degenerate.Run({[&counter] { counter.fetch_add(1); }});
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// -- deterministic batch execution -------------------------------------------
+
+/// The mixed workload used by the equivalence tests: guarded point lookups
+/// (guards pass -> local), a guarded range scan, and tight-bound queries
+/// that must go remote.
+std::vector<std::string> MixedBatch() {
+  std::vector<std::string> sqls;
+  for (int i = 1; i <= 12; ++i) {
+    sqls.push_back("SELECT price FROM Books B WHERE B.isbn = " +
+                   std::to_string(i) + " CURRENCY BOUND 10 MIN ON (B)");
+  }
+  sqls.push_back(
+      "SELECT isbn FROM Books B WHERE B.isbn <= 40 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+  sqls.push_back(
+      "SELECT rating FROM Reviews R WHERE R.isbn = 3 "
+      "CURRENCY BOUND 10 MIN ON (R)");
+  // Current reads: the guard cannot pass, the back-end serves them.
+  sqls.push_back("SELECT price FROM Books B WHERE B.isbn = 5");
+  sqls.push_back("SELECT stock FROM Books B WHERE B.isbn = 8");
+  return sqls;
+}
+
+void ExpectSameResults(const std::vector<Result<QueryResult>>& a,
+                       const std::vector<Result<QueryResult>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << i << ": " << a[i].status().ToString();
+    ASSERT_TRUE(b[i].ok()) << i << ": " << b[i].status().ToString();
+    EXPECT_EQ(a[i]->rows, b[i]->rows) << "row mismatch at query " << i;
+    EXPECT_EQ(a[i]->shape, b[i]->shape) << "plan shape at query " << i;
+    EXPECT_EQ(a[i]->stats.switch_local, b[i]->stats.switch_local) << i;
+    EXPECT_EQ(a[i]->stats.switch_remote, b[i]->stats.switch_remote) << i;
+    EXPECT_EQ(a[i]->stats.rows_returned, b[i]->stats.rows_returned) << i;
+    EXPECT_EQ(a[i]->executed_at, b[i]->executed_at) << i;
+  }
+}
+
+TEST(ConcurrentBatchTest, PooledMatchesSerialExactly) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  std::vector<std::string> sqls = MixedBatch();
+
+  ConcurrentBatchOptions serial;
+  serial.workers = 1;
+  auto baseline = fx.sys.ExecuteConcurrent(sqls, serial);
+
+  ConcurrentBatchOptions pooled;
+  pooled.workers = 4;
+  auto concurrent = fx.sys.ExecuteConcurrent(sqls, pooled);
+  ExpectSameResults(baseline, concurrent);
+
+  pooled.workers = 8;
+  auto wide = fx.sys.ExecuteConcurrent(sqls, pooled);
+  ExpectSameResults(baseline, wide);
+}
+
+TEST(ConcurrentBatchTest, BatchMatchesPlainSessionLoop) {
+  // The batch API must agree with the ordinary serial Session on a system
+  // advanced to the same instant (no remote policy installed, so the serial
+  // path does not move the clock either).
+  BookstoreFixture serial_fx;
+  serial_fx.sys.AdvanceTo(30000);
+  BookstoreFixture batch_fx;
+  batch_fx.sys.AdvanceTo(30000);
+
+  std::vector<std::string> sqls = MixedBatch();
+  auto batched = batch_fx.sys.ExecuteConcurrent(
+      sqls, ConcurrentBatchOptions{.workers = 4});
+  ASSERT_EQ(batched.size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    QueryResult expected = MustExecute(serial_fx.session.get(), sqls[i]);
+    ASSERT_TRUE(batched[i].ok()) << sqls[i];
+    EXPECT_EQ(batched[i]->rows, expected.rows) << sqls[i];
+    EXPECT_EQ(batched[i]->shape, expected.shape) << sqls[i];
+  }
+}
+
+TEST(ConcurrentBatchTest, RepeatedPooledRunsAreDeterministic) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  std::vector<std::string> sqls = MixedBatch();
+  ConcurrentBatchOptions opts;
+  opts.workers = 4;
+  auto first = fx.sys.ExecuteConcurrent(sqls, opts);
+  for (int round = 0; round < 3; ++round) {
+    auto again = fx.sys.ExecuteConcurrent(sqls, opts);
+    ExpectSameResults(first, again);
+  }
+}
+
+TEST(ConcurrentBatchTest, ParseAndPlanErrorsLandInTheirSlot) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  std::vector<std::string> sqls = {
+      "SELECT price FROM Books B WHERE B.isbn = 1",
+      "SELECT FROM nonsense !!",
+      "SELECT price FROM NoSuchTable T WHERE T.x = 1",
+      "SELECT price FROM Books B WHERE B.isbn = 2",
+  };
+  auto results =
+      fx.sys.ExecuteConcurrent(sqls, ConcurrentBatchOptions{.workers = 4});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+}
+
+TEST(ConcurrentBatchTest, InterleavedBatchesAndDeliveries) {
+  // The intended usage loop: advance the simulation (deliveries fire, on the
+  // driving thread), then run a pooled batch at the frozen instant. Under
+  // TSan this exercises the full guard-probe / view-scan / delivery surface.
+  BookstoreFixture fx(/*interval_ms=*/4000, /*delay_ms=*/1000);
+  std::vector<std::string> sqls = MixedBatch();
+  ConcurrentBatchOptions opts;
+  opts.workers = 4;
+  for (int tick = 0; tick < 6; ++tick) {
+    fx.sys.AdvanceBy(3000);
+    MustExecute(fx.session.get(),
+                "UPDATE Books SET price = price + 1 WHERE isbn <= 6");
+    auto results = fx.sys.ExecuteConcurrent(sqls, opts);
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].ok())
+          << "tick " << tick << " query " << i << ": "
+          << results[i].status().ToString();
+    }
+  }
+}
+
+// -- session batch + timeline floor -------------------------------------------
+
+TEST(ConcurrentBatchTest, SessionBatchSharesTimelineFloor) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
+  EXPECT_EQ(fx.session->timeline_floor(), -1);
+
+  std::vector<std::string> relaxed;
+  for (int i = 1; i <= 8; ++i) {
+    relaxed.push_back("SELECT price FROM Books B WHERE B.isbn = " +
+                      std::to_string(i) + " CURRENCY BOUND 10 MIN ON (B)");
+  }
+  auto results = fx.session->ExecuteBatch(relaxed, /*workers=*/4);
+  SimTimeMs max_seen = -1;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    if (r->stats.max_seen_heartbeat > max_seen) {
+      max_seen = r->stats.max_seen_heartbeat;
+    }
+  }
+  // The floor ends at the maximum snapshot any query of the batch observed —
+  // the same value a serial run in any order would produce.
+  EXPECT_GT(max_seen, 0);
+  EXPECT_EQ(fx.session->timeline_floor(), max_seen);
+
+  // A current read raises the floor to "now"; afterwards the same relaxed
+  // batch must refuse the (older) local replicas and serve remotely.
+  MustExecute(fx.session.get(), "SELECT price FROM Books B WHERE B.isbn = 1");
+  EXPECT_EQ(fx.session->timeline_floor(), 30000);
+  auto pinned = fx.session->ExecuteBatch(relaxed, /*workers=*/4);
+  for (const auto& r : pinned) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->stats.switch_local, 0);
+    EXPECT_GE(r->stats.switch_remote, 1);
+  }
+  EXPECT_EQ(fx.session->timeline_floor(), 30000);
+}
+
+// -- unknown-heartbeat guard semantics ---------------------------------------
+
+TEST(ConcurrencyTest, GuardFailsExplicitlyOnUnknownHeartbeat) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  QueryPlan plan = testing_util::MustPrepare(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+
+  ExecStats stats;
+  ExecContext ctx = fx.sys.cache()->MakeExecContext(&stats);
+  // Simulate a region whose heartbeat was never installed: the guard must
+  // fail explicitly (counted) and route to the remote branch, not treat the
+  // region as "synced at time 0" or as maximally stale by accident.
+  ctx.local_heartbeat = [](RegionId) { return std::optional<SimTimeMs>{}; };
+  auto executed = ExecutePlan(plan, &ctx);
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  EXPECT_GE(stats.guard_unknown_region, 1);
+  EXPECT_EQ(stats.switch_local, 0);
+  EXPECT_GE(stats.switch_remote, 1);
+}
+
+TEST(ConcurrencyTest, DegradeRefusesUnknownStaleness) {
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  QueryPlan plan = testing_util::MustPrepare(
+      fx.session.get(),
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+
+  ExecStats stats;
+  ExecContext ctx = fx.sys.cache()->MakeExecContext(&stats);
+  ctx.degrade = DegradeMode::kAlways;
+  ctx.local_heartbeat = [](RegionId) { return std::optional<SimTimeMs>{}; };
+  ctx.remote_executor = [](const SelectStmt&) -> Result<RemoteResult> {
+    return Status::Unavailable("link down");
+  };
+  // Remote fails and the replica's staleness is unknown: even ALWAYS mode
+  // has nothing safe to serve — the query must fail, not hand out data of
+  // unknowable currency.
+  auto executed = ExecutePlan(plan, &ctx);
+  ASSERT_FALSE(executed.ok());
+  EXPECT_NE(executed.status().ToString().find("no local heartbeat"),
+            std::string::npos)
+      << executed.status().ToString();
+}
+
+// -- raw lock/heartbeat contention (TSan surface) -----------------------------
+
+TEST(ConcurrencyTest, RegionLockAndHeartbeatContentionSmoke) {
+  // Readers scan a view and probe the heartbeat/epoch under the shared lock
+  // while a writer applies ops and publishes heartbeats under the exclusive
+  // lock — the exact interleaving the engine produces, in miniature. The
+  // assertions are minimal; the point is a clean TSan report.
+  TableDef items;
+  items.name = "Items";
+  items.schema = Schema({{"id", ValueType::kInt64},
+                         {"cat", ValueType::kInt64},
+                         {"price", ValueType::kDouble}});
+  items.clustered_key = {"id"};
+  ViewDef def;
+  def.name = "items_copy";
+  def.source_table = "Items";
+  def.columns = {"id", "cat", "price"};
+  def.region = 1;
+  auto view_or = MaterializedView::Create(def, items);
+  ASSERT_TRUE(view_or.ok());
+  MaterializedView* view = view_or->get();
+  RegionDef region_def;
+  region_def.cid = 1;
+  CurrencyRegion region(region_def);
+  region.AddView(view);
+
+  constexpr int kWriterOps = 400;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < kWriterOps; ++i) {
+      {
+        std::unique_lock<std::shared_mutex> guard(region.data_lock());
+        RowOp op;
+        op.kind = RowOp::Kind::kInsert;
+        op.table = "Items";
+        op.row = {Value::Int(i), Value::Int(i % 4), Value::Double(i * 1.0)};
+        view->ApplyOp(op);
+        if (i % 3 == 0 && i > 0) {
+          RowOp upd;
+          upd.kind = RowOp::Kind::kUpdate;
+          upd.table = "Items";
+          upd.key = {Value::Int(i - 1)};
+          upd.row = {Value::Int(i + kWriterOps), Value::Int(1),
+                     Value::Double(0.5)};
+          view->ApplyOp(upd);
+        }
+      }
+      // Publish outside the data mutation, like DistributionAgent::Deliver:
+      // heartbeat first (release), then the epoch bump.
+      region.set_local_heartbeat(i * 10);
+      region.BumpDeliveryEpoch();
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        SimTimeMs hb = region.local_heartbeat();
+        uint64_t epoch = region.delivery_epoch();
+        size_t rows = 0;
+        {
+          std::shared_lock<std::shared_mutex> guard(region.data_lock());
+          view->data().Scan([&rows](const Row&) {
+            ++rows;
+            return true;
+          });
+        }
+        EXPECT_LE(rows, 2u * kWriterOps);
+        EXPECT_GE(region.delivery_epoch(), epoch);
+        EXPECT_GE(region.local_heartbeat(), hb);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(region.delivery_epoch(), static_cast<uint64_t>(kWriterOps));
+}
+
+}  // namespace
+}  // namespace rcc

@@ -111,6 +111,29 @@ TEST_F(DmlTest, WriterSeesOwnWriteUnderTimeline) {
   EXPECT_DOUBLE_EQ(relaxed.rows[0][0].AsDouble(), 77.25);
 }
 
+TEST_F(DmlTest, KeyChangingUpdateReplicatesWithoutOrphans) {
+  // End-to-end regression: an UPDATE that rewrites the clustered key must
+  // (a) move the row at the back-end (delete old image + insert new) and
+  // (b) replicate as delete-by-pre-image-key, so the cached view does not
+  // keep an orphaned copy of the old row.
+  fx_.sys.AdvanceTo(12000);
+  QueryResult r = Run("UPDATE Books SET isbn = 9100 WHERE isbn = 7");
+  EXPECT_EQ(r.rows_affected, 1);
+
+  const Table* master = fx_.sys.backend()->table("Books");
+  EXPECT_EQ(master->Get({Value::Int(7)}), nullptr);
+  ASSERT_NE(master->Get({Value::Int(9100)}), nullptr);
+
+  // Let the region deliver the change (interval 5s + delay 1s).
+  fx_.sys.AdvanceBy(10000);
+  const MaterializedView* copy = fx_.sys.cache()->view("BooksCopy");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->data().Get({Value::Int(7)}), nullptr)
+      << "pre-image row orphaned in the cached view";
+  EXPECT_NE(copy->data().Get({Value::Int(9100)}), nullptr);
+  EXPECT_EQ(copy->data().num_rows(), master->num_rows());
+}
+
 TEST_F(DmlTest, ParserRejectsMalformedDml) {
   EXPECT_FALSE(fx_.session->Execute("INSERT Books VALUES (1)").ok());
   EXPECT_FALSE(fx_.session->Execute("UPDATE Books price = 1").ok());

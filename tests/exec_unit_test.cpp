@@ -31,7 +31,9 @@ class ExecUnitTest : public ::testing::Test {
     ctx_.table_provider = [this](const ScanTarget& target) -> const Table* {
       return target.name == "items" ? &table_ : nullptr;
     };
-    ctx_.local_heartbeat = [this](RegionId) { return heartbeat_; };
+    ctx_.local_heartbeat = [this](RegionId) {
+      return std::optional<SimTimeMs>(heartbeat_);
+    };
     ctx_.clock = &clock_;
     ctx_.stats = &stats_;
   }

@@ -63,6 +63,40 @@ TEST(CostTest, SwitchUnionExpectedCost) {
   EXPECT_DOUBLE_EQ(SwitchUnionCost(0.5, 10, 100, costs), 55.5);
 }
 
+TEST(CostTest, SwitchUnionOutageChargesBurnedRetries) {
+  // Regression: the degraded branch must charge the retry rounds burned
+  // against the dead link before giving up, not just guard + local. The old
+  // formula priced outages as nearly-free local serves, so raising the
+  // outage rate *lowered* the modelled remote cost and biased plans toward
+  // remote branches exactly when the link was least reliable.
+  CostParams costs;
+  costs.guard_ms = 0.5;
+  costs.remote_retry_ms = 2.0;
+  costs.remote_rtt_ms = 8.0;
+  costs.remote_retry_rounds = 3.0;
+
+  // o = 1: every remote serve degrades after burning the full retry budget.
+  //   c = p*local + (1-p)*(rounds*(retry+rtt) + guard + local) + guard
+  costs.remote_outage_rate = 1.0;
+  EXPECT_DOUBLE_EQ(SwitchUnionCost(0.5, 90, 100, costs),
+                   0.5 * 90 + 0.5 * (3 * 10 + 0.5 + 90) + 0.5);
+
+  // With a degraded branch at least as expensive as a healthy serve, cost is
+  // monotone non-decreasing in the outage rate.
+  double prev = -1;
+  for (double o = 0.0; o <= 1.0; o += 0.1) {
+    costs.remote_outage_rate = o;
+    double c = SwitchUnionCost(0.5, 90, 100, costs);
+    EXPECT_GE(c, prev) << "outage rate " << o;
+    prev = c;
+  }
+
+  // Healthy link (o = 0): the retry budget must not leak into the cost.
+  costs.remote_outage_rate = 0.0;
+  costs.remote_retry_rounds = 50.0;
+  EXPECT_DOUBLE_EQ(SwitchUnionCost(0.5, 10, 100, costs), 55.5);
+}
+
 TEST(CostTest, AccessPathCosts) {
   CostParams costs;
   TableStats stats;

@@ -116,6 +116,63 @@ TEST(MaterializedViewTest, SelectionViewTracksPredicate) {
   EXPECT_EQ(view->data().num_rows(), 0u);
 }
 
+TEST(MaterializedViewTest, KeyChangingUpdateDeletesPreImage) {
+  // Regression: an update that changes a clustered-key column is logged with
+  // the pre-image key. The view must delete the old row image by that key —
+  // deleting by the *new* image's key (the old behaviour) left the pre-image
+  // row orphaned in the view forever.
+  TableDef items = ItemsDef();
+  auto view_or = MaterializedView::Create(FullView(), items);
+  ASSERT_TRUE(view_or.ok());
+  MaterializedView* view = view_or->get();
+
+  RowOp ins;
+  ins.kind = RowOp::Kind::kInsert;
+  ins.table = "Items";
+  ins.row = ItemRow(1, 2, 1.0);
+  view->ApplyOp(ins);
+
+  RowOp upd;
+  upd.kind = RowOp::Kind::kUpdate;
+  upd.table = "Items";
+  upd.key = {Value::Int(1)};  // pre-image key
+  upd.row = ItemRow(5, 2, 1.5);
+  view->ApplyOp(upd);
+
+  EXPECT_EQ(view->data().num_rows(), 1u);
+  EXPECT_EQ(view->data().Get({Value::Int(1)}), nullptr);
+  const Row* moved = view->data().Get({Value::Int(5)});
+  ASSERT_NE(moved, nullptr);
+  EXPECT_DOUBLE_EQ((*moved)[2].AsDouble(), 1.5);
+}
+
+TEST(MaterializedViewTest, KeyChangingUpdateOutOfRangeDeletesPreImage) {
+  // Same, for a predicated view when the new image is disqualified: the
+  // delete must target op.key (pre-image), not the new image's key.
+  TableDef items = ItemsDef();
+  ViewDef v = FullView();
+  v.predicate = {ColumnRange{"cat", Value::Int(1), Value::Int(3)}};
+  auto view_or = MaterializedView::Create(v, items);
+  ASSERT_TRUE(view_or.ok());
+  MaterializedView* view = view_or->get();
+
+  RowOp ins;
+  ins.kind = RowOp::Kind::kInsert;
+  ins.table = "Items";
+  ins.row = ItemRow(1, 2, 1.0);
+  view->ApplyOp(ins);
+  ASSERT_EQ(view->data().num_rows(), 1u);
+
+  // Key 1 -> 9 while also moving out of the predicate range.
+  RowOp upd;
+  upd.kind = RowOp::Kind::kUpdate;
+  upd.table = "Items";
+  upd.key = {Value::Int(1)};
+  upd.row = ItemRow(9, 7, 1.0);
+  view->ApplyOp(upd);
+  EXPECT_EQ(view->data().num_rows(), 0u);
+}
+
 TEST(MaterializedViewTest, PopulateFromMaster) {
   TableDef items = ItemsDef();
   Table master("Items", items.schema, {0});
@@ -135,11 +192,16 @@ TEST(MaterializedViewTest, PopulateFromMaster) {
 
 TEST(HeartbeatTest, BeatAndGet) {
   HeartbeatStore hb;
-  EXPECT_EQ(hb.Get(1), 0);
+  // A region that never beat is *unknown*, not "synced at time 0" — the old
+  // behaviour made unbeaten regions look maximally stale (or, worse, fresh
+  // at simulation start) to currency guards.
+  EXPECT_FALSE(hb.Get(1).has_value());
+  EXPECT_EQ(hb.GetOr(1, -1), -1);
   hb.Beat(1, 500);
   hb.Beat(2, 700);
-  EXPECT_EQ(hb.Get(1), 500);
-  EXPECT_EQ(hb.Get(2), 700);
+  EXPECT_EQ(hb.Get(1), std::optional<SimTimeMs>(500));
+  EXPECT_EQ(hb.Get(2), std::optional<SimTimeMs>(700));
+  EXPECT_EQ(hb.GetOr(2, -1), 700);
   EXPECT_EQ(hb.size(), 2u);
 }
 

@@ -42,8 +42,9 @@ TEST(SessionTest, TimelinePreventsGoingBackInTime) {
   BookstoreFixture fx(/*interval_ms=*/10000, /*delay_ms=*/2000);
   fx.sys.AdvanceTo(30000);
   // Local heartbeat lags "now" by at least the delay.
-  SimTimeMs local_hb = fx.sys.cache()->LocalHeartbeat(1);
-  ASSERT_LT(local_hb, 30000);
+  std::optional<SimTimeMs> local_hb = fx.sys.cache()->LocalHeartbeat(1);
+  ASSERT_TRUE(local_hb.has_value());
+  ASSERT_LT(*local_hb, 30000);
 
   ASSERT_TRUE(fx.session->Execute("BEGIN TIMEORDERED").ok());
   // 1. Read current data (back-end): floor = 30000.
