@@ -70,6 +70,7 @@ void ViewMatchingAblation() {
         std::string(PlanShapeName(plan->Shape())).c_str(),
         static_cast<long long>(total.remote_queries), plan->est_cost);
   }
+  DumpMetricsJson(*sys, "bench_ablation");
 }
 
 void GuardSoundnessAblation() {

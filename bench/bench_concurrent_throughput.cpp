@@ -86,6 +86,9 @@ void Run() {
     }
     double qps = kQueries / (best_ms / 1000.0);
     if (workers == 1) base_qps = qps;
+    sys->metrics()
+        .gauge(StrPrintf("rcc.bench.qps.workers_%d", workers))
+        ->Set(qps);
     std::printf("  %-8d %-12.1f %-12.0f %.2fx\n", workers, best_ms, qps,
                 qps / base_qps);
   }
@@ -93,6 +96,7 @@ void Run() {
       "\nNote: speedup is capped by physical cores; on a single-core host\n"
       "all worker counts collapse to ~1x while remaining correct (the\n"
       "equivalence tests in concurrency_test assert pooled == serial).\n");
+  DumpMetricsJson(*sys, "bench_concurrent_throughput");
 }
 
 }  // namespace

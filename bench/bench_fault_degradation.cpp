@@ -82,7 +82,10 @@ struct RunResult {
   }
 };
 
-RunResult Run(SimTimeMs down_ms, bool with_policy, const char* degrade) {
+/// When `dump_name` is set, this configuration's metrics registry is written
+/// to `<dump_name>.metrics.json` before the system is torn down.
+RunResult Run(SimTimeMs down_ms, bool with_policy, const char* degrade,
+              const char* dump_name = nullptr) {
   std::unique_ptr<RccSystem> sys = MakeSystem();
   sys->cache()->SetFaultInjector(MakeFaults(down_ms));
   if (with_policy) sys->cache()->SetRemotePolicy(MakePolicy());
@@ -119,6 +122,7 @@ RunResult Run(SimTimeMs down_ms, bool with_policy, const char* degrade) {
     }
   }
   out.stats = sys->cache_stats();
+  if (dump_name != nullptr) DumpMetricsJson(*sys, dump_name);
   return out;
 }
 
@@ -154,7 +158,8 @@ int main() {
   PrintRow("bare link", vanilla);
   RunResult retry_only = Run(6000, /*with_policy=*/true, "NONE");
   PrintRow("retry policy", retry_only);
-  RunResult bounded = Run(6000, /*with_policy=*/true, "BOUNDED");
+  RunResult bounded =
+      Run(6000, /*with_policy=*/true, "BOUNDED", "bench_fault_degradation");
   PrintRow("retry + DEGRADE BOUNDED", bounded);
   RunResult always = Run(6000, /*with_policy=*/true, "ALWAYS");
   PrintRow("retry + DEGRADE ALWAYS", always);

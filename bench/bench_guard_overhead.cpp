@@ -70,5 +70,6 @@ int main() {
       "\nShape check (paper): absolute overhead far below a millisecond; "
       "relative overhead\nlargest for tiny local queries (Q1/Q2), small for "
       "remote and scan-heavy queries (Q3).\n");
+  DumpMetricsJson(*sys, "bench_guard_overhead");
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
       "in the plan\nand is independent of output size; run overhead is a "
       "one-time guard evaluation,\nso its relative share shrinks as the "
       "query returns more rows (Q3 << Q1).\n");
+  DumpMetricsJson(*sys, "bench_guard_phases");
   return 0;
 }

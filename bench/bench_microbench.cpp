@@ -125,4 +125,14 @@ BENCHMARK(BM_ReplicationDelivery);
 }  // namespace
 }  // namespace rcc
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared system's metrics registry (which
+// outlives RunSpecifiedBenchmarks — System() leaks it on purpose) can be
+// dumped after the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rcc::bench::DumpMetricsJson(*rcc::System(), "bench_microbench");
+  return 0;
+}

@@ -106,5 +106,6 @@ int main() {
 
   std::printf("summary: %d/%zu plan choices match the paper\n",
               static_cast<int>(variants.size()) - failures, variants.size());
+  DumpMetricsJson(*sys, "bench_plan_choice");
   return failures == 0 ? 0 : 1;
 }

@@ -48,6 +48,30 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Writes a metrics registry (schema rcc.metrics.v1, DESIGN.md §9) to
+/// `<bench_name>.metrics.json` in the working directory, so every bench run
+/// leaves a machine-readable record next to its printed tables.
+inline void WriteMetricsJson(const obs::MetricsRegistry& metrics,
+                             const std::string& bench_name) {
+  std::string path = bench_name + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string json = metrics.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nmetrics written to %s\n", path.c_str());
+}
+
+/// Dumps the metrics of the system the bench measured.
+inline void DumpMetricsJson(const RccSystem& sys,
+                            const std::string& bench_name) {
+  WriteMetricsJson(sys.metrics(), bench_name);
+}
+
 /// Prints the Table 4.1 region settings actually in effect.
 inline void PrintRegionSettings(RccSystem* sys) {
   std::printf("Currency region settings (paper Table 4.1):\n");

@@ -92,6 +92,9 @@ int main() {
     std::printf(" | d=%-2d analytic  measured", d);
   }
   std::printf("\n");
+  // Each sweep point runs on its own system; keep the last one alive so the
+  // bench still leaves a representative metrics record.
+  std::unique_ptr<RccSystem> last;
   for (int f = 2; f <= 100; f += (f < 20 ? 2 : 20)) {
     std::printf("%-12d", f);
     for (int d : {1, 5, 8}) {
@@ -101,11 +104,13 @@ int main() {
       double measured =
           Measure(sys.get(), 10, static_cast<uint64_t>(f * 10 + d));
       std::printf(" | %8.1f%%  %8.1f%%", analytic, measured);
+      last = std::move(sys);
     }
     std::printf("\n");
   }
   std::printf(
       "\nShape check (paper): (a) 0%% below B=d, then linear to 100%% at "
       "B=d+f;\n(b) 100%% while f <= B-d, then decaying, steep first.\n");
+  if (last != nullptr) DumpMetricsJson(*last, "bench_workload_shift");
   return 0;
 }

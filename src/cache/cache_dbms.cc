@@ -25,6 +25,9 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
   region->set_applied_log_pos(backend_->log().size());
   auto agent = std::make_unique<DistributionAgent>(
       region.get(), &backend_->log(), &backend_->heartbeat(), scheduler_);
+  agent->set_delivery_observer(
+      [this](RegionId cid, SimTimeMs at, int64_t ops,
+             std::optional<SimTimeMs> hb) { OnDelivery(cid, at, ops, hb); });
   agent->Start(backend_->clock()->Now() + def.update_interval);
   backend_->RegisterRegionHeartbeat(def, scheduler_);
   regions_[def.cid] = std::move(region);
@@ -106,11 +109,14 @@ void CacheDbms::SetRemotePolicy(RemotePolicy policy) {
 void CacheDbms::ClearRemotePolicy() { remote_policy_.reset(); }
 
 Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
-                                              ExecStats* stats) const {
+                                              ExecStats* stats,
+                                              obs::QueryTrace* trace) const {
   // The whole remote stack (breaker state, injector RNG, back-end executor
   // counters) is single-threaded; workers of a concurrent batch take turns.
   std::lock_guard<std::mutex> channel_guard(remote_mutex_);
-  if (remote_policy_ != nullptr) return remote_policy_->Execute(stmt, stats);
+  if (remote_policy_ != nullptr) {
+    return remote_policy_->Execute(stmt, stats, trace);
+  }
   if (fault_injector_ != nullptr) {
     // Vanilla channel under faults: one bare attempt, failures surface
     // immediately.
@@ -142,29 +148,38 @@ Result<QueryPlan> CacheDbms::Prepare(const SelectStmt& stmt,
 
 ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
                                        SimTimeMs timeline_floor,
-                                       DegradeMode degrade) const {
+                                       DegradeMode degrade,
+                                       obs::QueryTrace* trace) const {
   ExecContext ctx;
   ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
     if (!target.is_view) return nullptr;  // no base tables on the cache
     auto it = views_.find(ToLower(target.name));
     return it == views_.end() ? nullptr : &it->second->data();
   };
-  ctx.remote_executor = [this, stats](const SelectStmt& stmt) {
-    return ExecuteRemote(stmt, stats);
+  ctx.remote_executor = [this, stats, trace](const SelectStmt& stmt) {
+    return ExecuteRemote(stmt, stats, trace);
   };
   ctx.local_heartbeat = [this](RegionId cid) { return LocalHeartbeat(cid); };
   ctx.clock = backend_->clock();
   ctx.stats = stats;
   ctx.timeline_floor_ms = timeline_floor;
   ctx.degrade = degrade;
+  ctx.trace = trace;
+  ctx.guard_probe_hist = inst_.guard_probe_ms;
   return ctx;
 }
 
 Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
                                                      SimTimeMs timeline_floor,
-                                                     DegradeMode degrade) {
+                                                     DegradeMode degrade,
+                                                     obs::QueryTrace* trace) {
   CacheQueryOutcome out;
-  ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade);
+  ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade, trace);
+  // Serial mode only: expose the trace to the delivery observer, so
+  // replication batches landing while the policy waits show up in the trace.
+  // A concurrent batch freezes the virtual clock (no deliveries fire), and
+  // one shared pointer would race across workers anyway.
+  if (trace != nullptr && !in_concurrent_batch()) active_trace_ = trace;
   // Concurrent batch: hold every region's data lock shared while the plan
   // runs, so a replication delivery (exclusive) can never mutate a view
   // mid-scan. Regions are locked in ascending cid order (map order), the
@@ -179,12 +194,14 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
     }
   }
   Result<ExecutedQuery> executed = ExecutePlan(plan, &ctx);
+  if (active_trace_ == trace && trace != nullptr) active_trace_ = nullptr;
   // Failed queries still spent retries / tripped the breaker; account for
   // them in the link-wide counters (worker threads accumulate under a lock).
   {
     std::lock_guard<std::mutex> stats_guard(stats_mutex_);
     cumulative_stats_.Accumulate(out.stats);
   }
+  RecordQueryMetrics(out.stats, backend_->clock()->Now());
   if (!executed.ok()) return executed.status();
   out.result = std::move(executed).value();
   out.shape = plan.Shape();
@@ -197,9 +214,71 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
 
 Result<CacheQueryOutcome> CacheDbms::Execute(const SelectStmt& stmt,
                                              SimTimeMs timeline_floor,
-                                             DegradeMode degrade) {
+                                             DegradeMode degrade,
+                                             obs::QueryTrace* trace) {
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(stmt));
-  return ExecutePrepared(plan, timeline_floor, degrade);
+  return ExecutePrepared(plan, timeline_floor, degrade, trace);
+}
+
+void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    inst_ = Instruments();
+    return;
+  }
+  inst_.queries = registry->counter("rcc.cache.queries");
+  inst_.switch_local = registry->counter("rcc.switch.local");
+  inst_.switch_remote = registry->counter("rcc.switch.remote");
+  inst_.switch_remote_attempted =
+      registry->counter("rcc.switch.remote_attempted");
+  inst_.remote_retries = registry->counter("rcc.remote.retries");
+  inst_.remote_timeouts = registry->counter("rcc.remote.timeouts");
+  inst_.breaker_opens = registry->counter("rcc.remote.breaker_opens");
+  inst_.degraded_serves = registry->counter("rcc.degrade.serves");
+  inst_.replication_deliveries =
+      registry->counter("rcc.replication.deliveries");
+  inst_.guard_probe_ms = registry->histogram("rcc.guard.probe_ms");
+  inst_.query_run_ms = registry->histogram("rcc.cache.query_run_ms");
+  inst_.served_staleness_ms =
+      registry->histogram("rcc.cache.served_staleness_ms");
+}
+
+void CacheDbms::RecordQueryMetrics(const ExecStats& stats,
+                                   SimTimeMs now) const {
+  if (inst_.queries == nullptr) return;
+  inst_.queries->Add(1);
+  inst_.switch_local->Add(stats.switch_local);
+  inst_.switch_remote->Add(stats.switch_remote);
+  inst_.switch_remote_attempted->Add(stats.switch_remote_attempted);
+  inst_.remote_retries->Add(stats.remote_retries);
+  inst_.remote_timeouts->Add(stats.remote_timeouts);
+  inst_.breaker_opens->Add(stats.breaker_opens);
+  inst_.degraded_serves->Add(stats.degraded_serves);
+  inst_.query_run_ms->Observe(stats.run_ms);
+  // Staleness of what the query served: virtual now minus the highest source
+  // snapshot it read. Remote-served queries land in the 0 bucket.
+  if (stats.max_seen_heartbeat >= 0) {
+    inst_.served_staleness_ms->Observe(
+        static_cast<double>(now - stats.max_seen_heartbeat));
+  }
+}
+
+void CacheDbms::OnDelivery(RegionId region, SimTimeMs at, int64_t ops,
+                           std::optional<SimTimeMs> heartbeat) {
+  if (inst_.replication_deliveries != nullptr) {
+    inst_.replication_deliveries->Add(1);
+  }
+  // Deliveries run on the scheduler, which in serial mode is driven from the
+  // executing query's thread (policy waits) — so the pointer read is safe.
+  if (active_trace_ != nullptr) {
+    std::string hb = heartbeat.has_value() ? FormatSimTime(*heartbeat)
+                                           : std::string("none");
+    active_trace_->Record(
+        obs::TraceEventKind::kReplicationDelivery, at,
+        StrPrintf("region=%d ops=%lld heartbeat=%s", static_cast<int>(region),
+                  static_cast<long long>(ops), hb.c_str()),
+        region);
+  }
 }
 
 CurrencyRegion* CacheDbms::region(RegionId cid) {

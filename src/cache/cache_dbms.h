@@ -97,14 +97,19 @@ class CacheDbms {
 
   /// Executes a prepared plan. `timeline_floor` < 0 disables timeline mode;
   /// `degrade` controls stale-serve behaviour when the remote branch fails.
+  /// `trace`, when non-null, receives the query's structured event trace
+  /// (guard probes, switch decisions, retry/breaker events, degraded serves,
+  /// and — in serial mode — replication deliveries landing mid-query).
   Result<CacheQueryOutcome> ExecutePrepared(
       const QueryPlan& plan, SimTimeMs timeline_floor = -1,
-      DegradeMode degrade = DegradeMode::kNone);
+      DegradeMode degrade = DegradeMode::kNone,
+      obs::QueryTrace* trace = nullptr);
 
   /// Full pipeline: resolve + optimize + execute.
   Result<CacheQueryOutcome> Execute(const SelectStmt& stmt,
                                     SimTimeMs timeline_floor = -1,
-                                    DegradeMode degrade = DegradeMode::kNone);
+                                    DegradeMode degrade = DegradeMode::kNone,
+                                    obs::QueryTrace* trace = nullptr);
 
   /// -- concurrent batch mode ---------------------------------------------------
 
@@ -147,18 +152,53 @@ class CacheDbms {
   /// Builds the ExecContext used for local execution (exposed for benches
   /// that drive the executor directly).
   ExecContext MakeExecContext(ExecStats* stats, SimTimeMs timeline_floor = -1,
-                              DegradeMode degrade = DegradeMode::kNone) const;
+                              DegradeMode degrade = DegradeMode::kNone,
+                              obs::QueryTrace* trace = nullptr) const;
 
   /// Counters accumulated over every query executed through this cache
   /// (retries, timeouts, degraded serves, breaker trips, ...).
   const ExecStats& cumulative_stats() const { return cumulative_stats_; }
   void ResetCumulativeStats() { cumulative_stats_.Reset(); }
 
+  /// -- observability -----------------------------------------------------------
+
+  /// Points the cache at a metrics registry (usually the owning system's).
+  /// Instrument pointers are resolved once here, so per-query recording never
+  /// takes the registry lock. Pass nullptr to stop recording. See DESIGN.md
+  /// §9 for the metric name vocabulary.
+  void SetMetricsRegistry(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
+
  private:
+  /// Registry-resolved instruments, null when no registry is installed. All
+  /// are atomically updatable, so concurrent-batch workers record directly.
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* switch_local = nullptr;
+    obs::Counter* switch_remote = nullptr;
+    obs::Counter* switch_remote_attempted = nullptr;
+    obs::Counter* remote_retries = nullptr;
+    obs::Counter* remote_timeouts = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Counter* degraded_serves = nullptr;
+    obs::Counter* replication_deliveries = nullptr;
+    obs::Histogram* guard_probe_ms = nullptr;
+    obs::Histogram* query_run_ms = nullptr;
+    obs::Histogram* served_staleness_ms = nullptr;
+  };
+
+  /// Folds one finished query's stats into the registry instruments.
+  void RecordQueryMetrics(const ExecStats& stats, SimTimeMs now) const;
+
+  /// DistributionAgent callback: counts the delivery and, when a serial-mode
+  /// query is mid-flight with tracing on, records it into that query's trace.
+  void OnDelivery(RegionId region, SimTimeMs at, int64_t ops,
+                  std::optional<SimTimeMs> heartbeat);
+
   /// One remote execution through the configured stack: policy (if any) over
   /// injector (if any) over the back-end adapter.
-  Result<RemoteResult> ExecuteRemote(const SelectStmt& stmt,
-                                     ExecStats* stats) const;
+  Result<RemoteResult> ExecuteRemote(const SelectStmt& stmt, ExecStats* stats,
+                                     obs::QueryTrace* trace) const;
   /// The attempt function feeding the policy layer (injector-wrapped or
   /// plain back-end).
   RemoteAttemptFn MakeAttemptFn() const;
@@ -171,6 +211,13 @@ class CacheDbms {
   std::vector<std::unique_ptr<DistributionAgent>> agents_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<ResilientRemoteExecutor> remote_policy_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments inst_;
+  /// Trace of the serial-mode query currently executing; deliveries landing
+  /// while the policy waits are recorded into it. Never set in
+  /// concurrent-batch mode (the frozen clock means no deliveries fire
+  /// mid-batch, and workers would race on one pointer).
+  obs::QueryTrace* active_trace_ = nullptr;
   ExecStats cumulative_stats_;
   /// Guards cumulative_stats_: queries of a concurrent batch accumulate from
   /// worker threads.

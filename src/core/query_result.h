@@ -1,10 +1,12 @@
 #ifndef RCC_CORE_QUERY_RESULT_H_
 #define RCC_CORE_QUERY_RESULT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache_dbms.h"
+#include "obs/trace.h"
 
 namespace rcc {
 
@@ -34,6 +36,10 @@ struct QueryResult {
   /// StaleOk advisory describing the degradation, Status::OK() otherwise —
   /// the paper §1 "return the data but with an error code" behaviour.
   Status advisory = Status::OK();
+  /// The query's structured event trace; null unless the session had
+  /// SET TRACE ON (or the statement was EXPLAIN ANALYZE). Shared so results
+  /// stay cheaply copyable.
+  std::shared_ptr<const obs::QueryTrace> trace;
 
   /// Pretty ASCII table of the result rows (used by the examples).
   std::string ToTable(size_t max_rows = 20) const;

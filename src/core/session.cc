@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "exec/switch_union.h"
+#include "obs/explain.h"
 #include "sql/parser.h"
 
 namespace rcc {
@@ -34,6 +35,29 @@ bool Session::ParseSetDegrade(const std::string& sql, DegradeMode* mode) {
   return true;
 }
 
+bool Session::ParseSetTrace(const std::string& sql, bool* on) {
+  std::string normalized = sql;
+  for (char& c : normalized) {
+    if (c == '=' || c == ';' || c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  std::vector<std::string> words;
+  for (const std::string& piece : Split(normalized, ' ')) {
+    if (!piece.empty()) words.push_back(piece);
+  }
+  if (words.size() != 3 || !EqualsIgnoreCase(words[0], "SET") ||
+      !EqualsIgnoreCase(words[1], "TRACE")) {
+    return false;
+  }
+  if (EqualsIgnoreCase(words[2], "ON")) {
+    *on = true;
+  } else if (EqualsIgnoreCase(words[2], "OFF")) {
+    *on = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Result<QueryResult> Session::Execute(const std::string& sql) {
   // Session options are handled before SQL parsing (like BEGIN TIMEORDERED,
   // they configure the session rather than run a query).
@@ -43,6 +67,14 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
     QueryResult out;
     out.message = std::string("degrade mode ") +
                   std::string(DegradeModeName(degrade_mode_));
+    out.executed_at = system_->Now();
+    return out;
+  }
+  bool trace_on;
+  if (ParseSetTrace(sql, &trace_on)) {
+    trace_enabled_ = trace_on;
+    QueryResult out;
+    out.message = trace_on ? "trace ON" : "trace OFF";
     out.executed_at = system_->Now();
     return out;
   }
@@ -69,6 +101,8 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
       timeline_floor_.store(-1, std::memory_order_release);
       out.message = "timeline consistency OFF";
       return out;
+    case StatementKind::kExplain:
+      return ExecuteExplain(stmt);
     case StatementKind::kSelect:
       break;
   }
@@ -76,13 +110,47 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   CacheDbms* cache = system_->cache();
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
   SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
-  RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
-                       cache->ExecutePrepared(plan, floor, degrade_mode_));
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (trace_enabled_) trace = std::make_shared<obs::QueryTrace>();
+  RCC_ASSIGN_OR_RETURN(
+      CacheQueryOutcome outcome,
+      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get()));
   if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
     timeline_floor_.store(outcome.max_seen_heartbeat,
                           std::memory_order_release);
   }
-  return MakeQueryResult(std::move(outcome));
+  QueryResult result = MakeQueryResult(std::move(outcome));
+  result.trace = std::move(trace);
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
+  CacheDbms* cache = system_->cache();
+  RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
+  if (!stmt.explain_analyze) {
+    QueryResult out;
+    out.shape = plan.Shape();
+    out.plan_text = plan.DescribeTree();
+    out.constraint = plan.resolved.constraint;
+    out.message = obs::RenderExplain(plan);
+    out.executed_at = system_->Now();
+    return out;
+  }
+  // ANALYZE: execute for real (timeline floor advances exactly as a plain
+  // SELECT would), with a statement-scoped trace regardless of SET TRACE.
+  SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
+  auto trace = std::make_shared<obs::QueryTrace>();
+  RCC_ASSIGN_OR_RETURN(
+      CacheQueryOutcome outcome,
+      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get()));
+  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
+    timeline_floor_.store(outcome.max_seen_heartbeat,
+                          std::memory_order_release);
+  }
+  QueryResult result = MakeQueryResult(std::move(outcome));
+  result.message = obs::RenderExplainAnalyze(plan, result.stats, *trace);
+  result.trace = std::move(trace);
+  return result;
 }
 
 std::vector<Result<QueryResult>> Session::ExecuteBatch(

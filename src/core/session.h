@@ -60,6 +60,12 @@ class Session {
   DegradeMode degrade_mode() const { return degrade_mode_; }
   void set_degrade_mode(DegradeMode mode) { degrade_mode_ = mode; }
 
+  /// Per-query structured tracing for this session's serial SELECTs.
+  /// Settable in SQL: SET TRACE ON | OFF. When on, each QueryResult carries
+  /// its trace. EXPLAIN ANALYZE traces its one statement regardless.
+  bool trace_enabled() const { return trace_enabled_; }
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+
   /// DML: builds the row operations (evaluating predicates against the
   /// master data) and forwards them as one transaction to the back-end —
   /// the cache never applies writes itself (paper §3 item 5).
@@ -75,9 +81,15 @@ class Session {
  private:
   /// Recognizes "SET DEGRADE [=] <mode>" (handled before SQL parsing).
   static bool ParseSetDegrade(const std::string& sql, DegradeMode* mode);
+  /// Recognizes "SET TRACE [=] ON|OFF" (handled before SQL parsing).
+  static bool ParseSetTrace(const std::string& sql, bool* on);
+  /// EXPLAIN [ANALYZE]: renders the plan (and, for ANALYZE, executes the
+  /// query and renders its trace and stats) into QueryResult::message.
+  Result<QueryResult> ExecuteExplain(const Statement& stmt);
 
   RccSystem* system_;
   bool timeordered_ = false;
+  bool trace_enabled_ = false;
   /// Atomic because ExecuteBatch workers CAS-max their observed snapshot
   /// times into it concurrently; the serial path uses it like a plain field.
   std::atomic<SimTimeMs> timeline_floor_{-1};

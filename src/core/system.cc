@@ -14,7 +14,9 @@ RccSystem::RccSystem(SystemConfig config)
     : config_(config),
       scheduler_(&clock_),
       backend_(&clock_, config_.costs),
-      cache_(&backend_, &scheduler_, config_.costs) {}
+      cache_(&backend_, &scheduler_, config_.costs) {
+  cache_.SetMetricsRegistry(&metrics_);
+}
 
 std::unique_ptr<Session> RccSystem::CreateSession() {
   return std::make_unique<Session>(this);

@@ -94,6 +94,12 @@ class RccSystem {
   /// through the cache (retries, timeouts, breaker trips, degraded serves).
   const ExecStats& cache_stats() const { return cache_.cumulative_stats(); }
 
+  /// Process metrics of this system instance (per-system rather than global,
+  /// so parallel tests and benches never bleed counters into each other).
+  /// Serialize with metrics().ToJson(); schema documented in DESIGN.md §9.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   const SystemConfig& config() const { return config_; }
 
  private:
@@ -104,6 +110,7 @@ class RccSystem {
   SystemConfig config_;
   VirtualClock clock_;
   SimulationScheduler scheduler_;
+  obs::MetricsRegistry metrics_;
   BackendServer backend_;
   CacheDbms cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -22,6 +22,7 @@ void ExecStats::Accumulate(const ExecStats& other) {
   guard_evaluations += other.guard_evaluations;
   switch_local += other.switch_local;
   switch_remote += other.switch_remote;
+  switch_remote_attempted += other.switch_remote_attempted;
   remote_retries += other.remote_retries;
   remote_timeouts += other.remote_timeouts;
   breaker_opens += other.breaker_opens;
@@ -29,6 +30,12 @@ void ExecStats::Accumulate(const ExecStats& other) {
   guard_unknown_region += other.guard_unknown_region;
   degraded_staleness_ms = std::max(degraded_staleness_ms,
                                    other.degraded_staleness_ms);
+  // Phase timings are additive real-time costs, exactly like the counters:
+  // batch-accumulated stats must report the total executor time spent, not
+  // silently zero it (ExecuteConcurrent callers sum per-query objects).
+  setup_ms += other.setup_ms;
+  run_ms += other.run_ms;
+  shutdown_ms += other.shutdown_ms;
   // The timeline-consistency floor input (paper §2.3): the merged object must
   // reflect the newest snapshot either side has seen, or sessions that
   // accumulate per-query stats would lose their floor.

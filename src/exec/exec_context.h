@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/physical.h"
 #include "storage/table.h"
 
@@ -46,9 +48,14 @@ struct ExecStats {
   int64_t rows_returned = 0;
   int64_t remote_queries = 0;
   int64_t guard_evaluations = 0;
-  /// SwitchUnion decisions.
+  /// SwitchUnion serving branches, counted by where the rows actually came
+  /// from: a query that chose remote but degraded to its local view counts
+  /// in switch_local (plus degraded_serves), not switch_remote.
   int64_t switch_local = 0;
   int64_t switch_remote = 0;
+  /// Guard decisions that directed the query at the remote branch, whether or
+  /// not the remote branch ended up serving (the pre-degradation decision).
+  int64_t switch_remote_attempted = 0;
   /// Resilience-policy events on the cache↔back-end link.
   int64_t remote_retries = 0;
   int64_t remote_timeouts = 0;
@@ -73,7 +80,9 @@ struct ExecStats {
   SimTimeMs max_seen_heartbeat = -1;
 
   void Reset() { *this = ExecStats(); }
-  /// Accumulates counters (not timings) from another stats object.
+  /// Accumulates another stats object: counters and phase timings sum (both
+  /// are additive real costs), degraded_staleness_ms and max_seen_heartbeat
+  /// max-merge.
   void Accumulate(const ExecStats& other);
 };
 
@@ -105,6 +114,15 @@ struct ExecContext {
   /// additionally require the region's heartbeat to be at least this value,
   /// so a session never reads data older than what it has already seen.
   SimTimeMs timeline_floor_ms = -1;
+
+  /// Per-query structured trace; null = tracing disabled. Every recording
+  /// site is gated on this pointer, so the disabled path costs one compare.
+  obs::QueryTrace* trace = nullptr;
+
+  /// Real-time guard-probe latency histogram (paper Table 4.4 overhead);
+  /// null = not measured. Resolved once per query by the engine layer so the
+  /// probe itself never takes the registry lock.
+  obs::Histogram* guard_probe_hist = nullptr;
 };
 
 /// Volcano-style iterator. Open may be called again after Close (inner sides

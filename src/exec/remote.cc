@@ -123,6 +123,10 @@ Status RemoteQueryIterator::Open(const EvalScope* outer) {
       ctx_->stats->max_seen_heartbeat = now;
     }
   }
+  if (ctx_->trace != nullptr && ctx_->clock != nullptr) {
+    ctx_->trace->Record(obs::TraceEventKind::kRemoteFetch, ctx_->clock->Now(),
+                        StrPrintf("rows=%zu", result->rows.size()));
+  }
   if (result->layout.num_slots() != op_.layout.num_slots()) {
     return Status::Internal(
         "remote result shape mismatch: got " +

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <string>
 
+#include "common/strings.h"
+
 namespace rcc {
 
 Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
-                                                      ExecStats* stats) {
+                                                      ExecStats* stats,
+                                                      obs::QueryTrace* trace) {
   if (breaker_open()) {
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEventKind::kBreakerFastFail, clock_->Now(),
+                    "back-end marked down until " +
+                        FormatSimTime(breaker_open_until_));
+    }
     return Status::Unavailable(
         "circuit breaker open: back-end marked down until " +
         FormatSimTime(breaker_open_until_));
@@ -16,17 +24,29 @@ Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
   Status last = Status::Unavailable("remote query not attempted");
   for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
     if (attempt > 0) {
-      // Exponential backoff + jitter before re-issuing.
+      // Exponential backoff + jitter before retry `attempt`: the delay is
+      // backoff_base_ms * backoff_multiplier^attempt (1-based retry index,
+      // matching the RemotePolicy contract — the first retry already waits a
+      // full multiplier step beyond the base).
       double scaled = static_cast<double>(policy_.backoff_base_ms);
-      for (int i = 1; i < attempt; ++i) scaled *= policy_.backoff_multiplier;
+      for (int i = 0; i < attempt; ++i) scaled *= policy_.backoff_multiplier;
       SimTimeMs delay = static_cast<SimTimeMs>(scaled);
       if (policy_.backoff_jitter_ms > 0) {
         delay += rng_.Uniform(0, policy_.backoff_jitter_ms);
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEventKind::kRemoteBackoff, clock_->Now(),
+                      StrPrintf("retry=%d delay=%s", attempt,
+                                FormatSimTime(delay).c_str()));
       }
       Wait(delay);
       if (stats != nullptr) ++stats->remote_retries;
     }
 
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEventKind::kRemoteAttempt, clock_->Now(),
+                    StrPrintf("attempt=%d", attempt + 1));
+    }
     RemoteAttempt result = attempt_(stmt);
     // The caller never waits longer than the timeout for one attempt.
     Wait(std::min(result.latency_ms, policy_.timeout_ms));
@@ -36,6 +56,13 @@ Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
           FormatSimTime(policy_.timeout_ms) + " (back-end took " +
           FormatSimTime(result.latency_ms) + ")");
       if (stats != nullptr) ++stats->remote_timeouts;
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEventKind::kRemoteTimeout, clock_->Now(),
+                      StrPrintf("attempt=%d timeout=%s backend_took=%s",
+                                attempt + 1,
+                                FormatSimTime(policy_.timeout_ms).c_str(),
+                                FormatSimTime(result.latency_ms).c_str()));
+      }
     } else if (!result.status.ok()) {
       last = result.status;
     } else {
@@ -49,6 +76,10 @@ Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
       consecutive_failures_ = 0;
       ++breaker_opens_;
       if (stats != nullptr) ++stats->breaker_opens;
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEventKind::kBreakerOpen, clock_->Now(),
+                      "cooldown until " + FormatSimTime(breaker_open_until_));
+      }
       // Opening the breaker abandons the remaining retries: the link is
       // considered down, not flaky.
       break;

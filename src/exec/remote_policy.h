@@ -33,7 +33,8 @@ struct RemotePolicy {
   SimTimeMs timeout_ms = 1000;
   /// Retries after the first attempt.
   int max_retries = 3;
-  /// Exponential backoff: delay before retry i is
+  /// Exponential backoff: the delay before retry i (1-based, so the first
+  /// retry already backs off a full multiplier step) is
   /// backoff_base_ms * backoff_multiplier^i + uniform[0, backoff_jitter_ms].
   SimTimeMs backoff_base_ms = 100;
   double backoff_multiplier = 2.0;
@@ -67,8 +68,10 @@ class ResilientRemoteExecutor {
   ResilientRemoteExecutor& operator=(const ResilientRemoteExecutor&) = delete;
 
   /// Executes `stmt` under the policy. Retry/timeout/breaker events are
-  /// recorded into `stats` when non-null.
-  Result<RemoteResult> Execute(const SelectStmt& stmt, ExecStats* stats);
+  /// recorded into `stats` and, per event with its virtual timestamp, into
+  /// `trace` when non-null.
+  Result<RemoteResult> Execute(const SelectStmt& stmt, ExecStats* stats,
+                               obs::QueryTrace* trace = nullptr);
 
   /// Replaces the attempt function (e.g. when a fault injector is added to
   /// an already-wired link).

@@ -1,7 +1,10 @@
 #include "exec/switch_union.h"
 
+#include <chrono>
 #include <optional>
 #include <string>
+
+#include "common/strings.h"
 
 namespace rcc {
 
@@ -11,21 +14,43 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
   // older than the currency bound. The heartbeat is one atomic acquire-load
   // (see CurrencyRegion::local_heartbeat), so concurrent delivery installs
   // can never be observed torn — the probe is race-free by construction.
+  std::chrono::steady_clock::time_point t0;
+  if (ctx->guard_probe_hist != nullptr) t0 = std::chrono::steady_clock::now();
   std::optional<SimTimeMs> hb_opt = ctx->local_heartbeat(op.guard_region);
   if (ctx->stats != nullptr) ++ctx->stats->guard_evaluations;
+  SimTimeMs now = ctx->clock->Now();
+  bool fresh_enough;
   if (!hb_opt.has_value()) {
     // Unknown region (undefined, or defined mid-run and never synced): the
     // guard cannot certify any freshness, so the local branch never
     // qualifies — explicitly, not via a fake "stale since time 0" value.
     if (ctx->stats != nullptr) ++ctx->stats->guard_unknown_region;
-    return false;
-  }
-  SimTimeMs hb = *hb_opt;
-  SimTimeMs now = ctx->clock->Now();
-  bool fresh_enough = hb > now - op.guard_bound_ms;
-  // Timeline consistency: never fall behind what the session already saw.
-  if (ctx->timeline_floor_ms >= 0 && hb < ctx->timeline_floor_ms) {
     fresh_enough = false;
+  } else {
+    SimTimeMs hb = *hb_opt;
+    fresh_enough = hb > now - op.guard_bound_ms;
+    // Timeline consistency: never fall behind what the session already saw.
+    if (ctx->timeline_floor_ms >= 0 && hb < ctx->timeline_floor_ms) {
+      fresh_enough = false;
+    }
+  }
+  if (ctx->guard_probe_hist != nullptr) {
+    ctx->guard_probe_hist->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (ctx->trace != nullptr) {
+    std::string hb_str =
+        hb_opt.has_value() ? FormatSimTime(*hb_opt) : std::string("unknown");
+    ctx->trace->Record(
+        obs::TraceEventKind::kGuardProbe, now,
+        StrPrintf("region=%d heartbeat=%s bound=%s floor=%s verdict=%s",
+                  op.guard_region, hb_str.c_str(),
+                  FormatSimTime(op.guard_bound_ms).c_str(),
+                  FormatSimTime(ctx->timeline_floor_ms).c_str(),
+                  fresh_enough ? "local" : "stale"),
+        op.guard_region);
   }
   return fresh_enough;
 }
@@ -45,6 +70,8 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
     cached_decision_ = local_ok ? 1 : 0;
     if (ctx_->stats != nullptr) {
       if (local_ok) {
+        // The local branch is the final serving branch: a local open failure
+        // is a hard error, never a silent re-route.
         ++ctx_->stats->switch_local;
         // The guard passed, so the heartbeat is necessarily known.
         SimTimeMs hb = ctx_->local_heartbeat(op_.guard_region).value_or(0);
@@ -52,8 +79,16 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
           ctx_->stats->max_seen_heartbeat = hb;
         }
       } else {
-        ++ctx_->stats->switch_remote;
+        // Only an *attempt* so far — the remote branch may still fail and
+        // degrade back to local; switch_remote is counted when the remote
+        // branch actually opens and serves.
+        ++ctx_->stats->switch_remote_attempted;
       }
+    }
+    if (ctx_->trace != nullptr) {
+      ctx_->trace->Record(obs::TraceEventKind::kSwitchDecision,
+                          ctx_->clock->Now(), local_ok ? "local" : "remote",
+                          op_.guard_region);
     }
   }
   chosen_ = cached_decision_ == 1 ? local_.get() : remote_.get();
@@ -61,7 +96,12 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
   if (!st.ok() && chosen_ == remote_.get()) {
     return DegradeToLocal(outer, std::move(st));
   }
-  if (st.ok() && chosen_ == remote_.get()) served_remote_ = true;
+  if (st.ok() && chosen_ == remote_.get() && !served_remote_) {
+    served_remote_ = true;
+    // Now the remote branch truly serves this execution; count it once, not
+    // per re-open (inner side of a nested-loop join re-opens the iterator).
+    if (ctx_->stats != nullptr) ++ctx_->stats->switch_remote;
+  }
   return st;
 }
 
@@ -118,12 +158,25 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
   cached_decision_ = 1;
   if (ctx_->stats != nullptr) {
     ++ctx_->stats->degraded_serves;
+    // The query was directed at the remote branch (switch_remote_attempted)
+    // but is finally served by the local one; record the serving branch
+    // truthfully instead of leaving it counted as a remote switch.
+    ++ctx_->stats->switch_local;
     if (staleness > ctx_->stats->degraded_staleness_ms) {
       ctx_->stats->degraded_staleness_ms = staleness;
     }
     if (hb > ctx_->stats->max_seen_heartbeat) {
       ctx_->stats->max_seen_heartbeat = hb;
     }
+  }
+  if (ctx_->trace != nullptr) {
+    ctx_->trace->Record(
+        obs::TraceEventKind::kDegradedServe, now,
+        StrPrintf("region=%d staleness=%s within_bound=%s remote_error=%s",
+                  op_.guard_region, FormatSimTime(staleness).c_str(),
+                  within_bound ? "yes" : "no",
+                  remote_error.ToString().c_str()),
+        op_.guard_region);
   }
   chosen_ = local_.get();
   return chosen_->Open(outer);

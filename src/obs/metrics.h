@@ -1,0 +1,119 @@
+#ifndef RCC_OBS_METRICS_H_
+#define RCC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcc {
+namespace obs {
+
+/// A monotonically increasing counter. Recording is one relaxed atomic add —
+/// safe from any thread, cheap enough for per-row paths.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A last-value (or max-tracked) gauge.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to at least `v` (commutative, safe concurrently).
+  void Max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one implicit overflow bucket catches everything above the last bound.
+/// Observe is a linear probe over a handful of buckets plus two relaxed
+/// atomics — no locks, so it composes with any lock held by the caller.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; i == bounds().size() is the overflow bucket.
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A named collection of counters, gauges and histograms with a JSON dump
+/// (schema: DESIGN.md §9). Instrument lookup (get-or-create) takes a leaf
+/// mutex and returns a stable pointer, so hot paths resolve their instruments
+/// once and record lock-free afterwards. RccSystem owns one registry per
+/// system (deterministic tests); Global() is a process-wide instance for
+/// programs that aggregate across systems.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// `bounds` is only consulted when the histogram is first created.
+  Histogram* histogram(std::string_view name, std::vector<double> bounds);
+  Histogram* histogram(std::string_view name) {
+    return histogram(name, DefaultLatencyBucketsMs());
+  }
+
+  /// Serializes every instrument as one JSON object:
+  ///   {"schema":"rcc.metrics.v1",
+  ///    "counters":{name:int,...}, "gauges":{name:num,...},
+  ///    "histograms":{name:{"count":int,"sum":num,
+  ///                        "buckets":[{"le":num|"+inf","n":int},...]},...}}
+  std::string ToJson() const;
+
+  /// Zeroes every instrument, keeping registrations (and pointers) valid.
+  void Reset();
+
+  /// Process-wide registry.
+  static MetricsRegistry* Global();
+
+  /// Exponential ms buckets suitable for both sub-ms guard probes and
+  /// multi-second degraded staleness: 0.01ms .. ~100s.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace rcc
+
+#endif  // RCC_OBS_METRICS_H_

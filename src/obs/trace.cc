@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+#include "common/strings.h"
+
+namespace rcc {
+namespace obs {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kGuardProbe:
+      return "guard_probe";
+    case TraceEventKind::kSwitchDecision:
+      return "switch_decision";
+    case TraceEventKind::kRemoteAttempt:
+      return "remote_attempt";
+    case TraceEventKind::kRemoteBackoff:
+      return "remote_backoff";
+    case TraceEventKind::kRemoteTimeout:
+      return "remote_timeout";
+    case TraceEventKind::kBreakerOpen:
+      return "breaker_open";
+    case TraceEventKind::kBreakerFastFail:
+      return "breaker_fastfail";
+    case TraceEventKind::kRemoteFetch:
+      return "remote_fetch";
+    case TraceEventKind::kDegradedServe:
+      return "degraded_serve";
+    case TraceEventKind::kReplicationDelivery:
+      return "replication_delivery";
+  }
+  return "?";
+}
+
+int QueryTrace::CountOf(TraceEventKind kind) const {
+  int n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+const TraceEvent* QueryTrace::FirstOf(TraceEventKind kind) const {
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+std::string QueryTrace::Render() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += StrPrintf("[%s] %-20s %s\n", FormatSimTime(e.at).c_str(),
+                     std::string(TraceEventKindName(e.kind)).c_str(),
+                     e.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rcc

@@ -844,6 +844,7 @@ Result<UnitPlan> Planner::BuildLocalUnit(
   sw->guard_region = region;
   sw->guard_bound_ms = bound;
   sw->remote_fallback_allowed = opts_.allow_remote;
+  sw->est_local_p = p;
   sw->est_rows = project->est_rows;
   sw->est_cost =
       SwitchUnionCost(p, project->est_cost, remote->est_cost, opts_.costs);

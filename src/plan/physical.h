@@ -107,6 +107,9 @@ struct PhysicalOp {
   /// False in replica-only mode (OptimizerOptions::allow_remote = false): a
   /// failing guard is a run-time constraint violation, not a fallback.
   bool remote_fallback_allowed = true;
+  /// Optimizer estimate of the probability the guard passes (paper Eq. (1));
+  /// -1 when not estimated. EXPLAIN compares it against the actual decision.
+  double est_local_p = -1;
 
   // -- estimates & properties (filled by the optimizer) ---------------------
   double est_rows = 0;

@@ -21,57 +21,67 @@ void DistributionAgent::Wakeup(SimTimeMs now) {
   std::optional<SimTimeMs> captured_hb = global_heartbeat_->Get(region_->id());
   SimTimeMs deliver_at = now + region_->def().update_delay;
   scheduler_->ScheduleAt(deliver_at,
-                         [this, snapshot_pos, captured_hb](SimTimeMs) {
-                           Deliver(snapshot_pos, captured_hb);
+                         [this, snapshot_pos, captured_hb](SimTimeMs at) {
+                           Deliver(snapshot_pos, captured_hb, at);
                          });
 }
 
 void DistributionAgent::Deliver(size_t snapshot_pos,
-                                std::optional<SimTimeMs> captured_heartbeat) {
-  // The whole batch is applied under the region's exclusive lock: queries on
-  // worker threads holding it shared never observe a half-applied
-  // transaction, preserving the invariant that every view in the region
-  // reflects one back-end snapshot.
-  std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
-  // Deliveries are scheduled in wake-up order with a constant delay, so
-  // snapshot positions arrive non-decreasing.
-  size_t from = region_->applied_log_pos();
-  // Ops of one transaction typically hit one table; memoize the last
-  // lower-casing so the common case pays no allocation either.
-  std::string last_table;
-  std::string last_lower;
-  for (size_t i = from; i < snapshot_pos; ++i) {
-    const CommittedTxn& txn = log_->at(i);
-    // Apply the whole transaction to every view in the region before moving
-    // to the next one: commit-order, transaction-at-a-time application.
-    for (const RowOp& op : txn.ops) {
-      if (op.table != last_table) {
-        last_table = op.table;
-        last_lower = ToLower(op.table);
-      }
-      const std::vector<MaterializedView*>* views =
-          region_->ViewsOf(last_lower);
-      if (views == nullptr) continue;
-      for (MaterializedView* view : *views) {
-        view->ApplyOp(op);
-        ++ops_applied_;
+                                std::optional<SimTimeMs> captured_heartbeat,
+                                SimTimeMs delivered_at) {
+  int64_t batch_ops = 0;
+  {
+    // The whole batch is applied under the region's exclusive lock: queries
+    // on worker threads holding it shared never observe a half-applied
+    // transaction, preserving the invariant that every view in the region
+    // reflects one back-end snapshot.
+    std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
+    // Deliveries are scheduled in wake-up order with a constant delay, so
+    // snapshot positions arrive non-decreasing.
+    size_t from = region_->applied_log_pos();
+    // Ops of one transaction typically hit one table; memoize the last
+    // lower-casing so the common case pays no allocation either.
+    std::string last_table;
+    std::string last_lower;
+    for (size_t i = from; i < snapshot_pos; ++i) {
+      const CommittedTxn& txn = log_->at(i);
+      // Apply the whole transaction to every view in the region before moving
+      // to the next one: commit-order, transaction-at-a-time application.
+      for (const RowOp& op : txn.ops) {
+        if (op.table != last_table) {
+          last_table = op.table;
+          last_lower = ToLower(op.table);
+        }
+        const std::vector<MaterializedView*>* views =
+            region_->ViewsOf(last_lower);
+        if (views == nullptr) continue;
+        for (MaterializedView* view : *views) {
+          view->ApplyOp(op);
+          ++ops_applied_;
+          ++batch_ops;
+        }
       }
     }
+    if (snapshot_pos > from) {
+      region_->set_applied_log_pos(snapshot_pos);
+      region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
+    }
+    // The heartbeat store is the publication point: it happens after the data
+    // is in place, so a guard observing heartbeat T is guaranteed the region
+    // reflects at least snapshot T. A never-beaten global row contributes
+    // nothing (unknown, not "stale since time 0").
+    if (captured_heartbeat.has_value() &&
+        *captured_heartbeat > region_->local_heartbeat()) {
+      region_->set_local_heartbeat(*captured_heartbeat);
+    }
+    region_->BumpDeliveryEpoch();
+    ++deliveries_;
   }
-  if (snapshot_pos > from) {
-    region_->set_applied_log_pos(snapshot_pos);
-    region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
+  // Outside the data lock: the observer may do arbitrary engine-side work
+  // (metrics, tracing) and must not extend the exclusive section.
+  if (observer_) {
+    observer_(region_->id(), delivered_at, batch_ops, captured_heartbeat);
   }
-  // The heartbeat store is the publication point: it happens after the data
-  // is in place, so a guard observing heartbeat T is guaranteed the region
-  // reflects at least snapshot T. A never-beaten global row contributes
-  // nothing (unknown, not "stale since time 0").
-  if (captured_heartbeat.has_value() &&
-      *captured_heartbeat > region_->local_heartbeat()) {
-    region_->set_local_heartbeat(*captured_heartbeat);
-  }
-  region_->BumpDeliveryEpoch();
-  ++deliveries_;
 }
 
 }  // namespace rcc

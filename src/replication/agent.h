@@ -1,6 +1,7 @@
 #ifndef RCC_REPLICATION_AGENT_H_
 #define RCC_REPLICATION_AGENT_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,14 +47,24 @@ class DistributionAgent {
 
   CurrencyRegion* region() const { return region_; }
 
+  /// Called after each delivery batch is applied and published (outside the
+  /// region's data lock): region id, virtual delivery time, row ops applied
+  /// in the batch, and the heartbeat installed (nullopt when the snapshot
+  /// carried none). The engine layer uses it for metrics and query traces.
+  using DeliveryObserver = std::function<void(
+      RegionId, SimTimeMs, int64_t, std::optional<SimTimeMs>)>;
+  void set_delivery_observer(DeliveryObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
   /// the captured heartbeat value (absent when the region's global row had
   /// never been beaten at snapshot time). Takes the region's exclusive
   /// data lock for the whole batch, so concurrent readers always see every
   /// view of the region at one back-end snapshot.
-  void Deliver(size_t snapshot_pos,
-               std::optional<SimTimeMs> captured_heartbeat);
+  void Deliver(size_t snapshot_pos, std::optional<SimTimeMs> captured_heartbeat,
+               SimTimeMs delivered_at);
 
   CurrencyRegion* region_;
   const UpdateLog* log_;
@@ -61,6 +72,7 @@ class DistributionAgent {
   SimulationScheduler* scheduler_;
   int64_t deliveries_ = 0;
   int64_t ops_applied_ = 0;
+  DeliveryObserver observer_;
 };
 
 }  // namespace rcc

@@ -178,15 +178,19 @@ enum class StatementKind {
   kDelete,
   kBeginTimeOrdered,  // BEGIN TIMEORDERED (paper §2.3)
   kEndTimeOrdered,    // END TIMEORDERED
+  kExplain,           // EXPLAIN [ANALYZE] <select>
 };
 
 /// A parsed statement.
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
-  std::unique_ptr<SelectStmt> select;  // for kSelect
+  std::unique_ptr<SelectStmt> select;  // for kSelect and kExplain
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
+  /// kExplain: EXPLAIN ANALYZE executes the query and reports the trace and
+  /// stats; plain EXPLAIN renders the plan without executing.
+  bool explain_analyze = false;
 };
 
 }  // namespace rcc

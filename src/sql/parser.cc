@@ -17,7 +17,8 @@ const std::set<std::string>& ReservedWords() {
       "distinct",
       "bound",  "on",     "asc",    "desc",     "join",  "inner",  "null",
       "begin",  "end",    "timeordered",        "insert", "into",
-      "values", "update", "set",    "delete", "having"};
+      "values", "update", "set",    "delete", "having",
+      "explain", "analyze"};
   return *kWords;
 }
 
@@ -50,6 +51,12 @@ class Parser {
     if (CheckKeyword("delete")) {
       RCC_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
       stmt.kind = StatementKind::kDelete;
+      return FinishStatement(std::move(stmt));
+    }
+    if (MatchKeyword("explain")) {
+      stmt.explain_analyze = MatchKeyword("analyze");
+      RCC_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+      stmt.kind = StatementKind::kExplain;
       return FinishStatement(std::move(stmt));
     }
     RCC_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());

@@ -321,6 +321,43 @@ TEST(ExecStatsTest, AccumulateSumsResilienceCounters) {
   EXPECT_EQ(total.degraded_staleness_ms, 7000);  // max, not sum
 }
 
+TEST(ExecStatsTest, AccumulateSumsPhaseTimings) {
+  // Regression: Accumulate used to drop setup_ms/run_ms/shutdown_ms, so any
+  // aggregate built from per-query stats (cumulative link stats, bench
+  // totals) reported zero executor time.
+  ExecStats total;
+  ExecStats a;
+  a.setup_ms = 1.5;
+  a.run_ms = 10.0;
+  a.shutdown_ms = 0.25;
+  ExecStats b;
+  b.setup_ms = 0.5;
+  b.run_ms = 2.0;
+  b.shutdown_ms = 0.75;
+  total.Accumulate(a);
+  total.Accumulate(b);
+  EXPECT_DOUBLE_EQ(total.setup_ms, 2.0);
+  EXPECT_DOUBLE_EQ(total.run_ms, 12.0);
+  EXPECT_DOUBLE_EQ(total.shutdown_ms, 1.0);
+}
+
+TEST(ExecStatsTest, AccumulateSumsSwitchCounters) {
+  // switch_remote_attempted (the pre-degradation decision counter) must
+  // aggregate like the serving-branch counters.
+  ExecStats total;
+  ExecStats a;
+  a.switch_local = 2;
+  a.switch_remote = 1;
+  a.switch_remote_attempted = 3;
+  ExecStats b;
+  b.switch_remote_attempted = 1;
+  total.Accumulate(a);
+  total.Accumulate(b);
+  EXPECT_EQ(total.switch_local, 2);
+  EXPECT_EQ(total.switch_remote, 1);
+  EXPECT_EQ(total.switch_remote_attempted, 4);
+}
+
 // -- ParameterizeStmt -------------------------------------------------------------
 
 TEST(ParameterizeTest, SubstitutesOuterRefsOnly) {

@@ -140,7 +140,7 @@ TEST_F(PolicyTest, FirstAttemptSuccessHasNoRetries) {
 
 TEST_F(PolicyTest, RetriesThenSucceeds) {
   RemotePolicy policy;
-  policy.backoff_base_ms = 100;
+  policy.backoff_base_ms = 50;
   policy.backoff_multiplier = 2.0;
   policy.backoff_jitter_ms = 0;
   int calls = 0;
@@ -153,15 +153,77 @@ TEST_F(PolicyTest, RetriesThenSucceeds) {
   EXPECT_TRUE(exec.Execute(stmt_, &stats_).ok());
   EXPECT_EQ(calls, 3);
   EXPECT_EQ(stats_.remote_retries, 2);
-  // 3 attempts of 2ms plus backoffs 100 and 200.
+  // 3 attempts of 2ms plus backoffs 50*2^1 = 100 and 50*2^2 = 200.
   EXPECT_EQ(clock_.Now(), 306);
   EXPECT_EQ(exec.consecutive_failures(), 0);
+}
+
+TEST_F(PolicyTest, BackoffFollowsDocumentedSchedule) {
+  // Regression for a doc/code mismatch: the policy contract promises the
+  // delay before retry i (1-based) is base * multiplier^i, but the executor
+  // used to compute base * multiplier^(i-1). With jitter off, each delay is
+  // exactly the documented value.
+  RemotePolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base_ms = 100;
+  policy.backoff_multiplier = 3.0;
+  policy.backoff_jitter_ms = 0;
+  policy.breaker_threshold = 0;
+  std::vector<SimTimeMs> waits;
+  ResilientRemoteExecutor exec(
+      policy,
+      [](const SelectStmt&) {
+        RemoteAttempt a;
+        a.status = Status::Unavailable("down");
+        return a;
+      },
+      &clock_, [&](SimTimeMs delta) { waits.push_back(delta); });
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[0], 300);   // 100 * 3^1
+  EXPECT_EQ(waits[1], 900);   // 100 * 3^2
+  EXPECT_EQ(waits[2], 2700);  // 100 * 3^3
+}
+
+TEST_F(PolicyTest, BackoffJitterIsSeedDeterministic) {
+  // Same seed -> identical jittered delays; the documented schedule is the
+  // lower edge of each jitter window.
+  RemotePolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base_ms = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_jitter_ms = 50;
+  policy.breaker_threshold = 0;
+  policy.seed = 1234;
+  auto failing = [](const SelectStmt&) {
+    RemoteAttempt a;
+    a.status = Status::Unavailable("down");
+    return a;
+  };
+  std::vector<SimTimeMs> first;
+  std::vector<SimTimeMs> second;
+  {
+    ResilientRemoteExecutor exec(policy, failing, &clock_,
+                                 [&](SimTimeMs d) { first.push_back(d); });
+    EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  }
+  {
+    ResilientRemoteExecutor exec(policy, failing, &clock_,
+                                 [&](SimTimeMs d) { second.push_back(d); });
+    EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  }
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+  EXPECT_GE(first[0], 200);  // 100 * 2^1 + [0, 50]
+  EXPECT_LE(first[0], 250);
+  EXPECT_GE(first[1], 400);  // 100 * 2^2 + [0, 50]
+  EXPECT_LE(first[1], 450);
 }
 
 TEST_F(PolicyTest, BackoffGrowsExponentiallyWithBoundedJitter) {
   RemotePolicy policy;
   policy.max_retries = 3;
-  policy.backoff_base_ms = 100;
+  policy.backoff_base_ms = 50;
   policy.backoff_multiplier = 2.0;
   policy.backoff_jitter_ms = 50;
   policy.breaker_threshold = 0;
@@ -189,7 +251,7 @@ TEST_F(PolicyTest, SlowAttemptsCountAsTimeouts) {
   RemotePolicy policy;
   policy.timeout_ms = 1000;
   policy.max_retries = 1;
-  policy.backoff_base_ms = 100;
+  policy.backoff_base_ms = 50;
   policy.backoff_jitter_ms = 0;
   policy.breaker_threshold = 0;
   auto exec = MakeExecutor(policy, [](const SelectStmt&) {
@@ -238,6 +300,71 @@ TEST_F(PolicyTest, BreakerOpensFailsFastAndRecovers) {
   EXPECT_TRUE(exec.Execute(stmt_, &stats_).ok());
   EXPECT_EQ(calls, 3);
   EXPECT_EQ(exec.consecutive_failures(), 0);
+}
+
+TEST_F(PolicyTest, BreakerCooldownBoundaryIsClosed) {
+  // The breaker is open strictly *before* open-until: a query arriving at
+  // exactly the cooldown deadline must reach the link again, not fail fast.
+  RemotePolicy policy;
+  policy.max_retries = 0;
+  policy.breaker_threshold = 1;
+  policy.breaker_cooldown_ms = 5000;
+  int calls = 0;
+  auto exec = MakeExecutor(policy, [&](const SelectStmt&) {
+    ++calls;
+    RemoteAttempt a;
+    a.status = Status::Unavailable("down");
+    return a;
+  });
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());  // opens at threshold 1
+  ASSERT_TRUE(exec.breaker_open());
+  SimTimeMs opened_at = clock_.Now();
+
+  // One tick before the deadline: still fast-failing, the link is untouched.
+  clock_.AdvanceTo(opened_at + 4999);
+  EXPECT_TRUE(exec.breaker_open());
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_EQ(calls, 1);
+
+  // At exactly the deadline the breaker reads closed and the attempt is made.
+  clock_.AdvanceTo(opened_at + 5000);
+  EXPECT_FALSE(exec.breaker_open());
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(PolicyTest, FailureStreakRebuildsFromZeroAfterCooldown) {
+  // Opening the breaker forgets the streak: after the cooldown, re-opening
+  // requires a full threshold of *new* consecutive failures — pre-cooldown
+  // failures must not carry over.
+  RemotePolicy policy;
+  policy.max_retries = 0;
+  policy.breaker_threshold = 3;
+  policy.breaker_cooldown_ms = 5000;
+  int calls = 0;
+  auto exec = MakeExecutor(policy, [&](const SelectStmt&) {
+    ++calls;
+    RemoteAttempt a;
+    a.status = Status::Unavailable("down");
+    return a;
+  });
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_TRUE(exec.breaker_open());
+  EXPECT_EQ(exec.breaker_opens(), 1);
+  EXPECT_EQ(exec.consecutive_failures(), 0);
+
+  clock_.AdvanceBy(5000);
+  EXPECT_FALSE(exec.breaker_open());
+  // Two fresh failures: below the threshold, so the breaker stays closed.
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_FALSE(exec.breaker_open());
+  EXPECT_EQ(exec.consecutive_failures(), 2);
+  // The third completes a brand-new streak and re-opens.
+  EXPECT_FALSE(exec.Execute(stmt_, &stats_).ok());
+  EXPECT_TRUE(exec.breaker_open());
+  EXPECT_EQ(exec.breaker_opens(), 2);
+  EXPECT_EQ(calls, 6);  // every non-fast-fail call reached the link
 }
 
 // -- Graceful degradation through the full system -----------------------------
@@ -337,7 +464,12 @@ TEST_F(DegradeTest, BoundedDegradeServesAfterDeliveryDuringBackoff) {
   EXPECT_LE(r.staleness_ms, 6000);
   EXPECT_EQ(r.stats.remote_retries, 3);
   EXPECT_EQ(r.stats.degraded_serves, 1);
-  EXPECT_EQ(r.stats.switch_remote, 1);  // first decision was remote
+  // Truthful switch accounting (regression): the guard directed the query at
+  // the remote branch, but the rows were finally served locally — so this is
+  // an attempted remote switch and a local serve, not a remote one.
+  EXPECT_EQ(r.stats.switch_remote_attempted, 1);
+  EXPECT_EQ(r.stats.switch_remote, 0);
+  EXPECT_EQ(r.stats.switch_local, 1);
   ASSERT_EQ(r.rows.size(), 1u);
   EXPECT_EQ(r.rows[0][0].AsInt(), 1);
   // The serve really read the refreshed replica, not the one from arrival.
@@ -456,7 +588,7 @@ TEST_F(DegradeTest, OutageWindowsNeverCrashTheCache) {
   RemotePolicy policy;
   policy.timeout_ms = 1000;
   policy.max_retries = 3;
-  policy.backoff_base_ms = 500;
+  policy.backoff_base_ms = 250;
   policy.backoff_multiplier = 2.0;
   policy.backoff_jitter_ms = 50;
   fx_.sys.cache()->SetRemotePolicy(policy);
@@ -531,10 +663,11 @@ TEST(FaultThresholdTest, ResilientPolicySurvivesOutagesVanillaDoesNot) {
   resilient.sys.cache()->SetFaultInjector(faults);
   RemotePolicy policy;
   policy.timeout_ms = 1000;
-  // ~3.5s retry budget: shorter than a full outage, so queries arriving early
-  // in an outage window must fall back to bounded degradation.
+  // ~3.5s retry budget (backoffs 500/1000/2000): shorter than a full outage,
+  // so queries arriving early in an outage window must fall back to bounded
+  // degradation.
   policy.max_retries = 3;
-  policy.backoff_base_ms = 500;
+  policy.backoff_base_ms = 250;
   policy.backoff_multiplier = 2.0;
   policy.backoff_jitter_ms = 50;
   policy.breaker_threshold = 0;  // measure pure retry+degrade behaviour
