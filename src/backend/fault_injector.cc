@@ -5,13 +5,7 @@
 namespace rcc {
 
 bool FaultInjector::InOutage(SimTimeMs now) const {
-  for (const OutageWindow& w : config_.outages) {
-    if (now >= w.start_ms && now < w.end_ms) return true;
-  }
-  if (config_.outage_period_ms > 0 && config_.outage_down_ms > 0) {
-    if (now % config_.outage_period_ms < config_.outage_down_ms) return true;
-  }
-  return false;
+  return InOutageAt(config_, now);
 }
 
 RemoteAttempt FaultInjector::Execute(

@@ -3,23 +3,18 @@
 
 #include <vector>
 
+#include "common/fault_config.h"
 #include "common/rng.h"
 #include "exec/remote_policy.h"
 
 namespace rcc {
 
-/// A hard-outage window [start_ms, end_ms) in virtual time: every remote
-/// query attempt inside it fails as Unavailable.
-struct OutageWindow {
-  SimTimeMs start_ms = 0;
-  SimTimeMs end_ms = 0;
-};
-
 /// Configuration of the cache↔back-end link faults. Everything is driven by
 /// the shared virtual clock and a seeded RNG, so a fault schedule is exactly
-/// reproducible.
-struct FaultInjectorConfig {
-  uint64_t seed = 0xFA17u;
+/// reproducible. The seed and outage schedule are the shared
+/// FaultScheduleConfig knobs (common/fault_config.h), so the query-path and
+/// replication-path injectors can script the same outage.
+struct FaultInjectorConfig : FaultScheduleConfig {
   /// Nominal round-trip latency of a healthy attempt.
   SimTimeMs base_latency_ms = 2;
   /// Uniform extra latency in [0, latency_jitter_ms] per attempt.
@@ -31,13 +26,6 @@ struct FaultInjectorConfig {
   /// Probability that an attempt fails transiently (dropped packet, broken
   /// connection); independent of outage windows.
   double transient_error_probability = 0.0;
-  /// Explicit outage windows (sorted or not; checked linearly).
-  std::vector<OutageWindow> outages;
-  /// Periodic outage schedule: when outage_period_ms > 0, the link is down
-  /// during the first outage_down_ms of every period (e.g. period 20s, down
-  /// 6s = a scripted 30% outage).
-  SimTimeMs outage_period_ms = 0;
-  SimTimeMs outage_down_ms = 0;
 };
 
 /// Wraps the remote-executor callback and injects latency spikes, transient

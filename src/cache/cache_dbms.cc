@@ -28,8 +28,26 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
   agent->set_delivery_observer(
       [this](RegionId cid, SimTimeMs at, int64_t ops,
              std::optional<SimTimeMs> hb) { OnDelivery(cid, at, ops, hb); });
+  agent->set_health_observer(
+      [this](RegionId cid, RegionHealth from, RegionHealth to,
+             SimTimeMs at) { OnHealthChange(cid, from, to, at); });
+  // Resync snapshots come straight from the back-end masters — the same
+  // source the initial view population used.
+  agent->set_master_table_provider(
+      [this](const std::string& table) { return backend_->table(table); });
+  if (replication_faults_.has_value()) {
+    ReplicationFaultConfig cfg = *replication_faults_;
+    cfg.seed += static_cast<uint64_t>(def.cid);
+    agent->SetFaultConfig(cfg);
+  }
   agent->Start(backend_->clock()->Now() + def.update_interval);
   backend_->RegisterRegionHeartbeat(def, scheduler_);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->gauge(StrPrintf("rcc.replication.region_health.%d",
+                          static_cast<int>(def.cid)))
+        ->Set(static_cast<double>(static_cast<int>(region->health())));
+  }
   regions_[def.cid] = std::move(region);
   agents_.push_back(std::move(agent));
   return Status::OK();
@@ -108,6 +126,22 @@ void CacheDbms::SetRemotePolicy(RemotePolicy policy) {
 
 void CacheDbms::ClearRemotePolicy() { remote_policy_.reset(); }
 
+void CacheDbms::SetReplicationFaults(ReplicationFaultConfig config) {
+  replication_faults_ = config;
+  for (auto& agent : agents_) {
+    // Per-region seed offset: the regions draw independent fault schedules
+    // while one top-level seed still reproduces the whole run.
+    ReplicationFaultConfig cfg = config;
+    cfg.seed += static_cast<uint64_t>(agent->region()->id());
+    agent->SetFaultConfig(cfg);
+  }
+}
+
+void CacheDbms::ClearReplicationFaults() {
+  replication_faults_.reset();
+  for (auto& agent : agents_) agent->ClearFaultConfig();
+}
+
 Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
                                               ExecStats* stats,
                                               obs::QueryTrace* trace) const {
@@ -133,6 +167,9 @@ OptimizerOptions CacheDbms::default_options() const {
   OptimizerOptions opts;
   opts.mode = PlanMode::kCache;
   opts.costs = costs_;
+  // Plan against live pipeline health: a quarantined region is priced
+  // remote-only instead of betting on a guard that cannot pass.
+  opts.region_health = [this](RegionId cid) { return RegionHealthOf(cid); };
   return opts;
 }
 
@@ -160,6 +197,7 @@ ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
     return ExecuteRemote(stmt, stats, trace);
   };
   ctx.local_heartbeat = [this](RegionId cid) { return LocalHeartbeat(cid); };
+  ctx.region_health = [this](RegionId cid) { return RegionHealthOf(cid); };
   ctx.clock = backend_->clock();
   ctx.stats = stats;
   ctx.timeline_floor_ms = timeline_floor;
@@ -237,6 +275,18 @@ void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
   inst_.degraded_serves = registry->counter("rcc.degrade.serves");
   inst_.replication_deliveries =
       registry->counter("rcc.replication.deliveries");
+  inst_.replication_quarantines =
+      registry->counter("rcc.replication.quarantines");
+  inst_.replication_resyncs = registry->counter("rcc.replication.resyncs");
+  // Per-region health gauges exist from installation on (value = the
+  // RegionHealth enum), so a dump shows healthy regions explicitly instead
+  // of omitting them.
+  for (const auto& [cid, region] : regions_) {
+    registry
+        ->gauge(StrPrintf("rcc.replication.region_health.%d",
+                          static_cast<int>(cid)))
+        ->Set(static_cast<double>(static_cast<int>(region->health())));
+  }
   inst_.guard_probe_ms = registry->histogram("rcc.guard.probe_ms");
   inst_.query_run_ms = registry->histogram("rcc.cache.query_run_ms");
   inst_.served_staleness_ms =
@@ -299,7 +349,43 @@ MaterializedView* CacheDbms::view(std::string_view name) {
 std::optional<SimTimeMs> CacheDbms::LocalHeartbeat(RegionId cid) const {
   const CurrencyRegion* r = region(cid);
   if (r == nullptr) return std::nullopt;
-  return r->local_heartbeat();
+  // The *certified* heartbeat: nullopt while the region is quarantined or
+  // resyncing, so guards refuse instead of certifying freshness off a
+  // heartbeat the replication pipeline withdrew.
+  return r->certified_heartbeat();
+}
+
+RegionHealth CacheDbms::RegionHealthOf(RegionId cid) const {
+  const CurrencyRegion* r = region(cid);
+  return r == nullptr ? RegionHealth::kHealthy : r->health();
+}
+
+void CacheDbms::OnHealthChange(RegionId region, RegionHealth from,
+                               RegionHealth to, SimTimeMs at) {
+  if (metrics_ != nullptr) {
+    metrics_
+        ->gauge(StrPrintf("rcc.replication.region_health.%d",
+                          static_cast<int>(region)))
+        ->Set(static_cast<double>(static_cast<int>(to)));
+    if (to == RegionHealth::kQuarantined &&
+        inst_.replication_quarantines != nullptr) {
+      inst_.replication_quarantines->Add(1);
+    }
+    if (from == RegionHealth::kResyncing && to == RegionHealth::kHealthy &&
+        inst_.replication_resyncs != nullptr) {
+      inst_.replication_resyncs->Add(1);
+    }
+  }
+  // Transitions run on the scheduler thread, same as deliveries; see
+  // OnDelivery for why the serial-mode trace pointer is safe to read here.
+  if (active_trace_ != nullptr) {
+    active_trace_->Record(
+        obs::TraceEventKind::kRegionHealth, at,
+        StrPrintf("region=%d from=%s to=%s", static_cast<int>(region),
+                  std::string(RegionHealthName(from)).c_str(),
+                  std::string(RegionHealthName(to)).c_str()),
+        region);
+  }
 }
 
 }  // namespace rcc

@@ -46,6 +46,13 @@ class CacheDbms {
   CacheDbms(const CacheDbms&) = delete;
   CacheDbms& operator=(const CacheDbms&) = delete;
 
+  /// Stops every distribution agent before the regions they reference are
+  /// torn down: scheduler events outliving the cache are cancelled, not
+  /// left to dereference freed regions.
+  ~CacheDbms() {
+    for (auto& agent : agents_) agent->Stop();
+  }
+
   /// -- setup -----------------------------------------------------------------
 
   /// Builds the shadow database: copies every back-end table definition and
@@ -86,6 +93,16 @@ class CacheDbms {
   void SetRemotePolicy(RemotePolicy policy);
   void ClearRemotePolicy();
   ResilientRemoteExecutor* remote_policy() { return remote_policy_.get(); }
+
+  /// -- replication-pipeline resilience ----------------------------------------
+
+  /// Installs a replication fault injector on every distribution agent
+  /// (drops, delays, duplicates, stalls, poisoned ops; see
+  /// ReplicationFaultConfig). Each agent gets its own injector seeded with
+  /// `config.seed + region id`, so regions fault independently but the whole
+  /// schedule is reproducible. Regions defined later inherit the config.
+  void SetReplicationFaults(ReplicationFaultConfig config);
+  void ClearReplicationFaults();
 
   /// -- query pipeline -----------------------------------------------------------
 
@@ -143,8 +160,14 @@ class CacheDbms {
   }
   /// Local heartbeat value for a region (the currency-guard input); nullopt
   /// when the region is unknown — guards must treat that as "freshness not
-  /// certifiable", not as stale-since-simulation-start.
+  /// certifiable", not as stale-since-simulation-start — or when the region
+  /// is quarantined/resyncing: a quarantine withdraws the certified
+  /// heartbeat, so guards refuse and SET DEGRADE refuses too.
   std::optional<SimTimeMs> LocalHeartbeat(RegionId cid) const;
+
+  /// Replication-pipeline health of a region; kHealthy for unknown regions
+  /// (the unknown-ness already surfaces through LocalHeartbeat).
+  RegionHealth RegionHealthOf(RegionId cid) const;
 
   const CostParams& costs() const { return costs_; }
   OptimizerOptions default_options() const;
@@ -182,6 +205,8 @@ class CacheDbms {
     obs::Counter* breaker_opens = nullptr;
     obs::Counter* degraded_serves = nullptr;
     obs::Counter* replication_deliveries = nullptr;
+    obs::Counter* replication_quarantines = nullptr;
+    obs::Counter* replication_resyncs = nullptr;
     obs::Histogram* guard_probe_ms = nullptr;
     obs::Histogram* query_run_ms = nullptr;
     obs::Histogram* served_staleness_ms = nullptr;
@@ -194,6 +219,12 @@ class CacheDbms {
   /// query is mid-flight with tracing on, records it into that query's trace.
   void OnDelivery(RegionId region, SimTimeMs at, int64_t ops,
                   std::optional<SimTimeMs> heartbeat);
+
+  /// DistributionAgent health callback: updates the per-region health gauge
+  /// (`rcc.replication.region_health.<cid>`), the quarantine/resync
+  /// counters, and the serial-mode query trace.
+  void OnHealthChange(RegionId region, RegionHealth from, RegionHealth to,
+                      SimTimeMs at);
 
   /// One remote execution through the configured stack: policy (if any) over
   /// injector (if any) over the back-end adapter.
@@ -211,6 +242,9 @@ class CacheDbms {
   std::vector<std::unique_ptr<DistributionAgent>> agents_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<ResilientRemoteExecutor> remote_policy_;
+  /// Replication fault config applied to every agent (present regions and
+  /// ones defined later); nullopt = fault-free replication.
+  std::optional<ReplicationFaultConfig> replication_faults_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments inst_;
   /// Trace of the serial-mode query currently executing; deliveries landing

@@ -10,24 +10,28 @@ void VirtualClock::AdvanceTo(SimTimeMs t) {
 }
 
 void SimulationScheduler::ScheduleAt(SimTimeMs at,
-                                     std::function<void(SimTimeMs)> fn) {
+                                     std::function<void(SimTimeMs)> fn,
+                                     CancelToken cancel) {
   SimEvent ev;
   ev.at = at < clock_->Now() ? clock_->Now() : at;
   ev.seq = next_seq_++;
   ev.fn = std::move(fn);
+  ev.cancel = std::move(cancel);
   queue_.push(std::move(ev));
 }
 
 void SimulationScheduler::SchedulePeriodic(SimTimeMs first, SimTimeMs period,
-                                           std::function<void(SimTimeMs)> fn) {
-  // The wrapper reschedules itself after each firing.
+                                           std::function<void(SimTimeMs)> fn,
+                                           CancelToken cancel) {
+  // The wrapper reschedules itself after each firing; the cancel token rides
+  // along on every rescheduled event, so cancellation also ends the series.
   auto wrapper = std::make_shared<std::function<void(SimTimeMs)>>();
   auto body = fn;
-  *wrapper = [this, period, body, wrapper](SimTimeMs now) {
+  *wrapper = [this, period, body, wrapper, cancel](SimTimeMs now) {
     body(now);
-    ScheduleAt(now + period, *wrapper);
+    ScheduleAt(now + period, *wrapper, cancel);
   };
-  ScheduleAt(first, *wrapper);
+  ScheduleAt(first, *wrapper, cancel);
 }
 
 void SimulationScheduler::RunUntil(SimTimeMs t) {
@@ -35,6 +39,9 @@ void SimulationScheduler::RunUntil(SimTimeMs t) {
     SimEvent ev = queue_.top();
     queue_.pop();
     clock_->AdvanceTo(ev.at);
+    if (ev.cancel != nullptr && ev.cancel->load(std::memory_order_acquire)) {
+      continue;
+    }
     ev.fn(clock_->Now());
   }
   clock_->AdvanceTo(t);

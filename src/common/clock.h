@@ -1,8 +1,10 @@
 #ifndef RCC_COMMON_CLOCK_H_
 #define RCC_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -33,12 +35,26 @@ class VirtualClock {
   SimTimeMs now_ = 0;
 };
 
+/// Shared flag that cancels scheduled events. Owners hand the same token to
+/// every event they schedule; setting it to true makes pending events no-ops
+/// and stops periodic events from rescheduling. shared_ptr ownership means
+/// the flag outlives both the owner and the queue, so a cancelled event
+/// never touches freed memory (the DistributionAgent::Stop() contract).
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken MakeCancelToken() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
 /// A single scheduled simulation event.
 struct SimEvent {
   SimTimeMs at = 0;
   /// Tie-break so that events scheduled earlier fire first at equal times.
   uint64_t seq = 0;
   std::function<void(SimTimeMs)> fn;
+  /// When set and true at fire time, the event is skipped (and, for periodic
+  /// events, not rescheduled).
+  CancelToken cancel;
 };
 
 /// Minimal discrete-event scheduler driving the replication simulator.
@@ -51,11 +67,17 @@ class SimulationScheduler {
   SimulationScheduler& operator=(const SimulationScheduler&) = delete;
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to now).
-  void ScheduleAt(SimTimeMs at, std::function<void(SimTimeMs)> fn);
+  /// A non-null `cancel` token set to true before the event fires turns the
+  /// firing into a no-op.
+  void ScheduleAt(SimTimeMs at, std::function<void(SimTimeMs)> fn,
+                  CancelToken cancel = nullptr);
 
-  /// Schedules `fn` every `period` ms, first firing at `first`.
+  /// Schedules `fn` every `period` ms, first firing at `first`. A non-null
+  /// `cancel` token set to true stops the series: the pending firing is
+  /// skipped and nothing further is rescheduled.
   void SchedulePeriodic(SimTimeMs first, SimTimeMs period,
-                        std::function<void(SimTimeMs)> fn);
+                        std::function<void(SimTimeMs)> fn,
+                        CancelToken cancel = nullptr);
 
   /// Runs all events with timestamp <= t, advancing the clock through each
   /// event time and finally to t itself.

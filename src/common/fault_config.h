@@ -1,0 +1,48 @@
+#ifndef RCC_COMMON_FAULT_CONFIG_H_
+#define RCC_COMMON_FAULT_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace rcc {
+
+/// A hard-outage window [start_ms, end_ms) in virtual time.
+struct OutageWindow {
+  SimTimeMs start_ms = 0;
+  SimTimeMs end_ms = 0;
+};
+
+/// Knobs shared by every fault injector in the system (the query-path
+/// FaultInjector and the replication-path ReplicationFaultInjector both
+/// inherit from this): a seed for the deterministic RNG stream and the
+/// outage schedule, explicit and periodic. Factoring them here keeps the
+/// two injectors from drifting apart — an experiment can script the same
+/// outage against both links from one description.
+struct FaultScheduleConfig {
+  uint64_t seed = 0xFA17u;
+  /// Explicit outage windows (sorted or not; checked linearly).
+  std::vector<OutageWindow> outages;
+  /// Periodic outage schedule: when outage_period_ms > 0, the link is down
+  /// during the first outage_down_ms of every period (e.g. period 20s, down
+  /// 6s = a scripted 30% outage).
+  SimTimeMs outage_period_ms = 0;
+  SimTimeMs outage_down_ms = 0;
+};
+
+/// True when `now` falls into an outage (explicit window or periodic) of
+/// `schedule`. The single implementation both injectors call.
+inline bool InOutageAt(const FaultScheduleConfig& schedule, SimTimeMs now) {
+  for (const OutageWindow& w : schedule.outages) {
+    if (now >= w.start_ms && now < w.end_ms) return true;
+  }
+  if (schedule.outage_period_ms > 0 && schedule.outage_down_ms > 0) {
+    if (now % schedule.outage_period_ms < schedule.outage_down_ms) return true;
+  }
+  return false;
+}
+
+}  // namespace rcc
+
+#endif  // RCC_COMMON_FAULT_CONFIG_H_

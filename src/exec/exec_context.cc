@@ -28,6 +28,7 @@ void ExecStats::Accumulate(const ExecStats& other) {
   breaker_opens += other.breaker_opens;
   degraded_serves += other.degraded_serves;
   guard_unknown_region += other.guard_unknown_region;
+  guard_quarantined_region += other.guard_quarantined_region;
   degraded_staleness_ms = std::max(degraded_staleness_ms,
                                    other.degraded_staleness_ms);
   // Phase timings are additive real-time costs, exactly like the counters:

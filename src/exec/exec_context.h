@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/physical.h"
+#include "replication/health.h"
 #include "storage/table.h"
 
 namespace rcc {
@@ -66,6 +67,11 @@ struct ExecStats {
   /// undefined, or defined mid-run and never synced): the guard fails
   /// explicitly instead of treating the region as stale-since-time-0.
   int64_t guard_unknown_region = 0;
+  /// Guard probes that found the region quarantined or resyncing (its
+  /// replication pipeline invalidated the heartbeat). A subset of
+  /// guard_unknown_region — broken out so operators can tell "never synced"
+  /// from "taken out of service".
+  int64_t guard_quarantined_region = 0;
   /// Largest staleness (virtual ms) among this object's degraded serves;
   /// 0 when none happened.
   SimTimeMs degraded_staleness_ms = 0;
@@ -96,10 +102,18 @@ struct ExecContext {
   std::function<Result<RemoteResult>(const SelectStmt&)> remote_executor;
 
   /// The local heartbeat timestamp of a currency region: the currency guard
-  /// input (paper §3.2.3). nullopt = unknown (region undefined or never
-  /// synced), which guards treat as "cannot certify freshness" rather than
-  /// as maximal staleness.
+  /// input (paper §3.2.3). nullopt = unknown (region undefined, never
+  /// synced, or quarantined — the engine layer returns the *certified*
+  /// heartbeat, which a quarantined replication pipeline withdraws), which
+  /// guards treat as "cannot certify freshness" rather than as maximal
+  /// staleness.
   std::function<std::optional<SimTimeMs>(RegionId)> local_heartbeat;
+
+  /// Replication-pipeline health of a currency region, for stats and trace
+  /// payloads (the freshness decision itself rides on local_heartbeat).
+  /// Null when the engine layer doesn't track health (back-end mode,
+  /// hand-built test contexts): guards then omit health from their output.
+  std::function<RegionHealth(RegionId)> region_health;
 
   const VirtualClock* clock = nullptr;
   ExecStats* stats = nullptr;

@@ -17,6 +17,11 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
   std::chrono::steady_clock::time_point t0;
   if (ctx->guard_probe_hist != nullptr) t0 = std::chrono::steady_clock::now();
   std::optional<SimTimeMs> hb_opt = ctx->local_heartbeat(op.guard_region);
+  // Health is advisory (stats, trace, EXPLAIN ANALYZE): the refusal itself
+  // rides on the certified heartbeat turning nullopt, so engines that don't
+  // track health still get correct guard verdicts.
+  std::optional<RegionHealth> health;
+  if (ctx->region_health) health = ctx->region_health(op.guard_region);
   if (ctx->stats != nullptr) ++ctx->stats->guard_evaluations;
   SimTimeMs now = ctx->clock->Now();
   bool fresh_enough;
@@ -24,7 +29,12 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
     // Unknown region (undefined, or defined mid-run and never synced): the
     // guard cannot certify any freshness, so the local branch never
     // qualifies — explicitly, not via a fake "stale since time 0" value.
-    if (ctx->stats != nullptr) ++ctx->stats->guard_unknown_region;
+    if (ctx->stats != nullptr) {
+      ++ctx->stats->guard_unknown_region;
+      if (health.has_value() && !HeartbeatValid(*health)) {
+        ++ctx->stats->guard_quarantined_region;
+      }
+    }
     fresh_enough = false;
   } else {
     SimTimeMs hb = *hb_opt;
@@ -43,14 +53,18 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
   if (ctx->trace != nullptr) {
     std::string hb_str =
         hb_opt.has_value() ? FormatSimTime(*hb_opt) : std::string("unknown");
-    ctx->trace->Record(
-        obs::TraceEventKind::kGuardProbe, now,
+    std::string detail =
         StrPrintf("region=%d heartbeat=%s bound=%s floor=%s verdict=%s",
                   op.guard_region, hb_str.c_str(),
                   FormatSimTime(op.guard_bound_ms).c_str(),
                   FormatSimTime(ctx->timeline_floor_ms).c_str(),
-                  fresh_enough ? "local" : "stale"),
-        op.guard_region);
+                  fresh_enough ? "local" : "stale");
+    if (health.has_value()) {
+      detail += StrPrintf(" health=%s",
+                          std::string(RegionHealthName(*health)).c_str());
+    }
+    ctx->trace->Record(obs::TraceEventKind::kGuardProbe, now,
+                       std::move(detail), op.guard_region);
   }
   return fresh_enough;
 }
@@ -121,6 +135,24 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
   std::optional<SimTimeMs> hb_opt = ctx_->local_heartbeat(op_.guard_region);
   if (ctx_->stats != nullptr) ++ctx_->stats->guard_evaluations;
   if (!hb_opt.has_value()) {
+    if (ctx_->region_health) {
+      RegionHealth health = ctx_->region_health(op_.guard_region);
+      if (!HeartbeatValid(health)) {
+        // Quarantined/resyncing: the replication pipeline withdrew the
+        // heartbeat, so even SET DEGRADE ALWAYS refuses — the replica may be
+        // mid-rebuild and its staleness bound is unknowable.
+        if (ctx_->stats != nullptr) {
+          ++ctx_->stats->guard_unknown_region;
+          ++ctx_->stats->guard_quarantined_region;
+        }
+        return Status::Unavailable(
+            "cannot degrade: region " + std::to_string(op_.guard_region) +
+            " is " + std::string(RegionHealthName(health)) +
+            " (replication pipeline invalidated its heartbeat); remote "
+            "branch failed with: " +
+            remote_error.ToString());
+      }
+    }
     // No local heartbeat was ever installed: the replica's staleness is
     // unknown, so there is nothing safe to degrade to in any mode.
     if (ctx_->stats != nullptr) ++ctx_->stats->guard_unknown_region;

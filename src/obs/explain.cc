@@ -71,7 +71,17 @@ std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
     CollectSwitches(*sub.root, &switches);
   }
   std::vector<bool> consumed(switches.size(), false);
+  // Pipeline health at guard time rides in the guard-probe payload
+  // ("health=<state>"); carry the latest probe's health forward onto the
+  // decision line so a quarantined region is visible at a glance.
+  std::string last_health;
   for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEventKind::kGuardProbe) {
+      size_t pos = e.detail.find("health=");
+      last_health =
+          pos == std::string::npos ? std::string() : e.detail.substr(pos);
+      continue;
+    }
     if (e.kind != TraceEventKind::kSwitchDecision) continue;
     double est_p = -1;
     for (size_t i = 0; i < switches.size(); ++i) {
@@ -81,9 +91,9 @@ std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
         break;
       }
     }
-    out += StrPrintf("guard region=%lld est_p_local=%.2f actual: %s\n",
-                     static_cast<long long>(e.region), est_p,
-                     e.detail.c_str());
+    out += StrPrintf("guard region=%lld est_p_local=%.2f actual: %s%s%s\n",
+                     static_cast<long long>(e.region), est_p, e.detail.c_str(),
+                     last_health.empty() ? "" : " ", last_health.c_str());
   }
 
   out += "-- trace --\n";
@@ -92,6 +102,7 @@ std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
   out += "-- stats --\n";
   out += StrPrintf(
       "rows=%lld remote_queries=%lld guard_evaluations=%lld\n"
+      "guard refusals: unknown_region=%lld quarantined_region=%lld\n"
       "switch: local=%lld remote=%lld remote_attempted=%lld\n"
       "resilience: retries=%lld timeouts=%lld breaker_opens=%lld\n"
       "degraded: serves=%lld max_staleness=%s\n"
@@ -99,6 +110,8 @@ std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
       static_cast<long long>(stats.rows_returned),
       static_cast<long long>(stats.remote_queries),
       static_cast<long long>(stats.guard_evaluations),
+      static_cast<long long>(stats.guard_unknown_region),
+      static_cast<long long>(stats.guard_quarantined_region),
       static_cast<long long>(stats.switch_local),
       static_cast<long long>(stats.switch_remote),
       static_cast<long long>(stats.switch_remote_attempted),

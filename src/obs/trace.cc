@@ -27,6 +27,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "degraded_serve";
     case TraceEventKind::kReplicationDelivery:
       return "replication_delivery";
+    case TraceEventKind::kRegionHealth:
+      return "region_health";
   }
   return "?";
 }

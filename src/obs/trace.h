@@ -37,6 +37,8 @@ enum class TraceEventKind {
   /// A replication delivery landed while this query waited (retry backoff):
   /// region, ops applied, new heartbeat.
   kReplicationDelivery,
+  /// A region's replication-pipeline health changed: region, from, to.
+  kRegionHealth,
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

@@ -340,6 +340,14 @@ Result<std::vector<PlacementVec>> Planner::EnumeratePlacements() {
                                    region->update_interval) <= 0) {
         continue;
       }
+      // A quarantined region's guard refuses every probe (its heartbeat is
+      // withdrawn), so a local placement is dead weight whenever remote can
+      // serve. Replica-only mode keeps the placement: the run-time guard
+      // then reports the quarantine instead of a generic plan failure.
+      if (opts_.region_health && opts_.allow_remote &&
+          !HeartbeatValid(opts_.region_health(v->region))) {
+        continue;
+      }
       options[op].push_back(v);
     }
   }
@@ -837,6 +845,11 @@ Result<UnitPlan> Planner::BuildLocalUnit(
                  ? 0.0
                  : EstimateLocalProbability(bound, region_def->update_delay,
                                             region_def->update_interval);
+  if (opts_.region_health && !HeartbeatValid(opts_.region_health(region))) {
+    // Quarantined at plan time: the guard cannot pass until a resync
+    // completes, so SwitchUnionCost must price this plan as remote-only.
+    p = 0.0;
+  }
 
   auto sw = std::make_unique<PhysicalOp>();
   sw->kind = PhysOpKind::kSwitchUnion;

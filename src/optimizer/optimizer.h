@@ -1,9 +1,12 @@
 #ifndef RCC_OPTIMIZER_OPTIMIZER_H_
 #define RCC_OPTIMIZER_OPTIMIZER_H_
 
+#include <functional>
+
 #include "catalog/catalog.h"
 #include "optimizer/cost_model.h"
 #include "plan/physical.h"
+#include "replication/health.h"
 #include "semantics/resolver.h"
 
 namespace rcc {
@@ -33,6 +36,13 @@ struct OptimizerOptions {
   bool allow_remote = true;
   /// Upper bound on enumerated placements (local/remote assignments).
   int max_placements = 512;
+  /// Live replication-pipeline health probe for a region; null when the
+  /// engine doesn't track health. A quarantined/resyncing region has no
+  /// certified heartbeat, so its guard refuses every probe: the optimizer
+  /// prices such a local branch at p = 0 (SwitchUnionCost then charges the
+  /// remote branch at full weight) and, when remote fallback is available,
+  /// drops the local placement outright instead of betting on it.
+  std::function<RegionHealth(RegionId)> region_health;
 };
 
 /// Optimizes a resolved query. Consistency constraints are enforced at

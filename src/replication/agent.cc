@@ -2,6 +2,7 @@
 
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -9,78 +10,292 @@
 namespace rcc {
 
 void DistributionAgent::Start(SimTimeMs first_wakeup) {
-  scheduler_->SchedulePeriodic(first_wakeup, region_->def().update_interval,
-                               [this](SimTimeMs now) { Wakeup(now); });
+  if (cancel_ == nullptr) cancel_ = MakeCancelToken();
+  scheduler_->SchedulePeriodic(
+      first_wakeup, region_->def().update_interval,
+      [this](SimTimeMs now) { Wakeup(now); }, cancel_);
+}
+
+void DistributionAgent::Stop() {
+  if (cancel_ != nullptr) {
+    cancel_->store(true, std::memory_order_release);
+  }
+}
+
+void DistributionAgent::TransitionHealth(RegionHealth to, SimTimeMs at) {
+  RegionHealth from = region_->health();
+  if (from == to) return;
+  region_->set_health(to);
+  if (health_observer_) health_observer_(region_->id(), from, to, at);
+}
+
+void DistributionAgent::NoteAnomaly(SimTimeMs at) {
+  RegionHealth h = region_->health();
+  if (h == RegionHealth::kQuarantined || h == RegionHealth::kResyncing) {
+    return;  // already out of service; resync is the only way back
+  }
+  ++consecutive_anomalies_;
+  if (consecutive_anomalies_ >= quarantine_after_) {
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+    quarantined_at_ = at;
+    TransitionHealth(RegionHealth::kQuarantined, at);
+  } else {
+    TransitionHealth(RegionHealth::kSuspect, at);
+  }
 }
 
 void DistributionAgent::Wakeup(SimTimeMs now) {
+  // An injected stall: the agent process is wedged — no snapshot, no
+  // delivery. Staleness grows honestly (the heartbeat stops advancing) and
+  // each missed wakeup counts as an anomaly, so a long stall escalates to
+  // quarantine and a resync rather than silently serving ever-staler data.
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    NoteAnomaly(now);
+    return;
+  }
+
+  RegionHealth health = region_->health();
+  if (health == RegionHealth::kResyncing) {
+    // A resync snapshot is already in flight; wait for it.
+    return;
+  }
+  if (health == RegionHealth::kQuarantined) {
+    // Begin recovery: the resync snapshot is taken now and, like any other
+    // delivery, becomes visible after the propagation delay. Recovery is
+    // checked *before* drawing a new stall, so once an in-progress stall
+    // drains the region is back to HEALTHY within a bounded number of
+    // wakeups (one to enter RESYNCING plus the propagation delay) under any
+    // fault mix.
+    if (master_tables_ == nullptr) return;  // cannot resync without masters
+    TransitionHealth(RegionHealth::kResyncing, now);
+    scheduler_->ScheduleAt(
+        now + region_->def().update_delay,
+        [this](SimTimeMs at) { Resync(at); }, cancel_);
+    return;
+  }
+
+  if (injector_ != nullptr) {
+    int stall = injector_->DrawStall();
+    if (stall > 0) {
+      stall_remaining_ = stall - 1;  // this wakeup is the first one skipped
+      NoteAnomaly(now);
+      return;
+    }
+  }
+
   // Snapshot what is committed *now*; it arrives update_delay later. The
   // captured heartbeat value is the region's global heartbeat row at the
   // snapshot, which is what the replica of that row will contain.
   size_t snapshot_pos = log_->UpperBoundByCommitTime(now);
   std::optional<SimTimeMs> captured_hb = global_heartbeat_->Get(region_->id());
   SimTimeMs deliver_at = now + region_->def().update_delay;
-  scheduler_->ScheduleAt(deliver_at,
+
+  DeliveryFate fate;
+  if (injector_ != nullptr) fate = injector_->DrawDeliveryFate(now);
+  if (fate.drop) {
+    // The batch is lost in transit. No data is corrupted — the next
+    // successful delivery applies the whole gap from the log — but the
+    // missed install is an anomaly.
+    NoteAnomaly(now);
+    return;
+  }
+  scheduler_->ScheduleAt(deliver_at + fate.extra_delay_ms,
                          [this, snapshot_pos, captured_hb](SimTimeMs at) {
                            Deliver(snapshot_pos, captured_hb, at);
-                         });
+                         },
+                         cancel_);
+  if (fate.duplicate) {
+    scheduler_->ScheduleAt(deliver_at,
+                           [this, snapshot_pos, captured_hb](SimTimeMs at) {
+                             Deliver(snapshot_pos, captured_hb, at);
+                           },
+                           cancel_);
+  }
 }
 
 void DistributionAgent::Deliver(size_t snapshot_pos,
                                 std::optional<SimTimeMs> captured_heartbeat,
                                 SimTimeMs delivered_at) {
   int64_t batch_ops = 0;
+  bool poisoned = false;
+  bool stale = false;
+  RegionHealth health_before = region_->health();
   {
     // The whole batch is applied under the region's exclusive lock: queries
     // on worker threads holding it shared never observe a half-applied
     // transaction, preserving the invariant that every view in the region
     // reflects one back-end snapshot.
     std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
-    // Deliveries are scheduled in wake-up order with a constant delay, so
-    // snapshot positions arrive non-decreasing.
     size_t from = region_->applied_log_pos();
-    // Ops of one transaction typically hit one table; memoize the last
-    // lower-casing so the common case pays no allocation either.
-    std::string last_table;
-    std::string last_lower;
-    for (size_t i = from; i < snapshot_pos; ++i) {
-      const CommittedTxn& txn = log_->at(i);
-      // Apply the whole transaction to every view in the region before moving
-      // to the next one: commit-order, transaction-at-a-time application.
-      for (const RowOp& op : txn.ops) {
-        if (op.table != last_table) {
-          last_table = op.table;
-          last_lower = ToLower(op.table);
-        }
-        const std::vector<MaterializedView*>* views =
-            region_->ViewsOf(last_lower);
-        if (views == nullptr) continue;
-        for (MaterializedView* view : *views) {
-          view->ApplyOp(op);
-          ++ops_applied_;
-          ++batch_ops;
-        }
+    // Monotonicity defense: deliveries are *usually* scheduled in wake-up
+    // order with a constant delay, but a delayed batch can arrive after a
+    // later snapshot was applied (out-of-order), and a duplicated batch
+    // arrives with its range already applied. The applied-log-pos check —
+    // not an assumption about arrival order — is what keeps application in
+    // commit order: a batch whose snapshot is behind the applied position
+    // carries nothing new (its heartbeat is older than the installed one
+    // too, since both grow with snapshot time), so it is rejected whole.
+    if (snapshot_pos < from) {
+      stale_batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+      stale = true;
+    } else {
+      if (region_->health() == RegionHealth::kResyncing) {
+        // A pre-quarantine batch landing during resync would race the
+        // rebuild snapshot; the resync covers its range anyway.
+        stale_batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+        stale = true;
       }
     }
-    if (snapshot_pos > from) {
-      region_->set_applied_log_pos(snapshot_pos);
-      region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
+    if (!stale) {
+      // A poisoned batch fails on one of its row ops. Decide up front which
+      // one (deterministically, from the injector's seed).
+      std::optional<size_t> poison_at;
+      if (injector_ != nullptr) {
+        size_t total_ops = 0;
+        for (size_t i = from; i < snapshot_pos; ++i) {
+          total_ops += log_->at(i).ops.size();
+        }
+        poison_at = injector_->DrawPoisonedOp(total_ops);
+      }
+      // Ops of one transaction typically hit one table; memoize the last
+      // lower-casing so the common case pays no allocation either.
+      std::string last_table;
+      std::string last_lower;
+      size_t op_index = 0;
+      for (size_t i = from; i < snapshot_pos && !poisoned; ++i) {
+        const CommittedTxn& txn = log_->at(i);
+        // Apply the whole transaction to every view in the region before
+        // moving to the next one: commit-order, transaction-at-a-time
+        // application.
+        for (const RowOp& op : txn.ops) {
+          if (poison_at.has_value() && op_index == *poison_at) {
+            // Mid-batch failure: this op cannot be applied, so the region is
+            // stuck between snapshots. There is no per-op undo log to roll
+            // back with, so the defense is complete-then-quarantine:
+            // publish QUARANTINED *before the data lock is released* —
+            // quarantine invalidates the heartbeat (certified_heartbeat
+            // turns nullopt), so no guard can route a query at the
+            // half-applied data, and the next wakeup schedules a full
+            // resync. Publication order matters: were the lock released (or
+            // the heartbeat installed) first, a lock-free guard probe could
+            // still certify freshness off the old heartbeat while the data
+            // is between snapshots.
+            poisoned = true;
+            break;
+          }
+          ++op_index;
+          if (op.table != last_table) {
+            last_table = op.table;
+            last_lower = ToLower(op.table);
+          }
+          const std::vector<MaterializedView*>* views =
+              region_->ViewsOf(last_lower);
+          if (views == nullptr) continue;
+          for (MaterializedView* view : *views) {
+            view->ApplyOp(op);
+            ++batch_ops;
+          }
+        }
+      }
+      if (poisoned) {
+        quarantines_.fetch_add(1, std::memory_order_relaxed);
+        quarantined_at_ = delivered_at;
+        region_->set_health(RegionHealth::kQuarantined);
+        // Neither applied_log_pos, as_of, nor the heartbeat advance: the
+        // region's published state still describes the last complete
+        // snapshot, and the health gate keeps anyone from trusting it.
+      } else {
+        ops_applied_.fetch_add(batch_ops, std::memory_order_relaxed);
+        if (snapshot_pos > from) {
+          region_->set_applied_log_pos(snapshot_pos);
+          region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
+        }
+        // The heartbeat store is the publication point: it happens after the
+        // data is in place, so a guard observing heartbeat T is guaranteed
+        // the region reflects at least snapshot T. A never-beaten global row
+        // contributes nothing (unknown, not "stale since time 0").
+        if (captured_heartbeat.has_value() &&
+            *captured_heartbeat > region_->local_heartbeat()) {
+          region_->set_local_heartbeat(*captured_heartbeat);
+        }
+        region_->BumpDeliveryEpoch();
+        deliveries_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    // The heartbeat store is the publication point: it happens after the data
-    // is in place, so a guard observing heartbeat T is guaranteed the region
-    // reflects at least snapshot T. A never-beaten global row contributes
-    // nothing (unknown, not "stale since time 0").
-    if (captured_heartbeat.has_value() &&
-        *captured_heartbeat > region_->local_heartbeat()) {
-      region_->set_local_heartbeat(*captured_heartbeat);
-    }
-    region_->BumpDeliveryEpoch();
-    ++deliveries_;
   }
-  // Outside the data lock: the observer may do arbitrary engine-side work
-  // (metrics, tracing) and must not extend the exclusive section.
+  // Outside the data lock: health notifications and the observer may do
+  // arbitrary engine-side work (metrics, tracing) and must not extend the
+  // exclusive section.
+  if (poisoned) {
+    if (health_observer_) {
+      // The store already happened under the lock; report the transition.
+      health_observer_(region_->id(), health_before,
+                       RegionHealth::kQuarantined, delivered_at);
+    }
+    return;
+  }
+  if (stale) {
+    NoteAnomaly(delivered_at);
+    return;
+  }
+  // A clean install restores confidence: SUSPECT heals back to HEALTHY.
+  consecutive_anomalies_ = 0;
+  if (region_->health() == RegionHealth::kSuspect) {
+    TransitionHealth(RegionHealth::kHealthy, delivered_at);
+  }
   if (observer_) {
     observer_(region_->id(), delivered_at, batch_ops, captured_heartbeat);
+  }
+}
+
+void DistributionAgent::Resync(SimTimeMs now) {
+  bool ok = true;
+  {
+    std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
+    // Rebuild every view from the master tables. The master data and the
+    // update log are mutated only by the simulation thread — which is the
+    // thread running this event — so everything read here is one consistent
+    // back-end snapshot as of `now`; setting applied_log_pos to the current
+    // log size is the log catch-up (nothing committed at or before `now` is
+    // missing from the rebuilt views).
+    for (MaterializedView* view : region_->views()) {
+      const Table* master = master_tables_(view->def().source_table);
+      if (master == nullptr) {
+        ok = false;
+        break;
+      }
+      view->PopulateFrom(*master);
+    }
+    if (ok) {
+      region_->set_applied_log_pos(log_->size());
+      region_->set_as_of(log_->TimestampAtPosition(log_->size()));
+      // Publication order on recovery, the mirror image of quarantine:
+      // data first (above), then the heartbeat value, then — last — the
+      // health flip that makes the heartbeat trustworthy again. A lock-free
+      // guard that observes HEALTHY (acquire) therefore also observes the
+      // restored heartbeat (its store is sequenced before the health
+      // store's release).
+      if (now > region_->local_heartbeat()) {
+        region_->set_local_heartbeat(now);
+      }
+      region_->BumpDeliveryEpoch();
+      region_->set_health(RegionHealth::kHealthy);
+    }
+  }
+  if (!ok) {
+    // A master table vanished mid-resync: stay quarantined and retry at a
+    // later wakeup.
+    TransitionHealth(RegionHealth::kQuarantined, now);
+    return;
+  }
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  resync_latency_total_ms_.fetch_add(now - quarantined_at_,
+                                     std::memory_order_relaxed);
+  consecutive_anomalies_ = 0;
+  if (health_observer_) {
+    health_observer_(region_->id(), RegionHealth::kResyncing,
+                     RegionHealth::kHealthy, now);
   }
 }
 

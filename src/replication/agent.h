@@ -1,12 +1,16 @@
 #ifndef RCC_REPLICATION_AGENT_H_
 #define RCC_REPLICATION_AGENT_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "replication/fault_injector.h"
+#include "replication/health.h"
 #include "replication/heartbeat.h"
 #include "replication/region.h"
 #include "txn/update_log.h"
@@ -19,6 +23,21 @@ namespace rcc {
 /// region's global heartbeat row, and delivers everything after update_delay,
 /// applying transactions one at a time in commit order — so the region's
 /// views always reflect a single committed back-end snapshot.
+///
+/// The delivery path defends against a faulty maintenance stream (see
+/// ReplicationFaultConfig for the fault model) instead of assuming
+/// perfection:
+///  - stale or re-ordered batches are rejected by the applied-log-pos
+///    monotonicity check (the log position, not arrival order, is truth);
+///  - duplicate batches are idempotent (their log range is already applied);
+///  - a batch that fails mid-apply quarantines the region *before* the data
+///    lock is released, so the half-applied snapshot is never served;
+///  - dropped batches self-heal (the next delivery applies the gap from the
+///    log), but repeated anomalies escalate HEALTHY → SUSPECT → QUARANTINED;
+///  - a quarantined region resyncs automatically: at the next wakeup the
+///    agent rebuilds every view from a back-end master snapshot
+///    (MaterializedView::PopulateFrom) under the exclusive data lock,
+///    restores the heartbeat, and returns to HEALTHY.
 class DistributionAgent {
  public:
   /// All pointers must outlive the agent.
@@ -33,17 +52,75 @@ class DistributionAgent {
   DistributionAgent(const DistributionAgent&) = delete;
   DistributionAgent& operator=(const DistributionAgent&) = delete;
 
+  ~DistributionAgent() { Stop(); }
+
   /// Schedules the periodic wake-ups, first firing at `first_wakeup`.
   void Start(SimTimeMs first_wakeup);
+
+  /// Cancels the periodic schedule and every in-flight delivery/resync.
+  /// Scheduler callbacks carry a shared cancel token (not a raw `this`
+  /// check), so events still queued after the agent is destroyed are
+  /// skipped instead of dereferencing freed memory. Idempotent; called by
+  /// the destructor.
+  void Stop();
 
   /// One wake-up: snapshot back-end state at `now`, schedule delivery at
   /// now + update_delay. Exposed for deterministic unit testing.
   void Wakeup(SimTimeMs now);
 
+  /// -- fault injection ---------------------------------------------------
+
+  /// Installs (or replaces) the replication fault injector for this agent's
+  /// deliveries. The injector is owned by the agent.
+  void SetFaultConfig(ReplicationFaultConfig config) {
+    injector_ = std::make_unique<ReplicationFaultInjector>(std::move(config));
+  }
+  void ClearFaultConfig() { injector_.reset(); }
+  ReplicationFaultInjector* fault_injector() { return injector_.get(); }
+
+  /// Resolves a master table by source-table name for resync snapshots
+  /// (CacheDbms wires this to the back-end). Without it a quarantined
+  /// region cannot resync and stays quarantined.
+  using MasterTableProvider =
+      std::function<const Table*(const std::string&)>;
+  void set_master_table_provider(MasterTableProvider provider) {
+    master_tables_ = std::move(provider);
+  }
+
+  /// Consecutive delivery anomalies (drops, stalls, stale batches) that
+  /// escalate SUSPECT to QUARANTINED. A poisoned batch quarantines
+  /// immediately regardless.
+  void set_quarantine_after(int anomalies) { quarantine_after_ = anomalies; }
+
+  /// -- counters ----------------------------------------------------------
+  /// All counters are atomics: they are written on the delivery path (under
+  /// the region lock) but read lock-free by stats/bench code while
+  /// deliveries interleave.
+
   /// Number of deliveries applied so far.
-  int64_t deliveries() const { return deliveries_; }
+  int64_t deliveries() const {
+    return deliveries_.load(std::memory_order_relaxed);
+  }
   /// Number of row operations applied so far.
-  int64_t ops_applied() const { return ops_applied_; }
+  int64_t ops_applied() const {
+    return ops_applied_.load(std::memory_order_relaxed);
+  }
+  /// Batches rejected because their snapshot position was behind the
+  /// region's applied position (out-of-order or stale arrivals).
+  int64_t stale_batches_rejected() const {
+    return stale_batches_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Times the region entered QUARANTINED.
+  int64_t quarantines() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
+  /// Completed resyncs (QUARANTINED → RESYNCING → HEALTHY round trips).
+  int64_t resyncs() const { return resyncs_.load(std::memory_order_relaxed); }
+  /// Virtual time spent quarantined, summed over completed resyncs — the
+  /// numerator of the bench's resync-latency metric.
+  SimTimeMs resync_latency_total_ms() const {
+    return resync_latency_total_ms_.load(std::memory_order_relaxed);
+  }
 
   CurrencyRegion* region() const { return region_; }
 
@@ -57,6 +134,15 @@ class DistributionAgent {
     observer_ = std::move(observer);
   }
 
+  /// Called on every health transition (outside the region's data lock):
+  /// region id, previous state, new state, virtual time. The engine layer
+  /// exports the health gauge and trace events through it.
+  using HealthObserver =
+      std::function<void(RegionId, RegionHealth, RegionHealth, SimTimeMs)>;
+  void set_health_observer(HealthObserver observer) {
+    health_observer_ = std::move(observer);
+  }
+
  private:
   /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
   /// the captured heartbeat value (absent when the region's global row had
@@ -66,13 +152,44 @@ class DistributionAgent {
   void Deliver(size_t snapshot_pos, std::optional<SimTimeMs> captured_heartbeat,
                SimTimeMs delivered_at);
 
+  /// Rebuilds every view of the region from the master tables at virtual
+  /// time `now` (one consistent back-end snapshot: master data and log are
+  /// mutated only by the simulation thread, which is running us), restores
+  /// the heartbeat and re-enters HEALTHY.
+  void Resync(SimTimeMs now);
+
+  /// Sets the region's health and notifies the observer. Must be called
+  /// outside the region's data lock (the observer does engine-side work);
+  /// the poison path inside Deliver stores the health itself and uses this
+  /// only for the notification.
+  void TransitionHealth(RegionHealth to, SimTimeMs at);
+
+  /// Records a delivery anomaly (drop, stall, stale batch): HEALTHY turns
+  /// SUSPECT, and quarantine_after_ consecutive anomalies quarantine.
+  void NoteAnomaly(SimTimeMs at);
+
   CurrencyRegion* region_;
   const UpdateLog* log_;
   const HeartbeatStore* global_heartbeat_;
   SimulationScheduler* scheduler_;
-  int64_t deliveries_ = 0;
-  int64_t ops_applied_ = 0;
+  std::unique_ptr<ReplicationFaultInjector> injector_;
+  MasterTableProvider master_tables_;
+  CancelToken cancel_;
+  std::atomic<int64_t> deliveries_{0};
+  std::atomic<int64_t> ops_applied_{0};
+  std::atomic<int64_t> stale_batches_rejected_{0};
+  std::atomic<int64_t> quarantines_{0};
+  std::atomic<int64_t> resyncs_{0};
+  std::atomic<SimTimeMs> resync_latency_total_ms_{0};
+  /// Wakeups still to skip because of an injected stall.
+  int stall_remaining_ = 0;
+  /// Consecutive anomalies since the last clean delivery.
+  int consecutive_anomalies_ = 0;
+  int quarantine_after_ = 3;
+  /// Virtual time the current quarantine started (for resync latency).
+  SimTimeMs quarantined_at_ = 0;
   DeliveryObserver observer_;
+  HealthObserver health_observer_;
 };
 
 }  // namespace rcc

@@ -1,0 +1,135 @@
+#ifndef RCC_REPLICATION_FAULT_INJECTOR_H_
+#define RCC_REPLICATION_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/fault_config.h"
+#include "common/rng.h"
+
+namespace rcc {
+
+/// Faults injected into the replication pipeline (the backend→cache
+/// maintenance stream), mirroring FaultInjectorConfig for the query channel.
+/// Everything is driven by the shared seed/outage knobs of
+/// FaultScheduleConfig plus per-fault probabilities, so a fault schedule is
+/// exactly reproducible from the seed.
+struct ReplicationFaultConfig : FaultScheduleConfig {
+  /// Probability that a delivery batch is silently lost in transit.
+  double drop_probability = 0.0;
+  /// Probability that a delivery batch is delayed by delay_ms on top of the
+  /// region's update_delay. A delay longer than update_interval makes the
+  /// batch arrive *after* the next wakeup's batch — out-of-order arrival.
+  double delay_probability = 0.0;
+  SimTimeMs delay_ms = 0;
+  /// Probability that a delivery batch arrives twice (retransmission bug).
+  double duplicate_probability = 0.0;
+  /// Probability, evaluated at each wakeup, that the agent stalls — skips
+  /// this and the following stall_wakeups-1 wakeups entirely (GC pause,
+  /// swapped-out process, wedged subscription).
+  double stall_probability = 0.0;
+  int stall_wakeups = 3;
+  /// Probability that a batch is poisoned: one of its row ops fails to
+  /// apply mid-batch (corrupt op, schema drift), leaving the batch
+  /// half-applied unless the agent defends.
+  double poison_probability = 0.0;
+};
+
+/// Per-batch delivery fate, drawn once at the wakeup that schedules it.
+struct DeliveryFate {
+  /// Batch never arrives (random drop or outage window).
+  bool drop = false;
+  /// Batch arrives this much later than the nominal update_delay.
+  SimTimeMs extra_delay_ms = 0;
+  /// Batch arrives a second time (at the nominal time).
+  bool duplicate = false;
+};
+
+/// Deterministic, seeded fault source for one distribution agent. Decisions
+/// are drawn from a private RNG stream in wakeup order, so the whole fault
+/// schedule replays exactly from (seed, wakeup sequence). Counters are plain
+/// int64 — the injector is only ever consulted from the simulation thread
+/// (agent wakeups and deliveries), never from query workers.
+class ReplicationFaultInjector {
+ public:
+  explicit ReplicationFaultInjector(ReplicationFaultConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {}
+
+  ReplicationFaultInjector(const ReplicationFaultInjector&) = delete;
+  ReplicationFaultInjector& operator=(const ReplicationFaultInjector&) =
+      delete;
+
+  /// Draws the fate of the batch snapshotted at `now`. An outage window
+  /// (shared schedule) downs the maintenance stream: the batch drops.
+  DeliveryFate DrawDeliveryFate(SimTimeMs now) {
+    DeliveryFate fate;
+    if (InOutageAt(config_, now)) {
+      fate.drop = true;
+      ++outage_drops_;
+      ++batches_dropped_;
+      return fate;
+    }
+    if (config_.drop_probability > 0 &&
+        rng_.NextDouble() < config_.drop_probability) {
+      fate.drop = true;
+      ++batches_dropped_;
+      return fate;
+    }
+    if (config_.delay_probability > 0 &&
+        rng_.NextDouble() < config_.delay_probability) {
+      fate.extra_delay_ms = config_.delay_ms;
+      ++batches_delayed_;
+    }
+    if (config_.duplicate_probability > 0 &&
+        rng_.NextDouble() < config_.duplicate_probability) {
+      fate.duplicate = true;
+      ++batches_duplicated_;
+    }
+    return fate;
+  }
+
+  /// At a wakeup: number of wakeups (including this one) the agent should
+  /// skip, or 0 to proceed normally.
+  int DrawStall() {
+    if (config_.stall_probability > 0 &&
+        rng_.NextDouble() < config_.stall_probability) {
+      ++stalls_;
+      return config_.stall_wakeups > 0 ? config_.stall_wakeups : 1;
+    }
+    return 0;
+  }
+
+  /// For a batch of `batch_ops` row ops: index of the op that fails to
+  /// apply (poison), or nullopt for a clean batch.
+  std::optional<size_t> DrawPoisonedOp(size_t batch_ops) {
+    if (batch_ops == 0 || config_.poison_probability <= 0) return std::nullopt;
+    if (rng_.NextDouble() >= config_.poison_probability) return std::nullopt;
+    ++poisoned_batches_;
+    return static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(batch_ops) - 1));
+  }
+
+  const ReplicationFaultConfig& config() const { return config_; }
+
+  int64_t batches_dropped() const { return batches_dropped_; }
+  int64_t outage_drops() const { return outage_drops_; }
+  int64_t batches_delayed() const { return batches_delayed_; }
+  int64_t batches_duplicated() const { return batches_duplicated_; }
+  int64_t stalls() const { return stalls_; }
+  int64_t poisoned_batches() const { return poisoned_batches_; }
+
+ private:
+  ReplicationFaultConfig config_;
+  Rng rng_;
+  int64_t batches_dropped_ = 0;
+  int64_t outage_drops_ = 0;
+  int64_t batches_delayed_ = 0;
+  int64_t batches_duplicated_ = 0;
+  int64_t stalls_ = 0;
+  int64_t poisoned_batches_ = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_FAULT_INJECTOR_H_

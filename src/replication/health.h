@@ -1,0 +1,54 @@
+#ifndef RCC_REPLICATION_HEALTH_H_
+#define RCC_REPLICATION_HEALTH_H_
+
+#include <string_view>
+
+namespace rcc {
+
+/// Health of a currency region's replication pipeline — the run-time state
+/// machine a faulty maintenance stream drives:
+///
+///   HEALTHY → SUSPECT → QUARANTINED → RESYNCING → HEALTHY
+///
+/// HEALTHY: deliveries arrive and apply normally; the local heartbeat is a
+/// valid staleness bound. SUSPECT: recent delivery anomalies (dropped or
+/// stale batches, stalls) but the applied data is still a consistent
+/// back-end snapshot — the heartbeat remains valid, only confidence is
+/// reduced. QUARANTINED: the staleness bound is no longer knowable (a batch
+/// failed mid-apply, or too many consecutive anomalies); the local heartbeat
+/// is *invalidated* — currency guards see an unknown region and refuse, and
+/// degradation refuses too. RESYNCING: the agent is rebuilding every view
+/// from a back-end snapshot; the heartbeat stays invalid until the rebuild
+/// publishes. Kept in its own dependency-light header because the exec and
+/// optimizer layers consume it without needing the region runtime.
+enum class RegionHealth {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+  kResyncing = 3,
+};
+
+inline std::string_view RegionHealthName(RegionHealth h) {
+  switch (h) {
+    case RegionHealth::kHealthy:
+      return "healthy";
+    case RegionHealth::kSuspect:
+      return "suspect";
+    case RegionHealth::kQuarantined:
+      return "quarantined";
+    case RegionHealth::kResyncing:
+      return "resyncing";
+  }
+  return "?";
+}
+
+/// True when the region's local heartbeat may be used as a staleness bound.
+/// SUSPECT data is still a consistent snapshot (anomalies were rejected, not
+/// applied), so only quarantine and resync invalidate the heartbeat.
+inline bool HeartbeatValid(RegionHealth h) {
+  return h == RegionHealth::kHealthy || h == RegionHealth::kSuspect;
+}
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_HEALTH_H_

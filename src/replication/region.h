@@ -4,12 +4,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/clock.h"
+#include "replication/health.h"
 #include "storage/table.h"
 #include "txn/update_log.h"
 
@@ -114,6 +116,31 @@ class CurrencyRegion {
   /// (t - T in the paper).
   SimTimeMs CurrencyAt(SimTimeMs now) const { return now - local_heartbeat(); }
 
+  /// Replication-pipeline health (HEALTHY → SUSPECT → QUARANTINED →
+  /// RESYNCING → HEALTHY). Atomic: guards on worker threads read it while
+  /// the agent transitions it. Quarantine must be *published before* any
+  /// other recovery action (memory_order_release on the store, acquire on
+  /// the load) — it is what invalidates the heartbeat.
+  RegionHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+  void set_health(RegionHealth h) {
+    health_.store(h, std::memory_order_release);
+  }
+
+  /// The heartbeat value a currency guard may trust: the local heartbeat
+  /// while the pipeline is HEALTHY or SUSPECT, nullopt once the region is
+  /// QUARANTINED or RESYNCING — a quarantined region's staleness bound is no
+  /// longer knowable, so guards must see "unknown region" and refuse rather
+  /// than certify freshness off a heartbeat the pipeline can't back.
+  std::optional<SimTimeMs> certified_heartbeat() const {
+    // Health before heartbeat: quarantine stores health first (release), so
+    // a reader that still sees HEALTHY reads a heartbeat value that was
+    // valid when published — never a value the quarantine already withdrew.
+    if (!HeartbeatValid(health())) return std::nullopt;
+    return local_heartbeat();
+  }
+
   /// Monotonic count of delivery installs; bumped (with release ordering,
   /// after the heartbeat store) at the end of every `Deliver`. Guard
   /// re-probes and tests use it to tell "same heartbeat value" from "no new
@@ -145,6 +172,7 @@ class CurrencyRegion {
   /// Lower-cased source-table name → views maintained from it.
   std::map<std::string, std::vector<MaterializedView*>> views_by_source_;
   std::atomic<SimTimeMs> local_heartbeat_{0};
+  std::atomic<RegionHealth> health_{RegionHealth::kHealthy};
   std::atomic<uint64_t> delivery_epoch_{0};
   mutable std::shared_mutex data_lock_;
   /// `as_of_` and `applied_log_pos_` are written under the exclusive
