@@ -1,0 +1,111 @@
+// Cost of the simulation harness itself: how much recording slows the query
+// pipeline (history sink on vs. off), and how fast the conformance oracle
+// replays a recorded history. Keeping both cheap is what lets the seed
+// matrix in tests/sim_seeds_test.cpp afford 25 full runs in tier-1.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/history.h"
+#include "sim/oracle.h"
+#include "sim/runner.h"
+#include "workload/bookstore.h"
+
+namespace rcc {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 20040613;
+constexpr int kQueries = 2000;
+
+/// Executes the same guarded query `kQueries` times, with or without a
+/// history sink attached, returning wall milliseconds.
+double DriveQueries(bool record, sim::HistoryRecorder* recorder,
+                    int64_t* events_out) {
+  RccSystem sys;
+  if (record) sys.SetHistorySink(recorder);
+  BookstoreConfig config;
+  config.seed = kSeed;
+  Status st = LoadBookstore(&sys, config);
+  if (st.ok()) st = SetupBookstoreCache(&sys, 8000, 3000);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  sys.AdvanceTo(30000);
+  auto session = sys.CreateSession();
+  double ms = TimeMs([&] {
+    for (int i = 0; i < kQueries; ++i) {
+      sys.AdvanceBy(500);
+      auto r = session->Execute(
+          "SELECT isbn, price FROM Books B WHERE B.isbn < 50 "
+          "CURRENCY BOUND 10 SECONDS ON (B)");
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  });
+  if (record) {
+    *events_out = static_cast<int64_t>(recorder->event_count());
+    sys.SetHistorySink(nullptr);
+  }
+  return ms;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rcc
+
+int main() {
+  using namespace rcc;
+  using namespace rcc::bench;
+
+  PrintHeader("Simulation harness: recording overhead");
+  int64_t events = 0;
+  double off_ms = DriveQueries(false, nullptr, nullptr);
+  sim::HistoryRecorder recorder(kSeed);
+  double on_ms = DriveQueries(true, &recorder, &events);
+  std::printf("  %-22s %10.1f ms  (%.1f us/query)\n", "sink off", off_ms,
+              1000.0 * off_ms / kQueries);
+  std::printf("  %-22s %10.1f ms  (%.1f us/query, %lld events)\n", "sink on",
+              on_ms, 1000.0 * on_ms / kQueries,
+              static_cast<long long>(events));
+  std::printf("  %-22s %9.1f%%\n", "overhead",
+              off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0);
+
+  PrintHeader("Conformance oracle: replay throughput");
+  sim::SimRunConfig cfg;
+  cfg.seed = kSeed;
+  cfg.faults = sim::FaultMix::kCombined;
+  cfg.steps = 400;
+  auto run = sim::RunSimulation(cfg);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const sim::History& history = run->history;
+  sim::OracleReport report;
+  double check_ms = TimeMs([&] {
+    for (int i = 0; i < 20; ++i) report = sim::CheckHistory(history);
+  });
+  double per_replay = check_ms / 20.0;
+  std::printf("  %zu events, %lld answers per replay\n",
+              history.events.size(),
+              static_cast<long long>(report.answers_checked));
+  std::printf("  %-22s %10.2f ms/replay  (%.0f events/ms)\n", "CheckHistory",
+              per_replay,
+              per_replay > 0 ? history.events.size() / per_replay : 0.0);
+  std::printf("  violations: %zu (expected 0 in an unmutated build)\n",
+              report.violations.size());
+
+  // Seed-stamped metrics record of this bench run (gauge rcc.run.seed).
+  obs::MetricsRegistry metrics;
+  metrics.gauge("rcc.sim.record_overhead_pct")
+      ->Set(off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0);
+  metrics.gauge("rcc.sim.oracle_ms_per_replay")->Set(per_replay);
+  metrics.gauge("rcc.sim.history_events")
+      ->Set(static_cast<double>(history.events.size()));
+  WriteMetricsJson(metrics, "bench_sim_harness", kSeed);
+  return report.violations.empty() ? 0 : 1;
+}

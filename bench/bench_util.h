@@ -50,9 +50,12 @@ inline void PrintHeader(const std::string& title) {
 
 /// Writes a metrics registry (schema rcc.metrics.v1, DESIGN.md §9) to
 /// `<bench_name>.metrics.json` in the working directory, so every bench run
-/// leaves a machine-readable record next to its printed tables.
-inline void WriteMetricsJson(const obs::MetricsRegistry& metrics,
-                             const std::string& bench_name) {
+/// leaves a machine-readable record next to its printed tables. The run's
+/// seed is stamped into the dump (gauge `rcc.run.seed`) so any figure can be
+/// reproduced from its metrics file alone.
+inline void WriteMetricsJson(obs::MetricsRegistry& metrics,
+                             const std::string& bench_name, uint64_t seed) {
+  metrics.gauge("rcc.run.seed")->Set(static_cast<double>(seed));
   std::string path = bench_name + ".metrics.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -66,10 +69,10 @@ inline void WriteMetricsJson(const obs::MetricsRegistry& metrics,
   std::printf("\nmetrics written to %s\n", path.c_str());
 }
 
-/// Dumps the metrics of the system the bench measured.
-inline void DumpMetricsJson(const RccSystem& sys,
-                            const std::string& bench_name) {
-  WriteMetricsJson(sys.metrics(), bench_name);
+/// Dumps the metrics of the system the bench measured, stamped with the
+/// system's configured seed.
+inline void DumpMetricsJson(RccSystem& sys, const std::string& bench_name) {
+  WriteMetricsJson(sys.metrics(), bench_name, sys.config().seed);
 }
 
 /// Prints the Table 4.1 region settings actually in effect.

@@ -82,6 +82,7 @@ Result<TxnTimestamp> BackendServer::ExecuteTransaction(
   txn.id = oracle_.NextCommit(txn.commit_time);
   txn.ops = std::move(ops);
   TxnTimestamp id = txn.id;
+  if (commit_observer_) commit_observer_(txn);
   log_.Append(std::move(txn));
   return id;
 }

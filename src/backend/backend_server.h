@@ -1,6 +1,7 @@
 #ifndef RCC_BACKEND_BACKEND_SERVER_H_
 #define RCC_BACKEND_BACKEND_SERVER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +48,14 @@ class BackendServer {
   /// update log for replication.
   Result<TxnTimestamp> ExecuteTransaction(std::vector<RowOp> ops);
 
+  /// Observes every committed transaction (the formal model's xtime events),
+  /// invoked after commit, before the txn is visible to replication pulls.
+  /// Single slot; pass nullptr to clear. Must not call back into the server.
+  using CommitObserver = std::function<void(const CommittedTxn&)>;
+  void set_commit_observer(CommitObserver observer) {
+    commit_observer_ = std::move(observer);
+  }
+
   /// -- queries -----------------------------------------------------------------
 
   /// Plans (back-end mode: base tables + indexes only) and executes a query.
@@ -87,6 +96,7 @@ class BackendServer {
   UpdateLog log_;
   HeartbeatStore heartbeat_;
   ExecStats stats_;
+  CommitObserver commit_observer_;
 };
 
 }  // namespace rcc

@@ -35,6 +35,22 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
   // source the initial view population used.
   agent->set_master_table_provider(
       [this](const std::string& table) { return backend_->table(table); });
+  // Wired unconditionally (the lambda no-ops without a sink), so a sink
+  // installed later still sees deliveries of regions defined earlier.
+  agent->set_install_observer(
+      [this](RegionId cid, SimTimeMs at, TxnTimestamp as_of, SimTimeMs hb,
+             int64_t ops, bool resync) {
+        if (sink_ == nullptr) return;
+        InstallObservation obs;
+        obs.kind = resync ? InstallObservation::Kind::kResync
+                          : InstallObservation::Kind::kDelivery;
+        obs.region = cid;
+        obs.at = at;
+        obs.as_of = as_of;
+        obs.heartbeat = hb;
+        obs.ops = ops;
+        sink_->OnInstall(obs);
+      });
   if (replication_faults_.has_value()) {
     ReplicationFaultConfig cfg = *replication_faults_;
     cfg.seed += static_cast<uint64_t>(def.cid);
@@ -47,6 +63,15 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
         ->gauge(StrPrintf("rcc.replication.region_health.%d",
                           static_cast<int>(def.cid)))
         ->Set(static_cast<double>(static_cast<int>(region->health())));
+  }
+  if (sink_ != nullptr) {
+    InstallObservation obs;
+    obs.kind = InstallObservation::Kind::kInitial;
+    obs.region = def.cid;
+    obs.at = backend_->clock()->Now();
+    obs.as_of = region->as_of();
+    obs.heartbeat = region->local_heartbeat();
+    sink_->OnInstall(obs);
   }
   regions_[def.cid] = std::move(region);
   agents_.push_back(std::move(agent));
@@ -210,9 +235,14 @@ ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
 Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
                                                      SimTimeMs timeline_floor,
                                                      DegradeMode degrade,
-                                                     obs::QueryTrace* trace) {
+                                                     obs::QueryTrace* trace,
+                                                     uint64_t session_tag) {
   CacheQueryOutcome out;
   ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade, trace);
+  if (sink_ != nullptr) {
+    ctx.history = sink_;
+    ctx.history_query_id = sink_->BeginQuery(backend_->clock()->Now());
+  }
   // Serial mode only: expose the trace to the delivery observer, so
   // replication batches landing while the policy waits show up in the trace.
   // A concurrent batch freezes the virtual clock (no deliveries fire), and
@@ -240,6 +270,30 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
     cumulative_stats_.Accumulate(out.stats);
   }
   RecordQueryMetrics(out.stats, backend_->clock()->Now());
+  if (sink_ != nullptr) {
+    AnswerObservation ans;
+    ans.query_id = ctx.history_query_id;
+    ans.session = session_tag;
+    ans.at = backend_->clock()->Now();
+    ans.ok = executed.ok();
+    ans.degrade_mode = static_cast<int>(degrade);
+    ans.floor_before = timeline_floor;
+    ans.max_seen_heartbeat = out.stats.max_seen_heartbeat;
+    ans.degraded = out.stats.degraded_serves > 0;
+    ans.degraded_staleness_ms = out.stats.degraded_staleness_ms;
+    ans.rows = out.stats.rows_returned;
+    for (const ResolvedOperand& op : plan.resolved.operands) {
+      ans.operand_tables.push_back(op.table != nullptr ? op.table->name
+                                                       : std::string());
+    }
+    for (const CcTuple& t : plan.resolved.constraint.tuples) {
+      ans.tuples.emplace_back(
+          t.bound_ms,
+          std::vector<InputOperandId>(t.operands.begin(), t.operands.end()));
+    }
+    if (!executed.ok()) ans.error = executed.status().ToString();
+    sink_->OnAnswer(ans);
+  }
   if (!executed.ok()) return executed.status();
   out.result = std::move(executed).value();
   out.shape = plan.Shape();
@@ -253,9 +307,10 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
 Result<CacheQueryOutcome> CacheDbms::Execute(const SelectStmt& stmt,
                                              SimTimeMs timeline_floor,
                                              DegradeMode degrade,
-                                             obs::QueryTrace* trace) {
+                                             obs::QueryTrace* trace,
+                                             uint64_t session_tag) {
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(stmt));
-  return ExecutePrepared(plan, timeline_floor, degrade, trace);
+  return ExecutePrepared(plan, timeline_floor, degrade, trace, session_tag);
 }
 
 void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
@@ -385,6 +440,24 @@ void CacheDbms::OnHealthChange(RegionId region, RegionHealth from,
                   std::string(RegionHealthName(from)).c_str(),
                   std::string(RegionHealthName(to)).c_str()),
         region);
+  }
+  if (sink_ != nullptr) sink_->OnHealth(region, from, to, at);
+}
+
+void CacheDbms::SetHistorySink(HistorySink* sink) {
+  sink_ = sink;
+  if (sink == nullptr) return;
+  // Regions defined before the sink was installed: report their current
+  // state as the initial install, so the oracle's per-region timeline starts
+  // from known ground instead of an unexplained first delivery.
+  for (const auto& [cid, region] : regions_) {
+    InstallObservation obs;
+    obs.kind = InstallObservation::Kind::kInitial;
+    obs.region = cid;
+    obs.at = backend_->clock()->Now();
+    obs.as_of = region->as_of();
+    obs.heartbeat = region->local_heartbeat();
+    sink_->OnInstall(obs);
   }
 }
 

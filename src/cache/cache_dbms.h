@@ -117,16 +117,19 @@ class CacheDbms {
   /// `trace`, when non-null, receives the query's structured event trace
   /// (guard probes, switch decisions, retry/breaker events, degraded serves,
   /// and — in serial mode — replication deliveries landing mid-query).
+  /// `session_tag` identifies the issuing session in the audit history
+  /// (0 = anonymous caller).
   Result<CacheQueryOutcome> ExecutePrepared(
       const QueryPlan& plan, SimTimeMs timeline_floor = -1,
       DegradeMode degrade = DegradeMode::kNone,
-      obs::QueryTrace* trace = nullptr);
+      obs::QueryTrace* trace = nullptr, uint64_t session_tag = 0);
 
   /// Full pipeline: resolve + optimize + execute.
   Result<CacheQueryOutcome> Execute(const SelectStmt& stmt,
                                     SimTimeMs timeline_floor = -1,
                                     DegradeMode degrade = DegradeMode::kNone,
-                                    obs::QueryTrace* trace = nullptr);
+                                    obs::QueryTrace* trace = nullptr,
+                                    uint64_t session_tag = 0);
 
   /// -- concurrent batch mode ---------------------------------------------------
 
@@ -192,6 +195,15 @@ class CacheDbms {
   void SetMetricsRegistry(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics_registry() const { return metrics_; }
 
+  /// Points the cache at an execution-audit sink (the simulation harness's
+  /// history recorder). While set, every query, serve decision, guard probe,
+  /// replication install, and health transition is reported. Install before
+  /// defining regions so their initial population is part of the history;
+  /// regions already defined are reported retroactively at their current
+  /// state. Pass nullptr to stop recording.
+  void SetHistorySink(HistorySink* sink);
+  HistorySink* history_sink() const { return sink_; }
+
  private:
   /// Registry-resolved instruments, null when no registry is installed. All
   /// are atomically updatable, so concurrent-batch workers record directly.
@@ -247,6 +259,7 @@ class CacheDbms {
   std::optional<ReplicationFaultConfig> replication_faults_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments inst_;
+  HistorySink* sink_ = nullptr;
   /// Trace of the serial-mode query currently executing; deliveries landing
   /// while the policy waits are recorded into it. Never set in
   /// concurrent-batch mode (the frozen clock means no deliveries fire

@@ -94,11 +94,17 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
     case StatementKind::kBeginTimeOrdered:
       timeordered_ = true;
       timeline_floor_.store(-1, std::memory_order_release);
+      if (system_->history_sink() != nullptr) {
+        system_->history_sink()->OnSessionMode(id_, true, system_->Now());
+      }
       out.message = "timeline consistency ON";
       return out;
     case StatementKind::kEndTimeOrdered:
       timeordered_ = false;
       timeline_floor_.store(-1, std::memory_order_release);
+      if (system_->history_sink() != nullptr) {
+        system_->history_sink()->OnSessionMode(id_, false, system_->Now());
+      }
       out.message = "timeline consistency OFF";
       return out;
     case StatementKind::kExplain:
@@ -114,7 +120,7 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   if (trace_enabled_) trace = std::make_shared<obs::QueryTrace>();
   RCC_ASSIGN_OR_RETURN(
       CacheQueryOutcome outcome,
-      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get()));
+      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get(), id_));
   if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
     timeline_floor_.store(outcome.max_seen_heartbeat,
                           std::memory_order_release);
@@ -142,7 +148,7 @@ Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
   auto trace = std::make_shared<obs::QueryTrace>();
   RCC_ASSIGN_OR_RETURN(
       CacheQueryOutcome outcome,
-      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get()));
+      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get(), id_));
   if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
     timeline_floor_.store(outcome.max_seen_heartbeat,
                           std::memory_order_release);
@@ -158,6 +164,7 @@ std::vector<Result<QueryResult>> Session::ExecuteBatch(
   ConcurrentBatchOptions opts;
   opts.workers = workers;
   opts.degrade = degrade_mode_;
+  opts.session_tag = id_;
   if (timeordered_) {
     opts.timeline_floor = timeline_floor();
     opts.floor_cell = &timeline_floor_;

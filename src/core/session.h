@@ -19,7 +19,8 @@ namespace rcc {
 /// are additionally floored at the session's high-water snapshot time.
 class Session {
  public:
-  explicit Session(RccSystem* system) : system_(system) {}
+  explicit Session(RccSystem* system)
+      : system_(system), id_(system->NextSessionId()) {}
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -55,6 +56,10 @@ class Session {
 
   bool in_timeordered() const { return timeordered_; }
 
+  /// Process-unique session id; tags this session's queries and mode
+  /// toggles in the audit history.
+  uint64_t id() const { return id_; }
+
   /// Degradation policy for remote-branch failures in this session's
   /// queries. Settable in SQL: SET DEGRADE = NONE | BOUNDED | ALWAYS.
   DegradeMode degrade_mode() const { return degrade_mode_; }
@@ -88,6 +93,7 @@ class Session {
   Result<QueryResult> ExecuteExplain(const Statement& stmt);
 
   RccSystem* system_;
+  uint64_t id_;
   bool timeordered_ = false;
   bool trace_enabled_ = false;
   /// Atomic because ExecuteBatch workers CAS-max their observed snapshot

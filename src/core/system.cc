@@ -22,6 +22,17 @@ std::unique_ptr<Session> RccSystem::CreateSession() {
   return std::make_unique<Session>(this);
 }
 
+void RccSystem::SetHistorySink(HistorySink* sink) {
+  cache_.SetHistorySink(sink);
+  if (sink == nullptr) {
+    backend_.set_commit_observer(nullptr);
+    return;
+  }
+  backend_.set_commit_observer([this, sink](const CommittedTxn& txn) {
+    sink->OnCommit(txn, clock_.Now());
+  });
+}
+
 ThreadPool* RccSystem::EnsurePool(int workers) {
   if (pool_ == nullptr || pool_workers_ != workers) {
     pool_.reset();  // join the old pool before spawning the new one
@@ -63,7 +74,8 @@ std::vector<Result<QueryResult>> RccSystem::ExecuteConcurrent(
                        opts.floor_cell->load(std::memory_order_acquire));
     }
     RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
-                         cache_.ExecutePrepared(plan, floor, opts.degrade));
+                         cache_.ExecutePrepared(plan, floor, opts.degrade,
+                                                nullptr, opts.session_tag));
     if (opts.floor_cell != nullptr && outcome.max_seen_heartbeat >= 0) {
       RaiseFloor(opts.floor_cell, outcome.max_seen_heartbeat);
     }

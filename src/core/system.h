@@ -30,6 +30,9 @@ struct ConcurrentBatchOptions {
   /// commutative, so the final cell value is independent of worker
   /// interleaving — this is how a time-ordered session spans a batch.
   std::atomic<SimTimeMs>* floor_cell = nullptr;
+  /// Audit-history session tag stamped on every query of the batch
+  /// (0 = anonymous).
+  uint64_t session_tag = 0;
 };
 
 /// System-wide configuration.
@@ -102,6 +105,19 @@ class RccSystem {
 
   const SystemConfig& config() const { return config_; }
 
+  /// Points the whole system — cache query pipeline, replication installs,
+  /// and back-end commits — at an execution-audit sink (the simulation
+  /// harness's history recorder). Install before defining regions so their
+  /// initial population is recorded. Pass nullptr to stop recording.
+  void SetHistorySink(HistorySink* sink);
+  HistorySink* history_sink() const { return cache_.history_sink(); }
+
+  /// Allocates a process-unique session id (audit-history tag). Ids start at
+  /// 1; 0 means "anonymous caller" throughout the audit stream.
+  uint64_t NextSessionId() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   /// Returns the worker pool, (re)creating it when the requested size
   /// changes. The pool is lazy: serial-only programs never spawn threads.
@@ -115,6 +131,7 @@ class RccSystem {
   CacheDbms cache_;
   std::unique_ptr<ThreadPool> pool_;
   int pool_workers_ = 0;
+  std::atomic<uint64_t> next_session_id_{1};
 };
 
 }  // namespace rcc

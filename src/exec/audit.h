@@ -1,0 +1,143 @@
+#ifndef RCC_EXEC_AUDIT_H_
+#define RCC_EXEC_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "replication/health.h"
+#include "semantics/constraint.h"
+#include "txn/update_log.h"
+
+namespace rcc {
+
+/// Execution-audit observations. The engine reports, through a HistorySink,
+/// every externally meaningful event of a run: back-end commits, replication
+/// installs, health transitions, currency-guard probes, the branch that
+/// actually served each query, and the final answer. The simulation
+/// harness's HistoryRecorder (src/sim/history.h) implements the sink and
+/// turns the stream into a replayable history that the conformance oracle
+/// checks against the formal C&C model — independently of the guard and
+/// optimizer code that produced the events. Everything recorded is virtual
+/// time or logical state, never wall-clock, so a recorded run is
+/// bit-reproducible from its seed.
+
+/// One currency-guard probe: the inputs the guard saw and the verdict it
+/// reached. The oracle re-derives the verdict from the inputs (and the
+/// inputs from the install stream), so a skewed guard comparison is caught
+/// even when the served data happens to be fresh.
+struct GuardObservation {
+  uint64_t query_id = 0;
+  RegionId region = kBackendRegion;
+  SimTimeMs at = 0;
+  /// The certified heartbeat the guard read; heartbeat_known = false when
+  /// the region was unknown or its pipeline withdrew the heartbeat.
+  bool heartbeat_known = false;
+  SimTimeMs heartbeat = -1;
+  SimTimeMs bound_ms = 0;
+  /// Session timeline floor in effect (< 0 = timeline mode off).
+  SimTimeMs floor_ms = -1;
+  /// true = the guard routed the query at the local branch.
+  bool verdict_local = false;
+};
+
+/// One serving decision: a set of input operands was answered from a local
+/// region replica or from a back-end fetch. Recorded at most once per
+/// iterator execution (correlated re-fetches of a remote subquery are
+/// attributed to the first fetch; see DESIGN.md §11).
+struct ServeObservation {
+  uint64_t query_id = 0;
+  SimTimeMs at = 0;
+  /// true = local view branch; false = remote (back-end) fetch.
+  bool local = false;
+  /// true = served past a failed remote branch under SET DEGRADE.
+  bool degraded = false;
+  /// Serving currency region; kBackendRegion for remote fetches.
+  RegionId region = kBackendRegion;
+  /// The region heartbeat claimed at serve time (local serves only).
+  bool heartbeat_known = false;
+  SimTimeMs heartbeat = -1;
+  /// Input operands whose rows this serve produced.
+  std::vector<InputOperandId> operands;
+};
+
+/// One completed query (successful or failed), carrying everything the
+/// oracle needs to evaluate the query's C&C constraint against the serve
+/// events recorded under the same query_id.
+struct AnswerObservation {
+  uint64_t query_id = 0;
+  /// Issuing session tag (0 = anonymous caller).
+  uint64_t session = 0;
+  SimTimeMs at = 0;
+  bool ok = false;
+  /// DegradeMode the query ran under, as its enum integer.
+  int degrade_mode = 0;
+  /// Timeline floor the query started from (< 0 = timeline mode off).
+  SimTimeMs floor_before = -1;
+  /// Highest source snapshot time the query observed (-1 = none).
+  SimTimeMs max_seen_heartbeat = -1;
+  /// true when at least one branch served degraded (stale-flagged).
+  bool degraded = false;
+  SimTimeMs degraded_staleness_ms = 0;
+  int64_t rows = 0;
+  /// Base-table name per InputOperandId (index = operand id).
+  std::vector<std::string> operand_tables;
+  /// The normalized constraint, flattened: (bound_ms, consistency class).
+  std::vector<std::pair<SimTimeMs, std::vector<InputOperandId>>> tuples;
+  /// Failure text when !ok.
+  std::string error;
+};
+
+/// One replication install: the region's data was atomically replaced or
+/// extended to reflect back-end snapshot `as_of`, and `heartbeat` was
+/// published. Initial region definition, delivery batches and resyncs all
+/// install; the oracle derives every region's state timeline from these.
+struct InstallObservation {
+  enum class Kind { kInitial, kDelivery, kResync };
+  Kind kind = Kind::kDelivery;
+  RegionId region = kBackendRegion;
+  SimTimeMs at = 0;
+  /// Back-end snapshot (last applied transaction id) after the install.
+  TxnTimestamp as_of = 0;
+  /// Local heartbeat value after the install.
+  SimTimeMs heartbeat = 0;
+  /// Row ops applied by the batch (0 for initial population / resync).
+  int64_t ops = 0;
+};
+
+/// Receiver of the audit stream. Implementations must be thread-safe:
+/// queries of a concurrent batch report from worker threads (commits,
+/// installs and health transitions only ever arrive from the simulation
+/// thread). All hooks are no-ops in spirit — they must not affect engine
+/// behaviour.
+class HistorySink {
+ public:
+  virtual ~HistorySink() = default;
+
+  /// Allocates a query id; every subsequent observation of that query
+  /// carries it.
+  virtual uint64_t BeginQuery(SimTimeMs at) = 0;
+
+  virtual void OnGuardProbe(const GuardObservation& obs) = 0;
+  virtual void OnServe(const ServeObservation& obs) = 0;
+  virtual void OnAnswer(const AnswerObservation& obs) = 0;
+
+  /// A back-end commit (the formal model's xtime source).
+  virtual void OnCommit(const CommittedTxn& txn, SimTimeMs at) = 0;
+  virtual void OnInstall(const InstallObservation& obs) = 0;
+  virtual void OnHealth(RegionId region, RegionHealth from, RegionHealth to,
+                        SimTimeMs at) = 0;
+
+  /// A session toggled timeline mode; `timeordered` = the new state. Entering
+  /// timeline mode resets the session's floor, so the oracle restarts its
+  /// monotonicity tracking here.
+  virtual void OnSessionMode(uint64_t session, bool timeordered,
+                             SimTimeMs at) = 0;
+};
+
+}  // namespace rcc
+
+#endif  // RCC_EXEC_AUDIT_H_

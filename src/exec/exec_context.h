@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "exec/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/physical.h"
@@ -137,6 +138,12 @@ struct ExecContext {
   /// null = not measured. Resolved once per query by the engine layer so the
   /// probe itself never takes the registry lock.
   obs::Histogram* guard_probe_hist = nullptr;
+
+  /// Execution-audit sink (simulation harness); null = not recording. Guard
+  /// probes and serving decisions report here under `history_query_id`, the
+  /// id the engine layer obtained from HistorySink::BeginQuery.
+  HistorySink* history = nullptr;
+  uint64_t history_query_id = 0;
 };
 
 /// Volcano-style iterator. Open may be called again after Close (inner sides

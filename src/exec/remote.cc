@@ -134,6 +134,19 @@ Status RemoteQueryIterator::Open(const EvalScope* outer) {
         std::to_string(op_.layout.num_slots()));
   }
   rows_ = std::move(result->rows);
+  if (ctx_->history != nullptr && !recorded_) {
+    recorded_ = true;
+    ServeObservation obs;
+    obs.query_id = ctx_->history_query_id;
+    obs.at = ctx_->clock != nullptr ? ctx_->clock->Now() : 0;
+    obs.local = false;
+    obs.degraded = false;
+    obs.region = kBackendRegion;
+    obs.heartbeat_known = false;
+    obs.operands.assign(op_.remote_operands.begin(),
+                        op_.remote_operands.end());
+    ctx_->history->OnServe(obs);
+  }
   return Status::OK();
 }
 

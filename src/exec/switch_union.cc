@@ -8,6 +8,38 @@
 
 namespace rcc {
 
+namespace {
+
+#ifdef RCC_SIM_MUTATE
+/// Mutation smoke test (build with -DRCC_SIM_MUTATE=ON): the guard accepts
+/// heartbeats one refresh interval older than the bound allows. The
+/// conformance oracle must flag runs of this build; if it doesn't, the
+/// oracle is vacuous.
+constexpr SimTimeMs kSimMutateSkewMs = 15000;
+#endif
+
+/// Reports a serving decision to the audit sink, attributing the operands
+/// delivered by `branch` to `region` (kBackendRegion = remote fetch).
+void RecordServe(ExecContext* ctx, const PhysicalOp& branch, RegionId region,
+                 bool local, bool degraded,
+                 std::optional<SimTimeMs> heartbeat) {
+  if (ctx->history == nullptr) return;
+  ServeObservation obs;
+  obs.query_id = ctx->history_query_id;
+  obs.at = ctx->clock != nullptr ? ctx->clock->Now() : 0;
+  obs.local = local;
+  obs.degraded = degraded;
+  obs.region = region;
+  obs.heartbeat_known = heartbeat.has_value();
+  obs.heartbeat = heartbeat.value_or(-1);
+  for (InputOperandId oid : branch.delivered.AllOperands()) {
+    obs.operands.push_back(oid);
+  }
+  ctx->history->OnServe(obs);
+}
+
+}  // namespace
+
 bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
                                         ExecContext* ctx) {
   // Heartbeat_R.TimeStamp > now - B  <=>  the region reflects a snapshot no
@@ -38,7 +70,11 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
     fresh_enough = false;
   } else {
     SimTimeMs hb = *hb_opt;
+#ifdef RCC_SIM_MUTATE
+    fresh_enough = hb + kSimMutateSkewMs > now - op.guard_bound_ms;
+#else
     fresh_enough = hb > now - op.guard_bound_ms;
+#endif
     // Timeline consistency: never fall behind what the session already saw.
     if (ctx->timeline_floor_ms >= 0 && hb < ctx->timeline_floor_ms) {
       fresh_enough = false;
@@ -65,6 +101,18 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
     }
     ctx->trace->Record(obs::TraceEventKind::kGuardProbe, now,
                        std::move(detail), op.guard_region);
+  }
+  if (ctx->history != nullptr) {
+    GuardObservation gobs;
+    gobs.query_id = ctx->history_query_id;
+    gobs.region = op.guard_region;
+    gobs.at = now;
+    gobs.heartbeat_known = hb_opt.has_value();
+    gobs.heartbeat = hb_opt.value_or(-1);
+    gobs.bound_ms = op.guard_bound_ms;
+    gobs.floor_ms = ctx->timeline_floor_ms;
+    gobs.verdict_local = fresh_enough;
+    ctx->history->OnGuardProbe(gobs);
   }
   return fresh_enough;
 }
@@ -103,6 +151,11 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
       ctx_->trace->Record(obs::TraceEventKind::kSwitchDecision,
                           ctx_->clock->Now(), local_ok ? "local" : "remote",
                           op_.guard_region);
+    }
+    if (local_ok) {
+      RecordServe(ctx_, *op_.children[0], op_.guard_region,
+                  /*local=*/true, /*degraded=*/false,
+                  ctx_->local_heartbeat(op_.guard_region));
     }
   }
   chosen_ = cached_decision_ == 1 ? local_.get() : remote_.get();
@@ -210,6 +263,8 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
                   remote_error.ToString().c_str()),
         op_.guard_region);
   }
+  RecordServe(ctx_, *op_.children[0], op_.guard_region,
+              /*local=*/true, /*degraded=*/true, hb);
   chosen_ = local_.get();
   return chosen_->Open(outer);
 }

@@ -247,6 +247,12 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
   if (observer_) {
     observer_(region_->id(), delivered_at, batch_ops, captured_heartbeat);
   }
+  if (install_observer_) {
+    // as_of / heartbeat are re-read post-install: only the simulation thread
+    // delivers, so they still describe this batch's snapshot.
+    install_observer_(region_->id(), delivered_at, region_->as_of(),
+                      region_->local_heartbeat(), batch_ops, /*resync=*/false);
+  }
 }
 
 void DistributionAgent::Resync(SimTimeMs now) {
@@ -296,6 +302,10 @@ void DistributionAgent::Resync(SimTimeMs now) {
   if (health_observer_) {
     health_observer_(region_->id(), RegionHealth::kResyncing,
                      RegionHealth::kHealthy, now);
+  }
+  if (install_observer_) {
+    install_observer_(region_->id(), now, region_->as_of(),
+                      region_->local_heartbeat(), /*ops=*/0, /*resync=*/true);
   }
 }
 

@@ -143,6 +143,18 @@ class DistributionAgent {
     health_observer_ = std::move(observer);
   }
 
+  /// Called after every successful snapshot install — clean delivery batches
+  /// (including empty ones, which still advance the heartbeat) and completed
+  /// resyncs — outside the region's data lock: virtual install time, the
+  /// back-end snapshot the region now reflects, the published heartbeat, the
+  /// row ops applied (0 for a resync), and whether this was a resync. The
+  /// audit layer derives each region's state timeline from this stream.
+  using InstallObserver = std::function<void(
+      RegionId, SimTimeMs, TxnTimestamp, SimTimeMs, int64_t, bool)>;
+  void set_install_observer(InstallObserver observer) {
+    install_observer_ = std::move(observer);
+  }
+
  private:
   /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
   /// the captured heartbeat value (absent when the region's global row had
@@ -190,6 +202,7 @@ class DistributionAgent {
   SimTimeMs quarantined_at_ = 0;
   DeliveryObserver observer_;
   HealthObserver health_observer_;
+  InstallObserver install_observer_;
 };
 
 }  // namespace rcc

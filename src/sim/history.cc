@@ -1,0 +1,503 @@
+#include "sim/history.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rcc {
+namespace sim {
+
+namespace {
+
+const char kHeader[] = "rcc.history.v1";
+
+std::string JoinStrings(const std::vector<std::string>& parts) {
+  if (parts.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '|';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string JoinOperands(const std::vector<InputOperandId>& ids) {
+  if (ids.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+std::string FormatHb(bool known, SimTimeMs hb) {
+  return known ? std::to_string(static_cast<long long>(hb))
+               : std::string("none");
+}
+
+/// Error text is embedded as one token: whitespace becomes '_' (lossy but
+/// one-way — the oracle never interprets error text, it only surfaces it).
+std::string SanitizeText(const std::string& text) {
+  if (text.empty()) return "-";
+  std::string out = text;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+const char* InstallKindName(InstallObservation::Kind kind) {
+  switch (kind) {
+    case InstallObservation::Kind::kInitial:
+      return "initial";
+    case InstallObservation::Kind::kDelivery:
+      return "delivery";
+    case InstallObservation::Kind::kResync:
+      return "resync";
+  }
+  return "?";
+}
+
+void AppendEventLine(const HistoryEvent& ev, std::string* out) {
+  char buf[256];
+  auto add = [out](const char* s) { *out += s; };
+  switch (ev.kind) {
+    case HistoryEvent::Kind::kCommit:
+      std::snprintf(buf, sizeof(buf), "commit seq=%llu at=%lld txn=%lld",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at),
+                    static_cast<long long>(ev.txn));
+      add(buf);
+      *out += " tables=" + JoinStrings(ev.tables);
+      break;
+    case HistoryEvent::Kind::kInstall:
+      std::snprintf(buf, sizeof(buf),
+                    "install seq=%llu at=%lld region=%d kind=%s as_of=%lld",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at), static_cast<int>(ev.region),
+                    InstallKindName(ev.install_kind),
+                    static_cast<long long>(ev.as_of));
+      add(buf);
+      *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
+      std::snprintf(buf, sizeof(buf), " ops=%lld",
+                    static_cast<long long>(ev.ops));
+      add(buf);
+      break;
+    case HistoryEvent::Kind::kHealth:
+      std::snprintf(buf, sizeof(buf),
+                    "health seq=%llu at=%lld region=%d from=%d to=%d",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at), static_cast<int>(ev.region),
+                    static_cast<int>(ev.health_from),
+                    static_cast<int>(ev.health_to));
+      add(buf);
+      break;
+    case HistoryEvent::Kind::kSession:
+      std::snprintf(buf, sizeof(buf),
+                    "session seq=%llu at=%lld session=%llu timeordered=%d",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at),
+                    static_cast<unsigned long long>(ev.session),
+                    ev.timeordered ? 1 : 0);
+      add(buf);
+      break;
+    case HistoryEvent::Kind::kGuard:
+      std::snprintf(buf, sizeof(buf), "guard seq=%llu at=%lld q=%llu region=%d",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at),
+                    static_cast<unsigned long long>(ev.query),
+                    static_cast<int>(ev.region));
+      add(buf);
+      *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
+      std::snprintf(buf, sizeof(buf), " bound=%lld floor=%lld verdict=%s",
+                    static_cast<long long>(ev.bound_ms),
+                    static_cast<long long>(ev.floor_ms),
+                    ev.verdict_local ? "local" : "stale");
+      add(buf);
+      break;
+    case HistoryEvent::Kind::kServe:
+      std::snprintf(
+          buf, sizeof(buf),
+          "serve seq=%llu at=%lld q=%llu region=%d local=%d degraded=%d",
+          static_cast<unsigned long long>(ev.seq),
+          static_cast<long long>(ev.at),
+          static_cast<unsigned long long>(ev.query),
+          static_cast<int>(ev.region), ev.local ? 1 : 0, ev.degraded ? 1 : 0);
+      add(buf);
+      *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
+      *out += " operands=" + JoinOperands(ev.operands);
+      break;
+    case HistoryEvent::Kind::kAnswer: {
+      std::snprintf(buf, sizeof(buf),
+                    "answer seq=%llu at=%lld q=%llu session=%llu ok=%d "
+                    "mode=%d floor=%lld seen=%lld degraded=%d dstale=%lld "
+                    "rows=%lld",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at),
+                    static_cast<unsigned long long>(ev.query),
+                    static_cast<unsigned long long>(ev.session),
+                    ev.ok ? 1 : 0, ev.degrade_mode,
+                    static_cast<long long>(ev.floor_ms),
+                    static_cast<long long>(ev.max_seen_heartbeat),
+                    ev.degraded ? 1 : 0,
+                    static_cast<long long>(ev.degraded_staleness_ms),
+                    static_cast<long long>(ev.rows));
+      add(buf);
+      *out += " tables=" + JoinStrings(ev.tables);
+      *out += " tuples=";
+      if (ev.tuples.empty()) {
+        *out += '-';
+      } else {
+        for (size_t i = 0; i < ev.tuples.size(); ++i) {
+          if (i > 0) *out += ';';
+          *out += std::to_string(static_cast<long long>(ev.tuples[i].first));
+          *out += ':';
+          *out += JoinOperands(ev.tuples[i].second);
+        }
+      }
+      *out += " error=" + SanitizeText(ev.error);
+      break;
+    }
+  }
+  *out += '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// key=value tokens of one line, keyed lookup with loud failure.
+class TokenMap {
+ public:
+  static Result<TokenMap> FromLine(const std::string& line) {
+    TokenMap map;
+    std::vector<std::string> tokens = Split(line, ' ');
+    if (tokens.empty()) return Status::InvalidArgument("empty history line");
+    map.kind_ = tokens[0];
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& tok = tokens[i];
+      if (tok.empty()) continue;
+      size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("malformed history token: " + tok);
+      }
+      map.values_.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return map;
+  }
+
+  const std::string& kind() const { return kind_; }
+
+  Result<std::string> Get(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return v;
+    }
+    return Status::InvalidArgument("history line missing key " + key);
+  }
+
+  Result<int64_t> GetInt(const std::string& key) const {
+    RCC_ASSIGN_OR_RETURN(std::string v, Get(key));
+    return static_cast<int64_t>(std::strtoll(v.c_str(), nullptr, 10));
+  }
+
+  Result<uint64_t> GetUint(const std::string& key) const {
+    RCC_ASSIGN_OR_RETURN(std::string v, Get(key));
+    return static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+  }
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+std::vector<std::string> ParseStrings(const std::string& joined) {
+  if (joined == "-") return {};
+  return Split(joined, '|');
+}
+
+std::vector<InputOperandId> ParseOperands(const std::string& joined) {
+  std::vector<InputOperandId> out;
+  if (joined == "-") return out;
+  for (const std::string& piece : Split(joined, ',')) {
+    out.push_back(
+        static_cast<InputOperandId>(std::strtoul(piece.c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+Result<bool> ParseHb(const TokenMap& map, SimTimeMs* hb) {
+  RCC_ASSIGN_OR_RETURN(std::string v, map.Get("hb"));
+  if (v == "none") {
+    *hb = -1;
+    return false;
+  }
+  *hb = static_cast<SimTimeMs>(std::strtoll(v.c_str(), nullptr, 10));
+  return true;
+}
+
+Result<HistoryEvent> ParseEventLine(const std::string& line) {
+  RCC_ASSIGN_OR_RETURN(TokenMap map, TokenMap::FromLine(line));
+  HistoryEvent ev;
+  RCC_ASSIGN_OR_RETURN(ev.seq, map.GetUint("seq"));
+  RCC_ASSIGN_OR_RETURN(ev.at, map.GetInt("at"));
+  const std::string& kind = map.kind();
+  if (kind == "commit") {
+    ev.kind = HistoryEvent::Kind::kCommit;
+    RCC_ASSIGN_OR_RETURN(ev.txn, map.GetInt("txn"));
+    RCC_ASSIGN_OR_RETURN(std::string tables, map.Get("tables"));
+    ev.tables = ParseStrings(tables);
+  } else if (kind == "install") {
+    ev.kind = HistoryEvent::Kind::kInstall;
+    RCC_ASSIGN_OR_RETURN(int64_t region, map.GetInt("region"));
+    ev.region = static_cast<RegionId>(region);
+    RCC_ASSIGN_OR_RETURN(std::string k, map.Get("kind"));
+    if (k == "initial") {
+      ev.install_kind = InstallObservation::Kind::kInitial;
+    } else if (k == "delivery") {
+      ev.install_kind = InstallObservation::Kind::kDelivery;
+    } else if (k == "resync") {
+      ev.install_kind = InstallObservation::Kind::kResync;
+    } else {
+      return Status::InvalidArgument("unknown install kind: " + k);
+    }
+    RCC_ASSIGN_OR_RETURN(ev.as_of, map.GetInt("as_of"));
+    RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
+    RCC_ASSIGN_OR_RETURN(ev.ops, map.GetInt("ops"));
+  } else if (kind == "health") {
+    ev.kind = HistoryEvent::Kind::kHealth;
+    RCC_ASSIGN_OR_RETURN(int64_t region, map.GetInt("region"));
+    ev.region = static_cast<RegionId>(region);
+    RCC_ASSIGN_OR_RETURN(int64_t from, map.GetInt("from"));
+    RCC_ASSIGN_OR_RETURN(int64_t to, map.GetInt("to"));
+    ev.health_from = static_cast<RegionHealth>(from);
+    ev.health_to = static_cast<RegionHealth>(to);
+  } else if (kind == "session") {
+    ev.kind = HistoryEvent::Kind::kSession;
+    RCC_ASSIGN_OR_RETURN(ev.session, map.GetUint("session"));
+    RCC_ASSIGN_OR_RETURN(int64_t on, map.GetInt("timeordered"));
+    ev.timeordered = on != 0;
+  } else if (kind == "guard") {
+    ev.kind = HistoryEvent::Kind::kGuard;
+    RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
+    RCC_ASSIGN_OR_RETURN(int64_t region, map.GetInt("region"));
+    ev.region = static_cast<RegionId>(region);
+    RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
+    RCC_ASSIGN_OR_RETURN(ev.bound_ms, map.GetInt("bound"));
+    RCC_ASSIGN_OR_RETURN(ev.floor_ms, map.GetInt("floor"));
+    RCC_ASSIGN_OR_RETURN(std::string verdict, map.Get("verdict"));
+    ev.verdict_local = verdict == "local";
+  } else if (kind == "serve") {
+    ev.kind = HistoryEvent::Kind::kServe;
+    RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
+    RCC_ASSIGN_OR_RETURN(int64_t region, map.GetInt("region"));
+    ev.region = static_cast<RegionId>(region);
+    RCC_ASSIGN_OR_RETURN(int64_t local, map.GetInt("local"));
+    ev.local = local != 0;
+    RCC_ASSIGN_OR_RETURN(int64_t degraded, map.GetInt("degraded"));
+    ev.degraded = degraded != 0;
+    RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
+    RCC_ASSIGN_OR_RETURN(std::string operands, map.Get("operands"));
+    ev.operands = ParseOperands(operands);
+  } else if (kind == "answer") {
+    ev.kind = HistoryEvent::Kind::kAnswer;
+    RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
+    RCC_ASSIGN_OR_RETURN(ev.session, map.GetUint("session"));
+    RCC_ASSIGN_OR_RETURN(int64_t ok, map.GetInt("ok"));
+    ev.ok = ok != 0;
+    RCC_ASSIGN_OR_RETURN(int64_t mode, map.GetInt("mode"));
+    ev.degrade_mode = static_cast<int>(mode);
+    RCC_ASSIGN_OR_RETURN(ev.floor_ms, map.GetInt("floor"));
+    RCC_ASSIGN_OR_RETURN(ev.max_seen_heartbeat, map.GetInt("seen"));
+    RCC_ASSIGN_OR_RETURN(int64_t degraded, map.GetInt("degraded"));
+    ev.degraded = degraded != 0;
+    RCC_ASSIGN_OR_RETURN(ev.degraded_staleness_ms, map.GetInt("dstale"));
+    RCC_ASSIGN_OR_RETURN(ev.rows, map.GetInt("rows"));
+    RCC_ASSIGN_OR_RETURN(std::string tables, map.Get("tables"));
+    ev.tables = ParseStrings(tables);
+    RCC_ASSIGN_OR_RETURN(std::string tuples, map.Get("tuples"));
+    if (tuples != "-") {
+      for (const std::string& piece : Split(tuples, ';')) {
+        size_t colon = piece.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("malformed tuple: " + piece);
+        }
+        SimTimeMs bound = static_cast<SimTimeMs>(
+            std::strtoll(piece.substr(0, colon).c_str(), nullptr, 10));
+        ev.tuples.emplace_back(bound, ParseOperands(piece.substr(colon + 1)));
+      }
+    }
+    RCC_ASSIGN_OR_RETURN(std::string error, map.Get("error"));
+    if (error != "-") ev.error = error;
+  } else {
+    return Status::InvalidArgument("unknown history event kind: " + kind);
+  }
+  return ev;
+}
+
+}  // namespace
+
+std::string History::Serialize() const {
+  std::string out = std::string(kHeader) + " seed=" + std::to_string(seed);
+  out += '\n';
+  for (const HistoryEvent& ev : events) AppendEventLine(ev, &out);
+  return out;
+}
+
+Result<History> History::Parse(const std::string& text) {
+  History h;
+  bool saw_header = false;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      RCC_ASSIGN_OR_RETURN(TokenMap map, TokenMap::FromLine(line));
+      if (map.kind() != kHeader) {
+        return Status::InvalidArgument("not a history file: bad header");
+      }
+      RCC_ASSIGN_OR_RETURN(h.seed, map.GetUint("seed"));
+      saw_header = true;
+      continue;
+    }
+    RCC_ASSIGN_OR_RETURN(HistoryEvent ev, ParseEventLine(line));
+    h.events.push_back(std::move(ev));
+  }
+  if (!saw_header) return Status::InvalidArgument("empty history file");
+  return h;
+}
+
+uint64_t History::Digest() const {
+  // FNV-1a 64.
+  std::string text = Serialize();
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void HistoryRecorder::Append(HistoryEvent ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ev.seq = next_seq_++;
+  history_.events.push_back(std::move(ev));
+}
+
+uint64_t HistoryRecorder::BeginQuery(SimTimeMs at) {
+  (void)at;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_query_++;
+}
+
+void HistoryRecorder::OnGuardProbe(const GuardObservation& obs) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kGuard;
+  ev.at = obs.at;
+  ev.query = obs.query_id;
+  ev.region = obs.region;
+  ev.heartbeat_known = obs.heartbeat_known;
+  ev.heartbeat = obs.heartbeat;
+  ev.bound_ms = obs.bound_ms;
+  ev.floor_ms = obs.floor_ms;
+  ev.verdict_local = obs.verdict_local;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnServe(const ServeObservation& obs) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kServe;
+  ev.at = obs.at;
+  ev.query = obs.query_id;
+  ev.region = obs.region;
+  ev.local = obs.local;
+  ev.degraded = obs.degraded;
+  ev.heartbeat_known = obs.heartbeat_known;
+  ev.heartbeat = obs.heartbeat;
+  ev.operands = obs.operands;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnAnswer(const AnswerObservation& obs) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kAnswer;
+  ev.at = obs.at;
+  ev.query = obs.query_id;
+  ev.session = obs.session;
+  ev.ok = obs.ok;
+  ev.degrade_mode = obs.degrade_mode;
+  ev.floor_ms = obs.floor_before;
+  ev.max_seen_heartbeat = obs.max_seen_heartbeat;
+  ev.degraded = obs.degraded;
+  ev.degraded_staleness_ms = obs.degraded_staleness_ms;
+  ev.rows = obs.rows;
+  ev.tables = obs.operand_tables;
+  ev.tuples = obs.tuples;
+  ev.error = obs.error;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnCommit(const CommittedTxn& txn, SimTimeMs at) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kCommit;
+  ev.at = at;
+  ev.txn = txn.id;
+  // Distinct tables touched, in first-op order (the oracle's shadow log only
+  // needs which tables each commit invalidates, not the row images).
+  for (const RowOp& op : txn.ops) {
+    bool seen = false;
+    for (const std::string& t : ev.tables) {
+      if (t == op.table) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ev.tables.push_back(op.table);
+  }
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnInstall(const InstallObservation& obs) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kInstall;
+  ev.at = obs.at;
+  ev.region = obs.region;
+  ev.install_kind = obs.kind;
+  ev.as_of = obs.as_of;
+  ev.heartbeat_known = true;
+  ev.heartbeat = obs.heartbeat;
+  ev.ops = obs.ops;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnHealth(RegionId region, RegionHealth from,
+                               RegionHealth to, SimTimeMs at) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kHealth;
+  ev.at = at;
+  ev.region = region;
+  ev.health_from = from;
+  ev.health_to = to;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnSessionMode(uint64_t session, bool timeordered,
+                                    SimTimeMs at) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kSession;
+  ev.at = at;
+  ev.session = session;
+  ev.timeordered = timeordered;
+  Append(std::move(ev));
+}
+
+History HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+size_t HistoryRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.events.size();
+}
+
+}  // namespace sim
+}  // namespace rcc

@@ -1,0 +1,142 @@
+#ifndef RCC_SIM_HISTORY_H_
+#define RCC_SIM_HISTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/audit.h"
+
+namespace rcc {
+namespace sim {
+
+/// One recorded audit event. A flat tagged struct (only the fields of the
+/// active kind are meaningful) keeps the history trivially serializable and
+/// replayable without a class hierarchy. `seq` is the global record order —
+/// the oracle's notion of time *within* one virtual-clock instant (a serial
+/// query's guard probe, mid-query deliveries landing while the retry policy
+/// waits, and the final answer may all share one virtual timestamp, but
+/// their sequence numbers preserve causality).
+struct HistoryEvent {
+  enum class Kind {
+    kCommit,   // back-end commit (xtime source)
+    kInstall,  // replication install (initial population / delivery / resync)
+    kHealth,   // region health transition
+    kSession,  // session toggled timeline mode
+    kGuard,    // currency-guard probe
+    kServe,    // a branch served operands
+    kAnswer,   // query completed
+  };
+
+  Kind kind = Kind::kCommit;
+  uint64_t seq = 0;
+  SimTimeMs at = 0;
+
+  // kCommit: txn id + touched tables. kAnswer: operand base tables
+  // (index = InputOperandId).
+  TxnTimestamp txn = 0;
+  std::vector<std::string> tables;
+
+  // kInstall / kHealth / kGuard / kServe.
+  RegionId region = kBackendRegion;
+
+  // kInstall.
+  InstallObservation::Kind install_kind = InstallObservation::Kind::kDelivery;
+  TxnTimestamp as_of = 0;
+  int64_t ops = 0;
+
+  // kInstall / kGuard / kServe: heartbeat observed/published.
+  bool heartbeat_known = false;
+  SimTimeMs heartbeat = -1;
+
+  // kHealth.
+  RegionHealth health_from = RegionHealth::kHealthy;
+  RegionHealth health_to = RegionHealth::kHealthy;
+
+  // kSession / kAnswer.
+  uint64_t session = 0;
+  bool timeordered = false;
+
+  // kGuard / kServe / kAnswer.
+  uint64_t query = 0;
+  SimTimeMs bound_ms = 0;
+  SimTimeMs floor_ms = -1;
+  bool verdict_local = false;
+
+  // kServe.
+  bool local = false;
+  bool degraded = false;
+  std::vector<InputOperandId> operands;
+
+  // kAnswer.
+  bool ok = false;
+  int degrade_mode = 0;
+  SimTimeMs max_seen_heartbeat = -1;
+  SimTimeMs degraded_staleness_ms = 0;
+  int64_t rows = 0;
+  std::vector<std::pair<SimTimeMs, std::vector<InputOperandId>>> tuples;
+  std::string error;
+};
+
+/// A seed-stamped, replayable execution history. Everything in it is virtual
+/// time or logical state — no wall-clock, no pointers — so two runs of the
+/// same seed produce byte-identical serializations (the determinism
+/// regression rides on Digest()).
+struct History {
+  uint64_t seed = 0;
+  std::vector<HistoryEvent> events;
+
+  /// Line-based `rcc.history.v1` text form: one `key=value` token line per
+  /// event, first line `rcc.history.v1 seed=<seed>`. Round-trips through
+  /// Parse().
+  std::string Serialize() const;
+
+  /// Parses a Serialize()d history. Unknown line kinds or malformed tokens
+  /// fail loudly — a history file is evidence, not best-effort input.
+  static Result<History> Parse(const std::string& text);
+
+  /// FNV-1a 64 over Serialize(): the run's identity for seed-stability
+  /// checks.
+  uint64_t Digest() const;
+};
+
+/// The HistorySink implementation: appends every observation to an in-memory
+/// history under a mutex (queries of a concurrent batch report from worker
+/// threads; commits, installs and health transitions only ever arrive from
+/// the simulation thread).
+class HistoryRecorder : public HistorySink {
+ public:
+  explicit HistoryRecorder(uint64_t seed) { history_.seed = seed; }
+
+  uint64_t BeginQuery(SimTimeMs at) override;
+  void OnGuardProbe(const GuardObservation& obs) override;
+  void OnServe(const ServeObservation& obs) override;
+  void OnAnswer(const AnswerObservation& obs) override;
+  void OnCommit(const CommittedTxn& txn, SimTimeMs at) override;
+  void OnInstall(const InstallObservation& obs) override;
+  void OnHealth(RegionId region, RegionHealth from, RegionHealth to,
+                SimTimeMs at) override;
+  void OnSessionMode(uint64_t session, bool timeordered, SimTimeMs at) override;
+
+  /// Copy of the history recorded so far.
+  History Snapshot() const;
+
+  size_t event_count() const;
+
+ private:
+  /// Stamps seq and appends under the lock.
+  void Append(HistoryEvent ev);
+
+  mutable std::mutex mutex_;
+  History history_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_query_ = 1;
+};
+
+}  // namespace sim
+}  // namespace rcc
+
+#endif  // RCC_SIM_HISTORY_H_

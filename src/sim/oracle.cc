@@ -1,0 +1,332 @@
+#include "sim/oracle.h"
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/exec_context.h"
+#include "semantics/model.h"
+
+namespace rcc {
+namespace sim {
+
+namespace {
+
+/// Per-region state derived from the install/health event stream — the
+/// oracle's independent reconstruction of what each replica reflected.
+struct RegionState {
+  bool known = false;
+  TxnTimestamp as_of = kInitialTimestamp;
+  bool hb_known = false;
+  SimTimeMs hb = -1;
+  RegionHealth health = RegionHealth::kHealthy;
+
+  bool certified() const {
+    return known && hb_known && HeartbeatValid(health);
+  }
+};
+
+/// A serve buffered until its query's answer event arrives (which carries
+/// the constraint). `candidates` starts with the region snapshot at serve
+/// time and grows with every snapshot the region installs before the answer:
+/// in serial mode the retry policy advances the scheduler mid-query, so the
+/// rows of a local serve may legitimately come from any of those snapshots.
+struct ServeRec {
+  HistoryEvent ev;
+  TxnTimestamp as_of_at_serve = kInitialTimestamp;
+  std::vector<TxnTimestamp> candidates;
+};
+
+struct PendingQuery {
+  std::vector<ServeRec> serves;
+};
+
+struct SessionState {
+  bool timeordered = false;
+  SimTimeMs floor = -1;
+};
+
+/// Tries every combination of per-serve snapshot candidates (one choice per
+/// serve — operands produced by one serve share its snapshot) against
+/// semantics::MutuallyConsistent. Capped: the candidate sets are tiny (one
+/// entry plus mid-query installs), so the cap only guards degenerate input.
+bool AnyChoiceConsistent(
+    const UpdateLog& log,
+    const std::vector<std::pair<const ServeRec*, std::vector<std::string>>>&
+        groups) {
+  int budget = 256;
+  std::vector<semantics::CopyState> copies;
+  std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+    if (budget-- <= 0) return false;
+    if (i == groups.size()) return semantics::MutuallyConsistent(log, copies);
+    for (TxnTimestamp as_of : groups[i].first->candidates) {
+      size_t mark = copies.size();
+      for (const std::string& table : groups[i].second) {
+        copies.push_back({table, as_of});
+      }
+      if (rec(i + 1)) return true;
+      copies.resize(mark);
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  return StrPrintf("[%s] query=%llu seq=%llu: %s", rule.c_str(),
+                   static_cast<unsigned long long>(query_id),
+                   static_cast<unsigned long long>(seq), detail.c_str());
+}
+
+std::string OracleReport::Summary() const {
+  std::string out = StrPrintf(
+      "oracle: %lld answers, %lld guards, %lld serves checked; "
+      "%lld operands uncovered; %zu violations",
+      static_cast<long long>(answers_checked),
+      static_cast<long long>(guards_checked),
+      static_cast<long long>(serves_checked),
+      static_cast<long long>(operands_uncovered), violations.size());
+  for (const Violation& v : violations) {
+    out += "\n  " + v.ToString();
+  }
+  return out;
+}
+
+OracleReport CheckHistory(const History& history) {
+  OracleReport report;
+  UpdateLog shadow;
+  TxnTimestamp latest = kInitialTimestamp;
+  std::map<RegionId, RegionState> regions;
+  std::map<uint64_t, PendingQuery> pending;
+  std::map<uint64_t, SessionState> sessions;
+
+  auto violate = [&report](const char* rule, uint64_t query, uint64_t seq,
+                           std::string detail) {
+    Violation v;
+    v.rule = rule;
+    v.query_id = query;
+    v.seq = seq;
+    v.detail = std::move(detail);
+    report.violations.push_back(std::move(v));
+  };
+
+  for (const HistoryEvent& ev : history.events) {
+    switch (ev.kind) {
+      case HistoryEvent::Kind::kCommit: {
+        // Shadow update history: one skeletal op per touched table is all the
+        // semantics functions consult (they ask *which* tables a transaction
+        // modified, never the row images).
+        CommittedTxn txn;
+        txn.id = ev.txn;
+        txn.commit_time = ev.at;
+        for (const std::string& table : ev.tables) {
+          RowOp op;
+          op.table = table;
+          txn.ops.push_back(std::move(op));
+        }
+        shadow.Append(std::move(txn));
+        latest = ev.txn;
+        break;
+      }
+      case HistoryEvent::Kind::kInstall: {
+        RegionState& r = regions[ev.region];
+        r.known = true;
+        r.as_of = ev.as_of;
+        r.hb_known = ev.heartbeat_known;
+        r.hb = ev.heartbeat;
+        // R4 allowance: a mid-query install becomes a snapshot candidate for
+        // every in-flight local serve of this region.
+        for (auto& [qid, pq] : pending) {
+          for (ServeRec& s : pq.serves) {
+            if (s.ev.local && s.ev.region == ev.region) {
+              s.candidates.push_back(ev.as_of);
+            }
+          }
+        }
+        break;
+      }
+      case HistoryEvent::Kind::kHealth:
+        regions[ev.region].health = ev.health_to;
+        break;
+      case HistoryEvent::Kind::kSession: {
+        SessionState& s = sessions[ev.session];
+        s.timeordered = ev.timeordered;
+        s.floor = -1;
+        break;
+      }
+      case HistoryEvent::Kind::kGuard: {
+        ++report.guards_checked;
+        // R2: the heartbeat the guard claims must be the one the install
+        // stream last published — withdrawn while quarantined/resyncing.
+        auto rit = regions.find(ev.region);
+        bool derived_known = rit != regions.end() && rit->second.certified();
+        if (derived_known != ev.heartbeat_known) {
+          violate("heartbeat-divergence", ev.query, ev.seq,
+                  StrPrintf("guard saw heartbeat_known=%d for region %d, "
+                            "install stream says %d",
+                            ev.heartbeat_known ? 1 : 0,
+                            static_cast<int>(ev.region), derived_known ? 1 : 0));
+        } else if (derived_known && rit->second.hb != ev.heartbeat) {
+          violate("heartbeat-divergence", ev.query, ev.seq,
+                  StrPrintf("guard saw heartbeat %lld for region %d, install "
+                            "stream published %lld",
+                            static_cast<long long>(ev.heartbeat),
+                            static_cast<int>(ev.region),
+                            static_cast<long long>(rit->second.hb)));
+        }
+        // R1: re-derive the verdict from the recorded inputs with the
+        // model's rule: heartbeat > now − bound, floored by the timeline.
+        bool expected = ev.heartbeat_known &&
+                        ev.heartbeat > ev.at - ev.bound_ms &&
+                        !(ev.floor_ms >= 0 && ev.heartbeat < ev.floor_ms);
+        if (expected != ev.verdict_local) {
+          violate(
+              "guard-verdict", ev.query, ev.seq,
+              StrPrintf("guard routed %s but hb=%lld bound=%lld now=%lld "
+                        "floor=%lld requires %s",
+                        ev.verdict_local ? "local" : "remote",
+                        static_cast<long long>(ev.heartbeat),
+                        static_cast<long long>(ev.bound_ms),
+                        static_cast<long long>(ev.at),
+                        static_cast<long long>(ev.floor_ms),
+                        expected ? "local" : "remote"));
+        }
+        break;
+      }
+      case HistoryEvent::Kind::kServe: {
+        ++report.serves_checked;
+        ServeRec rec;
+        rec.ev = ev;
+        if (ev.local) {
+          auto rit = regions.find(ev.region);
+          bool derived_known = rit != regions.end() && rit->second.certified();
+          if (ev.heartbeat_known &&
+              (!derived_known || rit->second.hb != ev.heartbeat)) {
+            violate("heartbeat-divergence", ev.query, ev.seq,
+                    StrPrintf("serve claims heartbeat %lld for region %d, "
+                              "install stream says %s",
+                              static_cast<long long>(ev.heartbeat),
+                              static_cast<int>(ev.region),
+                              derived_known
+                                  ? std::to_string(rit->second.hb).c_str()
+                                  : "unknown"));
+          }
+          rec.as_of_at_serve =
+              rit != regions.end() ? rit->second.as_of : kInitialTimestamp;
+        } else {
+          // A remote fetch reads the back-end's current snapshot.
+          rec.as_of_at_serve = latest;
+        }
+        rec.candidates.push_back(rec.as_of_at_serve);
+        pending[ev.query].serves.push_back(std::move(rec));
+        break;
+      }
+      case HistoryEvent::Kind::kAnswer: {
+        ++report.answers_checked;
+        PendingQuery pq;
+        auto pit = pending.find(ev.query);
+        if (pit != pending.end()) {
+          pq = std::move(pit->second);
+          pending.erase(pit);
+        }
+        // The final serving branch per operand (a degraded serve supersedes
+        // the failed remote attempt it replaced).
+        std::map<InputOperandId, const ServeRec*> source;
+        for (const ServeRec& s : pq.serves) {
+          for (InputOperandId oid : s.ev.operands) source[oid] = &s;
+        }
+        if (ev.ok) {
+          for (const auto& [bound, tuple_ops] : ev.tuples) {
+            std::vector<std::pair<const ServeRec*, std::vector<std::string>>>
+                groups;
+            size_t covered = 0;
+            for (InputOperandId oid : tuple_ops) {
+              auto sit = source.find(oid);
+              if (sit == source.end() || oid >= ev.tables.size()) {
+                ++report.operands_uncovered;
+                continue;
+              }
+              ++covered;
+              const ServeRec& s = *sit->second;
+              // R3: staleness of the serving snapshot, measured by the
+              // formal model at serve time, within the tuple's bound —
+              // unless the engine explicitly served stale under ALWAYS.
+              SimTimeMs staleness = semantics::CurrencyOf(
+                  shadow, ev.tables[oid], s.as_of_at_serve, s.ev.at);
+              if (staleness > bound) {
+                bool authorized =
+                    s.ev.degraded &&
+                    ev.degrade_mode == static_cast<int>(DegradeMode::kAlways);
+                if (!authorized) {
+                  violate("currency-bound", ev.query, ev.seq,
+                          StrPrintf(
+                              "operand %u (%s) served %lldms stale at t=%lld, "
+                              "bound %lldms, degraded=%d mode=%d",
+                              static_cast<unsigned>(oid),
+                              ev.tables[oid].c_str(),
+                              static_cast<long long>(staleness),
+                              static_cast<long long>(s.ev.at),
+                              static_cast<long long>(bound),
+                              s.ev.degraded ? 1 : 0, ev.degrade_mode));
+                }
+              }
+              bool grouped = false;
+              for (auto& [serve, tables] : groups) {
+                if (serve == &s) {
+                  tables.push_back(ev.tables[oid]);
+                  grouped = true;
+                  break;
+                }
+              }
+              if (!grouped) groups.push_back({&s, {ev.tables[oid]}});
+            }
+            // R4: the whole class must be attributable to one snapshot.
+            if (covered >= 2 && !AnyChoiceConsistent(shadow, groups)) {
+              violate("consistency-class", ev.query, ev.seq,
+                      StrPrintf("no snapshot assignment makes the %zu-operand "
+                                "class (bound %lldms) mutually consistent",
+                                covered, static_cast<long long>(bound)));
+            }
+          }
+          // R5 (serve side): no local serve below the query's floor.
+          if (ev.floor_ms >= 0) {
+            for (const ServeRec& s : pq.serves) {
+              if (s.ev.local && s.ev.heartbeat_known &&
+                  s.ev.heartbeat < ev.floor_ms) {
+                violate("timeline-floor", ev.query, s.ev.seq,
+                        StrPrintf("local serve at heartbeat %lld below the "
+                                  "session floor %lld",
+                                  static_cast<long long>(s.ev.heartbeat),
+                                  static_cast<long long>(ev.floor_ms)));
+              }
+            }
+          }
+        }
+        // R5 (session side): a time-ordered session's floor must track its
+        // high-water snapshot exactly, monotonically. Assumes the session's
+        // queries are serial (the harness guarantees it).
+        auto sit = sessions.find(ev.session);
+        if (sit != sessions.end() && sit->second.timeordered) {
+          if (ev.floor_ms != sit->second.floor) {
+            violate("timeline-tracking", ev.query, ev.seq,
+                    StrPrintf("query ran with floor %lld, session high-water "
+                              "is %lld",
+                              static_cast<long long>(ev.floor_ms),
+                              static_cast<long long>(sit->second.floor)));
+          }
+          if (ev.ok && ev.max_seen_heartbeat > sit->second.floor) {
+            sit->second.floor = ev.max_seen_heartbeat;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sim
+}  // namespace rcc

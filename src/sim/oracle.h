@@ -1,0 +1,74 @@
+#ifndef RCC_SIM_ORACLE_H_
+#define RCC_SIM_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/history.h"
+
+namespace rcc {
+namespace sim {
+
+/// One conformance violation: a recorded behaviour the formal C&C model
+/// (src/semantics/) does not permit.
+struct Violation {
+  /// Which rule fired: "guard-verdict", "heartbeat-divergence",
+  /// "currency-bound", "consistency-class", "timeline-floor",
+  /// "timeline-tracking".
+  std::string rule;
+  uint64_t query_id = 0;
+  /// Sequence number of the event the violation anchors to.
+  uint64_t seq = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// What the oracle checked and what it found. `ok()` is the pass criterion
+/// of every simulation seed.
+struct OracleReport {
+  int64_t answers_checked = 0;
+  int64_t guards_checked = 0;
+  int64_t serves_checked = 0;
+  /// Answered operands with no serve record (unguarded scans, zero-table
+  /// statements): skipped, not violated — reported so a vacuously green run
+  /// is visible as such.
+  int64_t operands_uncovered = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Replays a recorded history against the paper's formal semantics,
+/// independently of the engine code that produced it. The oracle derives
+/// every input from the event stream itself — region snapshots from install
+/// events, the update history from commit events, session floors from
+/// answers — and re-checks, per query:
+///
+///  R1 guard-verdict: the guard's routing decision matches the model's
+///     `heartbeat > now − bound` rule (plus the timeline floor) applied to
+///     the recorded inputs. Catches a skewed or inverted guard comparison
+///     even when the data served happens to be fresh.
+///  R2 heartbeat-divergence: the heartbeat a guard or serve claims to have
+///     read equals the heartbeat the install stream last published for that
+///     region — withdrawn while the derived health is quarantined/resyncing.
+///  R3 currency-bound: per served operand, staleness under
+///     semantics::CurrencyOf at serve time is within the constraint's bound,
+///     unless the serve was explicitly degraded under SET DEGRADE ALWAYS.
+///  R4 consistency-class: every multi-operand consistency class is
+///     attributable to a single snapshot (semantics::MutuallyConsistent); a
+///     local serve may take any snapshot its region installed between serve
+///     and answer (mid-query deliveries landing during policy waits).
+///  R5 timeline: per time-ordered session, query floors track the session's
+///     high-water snapshot exactly and no local serve reads below the floor.
+///
+/// The oracle assumes answers of a time-ordered session are serial (the
+/// harness never runs a time-ordered session on a multi-worker batch).
+OracleReport CheckHistory(const History& history);
+
+}  // namespace sim
+}  // namespace rcc
+
+#endif  // RCC_SIM_ORACLE_H_
