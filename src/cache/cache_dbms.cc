@@ -13,6 +13,7 @@ Status CacheDbms::CreateShadow() {
     RCC_RETURN_NOT_OK(catalog_.AddTable(*def));
     catalog_.SetStats(name, backend_->catalog().GetStats(name));
   }
+  plan_cache_.Invalidate();
   return Status::OK();
 }
 
@@ -75,6 +76,7 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
   }
   regions_[def.cid] = std::move(region);
   agents_.push_back(std::move(agent));
+  plan_cache_.Invalidate();
   return Status::OK();
 }
 
@@ -101,12 +103,28 @@ Status CacheDbms::CreateView(const ViewDef& def) {
   }
   rit->second->AddView(view.get());
   views_[ToLower(def.name)] = std::move(view);
+  plan_cache_.Invalidate();
   return Status::OK();
 }
 
 Status CacheDbms::CreateLogicalView(const std::string& name,
                                     const std::string& sql) {
-  return catalog_.AddLogicalView(name, sql);
+  RCC_RETURN_NOT_OK(catalog_.AddLogicalView(name, sql));
+  plan_cache_.Invalidate();
+  return Status::OK();
+}
+
+Status CacheDbms::UpdateStatistics(const std::string& table,
+                                   TableStats stats) {
+  if (catalog_.FindTable(table) == nullptr) {
+    return Status::NotFound("table " + table + " not in catalog");
+  }
+  catalog_.SetStats(table, stats);
+  // The Eq. 1 local-vs-remote decision is priced off these statistics; any
+  // plan chosen under the old numbers may no longer be the winner (or worse,
+  // may seek an index whose selectivity estimate changed shape).
+  plan_cache_.Invalidate();
+  return Status::OK();
 }
 
 RemoteAttemptFn CacheDbms::MakeAttemptFn() const {
@@ -172,7 +190,14 @@ Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
                                               obs::QueryTrace* trace) const {
   // The whole remote stack (breaker state, injector RNG, back-end executor
   // counters) is single-threaded; workers of a concurrent batch take turns.
-  std::lock_guard<std::mutex> channel_guard(remote_mutex_);
+  // Serial mode skips the lock: it is single-threaded by contract, and the
+  // policy's wait pumps the scheduler (replication deliveries take region
+  // data locks exclusively), so holding the channel mutex across the pump
+  // would order channel-before-region — the reverse of a concurrent worker,
+  // which opens its remote branch while holding region locks shared. The
+  // modes never overlap, but the lock-order cycle is real enough for tsan.
+  std::unique_lock<std::mutex> channel_guard(remote_mutex_, std::defer_lock);
+  if (in_concurrent_batch()) channel_guard.lock();
   if (remote_policy_ != nullptr) {
     return remote_policy_->Execute(stmt, stats, trace);
   }
@@ -237,8 +262,22 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
                                                      DegradeMode degrade,
                                                      obs::QueryTrace* trace,
                                                      uint64_t session_tag) {
+  PreparedExecOptions opts;
+  opts.timeline_floor = timeline_floor;
+  opts.degrade = degrade;
+  opts.trace = trace;
+  opts.session_tag = session_tag;
+  return ExecutePrepared(plan, opts);
+}
+
+Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
+    const QueryPlan& plan, const PreparedExecOptions& opts) {
+  const SimTimeMs timeline_floor = opts.timeline_floor;
+  const DegradeMode degrade = opts.degrade;
+  obs::QueryTrace* trace = opts.trace;
   CacheQueryOutcome out;
   ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade, trace);
+  ctx.params = opts.params;
   if (sink_ != nullptr) {
     ctx.history = sink_;
     ctx.history_query_id = sink_->BeginQuery(backend_->clock()->Now());
@@ -273,10 +312,14 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(const QueryPlan& plan,
   if (sink_ != nullptr) {
     AnswerObservation ans;
     ans.query_id = ctx.history_query_id;
-    ans.session = session_tag;
+    ans.session = opts.session_tag;
     ans.at = backend_->clock()->Now();
     ans.ok = executed.ok();
-    ans.degrade_mode = static_cast<int>(degrade);
+    // Audited under the session's *current* mode, not the mode the plan
+    // behaves under: the two only diverge when a stale cached plan is
+    // served across a SET DEGRADE change, which is exactly what the
+    // conformance oracle must see (DESIGN.md §12).
+    ans.degrade_mode = static_cast<int>(opts.audit_degrade.value_or(degrade));
     ans.floor_before = timeline_floor;
     ans.max_seen_heartbeat = out.stats.max_seen_heartbeat;
     ans.degraded = out.stats.degraded_serves > 0;
@@ -317,6 +360,7 @@ void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   if (registry == nullptr) {
     inst_ = Instruments();
+    plan_cache_.SetInstruments(nullptr, nullptr, nullptr, nullptr);
     return;
   }
   inst_.queries = registry->counter("rcc.cache.queries");
@@ -346,6 +390,11 @@ void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
   inst_.query_run_ms = registry->histogram("rcc.cache.query_run_ms");
   inst_.served_staleness_ms =
       registry->histogram("rcc.cache.served_staleness_ms");
+  plan_cache_.SetInstruments(
+      registry->counter("rcc.plancache.hits"),
+      registry->counter("rcc.plancache.misses"),
+      registry->counter("rcc.plancache.invalidations"),
+      registry->histogram("rcc.plancache.lookup_ms"));
 }
 
 void CacheDbms::RecordQueryMetrics(const ExecStats& stats,
@@ -417,6 +466,12 @@ RegionHealth CacheDbms::RegionHealthOf(RegionId cid) const {
 
 void CacheDbms::OnHealthChange(RegionId region, RegionHealth from,
                                RegionHealth to, SimTimeMs at) {
+  // The optimizer prices quarantined regions remote-only
+  // (OptimizerOptions::region_health), so a health transition can flip the
+  // plan choice: drop cached plans. Guards still protect any in-flight
+  // executions of the old plans — invalidation is about plan *quality*, the
+  // refusal ladder is about correctness.
+  plan_cache_.Invalidate();
   if (metrics_ != nullptr) {
     metrics_
         ->gauge(StrPrintf("rcc.replication.region_health.%d",

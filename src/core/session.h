@@ -91,6 +91,14 @@ class Session {
   /// EXPLAIN [ANALYZE]: renders the plan (and, for ANALYZE, executes the
   /// query and renders its trace and stats) into QueryResult::message.
   Result<QueryResult> ExecuteExplain(const Statement& stmt);
+  /// SELECT (or EXPLAIN [ANALYZE] SELECT) text through the system-wide plan
+  /// cache: a hit executes the cached plan with bound parameters, skipping
+  /// the lex→parse→resolve→optimize front end entirely; a miss builds,
+  /// parameterizes and publishes the plan. `body` starts at the SELECT
+  /// keyword so parse-time literal offsets line up with the cache key's
+  /// parameter slots.
+  Result<QueryResult> ExecuteSelectSql(const std::string& body,
+                                       bool is_explain, bool is_analyze);
 
   RccSystem* system_;
   uint64_t id_;

@@ -43,4 +43,15 @@ void ExecStats::Accumulate(const ExecStats& other) {
   max_seen_heartbeat = std::max(max_seen_heartbeat, other.max_seen_heartbeat);
 }
 
+Result<bool> RowIterator::NextBatch(RowBatch* out, size_t max_rows) {
+  out->Clear();
+  Row row;
+  while (out->rows.size() < max_rows) {
+    RCC_ASSIGN_OR_RETURN(bool has, Next(&row));
+    if (!has) break;
+    out->rows.push_back(std::move(row));
+  }
+  return !out->rows.empty();
+}
+
 }  // namespace rcc

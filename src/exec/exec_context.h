@@ -144,6 +144,21 @@ struct ExecContext {
   /// id the engine layer obtained from HistorySink::BeginQuery.
   HistorySink* history = nullptr;
   uint64_t history_query_id = 0;
+
+  /// Bind values for kParam nodes in the plan (plan-cache reuse); null when
+  /// the plan was built fresh from literals.
+  const std::vector<Value>* params = nullptr;
+};
+
+/// A batch of rows moved between operators in one virtual call (vectorized
+/// execution). Rows are moved in, not copied; `rows` keeps its capacity
+/// across Clear() so steady-state batches don't reallocate.
+struct RowBatch {
+  std::vector<Row> rows;
+
+  void Clear() { rows.clear(); }
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
 };
 
 /// Volcano-style iterator. Open may be called again after Close (inner sides
@@ -157,6 +172,13 @@ class RowIterator {
   virtual Status Open(const EvalScope* outer) = 0;
   /// Produces the next row; returns false at end of stream.
   virtual Result<bool> Next(Row* out) = 0;
+  /// Produces up to `max_rows` rows into `out` (cleared first). Returns
+  /// false exactly when the stream is exhausted AND the batch is empty —
+  /// never true with an empty batch, so callers may loop on the return
+  /// value alone. The default shim loops Next(), so row-at-a-time operators
+  /// compose with batch-at-a-time callers unchanged; hot operators override
+  /// it natively.
+  virtual Result<bool> NextBatch(RowBatch* out, size_t max_rows);
   virtual Status Close() = 0;
 
   /// Row shape produced by this iterator.

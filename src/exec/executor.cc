@@ -25,15 +25,17 @@ Result<ExecutedQuery> ExecutePlan(const QueryPlan& plan, ExecContext* ctx) {
   RCC_RETURN_NOT_OK(iter->Open(nullptr));
   double setup_ms = MsSince(t0);
 
-  // Run phase: produce the result rows.
+  // Run phase: drain the tree batch-at-a-time (vectorized operators produce
+  // natively; row-at-a-time operators go through the NextBatch shim).
+  constexpr size_t kDrainBatchRows = 256;
   auto t1 = std::chrono::steady_clock::now();
   ExecutedQuery out;
   out.layout = iter->layout();
-  Row row;
+  RowBatch batch;
   while (true) {
-    RCC_ASSIGN_OR_RETURN(bool more, iter->Next(&row));
+    RCC_ASSIGN_OR_RETURN(bool more, iter->NextBatch(&batch, kDrainBatchRows));
     if (!more) break;
-    out.rows.push_back(std::move(row));
+    for (Row& row : batch.rows) out.rows.push_back(std::move(row));
   }
   double run_ms = MsSince(t1);
 

@@ -44,6 +44,7 @@ class IterBase : public RowIterator {
     s.row = &row;
     s.aliases = aliases_;
     s.outer = outer;
+    s.params = ctx_->params;
     return s;
   }
 
@@ -81,6 +82,7 @@ class ScanIterator : public IterBase {
     EvalScope seek_scope;
     seek_scope.aliases = aliases_;
     seek_scope.outer = outer;
+    seek_scope.params = ctx_->params;
     for (const auto& e : op_.seek_lo) {
       RCC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, outer ? *outer : seek_scope,
                                              &subq_));
@@ -113,23 +115,25 @@ class ScanIterator : public IterBase {
 
   Result<bool> Next(Row* out) override {
     while (true) {
-      const Row* candidate = nullptr;
-      if (use_index_) {
-        if (pk_pos_ >= pks_.size()) return false;
-        candidate = table_->Get(pks_[pk_pos_++]);
-        if (candidate == nullptr) continue;  // index raced storage (unused)
-      } else {
-        if (it_ == end_) return false;
-        if (!hi_.empty() && Table::ExceedsUpper(it_->first, hi_)) return false;
-        candidate = &it_->second;
-        ++it_;
-      }
+      RCC_ASSIGN_OR_RETURN(const Row* candidate, NextCandidate());
+      if (candidate == nullptr) return false;
       RCC_ASSIGN_OR_RETURN(bool ok, PassesResidual(*candidate, outer_));
       if (ok) {
         *out = *candidate;
         return true;
       }
     }
+  }
+
+  Result<bool> NextBatch(RowBatch* out, size_t max_rows) override {
+    out->Clear();
+    while (out->rows.size() < max_rows) {
+      RCC_ASSIGN_OR_RETURN(const Row* candidate, NextCandidate());
+      if (candidate == nullptr) break;
+      RCC_ASSIGN_OR_RETURN(bool ok, PassesResidual(*candidate, outer_));
+      if (ok) out->rows.push_back(*candidate);
+    }
+    return !out->rows.empty();
   }
 
   Status Close() override {
@@ -139,6 +143,24 @@ class ScanIterator : public IterBase {
   }
 
  private:
+  /// Advances to the next stored row in range; nullptr at end of scan. The
+  /// residual is applied by the callers (shared by Next and NextBatch).
+  Result<const Row*> NextCandidate() {
+    while (true) {
+      if (use_index_) {
+        if (pk_pos_ >= pks_.size()) return nullptr;
+        const Row* candidate = table_->Get(pks_[pk_pos_++]);
+        if (candidate == nullptr) continue;  // index raced storage (unused)
+        return candidate;
+      }
+      if (it_ == end_) return nullptr;
+      if (!hi_.empty() && Table::ExceedsUpper(it_->first, hi_)) return nullptr;
+      const Row* candidate = &it_->second;
+      ++it_;
+      return candidate;
+    }
+  }
+
   const EvalScope* outer_ = nullptr;
   const Table* table_ = nullptr;
   TableKey lo_;
@@ -160,12 +182,22 @@ class FilterIterator : public IterBase {
 
   Status Open(const EvalScope* outer) override {
     outer_ = outer;
+    buf_.Clear();
+    buf_pos_ = 0;
     return child_->Open(outer);
   }
 
   Result<bool> Next(Row* out) override {
-    Row row;
     while (true) {
+      // Drain any batch buffer first so Next and NextBatch can interleave.
+      if (buf_pos_ < buf_.rows.size()) {
+        Row row = std::move(buf_.rows[buf_pos_++]);
+        RCC_ASSIGN_OR_RETURN(bool ok, PassesResidual(row, outer_));
+        if (!ok) continue;
+        *out = std::move(row);
+        return true;
+      }
+      Row row;
       RCC_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
       if (!more) return false;
       RCC_ASSIGN_OR_RETURN(bool ok, PassesResidual(row, outer_));
@@ -176,11 +208,34 @@ class FilterIterator : public IterBase {
     }
   }
 
-  Status Close() override { return child_->Close(); }
+  Result<bool> NextBatch(RowBatch* out, size_t max_rows) override {
+    out->Clear();
+    while (out->rows.size() < max_rows) {
+      if (buf_pos_ >= buf_.rows.size()) {
+        RCC_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&buf_, max_rows));
+        buf_pos_ = 0;
+        if (!more) break;
+      }
+      while (buf_pos_ < buf_.rows.size() && out->rows.size() < max_rows) {
+        Row& row = buf_.rows[buf_pos_++];
+        RCC_ASSIGN_OR_RETURN(bool ok, PassesResidual(row, outer_));
+        if (ok) out->rows.push_back(std::move(row));
+      }
+    }
+    return !out->rows.empty();
+  }
+
+  Status Close() override {
+    buf_.Clear();
+    buf_pos_ = 0;
+    return child_->Close();
+  }
 
  private:
   std::unique_ptr<RowIterator> child_;
   const EvalScope* outer_ = nullptr;
+  RowBatch buf_;
+  size_t buf_pos_ = 0;
 };
 
 class ProjectIterator : public IterBase {
@@ -192,44 +247,80 @@ class ProjectIterator : public IterBase {
   Status Open(const EvalScope* outer) override {
     outer_ = outer;
     seen_.clear();
+    buf_.Clear();
+    buf_pos_ = 0;
     return child_->Open(outer);
   }
 
   Result<bool> Next(Row* out) override {
-    Row row;
     while (true) {
-      RCC_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
-      if (!more) return false;
-      EvalScope scope;
-      scope.layout = &child_->layout();
-      scope.row = &row;
-      scope.aliases = aliases_;
-      scope.outer = outer_;
-      Row result;
-      result.reserve(op_.exprs.size());
-      for (const auto& e : op_.exprs) {
-        RCC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, scope, &subq_));
-        result.push_back(std::move(v));
+      Row row;
+      // Drain any batch buffer first so Next and NextBatch can interleave.
+      if (buf_pos_ < buf_.rows.size()) {
+        row = std::move(buf_.rows[buf_pos_++]);
+      } else {
+        RCC_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+        if (!more) return false;
       }
-      if (op_.distinct) {
-        bool ignore = false;
-        std::string key = HashKeyOf(result, &ignore);
-        if (!seen_.insert(std::move(key)).second) continue;  // duplicate
-      }
-      *out = std::move(result);
-      return true;
+      RCC_ASSIGN_OR_RETURN(bool keep, ProjectRow(row, out));
+      if (keep) return true;
     }
+  }
+
+  Result<bool> NextBatch(RowBatch* out, size_t max_rows) override {
+    out->Clear();
+    Row result;
+    while (out->rows.size() < max_rows) {
+      if (buf_pos_ >= buf_.rows.size()) {
+        RCC_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&buf_, max_rows));
+        buf_pos_ = 0;
+        if (!more) break;
+      }
+      while (buf_pos_ < buf_.rows.size() && out->rows.size() < max_rows) {
+        RCC_ASSIGN_OR_RETURN(bool keep,
+                             ProjectRow(buf_.rows[buf_pos_++], &result));
+        if (keep) out->rows.push_back(std::move(result));
+      }
+    }
+    return !out->rows.empty();
   }
 
   Status Close() override {
     seen_.clear();
+    buf_.Clear();
+    buf_pos_ = 0;
     return child_->Close();
   }
 
  private:
+  /// Projects one input row; false = dropped as a DISTINCT duplicate.
+  Result<bool> ProjectRow(const Row& row, Row* out) {
+    EvalScope scope;
+    scope.layout = &child_->layout();
+    scope.row = &row;
+    scope.aliases = aliases_;
+    scope.outer = outer_;
+    scope.params = ctx_->params;
+    Row result;
+    result.reserve(op_.exprs.size());
+    for (const auto& e : op_.exprs) {
+      RCC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, scope, &subq_));
+      result.push_back(std::move(v));
+    }
+    if (op_.distinct) {
+      bool ignore = false;
+      std::string key = HashKeyOf(result, &ignore);
+      if (!seen_.insert(std::move(key)).second) return false;  // duplicate
+    }
+    *out = std::move(result);
+    return true;
+  }
+
   std::unique_ptr<RowIterator> child_;
   const EvalScope* outer_ = nullptr;
   std::set<std::string> seen_;  // DISTINCT bookkeeping
+  RowBatch buf_;
+  size_t buf_pos_ = 0;
 };
 
 // -- Joins --------------------------------------------------------------------
@@ -261,6 +352,7 @@ class NestedLoopJoinIterator : public IterBase {
         left_scope_.row = &left_row_;
         left_scope_.aliases = aliases_;
         left_scope_.outer = outer_;
+        left_scope_.params = ctx_->params;
         if (inner_open_) RCC_RETURN_NOT_OK(inner_child_->Close());
         RCC_RETURN_NOT_OK(inner_child_->Open(&left_scope_));
         inner_open_ = true;
@@ -328,6 +420,7 @@ class HashJoinIterator : public IterBase {
       scope.row = &row;
       scope.aliases = aliases_;
       scope.outer = outer_;
+      scope.params = ctx_->params;
       std::vector<Value> keys;
       keys.reserve(op_.exprs2.size());
       for (const auto& e : op_.exprs2) {
@@ -361,6 +454,7 @@ class HashJoinIterator : public IterBase {
       scope.row = &probe_row_;
       scope.aliases = aliases_;
       scope.outer = outer_;
+      scope.params = ctx_->params;
       std::vector<Value> keys;
       keys.reserve(op_.exprs.size());
       for (const auto& e : op_.exprs) {
@@ -482,6 +576,7 @@ class HashAggregateIterator : public IterBase {
       scope.row = &row;
       scope.aliases = aliases_;
       scope.outer = outer;
+      scope.params = ctx_->params;
       std::vector<Value> keys;
       for (const auto& e : op_.exprs) {
         RCC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, scope, &subq_));

@@ -83,7 +83,60 @@ Status SubstituteExpr(Expr* e, const std::set<std::string>& own,
   return Status::OK();
 }
 
+/// Replaces kParam markers with literals from `params` (recursing into
+/// EXISTS/IN subqueries like SubstituteExpr does).
+Status BindParamsInExpr(Expr* e, const std::vector<Value>& params) {
+  if (e == nullptr) return Status::OK();
+  if (e->kind == ExprKind::kParam) {
+    if (e->param_index >= params.size()) {
+      return Status::Internal("parameter ?" + std::to_string(e->param_index) +
+                              " has no bound value");
+    }
+    e->kind = ExprKind::kLiteral;
+    e->literal = params[e->param_index];
+    e->literal_offset = Expr::kNoOffset;
+    return Status::OK();
+  }
+  RCC_RETURN_NOT_OK(BindParamsInExpr(e->left.get(), params));
+  RCC_RETURN_NOT_OK(BindParamsInExpr(e->right.get(), params));
+  for (auto& a : e->args) {
+    RCC_RETURN_NOT_OK(BindParamsInExpr(a.get(), params));
+  }
+  if (e->subquery != nullptr) {
+    RCC_RETURN_NOT_OK(ForEachStmtExpr(
+        e->subquery.get(),
+        [&](Expr* sub) { return BindParamsInExpr(sub, params); }));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+bool StmtHasParams(const SelectStmt& stmt) {
+  bool found = false;
+  std::function<Status(Expr*)> walk = [&](Expr* e) -> Status {
+    if (e == nullptr || found) return Status::OK();
+    if (e->kind == ExprKind::kParam) {
+      found = true;
+      return Status::OK();
+    }
+    RCC_RETURN_NOT_OK(walk(e->left.get()));
+    RCC_RETURN_NOT_OK(walk(e->right.get()));
+    for (const auto& a : e->args) RCC_RETURN_NOT_OK(walk(a.get()));
+    if (e->subquery != nullptr) {
+      RCC_RETURN_NOT_OK(ForEachStmtExpr(e->subquery.get(), walk));
+    }
+    return Status::OK();
+  };
+  // const_cast is safe: `walk` never mutates (see CollectOwnAliases).
+  ForEachStmtExpr(const_cast<SelectStmt*>(&stmt), walk);
+  return found;
+}
+
+Status BindStmtParams(SelectStmt* stmt, const std::vector<Value>& params) {
+  return ForEachStmtExpr(
+      stmt, [&](Expr* e) { return BindParamsInExpr(e, params); });
+}
 
 Result<std::unique_ptr<SelectStmt>> ParameterizeStmt(const SelectStmt& stmt,
                                                      const EvalScope& outer) {
@@ -112,6 +165,18 @@ Status RemoteQueryIterator::Open(const EvalScope* outer) {
     RCC_ASSIGN_OR_RETURN(parameterized,
                          ParameterizeStmt(*op_.remote_stmt, *outer));
     stmt = parameterized.get();
+  }
+  // Plan-cache parameter markers must be rewritten to this execution's
+  // values before the statement leaves the process.
+  if (StmtHasParams(*stmt)) {
+    if (ctx_->params == nullptr) {
+      return Status::Internal("remote statement has unbound parameters");
+    }
+    if (parameterized == nullptr) {
+      parameterized = CloneSelectStmt(*stmt);
+      stmt = parameterized.get();
+    }
+    RCC_RETURN_NOT_OK(BindStmtParams(parameterized.get(), *ctx_->params));
   }
   Result<RemoteResult> result = ctx_->remote_executor(*stmt);
   if (!result.ok()) return result.status();
@@ -154,6 +219,14 @@ Result<bool> RemoteQueryIterator::Next(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
+}
+
+Result<bool> RemoteQueryIterator::NextBatch(RowBatch* out, size_t max_rows) {
+  out->Clear();
+  while (pos_ < rows_.size() && out->rows.size() < max_rows) {
+    out->rows.push_back(rows_[pos_++]);
+  }
+  return !out->rows.empty();
 }
 
 Status RemoteQueryIterator::Close() {

@@ -15,6 +15,15 @@ namespace rcc {
 Result<std::unique_ptr<SelectStmt>> ParameterizeStmt(const SelectStmt& stmt,
                                                      const EvalScope& outer);
 
+/// True when any expression position of `stmt` (recursively) contains a
+/// kParam node — i.e. the statement came out of a plan-cache parameterized
+/// plan and must have values bound before it can ship to the back-end.
+bool StmtHasParams(const SelectStmt& stmt);
+
+/// Replaces every kParam node in `stmt` with the literal value
+/// `params[param_index]`. The back-end never sees parameter markers.
+Status BindStmtParams(SelectStmt* stmt, const std::vector<Value>& params);
+
 /// Executes a statement at the back-end server and streams the result. The
 /// fetch happens at Open; re-opening (per outer row) re-executes, so a
 /// correlated remote branch pays one remote round trip per probe — which the
@@ -26,6 +35,7 @@ class RemoteQueryIterator : public RowIterator {
 
   Status Open(const EvalScope* outer) override;
   Result<bool> Next(Row* out) override;
+  Result<bool> NextBatch(RowBatch* out, size_t max_rows) override;
   Status Close() override;
   const RowLayout& layout() const override { return op_.layout; }
 

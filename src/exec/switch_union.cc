@@ -269,8 +269,32 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
   return chosen_->Open(outer);
 }
 
+Status SwitchUnionIterator::CheckCertificationHeld() {
+  if (chosen_ != local_.get() || !ctx_->local_heartbeat) return Status::OK();
+  if (ctx_->local_heartbeat(op_.guard_region).has_value()) return Status::OK();
+  if (ctx_->stats != nullptr) {
+    ++ctx_->stats->guard_unknown_region;
+    if (ctx_->region_health &&
+        !HeartbeatValid(ctx_->region_health(op_.guard_region))) {
+      ++ctx_->stats->guard_quarantined_region;
+    }
+  }
+  return Status::Unavailable(
+      "region " + std::to_string(op_.guard_region) +
+      " withdrew its heartbeat certification while the local branch was "
+      "being drained (quarantine/resync)");
+}
+
 Result<bool> SwitchUnionIterator::Next(Row* out) {
+  RCC_RETURN_NOT_OK(CheckCertificationHeld());
   return chosen_->Next(out);
+}
+
+Result<bool> SwitchUnionIterator::NextBatch(RowBatch* out, size_t max_rows) {
+  // One probe per batch instead of per row — the whole point of the batch
+  // protocol for guarded plans.
+  RCC_RETURN_NOT_OK(CheckCertificationHeld());
+  return chosen_->NextBatch(out, max_rows);
 }
 
 Status SwitchUnionIterator::Close() {

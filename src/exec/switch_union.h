@@ -26,6 +26,11 @@ class SwitchUnionIterator : public RowIterator {
 
   Status Open(const EvalScope* outer) override;
   Result<bool> Next(Row* out) override;
+  /// Forwards to the chosen branch with ONE heartbeat acquire-load per batch
+  /// (vs per row for Next): the currency decision is fixed at Open, so the
+  /// per-batch probe only detects *withdrawal* of certification (the region
+  /// quarantined mid-drain) — see CheckCertificationHeld.
+  Result<bool> NextBatch(RowBatch* out, size_t max_rows) override;
   Status Close() override;
   const RowLayout& layout() const override { return op_.layout; }
 
@@ -38,6 +43,14 @@ class SwitchUnionIterator : public RowIterator {
   /// serve the local branch (flagged stale via ExecStats) or propagate
   /// `remote_error`. The timeline floor is enforced in every mode.
   Status DegradeToLocal(const EvalScope* outer, Status remote_error);
+
+  /// When serving the local branch: one acquire-load of the region's
+  /// certified heartbeat. Refuses only if certification was *withdrawn*
+  /// (nullopt — quarantine/resync started mid-drain); growing staleness
+  /// never aborts a drain, because the snapshot certified at Open cannot
+  /// change under the drain (serial mode never re-enters the scheduler;
+  /// concurrent batches hold the region data locks shared).
+  Status CheckCertificationHeld();
 
   const PhysicalOp& op_;
   ExecContext* ctx_;

@@ -44,10 +44,11 @@ void CollectSwitches(const PhysicalOp& op,
 
 }  // namespace
 
-std::string RenderExplain(const QueryPlan& plan) {
+std::string RenderExplain(const QueryPlan& plan, bool cached) {
   std::string out = StrPrintf(
       "plan shape: %s\nest cost: %.3f\n",
       std::string(PlanShapeName(plan.Shape())).c_str(), plan.est_cost);
+  if (cached) out += "plan: cached\n";
   std::string constraint = plan.resolved.constraint.ToString();
   if (!constraint.empty()) out += "constraint: " + constraint + "\n";
   RenderOp(*plan.root, 0, nullptr, &out);
@@ -59,8 +60,8 @@ std::string RenderExplain(const QueryPlan& plan) {
 }
 
 std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
-                                 const QueryTrace& trace) {
-  std::string out = RenderExplain(plan);
+                                 const QueryTrace& trace, bool cached) {
+  std::string out = RenderExplain(plan, cached);
 
   // Estimated vs. actual branch choice, one line per guard decision. A
   // degraded switch shows up as an extra decision on the same region.

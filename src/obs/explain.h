@@ -16,7 +16,13 @@ namespace obs {
 /// SwitchUnion branches labelled local/remote, the estimated guard-pass
 /// probability p (paper Eq. (1)), per-operator row/cost estimates, and the
 /// normalized C&C constraint. This is the `EXPLAIN <select>` output.
-std::string RenderExplain(const QueryPlan& plan);
+/// `cached` = true marks a plan served from the parameterized plan cache
+/// (the "plan: cached" line), so applications can tell a fresh optimization
+/// from a reuse at a glance.
+std::string RenderExplain(const QueryPlan& plan, bool cached);
+inline std::string RenderExplain(const QueryPlan& plan) {
+  return RenderExplain(plan, false);
+}
 
 /// `EXPLAIN ANALYZE <select>`: the RenderExplain output followed by what the
 /// execution actually did — per-guard estimated vs. actual branch choice, the
@@ -24,7 +30,12 @@ std::string RenderExplain(const QueryPlan& plan);
 /// breaker events, degraded serves, replication deliveries observed), and the
 /// executed stats (paper Tables 4.4/4.5 measurements).
 std::string RenderExplainAnalyze(const QueryPlan& plan, const ExecStats& stats,
-                                 const QueryTrace& trace);
+                                 const QueryTrace& trace, bool cached);
+inline std::string RenderExplainAnalyze(const QueryPlan& plan,
+                                        const ExecStats& stats,
+                                        const QueryTrace& trace) {
+  return RenderExplainAnalyze(plan, stats, trace, false);
+}
 
 }  // namespace obs
 }  // namespace rcc

@@ -598,11 +598,18 @@ Result<std::unique_ptr<PhysicalOp>> Planner::BuildScan(
       scan->seek_hi.push_back(param_outer->Clone());
     } else {
       const RangeBound& b = bounds.at(ToLower(*seek_col));
+      // Stamp the source literal's offset so the plan cache can parameterize
+      // the seek; the residual keeps every conjunct, so a reused seek bound
+      // can only be wider than optimal, never wrong.
       if (b.lo) {
-        scan->seek_lo.push_back(Expr::MakeLiteral(*b.lo));
+        auto lo = Expr::MakeLiteral(*b.lo);
+        lo->literal_offset = b.lo_offset;
+        scan->seek_lo.push_back(std::move(lo));
       }
       if (b.hi) {
-        scan->seek_hi.push_back(Expr::MakeLiteral(*b.hi));
+        auto hi = Expr::MakeLiteral(*b.hi);
+        hi->literal_offset = b.hi_offset;
+        scan->seek_hi.push_back(std::move(hi));
       }
     }
   }
@@ -1497,6 +1504,8 @@ Result<std::unique_ptr<PhysicalOp>> Planner::FinishBlock(
         auto clone = std::make_unique<Expr>();
         clone->kind = e.kind;
         clone->literal = e.literal;
+        clone->literal_offset = e.literal_offset;
+        clone->param_index = e.param_index;
         clone->table = e.table;
         clone->column = e.column;
         clone->op = e.op;

@@ -21,12 +21,14 @@ std::optional<std::string> ColumnOf(const Expr* e, InputOperandId op,
   return std::nullopt;
 }
 
-void ApplyBound(RangeBound* b, BinaryOp op, const Value& lit) {
+void ApplyBound(RangeBound* b, BinaryOp op, const Value& lit,
+                size_t offset = Expr::kNoOffset) {
   auto tighten_lo = [&](const Value& v, bool strict) {
     if (!b->lo || v.Compare(*b->lo) > 0 ||
         (v.Compare(*b->lo) == 0 && strict)) {
       b->lo = v;
       b->lo_strict = strict;
+      b->lo_offset = offset;
     }
   };
   auto tighten_hi = [&](const Value& v, bool strict) {
@@ -34,6 +36,7 @@ void ApplyBound(RangeBound* b, BinaryOp op, const Value& lit) {
         (v.Compare(*b->hi) == 0 && strict)) {
       b->hi = v;
       b->hi_strict = strict;
+      b->hi_offset = offset;
     }
   };
   switch (op) {
@@ -92,13 +95,13 @@ std::map<std::string, RangeBound> ExtractBounds(
     // col <cmp> literal
     if (auto col = ColumnOf(l, op, aliases, schema);
         col && r->kind == ExprKind::kLiteral && !r->literal.is_null()) {
-      ApplyBound(&out[*col], bop, r->literal);
+      ApplyBound(&out[*col], bop, r->literal, r->literal_offset);
       continue;
     }
     // literal <cmp> col  (mirror the comparison)
     if (auto col = ColumnOf(r, op, aliases, schema);
         col && l->kind == ExprKind::kLiteral && !l->literal.is_null()) {
-      ApplyBound(&out[*col], Mirror(bop), l->literal);
+      ApplyBound(&out[*col], Mirror(bop), l->literal, l->literal_offset);
     }
   }
   return out;

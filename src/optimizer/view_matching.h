@@ -20,6 +20,12 @@ struct RangeBound {
   bool lo_strict = false;  // lo excluded (col > lo)
   bool hi_strict = false;  // hi excluded (col < hi)
   bool has_eq = false;     // an equality pins the column
+  /// Source positions of the winning lo/hi literals (Expr::kNoOffset when the
+  /// literal carried none). Lets the optimizer stamp synthesized seek-bound
+  /// literals so the plan cache can parameterize them; the residual re-checks
+  /// every conjunct, so a reused (possibly wider) seek stays exact.
+  size_t lo_offset = Expr::kNoOffset;
+  size_t hi_offset = Expr::kNoOffset;
 };
 
 /// Per-column bounds implied by `conjuncts` for operand `op`. Only conjuncts

@@ -184,6 +184,16 @@ Result<Value> EvalExpr(const Expr& expr, const EvalScope& scope,
   switch (expr.kind) {
     case ExprKind::kLiteral:
       return expr.literal;
+    case ExprKind::kParam: {
+      for (const EvalScope* s = &scope; s != nullptr; s = s->outer) {
+        if (s->params == nullptr) continue;
+        if (expr.param_index >= s->params->size()) break;
+        return (*s->params)[expr.param_index];
+      }
+      return Status::Internal("parameter ?" +
+                              std::to_string(expr.param_index) +
+                              " not bound at execution");
+    }
     case ExprKind::kColumnRef:
       return ResolveColumn(expr, scope);
     case ExprKind::kBinary:

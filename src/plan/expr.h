@@ -62,6 +62,9 @@ struct EvalScope {
   const Row* row = nullptr;
   const AliasMap* aliases = nullptr;
   const EvalScope* outer = nullptr;
+  /// Execution-time values for kParam nodes (plan-cache reuse); resolved by
+  /// walking the scope chain outward, like column references.
+  const std::vector<Value>* params = nullptr;
 };
 
 /// Callback used to evaluate nested EXISTS / IN subqueries; installed by the

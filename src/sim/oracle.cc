@@ -40,6 +40,11 @@ struct ServeRec {
 
 struct PendingQuery {
   std::vector<ServeRec> serves;
+  /// Guard probes observed for this query (R6): a refusal is only
+  /// unjustifiable when at least one guard probed a certified local branch
+  /// and none of them saw a withdrawn heartbeat.
+  int guard_probes = 0;
+  bool guards_all_known = true;
 };
 
 struct SessionState {
@@ -177,6 +182,9 @@ OracleReport CheckHistory(const History& history) {
                             static_cast<int>(ev.region),
                             static_cast<long long>(rit->second.hb)));
         }
+        PendingQuery& gq = pending[ev.query];
+        ++gq.guard_probes;
+        if (!ev.heartbeat_known) gq.guards_all_known = false;
         // R1: re-derive the verdict from the recorded inputs with the
         // model's rule: heartbeat > now − bound, floored by the timeline.
         bool expected = ev.heartbeat_known &&
@@ -303,6 +311,26 @@ OracleReport CheckHistory(const History& history) {
                                   static_cast<long long>(ev.floor_ms)));
               }
             }
+          }
+        } else {
+          // R6: availability side of the degrade contract. SET DEGRADE
+          // ALWAYS guarantees an answer whenever the plan probed at least
+          // one guard and every probed region held a certified heartbeat —
+          // the engine can always fall back to the certified local branch
+          // and annotate the staleness. A refusal in that state means the
+          // query executed under some *other* session's policy (the
+          // stale-plan-across-degrade-modes bug: a plan cached under
+          // DEGRADE NONE served on an ALWAYS session). Withdrawn heartbeats
+          // (quarantine/resync) and guard-less remote-only plans refuse
+          // legitimately, as do non-Unavailable failures (parse errors...).
+          if (ev.degrade_mode == static_cast<int>(DegradeMode::kAlways) &&
+              !ev.timeordered && pq.guard_probes > 0 && pq.guards_all_known &&
+              ev.error.rfind("Unavailable", 0) == 0 &&
+              ev.error.find("quarantin") == std::string::npos) {
+            violate("degrade-refusal", ev.query, ev.seq,
+                    StrPrintf("refused under DEGRADE ALWAYS with %d certified "
+                              "guard probe(s): %s",
+                              pq.guard_probes, ev.error.c_str()));
           }
         }
         // R5 (session side): a time-ordered session's floor must track its

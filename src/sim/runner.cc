@@ -174,6 +174,20 @@ Result<SimRunOutcome> RunSimulation(const SimRunConfig& config) {
   int64_t next_sale_id = 1000000;
   auto pick = [&]() { return pool[rng.Uniform(0, pool_size - 1)]; };
 
+  // Sessions arrive with a configured degrade policy, not always the
+  // default: draw the starting mode per run. This also seeds the plan cache
+  // with pool plans created under varied modes, which is what gives the
+  // oracle a shot at a degrade-blind cache key (RCC_PLANCACHE_MUTATE): a
+  // run that warms up under ALWAYS and later rotates to NONE would serve
+  // degraded answers the session never authorized.
+  {
+    static const char* kInitModes[] = {"SET DEGRADE = NONE",
+                                       "SET DEGRADE = BOUNDED",
+                                       "SET DEGRADE = ALWAYS"};
+    ++out.statements;
+    (void)main_session->Execute(kInitModes[rng.Uniform(0, 2)]);
+  }
+
   for (int step = 0; step < config.steps; ++step) {
     sys.AdvanceBy(rng.Uniform(300, 2600));
     int64_t roll = rng.Uniform(0, 99);
@@ -217,6 +231,17 @@ Result<SimRunOutcome> RunSimulation(const SimRunConfig& config) {
                                      "SET DEGRADE = BOUNDED",
                                      "SET DEGRADE = ALWAYS"};
       (void)main_session->Execute(kModes[rng.Uniform(0, 2)]);
+    } else if (roll < 83) {
+      // Statistics refresh (an ANALYZE tick): re-publishes the current stats
+      // for a hot table. Content-identical, so plan choices are unchanged —
+      // but it bumps the plan-cache version, forcing re-optimization and
+      // re-publication of pooled plans under the *current* session modes.
+      // This is the churn that makes a degrade-blind cache key (the
+      // RCC_PLANCACHE_MUTATE planted bug) observable to the oracle: plans
+      // re-created under ALWAYS get served after the mode rotates away.
+      const char* table = bookstore ? "Books" : "Customer";
+      (void)sys.cache()->UpdateStatistics(
+          table, sys.cache()->catalog().GetStats(table));
     } else if (roll < 92) {
       // Serial batch under the concurrent-batch contract (workers=1 keeps
       // the history deterministic; multi-worker runs are covered by tests

@@ -59,6 +59,8 @@ std::string Expr::ToString() const {
       return "EXISTS (" + subquery->ToString() + ")";
     case ExprKind::kInSubquery:
       return left->ToString() + " IN (" + subquery->ToString() + ")";
+    case ExprKind::kParam:
+      return "?" + std::to_string(param_index);
   }
   return "?";
 }
@@ -68,6 +70,8 @@ std::unique_ptr<Expr> Expr::Clone() const {
   auto out = std::make_unique<Expr>();
   out->kind = kind;
   out->literal = literal;
+  out->literal_offset = literal_offset;
+  out->param_index = param_index;
   out->table = table;
   out->column = column;
   out->op = op;

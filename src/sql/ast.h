@@ -18,8 +18,9 @@ enum class ExprKind {
   kBinary,
   kNot,
   kFuncCall,   // aggregate or scalar function
-  kExists,     // EXISTS (subquery)
-  kInSubquery  // expr IN (subquery)
+  kExists,      // EXISTS (subquery)
+  kInSubquery,  // expr IN (subquery)
+  kParam        // plan-cache parameter slot (bound at execution time)
 };
 
 /// Binary operators (comparison, boolean, arithmetic).
@@ -46,8 +47,18 @@ std::string_view BinaryOpName(BinaryOp op);
 struct Expr {
   ExprKind kind = ExprKind::kLiteral;
 
+  /// Sentinel for "this literal has no recorded source position".
+  static constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
   // kLiteral
   Value literal;
+  /// Byte offset of the literal's token in the original query text, recorded
+  /// only when parsing with ParseOptions::record_literal_offsets (the plan
+  /// cache uses it to match literals to parameter slots). kNoOffset otherwise.
+  size_t literal_offset = kNoOffset;
+
+  // kParam: index into the execution-time parameter vector.
+  size_t param_index = 0;
 
   // kColumnRef: optional qualifier ("B" in B.isbn).
   std::string table;

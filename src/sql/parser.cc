@@ -24,7 +24,8 @@ const std::set<std::string>& ReservedWords() {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens, ParseOptions opts = {})
+      : tokens_(std::move(tokens)), opts_(opts) {}
 
   Result<Statement> ParseStatementTop() {
     Statement stmt;
@@ -502,15 +503,15 @@ class Parser {
     const Token& t = Peek();
     if (t.type == TokenType::kInt) {
       Advance();
-      return Expr::MakeLiteral(Value::Int(t.int_value));
+      return MakeOffsetLiteral(Value::Int(t.int_value), t.offset);
     }
     if (t.type == TokenType::kDouble) {
       Advance();
-      return Expr::MakeLiteral(Value::Double(t.double_value));
+      return MakeOffsetLiteral(Value::Double(t.double_value), t.offset);
     }
     if (t.type == TokenType::kString) {
       Advance();
-      return Expr::MakeLiteral(Value::Str(t.text));
+      return MakeOffsetLiteral(Value::Str(t.text), t.offset);
     }
     if (MatchSymbol("-")) {
       // Unary minus on a numeric literal or expression: 0 - x.
@@ -560,7 +561,14 @@ class Parser {
                               "' in expression");
   }
 
+  std::unique_ptr<Expr> MakeOffsetLiteral(Value v, size_t offset) {
+    auto e = Expr::MakeLiteral(std::move(v));
+    if (opts_.record_literal_offsets) e->literal_offset = offset;
+    return e;
+  }
+
   std::vector<Token> tokens_;
+  ParseOptions opts_;
   size_t pos_ = 0;
   std::vector<std::unique_ptr<Expr>> join_predicates_;
 };
@@ -568,13 +576,23 @@ class Parser {
 }  // namespace
 
 Result<Statement> ParseStatement(std::string_view sql) {
+  return ParseStatement(sql, ParseOptions{});
+}
+
+Result<Statement> ParseStatement(std::string_view sql,
+                                 const ParseOptions& opts) {
   RCC_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), opts);
   return parser.ParseStatementTop();
 }
 
 Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
-  RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ParseSelect(sql, ParseOptions{});
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql,
+                                                const ParseOptions& opts) {
+  RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql, opts));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::ParseError("expected a SELECT statement");
   }

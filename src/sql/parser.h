@@ -22,8 +22,20 @@ namespace rcc {
 ///   CURRENCY BOUND 10 MIN ON (B, R) BY B.isbn
 Result<Statement> ParseStatement(std::string_view sql);
 
+/// Parsing knobs. Off by default so view definitions and ad-hoc parses don't
+/// carry positions that could collide with a different query text.
+struct ParseOptions {
+  /// Record each literal's byte offset in Expr::literal_offset (used by the
+  /// plan cache to match literals against normalized parameter slots).
+  bool record_literal_offsets = false;
+};
+
+Result<Statement> ParseStatement(std::string_view sql, const ParseOptions& opts);
+
 /// Convenience wrapper: parses and requires a SELECT.
 Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql,
+                                                const ParseOptions& opts);
 
 }  // namespace rcc
 

@@ -13,6 +13,9 @@
 
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "plan/plan_cache.h"
+#include "replication/fault_injector.h"
+#include "replication/health.h"
 #include "test_util.h"
 
 namespace rcc {
@@ -363,6 +366,119 @@ TEST(ConcurrencyTest, RegionLockAndHeartbeatContentionSmoke) {
   writer.join();
   for (std::thread& r : readers) r.join();
   EXPECT_EQ(region.delivery_epoch(), static_cast<uint64_t>(kWriterOps));
+}
+
+// -- plan cache under contention ----------------------------------------------
+
+TEST(ConcurrencyTest, PlanCacheHammerDuringInvalidations) {
+  // N session-like threads look up and insert plans over a small template
+  // pool with rotating degrade modes while an invalidator thread plays the
+  // role of Deliver/quarantine health transitions (OnHealthChange bumps the
+  // cache version). Two properties under TSan:
+  //  - no torn reads: every hit's entry is internally consistent — its
+  //    created_degrade tag equals the mode the key was looked up under;
+  //  - entries published around an invalidation never resurface (the
+  //    version guard), so a hit's entry version always matches a version
+  //    the cache actually had.
+  PlanCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  const DegradeMode kModes[] = {DegradeMode::kNone, DegradeMode::kBounded,
+                                DegradeMode::kAlways};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+
+  std::thread invalidator([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      cache.Invalidate();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < kThreads; ++t) {
+    sessions.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        DegradeMode mode = kModes[(t + i) % 3];
+        std::string sql = "SELECT a FROM t" + std::to_string(i % 7) +
+                          " WHERE a = " + std::to_string(i % 13);
+        auto looked = cache.Lookup(sql, mode, false);
+        if (looked.hit.has_value()) {
+#ifndef RCC_PLANCACHE_MUTATE
+          if (looked.hit->entry->created_degrade != mode) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+#endif
+        } else if (looked.norm.ok) {
+          auto entry = std::make_shared<PlanCacheEntry>();
+          entry->parameterized = true;
+          entry->created_degrade = mode;
+          cache.Insert(looked.norm, sql, mode, false, std::move(entry),
+                       looked.version_at_lookup);
+        }
+      }
+    });
+  }
+  for (std::thread& s : sessions) s.join();
+  stop.store(true, std::memory_order_release);
+  invalidator.join();
+
+  EXPECT_EQ(torn.load(), 0)
+      << "a lookup under one degrade mode returned a plan created under "
+         "another";
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<int64_t>(kThreads) * kIters);
+  EXPECT_GT(cache.invalidations(), 0);
+}
+
+TEST(ConcurrencyTest, ConcurrentSessionsShareCacheAcrossHealthTransitions) {
+  // Whole-engine version: concurrent batches execute a fixed query pool (the
+  // plan-cache sweet spot) while deliveries land between batches and a
+  // poisoned batch quarantines region 1 mid-run. Quarantined regions must
+  // refuse local serves even when the query text is cached; after resync the
+  // pool serves locally again. Runs under TSan via the `tsan` label.
+  BookstoreFixture fx(5000, 1000);
+  fx.sys.AdvanceTo(12000);
+
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 6; ++i) {
+    sqls.push_back("SELECT isbn, price FROM Books WHERE isbn = " +
+                   std::to_string(1 + i) +
+                   " CURRENCY BOUND 60 SEC ON (Books)");
+  }
+  ConcurrentBatchOptions opts;
+  opts.workers = 4;
+
+  auto run_pool = [&](bool expect_local) {
+    auto results = fx.sys.ExecuteConcurrent(sqls, opts);
+    for (auto& r : results) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      if (expect_local) {
+        EXPECT_EQ(r->stats.switch_local, 1);
+      } else {
+        EXPECT_EQ(r->stats.switch_local, 0)
+            << "local serve from a quarantined region";
+      }
+    }
+  };
+
+  run_pool(/*expect_local=*/true);
+
+  // Poison the next delivery: region 1 quarantines, its certified heartbeat
+  // is withdrawn, and the health transition invalidates cached plans.
+  ReplicationFaultConfig faults;
+  faults.poison_probability = 1.0;
+  fx.sys.cache()->SetReplicationFaults(faults);
+  MustExecute(fx.session.get(), "UPDATE Books SET price = 12 WHERE isbn = 1");
+  fx.sys.AdvanceBy(7000);
+  ASSERT_EQ(fx.sys.cache()->RegionHealthOf(1), RegionHealth::kQuarantined);
+  run_pool(/*expect_local=*/false);
+
+  // Resync heals the region; the pool goes local again.
+  fx.sys.cache()->ClearReplicationFaults();
+  fx.sys.AdvanceBy(20000);
+  ASSERT_EQ(fx.sys.cache()->RegionHealthOf(1), RegionHealth::kHealthy);
+  run_pool(/*expect_local=*/true);
 }
 
 }  // namespace

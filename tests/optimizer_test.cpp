@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/view_matching.h"
+#include "plan/plan_cache.h"
 #include "test_util.h"
 
 namespace rcc {
@@ -248,6 +249,37 @@ TEST_F(PlanChoiceTest, Q6SelectiveRangePrefersRemoteIndex) {
               "WHERE C.c_acctbal > 9995 "
               "CURRENCY BOUND 10 MIN ON (C)"),
       PlanShape::kRemoteOnly);
+}
+
+TEST_F(PlanChoiceTest, StatisticsRefreshInvalidatesCachedPlans) {
+  // Regression: a Statistics refresh that flips the Eq. 1 winner must bump
+  // the plan-cache version — otherwise the stale Q6 remote plan keeps being
+  // served from the cache after the local view became the winner.
+  Session* s = fx_.session.get();
+  PlanCache& pc = fx_.sys.cache()->plan_cache();
+  const std::string q6 =
+      "SELECT c_custkey, c_acctbal FROM Customer C WHERE C.c_acctbal > 9995 "
+      "CURRENCY BOUND 10 MIN ON (C)";
+  QueryResult before = testing_util::MustExecute(s, q6);
+  EXPECT_EQ(before.shape, PlanShape::kRemoteOnly);
+  int64_t hits0 = pc.hits();
+  testing_util::MustExecute(s, q6);
+  EXPECT_EQ(pc.hits(), hits0 + 1);  // the plan is now served from the cache
+
+  // Refresh: balances collapsed into a narrow band, so `> 9995` is no longer
+  // selective and the back-end index loses its advantage.
+  TableStats stats = fx_.sys.cache()->catalog().GetStats("Customer");
+  auto col = stats.columns.find("c_acctbal");
+  ASSERT_NE(col, stats.columns.end());
+  col->second.min = Value::Double(9990.0);
+  int64_t inval0 = pc.invalidations();
+  ASSERT_TRUE(fx_.sys.cache()->UpdateStatistics("Customer", stats).ok());
+  EXPECT_GT(pc.invalidations(), inval0);
+
+  QueryResult after = testing_util::MustExecute(s, q6);
+  EXPECT_EQ(after.shape, PlanShape::kAllLocal)
+      << "stale cached plan survived a statistics refresh that changed the "
+         "Eq. 1 winner";
 }
 
 TEST_F(PlanChoiceTest, Q7WideRangePrefersLocalScan) {

@@ -1,10 +1,14 @@
 // The acceptance sweep: 25 oracle-checked seeds spanning every fault mix
 // (none / query-channel outage / replication faults / combined) and both
 // workloads. In the normal build every seed must replay with zero
-// conformance violations; in the RCC_SIM_MUTATE build (guard check skewed
-// by one refresh interval) the same seeds must surface at least one — the
-// matched pair is what demonstrates the oracle's independence from the
-// engine under test.
+// conformance violations; in the mutation builds the same seeds must
+// surface at least one — the matched pair is what demonstrates the
+// oracle's independence from the engine under test. Two planted bugs:
+//  - RCC_SIM_MUTATE: the guard check is skewed by one refresh interval;
+//  - RCC_PLANCACHE_MUTATE: the plan-cache key drops the degrade mode, so
+//    the runner's SET DEGRADE rotation serves plans cached under the wrong
+//    mode (e.g. an ALWAYS-behaving plan on a NONE session — a degraded
+//    answer the session never authorized, oracle rule R3).
 
 #include <gtest/gtest.h>
 
@@ -40,9 +44,10 @@ TEST_P(SimSeedMatrixTest, HistoryConformsToModel) {
   EXPECT_GT(run->commits, 0);
   EXPECT_EQ(run->digest, run->history.Digest());
 
-#ifdef RCC_SIM_MUTATE
-  // Collected across the matrix by MutationIsCaughtSomewhere below; a single
-  // seed need not trip (loose bounds can mask the skew), so no per-seed
+#if defined(RCC_SIM_MUTATE) || defined(RCC_PLANCACHE_MUTATE)
+  // Collected across the matrix by the *IsCaughtSomewhere tests below; a
+  // single seed need not trip (loose bounds can mask the skew, and a seed's
+  // degrade rotation may never cross a cached plan), so no per-seed
   // assertion here.
 #else
   EXPECT_TRUE(run->report.ok())
@@ -91,6 +96,31 @@ TEST(SimSeedMatrixTest, MutationIsCaughtSomewhere) {
     cfg.faults = c.faults;
     cfg.workload = c.workload;
     cfg.steps = 80;
+    auto run = RunSimulation(cfg);
+    ASSERT_TRUE(run.ok());
+    total += run->report.violations.size();
+  }
+  EXPECT_GE(total, 1u);
+}
+#endif
+
+#ifdef RCC_PLANCACHE_MUTATE
+TEST(SimSeedMatrixTest, PlanCacheMutationIsCaughtSomewhere) {
+  // The degrade-blind cache key only bites when the runner re-executes a
+  // pooled text under a different mode than the one its plan was cached
+  // under, *while* remote is unavailable and the replica is stale enough
+  // for the modes to disagree — either as an unauthorized stale serve (R3)
+  // or as a refusal on an ALWAYS session with certified guards (R6). The
+  // coincidence is much sparser than the guard skew's, so this sweep runs
+  // the full matrix at 200 steps and requires the oracle to flag at least
+  // one seed.
+  size_t total = 0;
+  for (const SeedCase& c : BuildMatrix()) {
+    SimRunConfig cfg;
+    cfg.seed = c.seed;
+    cfg.faults = c.faults;
+    cfg.workload = c.workload;
+    cfg.steps = 200;
     auto run = RunSimulation(cfg);
     ASSERT_TRUE(run.ok());
     total += run->report.violations.size();

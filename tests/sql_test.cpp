@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "plan/plan_cache.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -335,6 +336,78 @@ TEST(CloneTest, DeepCopyIsIndependent) {
   // Mutating the clone leaves the original untouched.
   clone->currency[0].bound_ms = 999;
   EXPECT_NE(clone->ToString(), (*stmt)->ToString());
+}
+
+// -- plan-cache SQL normalization ------------------------------------------------
+// The cache key must never alias queries whose literals differ in *type*:
+// a plan compiled for an int comparison is wrong for a string comparison
+// even when the spellings collide after naive literal stripping.
+
+TEST(NormalizeSqlTest, LiteralTypesProduceDistinctTemplates) {
+  NormalizedSql i = NormalizeSql("SELECT 1");
+  NormalizedSql f = NormalizeSql("SELECT 1.0");
+  NormalizedSql s = NormalizeSql("SELECT '1'");
+  ASSERT_TRUE(i.ok);
+  ASSERT_TRUE(f.ok);
+  ASSERT_TRUE(s.ok);
+  // Typed slots: ?<n>i / ?<n>f / ?<n>s.
+  EXPECT_NE(i.text, f.text);
+  EXPECT_NE(i.text, s.text);
+  EXPECT_NE(f.text, s.text);
+  ASSERT_EQ(i.slots.size(), 1u);
+  ASSERT_EQ(f.slots.size(), 1u);
+  ASSERT_EQ(s.slots.size(), 1u);
+  EXPECT_EQ(i.slots[0].value, Value::Int(1));
+  EXPECT_EQ(f.slots[0].value, Value::Double(1.0));
+  EXPECT_EQ(s.slots[0].value, Value::Str("1"));
+}
+
+TEST(NormalizeSqlTest, NullIsNeverParameterized) {
+  // NULL is a keyword, not a literal: it must stay textual so
+  // `WHERE a IS NULL` and `WHERE a = 'NULL'` can never share a template.
+  NormalizedSql kw = NormalizeSql("SELECT a FROM t WHERE a IS NULL");
+  NormalizedSql str = NormalizeSql("SELECT a FROM t WHERE a IS 'NULL'");
+  ASSERT_TRUE(kw.ok);
+  ASSERT_TRUE(str.ok);
+  EXPECT_NE(kw.text, str.text);
+  EXPECT_EQ(kw.slots.size(), 0u);
+  EXPECT_NE(kw.text.find("null"), std::string::npos);
+  EXPECT_EQ(str.slots.size(), 1u);
+}
+
+TEST(NormalizeSqlTest, SameTemplateDiffersOnlyInSlotValues) {
+  NormalizedSql a = NormalizeSql("SELECT x FROM t WHERE x = 5 AND y = 'a'");
+  NormalizedSql b = NormalizeSql("select x from t where x=99 and y='zz'");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  // Identifiers lowercased, whitespace canonicalized, literals slotted:
+  // the two spellings share one template...
+  EXPECT_EQ(a.text, b.text);
+  // ...and differ only in slot values (same offsets-ordered slot list).
+  ASSERT_EQ(a.slots.size(), 2u);
+  ASSERT_EQ(b.slots.size(), 2u);
+  EXPECT_EQ(a.slots[0].value, Value::Int(5));
+  EXPECT_EQ(b.slots[0].value, Value::Int(99));
+  EXPECT_EQ(a.slots[1].value, Value::Str("a"));
+  EXPECT_EQ(b.slots[1].value, Value::Str("zz"));
+  // Slot offsets point at the literal tokens in the *original* text.
+  EXPECT_EQ(a.slots[0].offset, std::string("SELECT x FROM t WHERE x = ").size());
+}
+
+TEST(NormalizeSqlTest, CurrencyClauseLiteralsStayVerbatim) {
+  // Bound literals select the C&C constraint and hence the plan: different
+  // bounds must be different cache keys.
+  NormalizedSql b10 = NormalizeSql(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 CURRENCY BOUND 10 MIN ON (B)");
+  NormalizedSql b5 = NormalizeSql(
+      "SELECT isbn FROM Books B WHERE B.isbn = 1 CURRENCY BOUND 5 MIN ON (B)");
+  ASSERT_TRUE(b10.ok);
+  ASSERT_TRUE(b5.ok);
+  EXPECT_NE(b10.text, b5.text);
+  // The WHERE literal before the clause is still slotted; the bound is not.
+  ASSERT_EQ(b10.slots.size(), 1u);
+  EXPECT_EQ(b10.slots[0].value, Value::Int(1));
+  EXPECT_NE(b10.text.find("10"), std::string::npos);
 }
 
 }  // namespace
