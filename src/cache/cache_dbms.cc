@@ -1,7 +1,5 @@
 #include "cache/cache_dbms.h"
 
-#include <shared_mutex>
-
 #include "common/strings.h"
 #include "semantics/resolver.h"
 
@@ -19,7 +17,7 @@ Status CacheDbms::CreateShadow() {
 
 Status CacheDbms::DefineRegion(const RegionDef& def) {
   RCC_RETURN_NOT_OK(catalog_.AddRegion(def));
-  auto region = std::make_unique<CurrencyRegion>(def);
+  auto region = std::make_unique<CurrencyRegion>(def, epochs_);
   // The initial population reflects the back-end as of "now".
   region->set_local_heartbeat(backend_->clock()->Now());
   region->set_as_of(backend_->oracle().last_committed());
@@ -66,12 +64,13 @@ Status CacheDbms::DefineRegion(const RegionDef& def) {
         ->Set(static_cast<double>(static_cast<int>(region->health())));
   }
   if (sink_ != nullptr) {
+    std::shared_ptr<const RegionSnapshot> snap = region->Snapshot();
     InstallObservation obs;
     obs.kind = InstallObservation::Kind::kInitial;
     obs.region = def.cid;
     obs.at = backend_->clock()->Now();
-    obs.as_of = region->as_of();
-    obs.heartbeat = region->local_heartbeat();
+    obs.as_of = snap->as_of;
+    obs.heartbeat = snap->heartbeat;
     sink_->OnInstall(obs);
   }
   regions_[def.cid] = std::move(region);
@@ -101,8 +100,11 @@ Status CacheDbms::CreateView(const ViewDef& def) {
     return Status::NotFound("region " + std::to_string(def.region) +
                             " not defined");
   }
-  rit->second->AddView(view.get());
-  views_[ToLower(def.name)] = std::move(view);
+  // The view is fully built (populated + indexed) before it enters the
+  // region's published snapshot; from here on it is immutable and only
+  // replaced wholesale by delivery/resync clones.
+  rit->second->AddView(std::shared_ptr<MaterializedView>(std::move(view)));
+  view_regions_[ToLower(def.name)] = def.region;
   plan_cache_.Invalidate();
   return Status::OK();
 }
@@ -238,16 +240,43 @@ ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
                                        DegradeMode degrade,
                                        obs::QueryTrace* trace) const {
   ExecContext ctx;
-  ctx.table_provider = [this](const ScanTarget& target) -> const Table* {
+  // One pin per query execution: the guard probe, every scan, and the audit
+  // epoch of a region all read the same pinned snapshot (until a degrade
+  // re-probe refreshes a not-yet-served region). The lambdas share ownership
+  // of the pin, so it lives exactly as long as the context.
+  auto pin = std::make_shared<SnapshotPin>(epochs_.get());
+  ctx.snapshot_pin = pin;
+  ctx.table_provider = [this, pin](const ScanTarget& target) -> const Table* {
     if (!target.is_view) return nullptr;  // no base tables on the cache
-    auto it = views_.find(ToLower(target.name));
-    return it == views_.end() ? nullptr : &it->second->data();
+    std::string lower = ToLower(target.name);
+    auto it = view_regions_.find(lower);
+    if (it == view_regions_.end()) return nullptr;
+    const CurrencyRegion* r = region(it->second);
+    if (r == nullptr) return nullptr;
+    const MaterializedView* v = pin->Acquire(r)->FindView(lower);
+    return v == nullptr ? nullptr : &v->data();
   };
   ctx.remote_executor = [this, stats, trace](const SelectStmt& stmt) {
     return ExecuteRemote(stmt, stats, trace);
   };
-  ctx.local_heartbeat = [this](RegionId cid) { return LocalHeartbeat(cid); };
-  ctx.region_health = [this](RegionId cid) { return RegionHealthOf(cid); };
+  ctx.local_heartbeat = [this, pin](RegionId cid) -> std::optional<SimTimeMs> {
+    const CurrencyRegion* r = region(cid);
+    if (r == nullptr) return std::nullopt;
+    return pin->Acquire(r)->certified_heartbeat();
+  };
+  ctx.region_health = [this, pin](RegionId cid) {
+    const CurrencyRegion* r = region(cid);
+    return r == nullptr ? RegionHealth::kHealthy : pin->Acquire(r)->health;
+  };
+  ctx.region_epoch = [this, pin](RegionId cid) -> uint64_t {
+    const CurrencyRegion* r = region(cid);
+    return r == nullptr ? 0 : pin->Acquire(r)->epoch;
+  };
+  ctx.refresh_region = [this, pin](RegionId cid) {
+    const CurrencyRegion* r = region(cid);
+    if (r != nullptr) pin->Refresh(r);
+  };
+  ctx.note_local_serve = [pin](RegionId cid) { pin->MarkServed(cid); };
   ctx.clock = backend_->clock();
   ctx.stats = stats;
   ctx.timeline_floor_ms = timeline_floor;
@@ -287,19 +316,10 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
   // A concurrent batch freezes the virtual clock (no deliveries fire), and
   // one shared pointer would race across workers anyway.
   if (trace != nullptr && !in_concurrent_batch()) active_trace_ = trace;
-  // Concurrent batch: hold every region's data lock shared while the plan
-  // runs, so a replication delivery (exclusive) can never mutate a view
-  // mid-scan. Regions are locked in ascending cid order (map order), the
-  // engine-wide lock hierarchy. Serial mode skips this: the single thread
-  // may re-enter the scheduler (policy waits), and a Deliver fired from
-  // there taking the exclusive lock over our shared one would self-deadlock.
-  std::vector<std::shared_lock<std::shared_mutex>> region_guards;
-  if (in_concurrent_batch()) {
-    region_guards.reserve(regions_.size());
-    for (const auto& [cid, region] : regions_) {
-      region_guards.emplace_back(region->data_lock());
-    }
-  }
+  // No region locks in either mode: the context's SnapshotPin gives every
+  // scan an immutable published snapshot, so a delivery can never mutate a
+  // view mid-scan — and a delivery to any region proceeds while this plan
+  // runs, merely deferring reclamation of versions the pin still covers.
   Result<ExecutedQuery> executed = ExecutePlan(plan, &ctx);
   if (active_trace_ == trace && trace != nullptr) active_trace_ = nullptr;
   // Failed queries still spent retries / tripped the breaker; account for
@@ -445,9 +465,13 @@ const CurrencyRegion* CacheDbms::region(RegionId cid) const {
   return it == regions_.end() ? nullptr : it->second.get();
 }
 
-MaterializedView* CacheDbms::view(std::string_view name) {
-  auto it = views_.find(ToLower(name));
-  return it == views_.end() ? nullptr : it->second.get();
+std::shared_ptr<const MaterializedView> CacheDbms::view(
+    std::string_view name) const {
+  std::string lower = ToLower(name);
+  auto it = view_regions_.find(lower);
+  if (it == view_regions_.end()) return nullptr;
+  const CurrencyRegion* r = region(it->second);
+  return r == nullptr ? nullptr : r->view(lower);
 }
 
 std::optional<SimTimeMs> CacheDbms::LocalHeartbeat(RegionId cid) const {
@@ -506,12 +530,13 @@ void CacheDbms::SetHistorySink(HistorySink* sink) {
   // state as the initial install, so the oracle's per-region timeline starts
   // from known ground instead of an unexplained first delivery.
   for (const auto& [cid, region] : regions_) {
+    std::shared_ptr<const RegionSnapshot> snap = region->Snapshot();
     InstallObservation obs;
     obs.kind = InstallObservation::Kind::kInitial;
     obs.region = cid;
     obs.at = backend_->clock()->Now();
-    obs.as_of = region->as_of();
-    obs.heartbeat = region->local_heartbeat();
+    obs.as_of = snap->as_of;
+    obs.heartbeat = snap->heartbeat;
     sink_->OnInstall(obs);
   }
 }

@@ -163,13 +163,12 @@ class CacheDbms {
   /// -- concurrent batch mode ---------------------------------------------------
 
   /// Enters concurrent-batch mode (`RccSystem::ExecuteConcurrent`). While
-  /// active: (a) every ExecutePrepared holds all region data locks shared
-  /// for the duration of its plan, so replication deliveries — which take a
-  /// region's lock exclusively — can never interleave with a scan; (b) the
-  /// remote channel is serialized behind a mutex (policy/injector state is
-  /// single-threaded); (c) resilience-policy waits stop advancing the
-  /// simulation scheduler, freezing the virtual clock so every query in the
-  /// batch observes the same instant. The scheduler must only be run between
+  /// active: (a) the remote channel is serialized behind a mutex
+  /// (policy/injector state is single-threaded); (b) resilience-policy waits
+  /// stop advancing the simulation scheduler, freezing the virtual clock so
+  /// every query in the batch observes the same instant. Queries need no
+  /// region locks at all: each pins an epoch and reads immutable published
+  /// snapshots (DESIGN.md §13). The scheduler must only be run between
   /// batches (the determinism contract; see DESIGN.md §8).
   void BeginConcurrentBatch() {
     concurrent_batch_.store(true, std::memory_order_release);
@@ -186,7 +185,9 @@ class CacheDbms {
   BackendServer* backend() const { return backend_; }
   CurrencyRegion* region(RegionId cid);
   const CurrencyRegion* region(RegionId cid) const;
-  MaterializedView* view(std::string_view name);
+  /// The named view in its region's *current* snapshot; the shared_ptr keeps
+  /// it alive across subsequent publishes. nullptr when unknown.
+  std::shared_ptr<const MaterializedView> view(std::string_view name) const;
   const std::vector<std::unique_ptr<DistributionAgent>>& agents() const {
     return agents_;
   }
@@ -284,8 +285,13 @@ class CacheDbms {
   SimulationScheduler* scheduler_;
   CostParams costs_;
   Catalog catalog_;
-  std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  /// Lower-cased view name → owning region. The views themselves live inside
+  /// the regions' published snapshots.
+  std::map<std::string, RegionId> view_regions_;
   std::map<RegionId, std::unique_ptr<CurrencyRegion>> regions_;
+  /// Shared by every region, so one query pin covers all regions it reads.
+  std::shared_ptr<SnapshotEpochManager> epochs_ =
+      std::make_shared<SnapshotEpochManager>();
   std::vector<std::unique_ptr<DistributionAgent>> agents_;
   std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<ResilientRemoteExecutor> remote_policy_;

@@ -42,6 +42,9 @@ struct GuardObservation {
   SimTimeMs floor_ms = -1;
   /// true = the guard routed the query at the local branch.
   bool verdict_local = false;
+  /// Publication epoch of the region snapshot the probe read (0 when the
+  /// engine layer doesn't version reads).
+  uint64_t epoch = 0;
 };
 
 /// One serving decision: a set of input operands was answered from a local
@@ -60,6 +63,12 @@ struct ServeObservation {
   /// The region heartbeat claimed at serve time (local serves only).
   bool heartbeat_known = false;
   SimTimeMs heartbeat = -1;
+  /// Publication epoch of the pinned region snapshot the rows came from
+  /// (local serves only; 0 = unversioned). All local serves of one region
+  /// within one query must carry the same epoch — the MVCC pin makes the
+  /// paper's one-snapshot-per-consistency-class property structural, and the
+  /// oracle checks it.
+  uint64_t epoch = 0;
   /// Input operands whose rows this serve produced.
   std::vector<InputOperandId> operands;
 };

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +18,8 @@
 #include "storage/table.h"
 
 namespace rcc {
+
+class SnapshotPin;
 
 /// Rows returned by a remote (back-end) query, in the remote select-list
 /// order.
@@ -115,6 +118,28 @@ struct ExecContext {
   /// Null when the engine layer doesn't track health (back-end mode,
   /// hand-built test contexts): guards then omit health from their output.
   std::function<RegionHealth(RegionId)> region_health;
+
+  /// MVCC snapshot hooks (null in hand-built test contexts and back-end
+  /// mode, where reads are not versioned). The engine layer wires all four
+  /// to one SnapshotPin so a query reads each region at a single published
+  /// version:
+  ///  - region_epoch: publication epoch of the snapshot this query is pinned
+  ///    to for the region (0 = unversioned); recorded in guard/serve audit
+  ///    observations so the oracle can check one-snapshot-per-serve
+  ///    structurally.
+  ///  - refresh_region: re-reads the region's current snapshot (guard probes
+  ///    and degrade re-probes), a no-op once the query has served local rows
+  ///    from the region — served data stays on its snapshot.
+  ///  - note_local_serve: marks the region's pinned snapshot as served-from,
+  ///    freezing refresh_region for it.
+  std::function<uint64_t(RegionId)> region_epoch;
+  std::function<void(RegionId)> refresh_region;
+  std::function<void(RegionId)> note_local_serve;
+
+  /// Owning anchor for the SnapshotPin behind the hooks above; releases the
+  /// pinned epoch (allowing snapshot reclamation) when the last copy of the
+  /// context and its callbacks dies.
+  std::shared_ptr<SnapshotPin> snapshot_pin;
 
   const VirtualClock* clock = nullptr;
   ExecStats* stats = nullptr;

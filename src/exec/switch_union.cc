@@ -32,6 +32,7 @@ void RecordServe(ExecContext* ctx, const PhysicalOp& branch, RegionId region,
   obs.region = region;
   obs.heartbeat_known = heartbeat.has_value();
   obs.heartbeat = heartbeat.value_or(-1);
+  if (local && ctx->region_epoch) obs.epoch = ctx->region_epoch(region);
   for (InputOperandId oid : branch.delivered.AllOperands()) {
     obs.operands.push_back(oid);
   }
@@ -48,6 +49,11 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
   // can never be observed torn — the probe is race-free by construction.
   std::chrono::steady_clock::time_point t0;
   if (ctx->guard_probe_hist != nullptr) t0 = std::chrono::steady_clock::now();
+  // Advance the query's pinned snapshot of the region to the current
+  // published version so the probe judges the replica as it stands *now* —
+  // a no-op once the query has served local rows from the region (served
+  // data stays on its snapshot; see ExecContext::refresh_region).
+  if (ctx->refresh_region) ctx->refresh_region(op.guard_region);
   std::optional<SimTimeMs> hb_opt = ctx->local_heartbeat(op.guard_region);
   // Health is advisory (stats, trace, EXPLAIN ANALYZE): the refusal itself
   // rides on the certified heartbeat turning nullopt, so engines that don't
@@ -112,6 +118,7 @@ bool SwitchUnionIterator::EvaluateGuard(const PhysicalOp& op,
     gobs.bound_ms = op.guard_bound_ms;
     gobs.floor_ms = ctx->timeline_floor_ms;
     gobs.verdict_local = fresh_enough;
+    if (ctx->region_epoch) gobs.epoch = ctx->region_epoch(op.guard_region);
     ctx->history->OnGuardProbe(gobs);
   }
   return fresh_enough;
@@ -153,6 +160,9 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
                           op_.guard_region);
     }
     if (local_ok) {
+      // Freeze the pinned snapshot: from here on every probe and row of this
+      // query reads the region at exactly this published version.
+      if (ctx_->note_local_serve) ctx_->note_local_serve(op_.guard_region);
       RecordServe(ctx_, *op_.children[0], op_.guard_region,
                   /*local=*/true, /*degraded=*/false,
                   ctx_->local_heartbeat(op_.guard_region));
@@ -184,7 +194,10 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
   }
   // Re-probe the guard: the retry policy may have waited through a
   // replication delivery, so the local view can be fresher than at the first
-  // probe (possibly even within the bound again).
+  // probe (possibly even within the bound again). Re-pin to the current
+  // published snapshot first so the re-probe and the rows it certifies are
+  // one version.
+  if (ctx_->refresh_region) ctx_->refresh_region(op_.guard_region);
   std::optional<SimTimeMs> hb_opt = ctx_->local_heartbeat(op_.guard_region);
   if (ctx_->stats != nullptr) ++ctx_->stats->guard_evaluations;
   if (!hb_opt.has_value()) {
@@ -263,6 +276,7 @@ Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,
                   remote_error.ToString().c_str()),
         op_.guard_region);
   }
+  if (ctx_->note_local_serve) ctx_->note_local_serve(op_.guard_region);
   RecordServe(ctx_, *op_.children[0], op_.guard_region,
               /*local=*/true, /*degraded=*/true, hb);
   chosen_ = local_.get();

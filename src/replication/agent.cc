@@ -1,8 +1,8 @@
 #include "replication/agent.h"
 
-#include <mutex>
-#include <shared_mutex>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -120,14 +120,16 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
   int64_t batch_ops = 0;
   bool poisoned = false;
   bool stale = false;
-  RegionHealth health_before = region_->health();
-  {
-    // The whole batch is applied under the region's exclusive lock: queries
-    // on worker threads holding it shared never observe a half-applied
-    // transaction, preserving the invariant that every view in the region
-    // reflects one back-end snapshot.
-    std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
-    size_t from = region_->applied_log_pos();
+  RegionHealth health_before = RegionHealth::kHealthy;
+  TxnTimestamp published_as_of = kInitialTimestamp;
+  SimTimeMs published_hb = 0;
+  // Build-then-publish: the successor snapshot is assembled off to the side
+  // — cloning only the views this batch touches — and becomes visible in one
+  // atomic pointer store. Readers pinned to the old snapshot keep scanning
+  // it untouched; the install never blocks a scan and never waits for one.
+  region_->PublishUpdate([&](const RegionSnapshot& cur, RegionSnapshot* next) {
+    health_before = cur.health;
+    size_t from = cur.applied_log_pos;
     // Monotonicity defense: deliveries are *usually* scheduled in wake-up
     // order with a constant delay, but a delayed batch can arrive after a
     // later snapshot was applied (out-of-order), and a duplicated batch
@@ -136,100 +138,108 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
     // commit order: a batch whose snapshot is behind the applied position
     // carries nothing new (its heartbeat is older than the installed one
     // too, since both grow with snapshot time), so it is rejected whole.
-    if (snapshot_pos < from) {
+    // A batch landing during resync would race the rebuild snapshot, which
+    // covers its range anyway.
+    if (snapshot_pos < from || cur.health == RegionHealth::kResyncing) {
       stale_batches_rejected_.fetch_add(1, std::memory_order_relaxed);
       stale = true;
-    } else {
-      if (region_->health() == RegionHealth::kResyncing) {
-        // A pre-quarantine batch landing during resync would race the
-        // rebuild snapshot; the resync covers its range anyway.
-        stale_batches_rejected_.fetch_add(1, std::memory_order_relaxed);
-        stale = true;
+      return false;  // publish nothing
+    }
+    // A poisoned batch fails on one of its row ops. Decide up front which
+    // one (deterministically, from the injector's seed).
+    std::optional<size_t> poison_at;
+    if (injector_ != nullptr) {
+      size_t total_ops = 0;
+      for (size_t i = from; i < snapshot_pos; ++i) {
+        total_ops += log_->at(i).ops.size();
+      }
+      poison_at = injector_->DrawPoisonedOp(total_ops);
+    }
+    // Copy-on-write at view granularity: a view is cloned the first time
+    // the batch touches it; untouched views stay shared with the previous
+    // snapshot. `clones[vi]` is the mutable alias of `next->views[vi]`.
+    std::vector<std::shared_ptr<MaterializedView>> clones(next->views.size());
+    // Ops of one transaction typically hit one table; memoize the last
+    // lower-casing so the common case pays no allocation either.
+    std::string last_table;
+    std::string last_lower;
+    size_t op_index = 0;
+    for (size_t i = from; i < snapshot_pos && !poisoned; ++i) {
+      const CommittedTxn& txn = log_->at(i);
+      // Apply the whole transaction to every view in the region before
+      // moving to the next one: commit-order, transaction-at-a-time
+      // application.
+      for (const RowOp& op : txn.ops) {
+        if (poison_at.has_value() && op_index == *poison_at) {
+          poisoned = true;
+          break;
+        }
+        ++op_index;
+        if (op.table != last_table) {
+          last_table = op.table;
+          last_lower = ToLower(op.table);
+        }
+        const std::vector<size_t>* view_idx = next->ViewIndicesOf(last_lower);
+        if (view_idx == nullptr) continue;
+        for (size_t vi : *view_idx) {
+          if (clones[vi] == nullptr) {
+            clones[vi] = next->views[vi]->Clone();
+            next->views[vi] = clones[vi];
+          }
+          clones[vi]->ApplyOp(op);
+          ++batch_ops;
+        }
       }
     }
-    if (!stale) {
-      // A poisoned batch fails on one of its row ops. Decide up front which
-      // one (deterministically, from the injector's seed).
-      std::optional<size_t> poison_at;
-      if (injector_ != nullptr) {
-        size_t total_ops = 0;
-        for (size_t i = from; i < snapshot_pos; ++i) {
-          total_ops += log_->at(i).ops.size();
-        }
-        poison_at = injector_->DrawPoisonedOp(total_ops);
-      }
-      // Ops of one transaction typically hit one table; memoize the last
-      // lower-casing so the common case pays no allocation either.
-      std::string last_table;
-      std::string last_lower;
-      size_t op_index = 0;
-      for (size_t i = from; i < snapshot_pos && !poisoned; ++i) {
-        const CommittedTxn& txn = log_->at(i);
-        // Apply the whole transaction to every view in the region before
-        // moving to the next one: commit-order, transaction-at-a-time
-        // application.
-        for (const RowOp& op : txn.ops) {
-          if (poison_at.has_value() && op_index == *poison_at) {
-            // Mid-batch failure: this op cannot be applied, so the region is
-            // stuck between snapshots. There is no per-op undo log to roll
-            // back with, so the defense is complete-then-quarantine:
-            // publish QUARANTINED *before the data lock is released* —
-            // quarantine invalidates the heartbeat (certified_heartbeat
-            // turns nullopt), so no guard can route a query at the
-            // half-applied data, and the next wakeup schedules a full
-            // resync. Publication order matters: were the lock released (or
-            // the heartbeat installed) first, a lock-free guard probe could
-            // still certify freshness off the old heartbeat while the data
-            // is between snapshots.
-            poisoned = true;
-            break;
-          }
-          ++op_index;
-          if (op.table != last_table) {
-            last_table = op.table;
-            last_lower = ToLower(op.table);
-          }
-          const std::vector<MaterializedView*>* views =
-              region_->ViewsOf(last_lower);
-          if (views == nullptr) continue;
-          for (MaterializedView* view : *views) {
-            view->ApplyOp(op);
-            ++batch_ops;
-          }
-        }
-      }
-      if (poisoned) {
-        quarantines_.fetch_add(1, std::memory_order_relaxed);
-        quarantined_at_ = delivered_at;
-        region_->set_health(RegionHealth::kQuarantined);
-        // Neither applied_log_pos, as_of, nor the heartbeat advance: the
-        // region's published state still describes the last complete
-        // snapshot, and the health gate keeps anyone from trusting it.
-      } else {
-        ops_applied_.fetch_add(batch_ops, std::memory_order_relaxed);
-        if (snapshot_pos > from) {
-          region_->set_applied_log_pos(snapshot_pos);
-          region_->set_as_of(log_->TimestampAtPosition(snapshot_pos));
-        }
-        // The heartbeat store is the publication point: it happens after the
-        // data is in place, so a guard observing heartbeat T is guaranteed
-        // the region reflects at least snapshot T. A never-beaten global row
-        // contributes nothing (unknown, not "stale since time 0").
-        if (captured_heartbeat.has_value() &&
-            *captured_heartbeat > region_->local_heartbeat()) {
-          region_->set_local_heartbeat(*captured_heartbeat);
-        }
-        region_->BumpDeliveryEpoch();
-        deliveries_.fetch_add(1, std::memory_order_relaxed);
-      }
+    if (poisoned) {
+      quarantines_.fetch_add(1, std::memory_order_relaxed);
+      quarantined_at_ = delivered_at;
+      // Mid-batch failure: the half-applied clones are simply discarded —
+      // under MVCC there is nothing to roll back, the published data is
+      // still the last complete snapshot. What must change atomically with
+      // the data is the health gate: QUARANTINED travels in the same
+      // immutable snapshot, so no guard can certify freshness off a
+      // heartbeat while the pipeline is stuck between back-end snapshots.
+      // Neither applied_log_pos, as_of, nor the heartbeat advance.
+      *next = cur;
+      next->health = RegionHealth::kQuarantined;
+      batch_ops = 0;
+      return true;
     }
-  }
-  // Outside the data lock: health notifications and the observer may do
+    ops_applied_.fetch_add(batch_ops, std::memory_order_relaxed);
+    if (snapshot_pos > from) {
+      next->applied_log_pos = snapshot_pos;
+      next->as_of = log_->TimestampAtPosition(snapshot_pos);
+    }
+    // The heartbeat is folded into the same snapshot as the data it
+    // certifies, so a guard observing heartbeat T from a pinned snapshot is
+    // guaranteed the views it scans reflect at least snapshot T. A
+    // never-beaten global row contributes nothing (unknown, not "stale
+    // since time 0").
+    if (captured_heartbeat.has_value() &&
+        *captured_heartbeat > next->heartbeat) {
+      next->heartbeat = *captured_heartbeat;
+    }
+    published_as_of = next->as_of;
+    published_hb = next->heartbeat;
+#ifdef RCC_MVCC_MUTATE
+    // Planted publication-order bug (mvcc-mutate preset): the pointer is
+    // published while the snapshot still carries the *old* heartbeat, as if
+    // the store had happened before the heartbeat fold. The install stream
+    // reports the folded value, so every guard pinned to the published
+    // snapshot diverges from the audit trail — the sim oracle's
+    // heartbeat-divergence rule must flag it. Never ship this.
+    next->heartbeat = cur.heartbeat;
+#endif
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  });
+  // Outside the publish mutex: health notifications and the observer may do
   // arbitrary engine-side work (metrics, tracing) and must not extend the
-  // exclusive section.
+  // writer's critical section.
   if (poisoned) {
     if (health_observer_) {
-      // The store already happened under the lock; report the transition.
+      // The transition already published inside the snapshot; report it.
       health_observer_(region_->id(), health_before,
                        RegionHealth::kQuarantined, delivered_at);
     }
@@ -241,54 +251,55 @@ void DistributionAgent::Deliver(size_t snapshot_pos,
   }
   // A clean install restores confidence: SUSPECT heals back to HEALTHY.
   consecutive_anomalies_ = 0;
-  if (region_->health() == RegionHealth::kSuspect) {
+  if (health_before == RegionHealth::kSuspect) {
     TransitionHealth(RegionHealth::kHealthy, delivered_at);
   }
   if (observer_) {
     observer_(region_->id(), delivered_at, batch_ops, captured_heartbeat);
   }
   if (install_observer_) {
-    // as_of / heartbeat are re-read post-install: only the simulation thread
-    // delivers, so they still describe this batch's snapshot.
-    install_observer_(region_->id(), delivered_at, region_->as_of(),
-                      region_->local_heartbeat(), batch_ops, /*resync=*/false);
+    // Report the values the installer committed to publishing — not a
+    // re-read of the region, which a concurrent publish (or the planted
+    // mutation) could have moved.
+    install_observer_(region_->id(), delivered_at, published_as_of,
+                      published_hb, batch_ops, /*resync=*/false);
   }
 }
 
 void DistributionAgent::Resync(SimTimeMs now) {
   bool ok = true;
-  {
-    std::unique_lock<std::shared_mutex> region_guard(region_->data_lock());
+  TxnTimestamp published_as_of = kInitialTimestamp;
+  SimTimeMs published_hb = 0;
+  region_->PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
     // Rebuild every view from the master tables. The master data and the
     // update log are mutated only by the simulation thread — which is the
     // thread running this event — so everything read here is one consistent
     // back-end snapshot as of `now`; setting applied_log_pos to the current
     // log size is the log catch-up (nothing committed at or before `now` is
     // missing from the rebuilt views).
-    for (MaterializedView* view : region_->views()) {
-      const Table* master = master_tables_(view->def().source_table);
+    for (size_t vi = 0; vi < next->views.size(); ++vi) {
+      const Table* master =
+          master_tables_(next->views[vi]->def().source_table);
       if (master == nullptr) {
         ok = false;
-        break;
+        return false;
       }
-      view->PopulateFrom(*master);
+      std::shared_ptr<MaterializedView> rebuilt = next->views[vi]->Clone();
+      rebuilt->PopulateFrom(*master);
+      next->views[vi] = std::move(rebuilt);
     }
-    if (ok) {
-      region_->set_applied_log_pos(log_->size());
-      region_->set_as_of(log_->TimestampAtPosition(log_->size()));
-      // Publication order on recovery, the mirror image of quarantine:
-      // data first (above), then the heartbeat value, then — last — the
-      // health flip that makes the heartbeat trustworthy again. A lock-free
-      // guard that observes HEALTHY (acquire) therefore also observes the
-      // restored heartbeat (its store is sequenced before the health
-      // store's release).
-      if (now > region_->local_heartbeat()) {
-        region_->set_local_heartbeat(now);
-      }
-      region_->BumpDeliveryEpoch();
-      region_->set_health(RegionHealth::kHealthy);
-    }
-  }
+    next->applied_log_pos = log_->size();
+    next->as_of = log_->TimestampAtPosition(log_->size());
+    if (now > next->heartbeat) next->heartbeat = now;
+    // Recovery publishes the rebuilt data, the restored heartbeat, and the
+    // HEALTHY flip in one immutable snapshot — the mirror-image ordering
+    // dance of the lock era is unnecessary when readers can only ever
+    // observe whole versions.
+    next->health = RegionHealth::kHealthy;
+    published_as_of = next->as_of;
+    published_hb = next->heartbeat;
+    return true;
+  });
   if (!ok) {
     // A master table vanished mid-resync: stay quarantined and retry at a
     // later wakeup.
@@ -304,8 +315,8 @@ void DistributionAgent::Resync(SimTimeMs now) {
                      RegionHealth::kHealthy, now);
   }
   if (install_observer_) {
-    install_observer_(region_->id(), now, region_->as_of(),
-                      region_->local_heartbeat(), /*ops=*/0, /*resync=*/true);
+    install_observer_(region_->id(), now, published_as_of, published_hb,
+                      /*ops=*/0, /*resync=*/true);
   }
 }
 

@@ -30,14 +30,15 @@ namespace rcc {
 ///  - stale or re-ordered batches are rejected by the applied-log-pos
 ///    monotonicity check (the log position, not arrival order, is truth);
 ///  - duplicate batches are idempotent (their log range is already applied);
-///  - a batch that fails mid-apply quarantines the region *before* the data
-///    lock is released, so the half-applied snapshot is never served;
+///  - a batch that fails mid-apply discards its half-built clones and
+///    publishes QUARANTINED in the same snapshot, so half-applied data is
+///    never visible to anyone;
 ///  - dropped batches self-heal (the next delivery applies the gap from the
 ///    log), but repeated anomalies escalate HEALTHY → SUSPECT → QUARANTINED;
 ///  - a quarantined region resyncs automatically: at the next wakeup the
 ///    agent rebuilds every view from a back-end master snapshot
-///    (MaterializedView::PopulateFrom) under the exclusive data lock,
-///    restores the heartbeat, and returns to HEALTHY.
+///    (MaterializedView::PopulateFrom) into fresh clones and publishes the
+///    rebuilt data, the restored heartbeat, and HEALTHY as one snapshot.
 class DistributionAgent {
  public:
   /// All pointers must outlive the agent.
@@ -93,8 +94,8 @@ class DistributionAgent {
   void set_quarantine_after(int anomalies) { quarantine_after_ = anomalies; }
 
   /// -- counters ----------------------------------------------------------
-  /// All counters are atomics: they are written on the delivery path (under
-  /// the region lock) but read lock-free by stats/bench code while
+  /// All counters are atomics: they are written on the delivery path (inside
+  /// the publish section) but read lock-free by stats/bench code while
   /// deliveries interleave.
 
   /// Number of deliveries applied so far.
@@ -125,7 +126,7 @@ class DistributionAgent {
   CurrencyRegion* region() const { return region_; }
 
   /// Called after each delivery batch is applied and published (outside the
-  /// region's data lock): region id, virtual delivery time, row ops applied
+  /// region's publish section): region id, virtual delivery time, row ops applied
   /// in the batch, and the heartbeat installed (nullopt when the snapshot
   /// carried none). The engine layer uses it for metrics and query traces.
   using DeliveryObserver = std::function<void(
@@ -134,7 +135,7 @@ class DistributionAgent {
     observer_ = std::move(observer);
   }
 
-  /// Called on every health transition (outside the region's data lock):
+  /// Called on every health transition (outside the region's publish section):
   /// region id, previous state, new state, virtual time. The engine layer
   /// exports the health gauge and trace events through it.
   using HealthObserver =
@@ -145,10 +146,10 @@ class DistributionAgent {
 
   /// Called after every successful snapshot install — clean delivery batches
   /// (including empty ones, which still advance the heartbeat) and completed
-  /// resyncs — outside the region's data lock: virtual install time, the
-  /// back-end snapshot the region now reflects, the published heartbeat, the
-  /// row ops applied (0 for a resync), and whether this was a resync. The
-  /// audit layer derives each region's state timeline from this stream.
+  /// resyncs — outside the region's publish section: virtual install time,
+  /// the back-end snapshot the region now reflects, the published heartbeat,
+  /// the row ops applied (0 for a resync), and whether this was a resync.
+  /// The audit layer derives each region's state timeline from this stream.
   using InstallObserver = std::function<void(
       RegionId, SimTimeMs, TxnTimestamp, SimTimeMs, int64_t, bool)>;
   void set_install_observer(InstallObserver observer) {
@@ -158,9 +159,10 @@ class DistributionAgent {
  private:
   /// Applies log entries (snapshot_pos_exclusive ends the batch) and installs
   /// the captured heartbeat value (absent when the region's global row had
-  /// never been beaten at snapshot time). Takes the region's exclusive
-  /// data lock for the whole batch, so concurrent readers always see every
-  /// view of the region at one back-end snapshot.
+  /// never been beaten at snapshot time). Builds the successor snapshot off
+  /// to the side — cloning only the views the batch touches — and publishes
+  /// it atomically, so concurrent readers always see every view of the
+  /// region at one back-end snapshot without blocking.
   void Deliver(size_t snapshot_pos, std::optional<SimTimeMs> captured_heartbeat,
                SimTimeMs delivered_at);
 
@@ -170,10 +172,10 @@ class DistributionAgent {
   /// the heartbeat and re-enters HEALTHY.
   void Resync(SimTimeMs now);
 
-  /// Sets the region's health and notifies the observer. Must be called
-  /// outside the region's data lock (the observer does engine-side work);
-  /// the poison path inside Deliver stores the health itself and uses this
-  /// only for the notification.
+  /// Sets the region's health (a fresh publish) and notifies the observer.
+  /// Must be called outside the region's publish section (the observer does
+  /// engine-side work); the poison path inside Deliver folds the health into
+  /// its own snapshot and reports the transition itself.
   void TransitionHealth(RegionHealth to, SimTimeMs at);
 
   /// Records a delivery anomaly (drop, stall, stale batch): HEALTHY turns

@@ -1,5 +1,7 @@
 #include "replication/region.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -55,6 +57,13 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
       new MaterializedView(std::move(def), std::move(view_schema),
                            std::move(view_key), std::move(proj),
                            std::move(pred_cols)));
+}
+
+std::shared_ptr<MaterializedView> MaterializedView::Clone() const {
+  std::shared_ptr<MaterializedView> copy(new MaterializedView(
+      def_, data_.schema(), data_.clustered_key(), proj_, pred_cols_));
+  copy->data_.CopyContentsFrom(data_);
+  return copy;
 }
 
 bool MaterializedView::PredicateMatches(const Row& source_row) const {
@@ -126,15 +135,163 @@ void MaterializedView::PopulateFrom(const Table& master) {
   });
 }
 
-void CurrencyRegion::AddView(MaterializedView* view) {
-  views_.push_back(view);
-  views_by_source_[ToLower(view->def().source_table)].push_back(view);
+const MaterializedView* RegionSnapshot::FindView(
+    const std::string& lower_name) const {
+  auto it = views_by_name.find(lower_name);
+  return it == views_by_name.end() ? nullptr : views[it->second].get();
 }
 
-const std::vector<MaterializedView*>* CurrencyRegion::ViewsOf(
+std::shared_ptr<const MaterializedView> RegionSnapshot::SharedView(
+    const std::string& lower_name) const {
+  auto it = views_by_name.find(lower_name);
+  return it == views_by_name.end() ? nullptr : views[it->second];
+}
+
+const std::vector<size_t>* RegionSnapshot::ViewIndicesOf(
     const std::string& lower_table) const {
-  auto it = views_by_source_.find(lower_table);
-  return it == views_by_source_.end() ? nullptr : &it->second;
+  auto it = views_by_source.find(lower_table);
+  return it == views_by_source.end() ? nullptr : &it->second;
+}
+
+void RegionSnapshot::RebuildViewIndexes() {
+  views_by_source.clear();
+  views_by_name.clear();
+  for (size_t i = 0; i < views.size(); ++i) {
+    views_by_source[ToLower(views[i]->def().source_table)].push_back(i);
+    views_by_name[ToLower(views[i]->def().name)] = i;
+  }
+}
+
+CurrencyRegion::CurrencyRegion(RegionDef def,
+                               std::shared_ptr<SnapshotEpochManager> epochs)
+    : def_(def),
+      epochs_(epochs ? std::move(epochs)
+                     : std::make_shared<SnapshotEpochManager>()) {
+  current_owner_ = std::make_shared<RegionSnapshot>();
+  current_.store(current_owner_.get(), std::memory_order_seq_cst);
+}
+
+CurrencyRegion::~CurrencyRegion() = default;
+
+std::shared_ptr<const RegionSnapshot> CurrencyRegion::Snapshot() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return current_owner_;
+}
+
+bool CurrencyRegion::PublishUpdate(const UpdateFn& fn) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const RegionSnapshot& cur = *current_owner_;
+  // The successor starts as a copy of the current version sharing every
+  // view; fn clones (copy-on-write) only what it mutates.
+  auto next = std::make_shared<RegionSnapshot>(cur);
+  if (!fn(cur, next.get())) return false;
+  next->epoch = cur.epoch + 1;
+  PublishLocked(std::move(next));
+  return true;
+}
+
+void CurrencyRegion::AddView(std::shared_ptr<MaterializedView> view) {
+  std::shared_ptr<const MaterializedView> added = std::move(view);
+  PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
+    next->views.push_back(added);
+    next->RebuildViewIndexes();
+    return true;
+  });
+}
+
+std::vector<std::shared_ptr<const MaterializedView>> CurrencyRegion::views()
+    const {
+  return Snapshot()->views;
+}
+
+std::shared_ptr<const MaterializedView> CurrencyRegion::view(
+    const std::string& lower_name) const {
+  return Snapshot()->SharedView(lower_name);
+}
+
+void CurrencyRegion::set_local_heartbeat(SimTimeMs t) {
+  PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
+    next->heartbeat = t;
+    return true;
+  });
+}
+
+void CurrencyRegion::set_health(RegionHealth h) {
+  PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
+    next->health = h;
+    return true;
+  });
+}
+
+void CurrencyRegion::set_as_of(TxnTimestamp ts) {
+  PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
+    next->as_of = ts;
+    return true;
+  });
+}
+
+void CurrencyRegion::set_applied_log_pos(size_t p) {
+  PublishUpdate([&](const RegionSnapshot&, RegionSnapshot* next) {
+    next->applied_log_pos = p;
+    return true;
+  });
+}
+
+size_t CurrencyRegion::retired_count() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return retired_.size();
+}
+
+void CurrencyRegion::PublishLocked(
+    std::shared_ptr<const RegionSnapshot> next) {
+  std::shared_ptr<const RegionSnapshot> old = std::move(current_owner_);
+  // Publication point: after this store every new pin observes `next`.
+  current_.store(next.get(), std::memory_order_seq_cst);
+  current_owner_ = std::move(next);
+  // Stamp the predecessor with the pre-increment global epoch: readers
+  // confirmed at a later epoch can no longer reach it (see snapshot.h).
+  retired_.emplace_back(epochs_->RetireStamp(), std::move(old));
+  ReclaimLocked();
+}
+
+void CurrencyRegion::ReclaimLocked() {
+  uint64_t min_pinned = epochs_->MinPinnedEpoch();
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [&](const auto& e) { return e.first < min_pinned; }),
+      retired_.end());
+}
+
+const RegionSnapshot* SnapshotPin::Acquire(const CurrencyRegion* region) {
+  auto it = regions_.find(region->id());
+  if (it != regions_.end()) return it->second.snap;
+  EnsurePinned();
+  Entry entry;
+  entry.snap = region->CurrentPinned();
+  return regions_.emplace(region->id(), entry).first->second.snap;
+}
+
+void SnapshotPin::Refresh(const CurrencyRegion* region) {
+  auto it = regions_.find(region->id());
+  if (it != regions_.end() && it->second.served) return;
+  EnsurePinned();
+  const RegionSnapshot* snap = region->CurrentPinned();
+  if (it != regions_.end()) {
+    it->second.snap = snap;
+  } else {
+    Entry entry;
+    entry.snap = snap;
+    regions_.emplace(region->id(), entry);
+  }
+}
+
+void SnapshotPin::MarkServed(RegionId cid) {
+  auto it = regions_.find(cid);
+  if (it != regions_.end()) it->second.served = true;
+}
+
+void SnapshotPin::EnsurePinned() {
+  if (slot_ == SnapshotEpochManager::kNoSlot) slot_ = mgr_->Pin(&epoch_);
 }
 
 }  // namespace rcc

@@ -2,16 +2,19 @@
 #define RCC_REPLICATION_REGION_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "replication/health.h"
+#include "replication/snapshot.h"
 #include "storage/table.h"
 #include "txn/update_log.h"
 
@@ -32,6 +35,10 @@ class MaterializedView {
   const Table& data() const { return data_; }
   Table& mutable_data() { return data_; }
   const Schema& schema() const { return data_.schema(); }
+
+  /// Deep copy (rows + secondary indexes). The delivery path clones only the
+  /// views a batch touches; untouched views are shared between snapshots.
+  std::shared_ptr<MaterializedView> Clone() const;
 
   /// Positions (in the source schema) of the view's columns, in view order.
   const std::vector<size_t>& source_projection() const { return proj_; }
@@ -68,118 +75,214 @@ class MaterializedView {
   std::vector<size_t> pred_cols_;
 };
 
-/// Runtime state of a currency region on the cache: its definition, the views
-/// it maintains, the local heartbeat value, and the back-end snapshot the
-/// region currently reflects. All views in one region are updated atomically
-/// by the same agent and are therefore mutually consistent at all times
-/// (paper §3.1).
+/// One published version of a region: every view plus the metadata that
+/// certifies it ({heartbeat, as_of, applied_log_pos, health}), immutable
+/// after publication. Because all of it travels in one snapshot, the
+/// health-before-heartbeat publication-order dance of the lock era is gone:
+/// a reader either sees the whole new version or the whole old one.
+struct RegionSnapshot {
+  /// Publication sequence number, bumped on *every* publish (data installs,
+  /// heartbeat refreshes, health transitions). All local serves of one
+  /// region inside one query must come from a single epoch — the oracle
+  /// checks this structurally.
+  uint64_t epoch = 0;
+  /// Local heartbeat timestamp T: all back-end updates committed at or
+  /// before virtual time T are reflected in `views`.
+  SimTimeMs heartbeat = 0;
+  /// The data reflects the back-end snapshot H_{as_of}.
+  TxnTimestamp as_of = kInitialTimestamp;
+  /// Update-log position the data has applied up to.
+  size_t applied_log_pos = 0;
+  RegionHealth health = RegionHealth::kHealthy;
+  std::vector<std::shared_ptr<const MaterializedView>> views;
+
+  /// Derived lookup structures, index-valued so that swapping one view for
+  /// its clone leaves them intact. Rebuilt by RebuildViewIndexes() whenever
+  /// the view *set* changes (AddView), not per publish.
+  std::map<std::string, std::vector<size_t>> views_by_source;
+  std::map<std::string, size_t> views_by_name;
+
+  /// The heartbeat value a currency guard may trust: `heartbeat` while the
+  /// pipeline is HEALTHY or SUSPECT, nullopt once QUARANTINED or RESYNCING —
+  /// a quarantined region's staleness bound is no longer knowable, so guards
+  /// must see "unknown region" and refuse rather than certify freshness off
+  /// a heartbeat the pipeline can't back.
+  std::optional<SimTimeMs> certified_heartbeat() const {
+    if (!HeartbeatValid(health)) return std::nullopt;
+    return heartbeat;
+  }
+
+  /// View lookup by lower-cased view name; nullptr if absent.
+  const MaterializedView* FindView(const std::string& lower_name) const;
+  std::shared_ptr<const MaterializedView> SharedView(
+      const std::string& lower_name) const;
+
+  /// Indices (into `views`) of the views maintained from `lower_table` (an
+  /// already lower-cased source-table name); nullptr when none. Delivery hot
+  /// path: one map lookup per row op.
+  const std::vector<size_t>* ViewIndicesOf(
+      const std::string& lower_table) const;
+
+  void RebuildViewIndexes();
+};
+
+/// Runtime state of a currency region on the cache. All views in one region
+/// are updated atomically by the same agent and are therefore mutually
+/// consistent at all times (paper §3.1).
 ///
-/// Concurrency: a region carries a reader–writer lock (`data_lock()`), the
-/// unit of the engine's lock hierarchy. Concurrent query workers hold it
-/// shared while scanning the region's views; `DistributionAgent::Deliver`
-/// holds it exclusive while applying a replication batch, so every reader
-/// sees all views at one back-end snapshot. The local heartbeat is an atomic
-/// published *after* the batch (release/acquire), so a guard that observes
-/// heartbeat T is guaranteed the region data reflects at least snapshot T;
-/// `delivery_epoch()` stamps each install for race-free re-probe detection.
+/// Concurrency (MVCC): the region's entire state lives in an immutable
+/// RegionSnapshot published through a single atomic pointer. Readers pin an
+/// epoch in the shared SnapshotEpochManager, load the pointer, and scan
+/// without taking any lock; writers build the next snapshot off to the side
+/// (copy-on-write at view granularity) under `publish_mu_`, store the new
+/// pointer, and retire the old snapshot into a stamped list reclaimed once
+/// no reader pins an epoch at or below its stamp. A delivery therefore never
+/// blocks a scan and a scan never blocks a delivery.
 class CurrencyRegion {
  public:
-  explicit CurrencyRegion(RegionDef def) : def_(def) {}
+  /// Regions owned by one CacheDbms share its SnapshotEpochManager so a
+  /// single query pin covers every region it touches; standalone regions
+  /// (unit tests, benches) get a private manager.
+  explicit CurrencyRegion(RegionDef def,
+                          std::shared_ptr<SnapshotEpochManager> epochs = {});
+  ~CurrencyRegion();
 
   CurrencyRegion(const CurrencyRegion&) = delete;
   CurrencyRegion& operator=(const CurrencyRegion&) = delete;
 
   const RegionDef& def() const { return def_; }
   RegionId id() const { return def_.cid; }
+  SnapshotEpochManager* epochs() const { return epochs_.get(); }
 
-  void AddView(MaterializedView* view);
-  const std::vector<MaterializedView*>& views() const { return views_; }
-
-  /// Views whose source is `lower_table` (an already lower-cased table
-  /// name); nullptr when the region maintains none. This is the delivery
-  /// hot path: one map lookup per row op instead of a case-insensitive
-  /// string compare per (op × view).
-  const std::vector<MaterializedView*>* ViewsOf(
-      const std::string& lower_table) const;
-
-  /// Local heartbeat timestamp T: all back-end updates committed at or before
-  /// virtual time T have been applied here. Atomic so currency-guard probes
-  /// on worker threads never race the agent's install.
-  SimTimeMs local_heartbeat() const {
-    return local_heartbeat_.load(std::memory_order_acquire);
+  /// Lock-free read of the current snapshot. The caller MUST hold a pinned
+  /// epoch in this region's SnapshotEpochManager for as long as it uses the
+  /// returned pointer (see SnapshotPin); nothing else keeps it alive.
+  const RegionSnapshot* CurrentPinned() const {
+    return current_.load(std::memory_order_seq_cst);
   }
-  void set_local_heartbeat(SimTimeMs t) {
-    local_heartbeat_.store(t, std::memory_order_release);
-  }
+
+  /// Owning handle on the current snapshot; the shared_ptr keeps it alive
+  /// regardless of pins. Mutex-guarded — the compat read path for setup
+  /// code, accessors and tests, not the per-row hot path.
+  std::shared_ptr<const RegionSnapshot> Snapshot() const;
+
+  /// Builds and publishes the next snapshot. `fn` receives the current
+  /// version and a mutable successor pre-seeded as a copy sharing every
+  /// view; it returns false to abandon the publish (nothing changes).
+  /// The epoch bump happens after `fn` returns.
+  using UpdateFn =
+      std::function<bool(const RegionSnapshot& cur, RegionSnapshot* next)>;
+  bool PublishUpdate(const UpdateFn& fn);
+
+  /// Transfers ownership of a fully-built view into the region (publishes a
+  /// new snapshot containing it). Setup path only.
+  void AddView(std::shared_ptr<MaterializedView> view);
+
+  /// The current snapshot's views (owning copies). Setup/test convenience.
+  std::vector<std::shared_ptr<const MaterializedView>> views() const;
+  std::shared_ptr<const MaterializedView> view(
+      const std::string& lower_name) const;
+
+  // ---- Compatibility accessors over the current snapshot ----------------
+  // Each setter republishes; each getter reads the current snapshot through
+  // the owning (mutex-guarded) path. Single-field reads are individually
+  // consistent but two successive calls may span a publish — callers that
+  // need one coherent version take Snapshot() or hold a SnapshotPin.
+
+  SimTimeMs local_heartbeat() const { return Snapshot()->heartbeat; }
+  void set_local_heartbeat(SimTimeMs t);
 
   /// Upper bound on the staleness of this region's data at time `now`
-  /// (t - T in the paper).
-  SimTimeMs CurrencyAt(SimTimeMs now) const { return now - local_heartbeat(); }
-
-  /// Replication-pipeline health (HEALTHY → SUSPECT → QUARANTINED →
-  /// RESYNCING → HEALTHY). Atomic: guards on worker threads read it while
-  /// the agent transitions it. Quarantine must be *published before* any
-  /// other recovery action (memory_order_release on the store, acquire on
-  /// the load) — it is what invalidates the heartbeat.
-  RegionHealth health() const {
-    return health_.load(std::memory_order_acquire);
-  }
-  void set_health(RegionHealth h) {
-    health_.store(h, std::memory_order_release);
+  /// (t - T in the paper), clamped at 0: a reader pinned to a just-published
+  /// snapshot whose heartbeat leads the frozen query clock is current, not
+  /// negatively stale (mirrors semantics::CurrencyOf).
+  SimTimeMs CurrencyAt(SimTimeMs now) const {
+    SimTimeMs hb = local_heartbeat();
+    return now > hb ? now - hb : 0;
   }
 
-  /// The heartbeat value a currency guard may trust: the local heartbeat
-  /// while the pipeline is HEALTHY or SUSPECT, nullopt once the region is
-  /// QUARANTINED or RESYNCING — a quarantined region's staleness bound is no
-  /// longer knowable, so guards must see "unknown region" and refuse rather
-  /// than certify freshness off a heartbeat the pipeline can't back.
+  RegionHealth health() const { return Snapshot()->health; }
+  void set_health(RegionHealth h);
+
   std::optional<SimTimeMs> certified_heartbeat() const {
-    // Health before heartbeat: quarantine stores health first (release), so
-    // a reader that still sees HEALTHY reads a heartbeat value that was
-    // valid when published — never a value the quarantine already withdrew.
-    if (!HeartbeatValid(health())) return std::nullopt;
-    return local_heartbeat();
+    return Snapshot()->certified_heartbeat();
   }
 
-  /// Monotonic count of delivery installs; bumped (with release ordering,
-  /// after the heartbeat store) at the end of every `Deliver`. Guard
-  /// re-probes and tests use it to tell "same heartbeat value" from "no new
-  /// delivery happened".
-  uint64_t delivery_epoch() const {
-    return delivery_epoch_.load(std::memory_order_acquire);
-  }
-  void BumpDeliveryEpoch() {
-    delivery_epoch_.fetch_add(1, std::memory_order_release);
-  }
+  /// Monotonic publication count (epoch of the current snapshot).
+  uint64_t delivery_epoch() const { return Snapshot()->epoch; }
 
-  /// Reader–writer lock over the region's view data: shared for query scans
-  /// and guard-plus-scan sequences, exclusive for replication deliveries.
-  /// Lock ordering: regions are always acquired in ascending cid order, and
-  /// no thread takes a second region's lock while holding one exclusively.
-  std::shared_mutex& data_lock() const { return data_lock_; }
+  TxnTimestamp as_of() const { return Snapshot()->as_of; }
+  void set_as_of(TxnTimestamp ts);
 
-  /// The region's data reflects the back-end snapshot H_{as_of}.
-  TxnTimestamp as_of() const { return as_of_; }
-  void set_as_of(TxnTimestamp ts) { as_of_ = ts; }
+  size_t applied_log_pos() const { return Snapshot()->applied_log_pos; }
+  void set_applied_log_pos(size_t p);
 
-  /// Log position the region has applied up to.
-  size_t applied_log_pos() const { return applied_log_pos_; }
-  void set_applied_log_pos(size_t p) { applied_log_pos_ = p; }
+  /// Retired-but-not-yet-reclaimed snapshots (test hook).
+  size_t retired_count() const;
 
  private:
+  /// Publishes `next` as the current snapshot and retires the predecessor.
+  /// Caller holds publish_mu_.
+  void PublishLocked(std::shared_ptr<const RegionSnapshot> next);
+  void ReclaimLocked();
+
   RegionDef def_;
-  std::vector<MaterializedView*> views_;
-  /// Lower-cased source-table name → views maintained from it.
-  std::map<std::string, std::vector<MaterializedView*>> views_by_source_;
-  std::atomic<SimTimeMs> local_heartbeat_{0};
-  std::atomic<RegionHealth> health_{RegionHealth::kHealthy};
-  std::atomic<uint64_t> delivery_epoch_{0};
-  mutable std::shared_mutex data_lock_;
-  /// `as_of_` and `applied_log_pos_` are written under the exclusive
-  /// data_lock_ and read either under it or from the single simulation
-  /// thread between batches.
-  TxnTimestamp as_of_ = kInitialTimestamp;
-  size_t applied_log_pos_ = 0;
+  std::shared_ptr<SnapshotEpochManager> epochs_;
+
+  /// Serializes writers (and the compat shared_ptr read path). Never held
+  /// while a reader scans.
+  mutable std::mutex publish_mu_;
+  /// Lock-free publication point for pinned readers.
+  std::atomic<const RegionSnapshot*> current_{nullptr};
+  /// Owning reference backing `current_` (under publish_mu_).
+  std::shared_ptr<const RegionSnapshot> current_owner_;
+  /// Retired snapshots awaiting reclamation: (retire stamp, snapshot).
+  std::vector<std::pair<uint64_t, std::shared_ptr<const RegionSnapshot>>>
+      retired_;
+};
+
+/// A query's read handle over the MVCC store: lazily pins an epoch on first
+/// use and caches, per region, the snapshot the query saw first — so the
+/// guard probe, every scan, and the audit trail of one query all read one
+/// version per region. Not thread-safe; one pin per query execution.
+class SnapshotPin {
+ public:
+  explicit SnapshotPin(SnapshotEpochManager* mgr) : mgr_(mgr) {}
+  ~SnapshotPin() {
+    if (slot_ != SnapshotEpochManager::kNoSlot) mgr_->Unpin(slot_);
+  }
+
+  SnapshotPin(const SnapshotPin&) = delete;
+  SnapshotPin& operator=(const SnapshotPin&) = delete;
+
+  /// The snapshot this query reads for `region`: cached from the first call.
+  const RegionSnapshot* Acquire(const CurrencyRegion* region);
+
+  /// Re-reads the region's current snapshot (degrade re-probe path), unless
+  /// the query has already served data from it — after MarkServed the cached
+  /// version is immutable for this query so all its local serves stay on one
+  /// snapshot. The pin slot's epoch is NOT advanced: the old pin still
+  /// protects other regions' cached snapshots, and the newer snapshot being
+  /// current (or retired at a stamp >= our pin) is protected by it too.
+  void Refresh(const CurrencyRegion* region);
+
+  /// Marks the region's cached snapshot as served-from (freezes Refresh).
+  void MarkServed(RegionId cid);
+
+  uint64_t pinned_epoch() const { return epoch_; }
+
+ private:
+  void EnsurePinned();
+
+  struct Entry {
+    const RegionSnapshot* snap = nullptr;
+    bool served = false;
+  };
+
+  SnapshotEpochManager* mgr_;
+  size_t slot_ = SnapshotEpochManager::kNoSlot;
+  uint64_t epoch_ = 0;
+  std::map<RegionId, Entry> regions_;
 };
 
 }  // namespace rcc

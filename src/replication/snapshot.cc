@@ -1,0 +1,45 @@
+#include "replication/snapshot.h"
+
+#include <thread>
+
+namespace rcc {
+
+size_t SnapshotEpochManager::Pin(uint64_t* epoch_out) {
+  for (;;) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      uint64_t e = global_.load();
+      uint64_t expected = kIdleEpoch;
+      // Claim-and-pin in one CAS: a slot holding anything but kIdleEpoch is
+      // both occupied and pinning that epoch.
+      if (!slots_[i].epoch.compare_exchange_strong(expected, e)) continue;
+      // Confirm: the pin only counts once the global epoch is re-read
+      // unchanged *after* our slot store — otherwise a concurrent publish
+      // may have already consulted MinPinnedEpoch without seeing us.
+      for (;;) {
+        uint64_t g = global_.load();
+        if (g == e) {
+          *epoch_out = e;
+          return i;
+        }
+        e = g;
+        slots_[i].epoch.store(e);
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void SnapshotEpochManager::Unpin(size_t slot) {
+  slots_[slot].epoch.store(kIdleEpoch);
+}
+
+uint64_t SnapshotEpochManager::MinPinnedEpoch() const {
+  uint64_t min = global_.load();
+  for (const Slot& s : slots_) {
+    uint64_t e = s.epoch.load();
+    if (e != kIdleEpoch && e < min) min = e;
+  }
+  return min;
+}
+
+}  // namespace rcc

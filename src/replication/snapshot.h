@@ -1,0 +1,78 @@
+#ifndef RCC_REPLICATION_SNAPSHOT_H_
+#define RCC_REPLICATION_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rcc {
+
+/// Epoch-based reclamation for published region snapshots.
+///
+/// The protocol has two sides:
+///
+///  * Readers claim a slot and publish the current global epoch into it
+///    (`Pin`), then load snapshot pointers with plain seq_cst loads. The
+///    pin is confirmed only once the global epoch is re-read unchanged, so
+///    a pinned epoch E means "this reader entered no earlier than the
+///    moment the global epoch was E".
+///  * Writers publish a new snapshot pointer (seq_cst store), then stamp
+///    the retired predecessor with `RetireStamp()` — the global epoch value
+///    *before* the post-publish increment. A retired snapshot is reclaimed
+///    once `stamp < MinPinnedEpoch()`.
+///
+/// Why that is safe (all operations seq_cst, so they form one total order
+/// S): the writer's pointer store precedes its epoch increment in S. A
+/// reader whose *confirmed* pin epoch is > stamp confirmed its pin by a
+/// global-epoch load that followed the increment in S, hence followed the
+/// pointer store; every snapshot-pointer load the reader performs after
+/// that confirmation therefore observes the new pointer (or a newer one),
+/// never the retired one. Conversely a reader that might still dereference
+/// the retired pointer has pinned epoch <= stamp and blocks reclamation
+/// via MinPinnedEpoch().
+///
+/// One manager is shared by all regions of a CacheDbms, so a single pin
+/// protects every snapshot a query touches across regions.
+class SnapshotEpochManager {
+ public:
+  static constexpr uint64_t kIdleEpoch = ~0ull;
+  static constexpr size_t kSlots = 64;
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  SnapshotEpochManager() = default;
+  SnapshotEpochManager(const SnapshotEpochManager&) = delete;
+  SnapshotEpochManager& operator=(const SnapshotEpochManager&) = delete;
+
+  /// Claims a free slot and publishes the current global epoch into it.
+  /// Spins (with yields) if all slots are busy — kSlots is sized well above
+  /// the engine's worker-pool bound, so contention is theoretical. Returns
+  /// the slot index; the confirmed pinned epoch is written to `*epoch_out`.
+  size_t Pin(uint64_t* epoch_out);
+
+  /// Releases a slot claimed by Pin.
+  void Unpin(size_t slot);
+
+  /// Writer side: advances the global epoch and returns its value *before*
+  /// the increment — the stamp for the snapshot retired by this publish.
+  uint64_t RetireStamp() { return global_.fetch_add(1); }
+
+  /// Smallest epoch any active reader has pinned; the current global epoch
+  /// when no reader is active. Retired entries with stamp < MinPinnedEpoch()
+  /// can be freed.
+  uint64_t MinPinnedEpoch() const;
+
+  uint64_t current_epoch() const { return global_.load(); }
+
+ private:
+  /// One cache line per slot so reader pins never false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+  };
+
+  std::atomic<uint64_t> global_{1};
+  Slot slots_[kSlots];
+};
+
+}  // namespace rcc
+
+#endif  // RCC_REPLICATION_SNAPSHOT_H_

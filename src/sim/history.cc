@@ -110,10 +110,12 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
                     static_cast<int>(ev.region));
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
-      std::snprintf(buf, sizeof(buf), " bound=%lld floor=%lld verdict=%s",
+      std::snprintf(buf, sizeof(buf),
+                    " bound=%lld floor=%lld verdict=%s epoch=%llu",
                     static_cast<long long>(ev.bound_ms),
                     static_cast<long long>(ev.floor_ms),
-                    ev.verdict_local ? "local" : "stale");
+                    ev.verdict_local ? "local" : "stale",
+                    static_cast<unsigned long long>(ev.epoch));
       add(buf);
       break;
     case HistoryEvent::Kind::kServe:
@@ -126,6 +128,9 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
           static_cast<int>(ev.region), ev.local ? 1 : 0, ev.degraded ? 1 : 0);
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
+      std::snprintf(buf, sizeof(buf), " epoch=%llu",
+                    static_cast<unsigned long long>(ev.epoch));
+      add(buf);
       *out += " operands=" + JoinOperands(ev.operands);
       break;
     case HistoryEvent::Kind::kAnswer: {
@@ -287,6 +292,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(ev.floor_ms, map.GetInt("floor"));
     RCC_ASSIGN_OR_RETURN(std::string verdict, map.Get("verdict"));
     ev.verdict_local = verdict == "local";
+    RCC_ASSIGN_OR_RETURN(ev.epoch, map.GetUint("epoch"));
   } else if (kind == "serve") {
     ev.kind = HistoryEvent::Kind::kServe;
     RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
@@ -297,6 +303,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(int64_t degraded, map.GetInt("degraded"));
     ev.degraded = degraded != 0;
     RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
+    RCC_ASSIGN_OR_RETURN(ev.epoch, map.GetUint("epoch"));
     RCC_ASSIGN_OR_RETURN(std::string operands, map.Get("operands"));
     ev.operands = ParseOperands(operands);
   } else if (kind == "answer") {
@@ -399,6 +406,7 @@ void HistoryRecorder::OnGuardProbe(const GuardObservation& obs) {
   ev.bound_ms = obs.bound_ms;
   ev.floor_ms = obs.floor_ms;
   ev.verdict_local = obs.verdict_local;
+  ev.epoch = obs.epoch;
   Append(std::move(ev));
 }
 
@@ -412,6 +420,7 @@ void HistoryRecorder::OnServe(const ServeObservation& obs) {
   ev.degraded = obs.degraded;
   ev.heartbeat_known = obs.heartbeat_known;
   ev.heartbeat = obs.heartbeat;
+  ev.epoch = obs.epoch;
   ev.operands = obs.operands;
   Append(std::move(ev));
 }

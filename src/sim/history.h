@@ -65,6 +65,9 @@ struct HistoryEvent {
   SimTimeMs bound_ms = 0;
   SimTimeMs floor_ms = -1;
   bool verdict_local = false;
+  // kGuard / kServe: publication epoch of the pinned region snapshot the
+  // probe read / the rows came from (0 = unversioned reads).
+  uint64_t epoch = 0;
 
   // kServe.
   bool local = false;

@@ -1,5 +1,6 @@
 #include "sim/oracle.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <utility>
@@ -45,6 +46,17 @@ struct PendingQuery {
   /// and none of them saw a withdrawn heartbeat.
   int guard_probes = 0;
   bool guards_all_known = true;
+  /// Heartbeat values this query validly claimed per region, as
+  /// (hb_known, hb) pairs. Under MVCC a query that has served local rows
+  /// stays pinned to that region snapshot, so a later probe may re-see a
+  /// heartbeat the install stream has since superseded — acceptable exactly
+  /// when the query itself claimed it before (the first claim per region
+  /// must match the install stream).
+  std::map<RegionId, std::vector<std::pair<bool, SimTimeMs>>> claimed;
+  /// First local-serve snapshot epoch per region (structural R4): every
+  /// local serve of one region within one query must come from the same
+  /// published snapshot.
+  std::map<RegionId, uint64_t> serve_epoch;
 };
 
 struct SessionState {
@@ -164,25 +176,48 @@ OracleReport CheckHistory(const History& history) {
       }
       case HistoryEvent::Kind::kGuard: {
         ++report.guards_checked;
+        PendingQuery& gq = pending[ev.query];
         // R2: the heartbeat the guard claims must be the one the install
-        // stream last published — withdrawn while quarantined/resyncing.
+        // stream last published — withdrawn while quarantined/resyncing —
+        // or one this query already validly claimed for the region: once the
+        // query has served local rows, its MVCC pin freezes the region at
+        // that snapshot, so a later probe legitimately re-sees the pinned
+        // heartbeat past newer installs. The first claim per (query, region)
+        // has no precedent, so it must match the install stream — a frozen
+        // publication (the mvcc-mutate bug) is still caught on every fresh
+        // query.
         auto rit = regions.find(ev.region);
         bool derived_known = rit != regions.end() && rit->second.certified();
-        if (derived_known != ev.heartbeat_known) {
-          violate("heartbeat-divergence", ev.query, ev.seq,
-                  StrPrintf("guard saw heartbeat_known=%d for region %d, "
-                            "install stream says %d",
-                            ev.heartbeat_known ? 1 : 0,
-                            static_cast<int>(ev.region), derived_known ? 1 : 0));
-        } else if (derived_known && rit->second.hb != ev.heartbeat) {
-          violate("heartbeat-divergence", ev.query, ev.seq,
-                  StrPrintf("guard saw heartbeat %lld for region %d, install "
-                            "stream published %lld",
-                            static_cast<long long>(ev.heartbeat),
-                            static_cast<int>(ev.region),
-                            static_cast<long long>(rit->second.hb)));
+        auto& claims = gq.claimed[ev.region];
+        bool matches_current =
+            derived_known == ev.heartbeat_known &&
+            (!derived_known || rit->second.hb == ev.heartbeat);
+        bool matches_prior = false;
+        for (const auto& [known, hb] : claims) {
+          if (known == ev.heartbeat_known && (!known || hb == ev.heartbeat)) {
+            matches_prior = true;
+            break;
+          }
         }
-        PendingQuery& gq = pending[ev.query];
+        if (!matches_current && !matches_prior) {
+          if (derived_known != ev.heartbeat_known) {
+            violate("heartbeat-divergence", ev.query, ev.seq,
+                    StrPrintf("guard saw heartbeat_known=%d for region %d, "
+                              "install stream says %d",
+                              ev.heartbeat_known ? 1 : 0,
+                              static_cast<int>(ev.region),
+                              derived_known ? 1 : 0));
+          } else {
+            violate("heartbeat-divergence", ev.query, ev.seq,
+                    StrPrintf("guard saw heartbeat %lld for region %d, install "
+                              "stream published %lld",
+                              static_cast<long long>(ev.heartbeat),
+                              static_cast<int>(ev.region),
+                              static_cast<long long>(rit->second.hb)));
+          }
+        } else {
+          claims.emplace_back(ev.heartbeat_known, ev.heartbeat);
+        }
         ++gq.guard_probes;
         if (!ev.heartbeat_known) gq.guards_all_known = false;
         // R1: re-derive the verdict from the recorded inputs with the
@@ -206,13 +241,24 @@ OracleReport CheckHistory(const History& history) {
       }
       case HistoryEvent::Kind::kServe: {
         ++report.serves_checked;
+        PendingQuery& sq = pending[ev.query];
         ServeRec rec;
         rec.ev = ev;
         if (ev.local) {
           auto rit = regions.find(ev.region);
           bool derived_known = rit != regions.end() && rit->second.certified();
-          if (ev.heartbeat_known &&
-              (!derived_known || rit->second.hb != ev.heartbeat)) {
+          // R2 (serve side), with the same pinned-claim allowance as the
+          // guard check above.
+          auto& claims = sq.claimed[ev.region];
+          bool matches_current = derived_known && rit->second.hb == ev.heartbeat;
+          bool matches_prior = false;
+          for (const auto& [known, hb] : claims) {
+            if (known && hb == ev.heartbeat) {
+              matches_prior = true;
+              break;
+            }
+          }
+          if (ev.heartbeat_known && !matches_current && !matches_prior) {
             violate("heartbeat-divergence", ev.query, ev.seq,
                     StrPrintf("serve claims heartbeat %lld for region %d, "
                               "install stream says %s",
@@ -221,6 +267,24 @@ OracleReport CheckHistory(const History& history) {
                               derived_known
                                   ? std::to_string(rit->second.hb).c_str()
                                   : "unknown"));
+          } else if (ev.heartbeat_known) {
+            claims.emplace_back(true, ev.heartbeat);
+          }
+          // Structural R4: the MVCC pin guarantees every local serve of one
+          // region within one query reads the same published snapshot — the
+          // recorded epochs must agree (0 = engine without versioned reads;
+          // skipped).
+          if (ev.epoch != 0) {
+            auto [eit, first] = sq.serve_epoch.emplace(ev.region, ev.epoch);
+            if (!first && eit->second != ev.epoch) {
+              violate("snapshot-epoch", ev.query, ev.seq,
+                      StrPrintf("local serve from region %d snapshot epoch "
+                                "%llu, but an earlier serve of this query "
+                                "read epoch %llu",
+                                static_cast<int>(ev.region),
+                                static_cast<unsigned long long>(ev.epoch),
+                                static_cast<unsigned long long>(eit->second)));
+            }
           }
           rec.as_of_at_serve =
               rit != regions.end() ? rit->second.as_of : kInitialTimestamp;
@@ -229,7 +293,22 @@ OracleReport CheckHistory(const History& history) {
           rec.as_of_at_serve = latest;
         }
         rec.candidates.push_back(rec.as_of_at_serve);
-        pending[ev.query].serves.push_back(std::move(rec));
+        if (ev.local) {
+          // A pinned serve may carry rows from a snapshot the region
+          // published before the current install: any snapshot an earlier
+          // local serve of this (query, region) could have read is a
+          // candidate here too.
+          for (const ServeRec& prev : sq.serves) {
+            if (!prev.ev.local || prev.ev.region != ev.region) continue;
+            for (TxnTimestamp c : prev.candidates) {
+              if (std::find(rec.candidates.begin(), rec.candidates.end(), c) ==
+                  rec.candidates.end()) {
+                rec.candidates.push_back(c);
+              }
+            }
+          }
+        }
+        sq.serves.push_back(std::move(rec));
         break;
       }
       case HistoryEvent::Kind::kAnswer: {

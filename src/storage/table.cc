@@ -124,6 +124,17 @@ void Table::Clear() {
   }
 }
 
+void Table::CopyContentsFrom(const Table& src) {
+  RCC_CHECK(schema_.num_columns() == src.schema_.num_columns(),
+            "CopyContentsFrom requires matching schemas");
+  rows_ = src.rows_;
+  indexes_.clear();
+  indexes_.reserve(src.indexes_.size());
+  for (const auto& idx : src.indexes_) {
+    indexes_.push_back(std::make_unique<SecondaryIndex>(*idx));
+  }
+}
+
 const Row* Table::Get(const TableKey& key) const {
   auto it = rows_.find(key);
   return it == rows_.end() ? nullptr : &it->second;

@@ -76,6 +76,11 @@ class Table {
   /// Removes all rows (indexes included).
   void Clear();
 
+  /// Replaces this table's rows and secondary indexes with deep copies of
+  /// `src`'s. Schemas must be identical; used by the copy-on-write view
+  /// clones on the MVCC delivery path.
+  void CopyContentsFrom(const Table& src);
+
   /// Point lookup by primary key; nullptr if absent.
   const Row* Get(const TableKey& key) const;
 

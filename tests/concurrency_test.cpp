@@ -290,11 +290,11 @@ TEST(ConcurrencyTest, DegradeRefusesUnknownStaleness) {
 
 // -- raw lock/heartbeat contention (TSan surface) -----------------------------
 
-TEST(ConcurrencyTest, RegionLockAndHeartbeatContentionSmoke) {
-  // Readers scan a view and probe the heartbeat/epoch under the shared lock
-  // while a writer applies ops and publishes heartbeats under the exclusive
-  // lock — the exact interleaving the engine produces, in miniature. The
-  // assertions are minimal; the point is a clean TSan report.
+TEST(ConcurrencyTest, RegionPublishAndPinContentionSmoke) {
+  // Readers pin an epoch and scan the current snapshot lock-free while a
+  // writer clones the view, applies ops and publishes successor snapshots —
+  // the exact interleaving the MVCC engine produces, in miniature. The
+  // assertions are minimal; the point is a clean TSan/ASan report.
   TableDef items;
   items.name = "Items";
   items.schema = Schema({{"id", ValueType::kInt64},
@@ -308,37 +308,37 @@ TEST(ConcurrencyTest, RegionLockAndHeartbeatContentionSmoke) {
   def.region = 1;
   auto view_or = MaterializedView::Create(def, items);
   ASSERT_TRUE(view_or.ok());
-  MaterializedView* view = view_or->get();
   RegionDef region_def;
   region_def.cid = 1;
   CurrencyRegion region(region_def);
-  region.AddView(view);
+  region.AddView(std::move(*view_or));
 
   constexpr int kWriterOps = 400;
   std::atomic<bool> done{false};
   std::thread writer([&] {
     for (int i = 0; i < kWriterOps; ++i) {
-      {
-        std::unique_lock<std::shared_mutex> guard(region.data_lock());
-        RowOp op;
-        op.kind = RowOp::Kind::kInsert;
-        op.table = "Items";
-        op.row = {Value::Int(i), Value::Int(i % 4), Value::Double(i * 1.0)};
-        view->ApplyOp(op);
-        if (i % 3 == 0 && i > 0) {
-          RowOp upd;
-          upd.kind = RowOp::Kind::kUpdate;
-          upd.table = "Items";
-          upd.key = {Value::Int(i - 1)};
-          upd.row = {Value::Int(i + kWriterOps), Value::Int(1),
-                     Value::Double(0.5)};
-          view->ApplyOp(upd);
-        }
-      }
-      // Publish outside the data mutation, like DistributionAgent::Deliver:
-      // heartbeat first (release), then the epoch bump.
-      region.set_local_heartbeat(i * 10);
-      region.BumpDeliveryEpoch();
+      region.PublishUpdate(
+          [&](const RegionSnapshot& cur, RegionSnapshot* next) {
+            auto clone = cur.views[0]->Clone();
+            RowOp op;
+            op.kind = RowOp::Kind::kInsert;
+            op.table = "Items";
+            op.row = {Value::Int(i), Value::Int(i % 4),
+                      Value::Double(i * 1.0)};
+            clone->ApplyOp(op);
+            if (i % 3 == 0 && i > 0) {
+              RowOp upd;
+              upd.kind = RowOp::Kind::kUpdate;
+              upd.table = "Items";
+              upd.key = {Value::Int(i - 1)};
+              upd.row = {Value::Int(i + kWriterOps), Value::Int(1),
+                         Value::Double(0.5)};
+              clone->ApplyOp(upd);
+            }
+            next->views[0] = std::move(clone);
+            next->heartbeat = i * 10;
+            return true;
+          });
     }
     done.store(true);
   });
@@ -346,26 +346,29 @@ TEST(ConcurrencyTest, RegionLockAndHeartbeatContentionSmoke) {
   std::vector<std::thread> readers;
   for (int t = 0; t < 3; ++t) {
     readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      SimTimeMs last_hb = 0;
       while (!done.load()) {
-        SimTimeMs hb = region.local_heartbeat();
-        uint64_t epoch = region.delivery_epoch();
+        SnapshotPin pin(region.epochs());
+        const RegionSnapshot* snap = pin.Acquire(&region);
         size_t rows = 0;
-        {
-          std::shared_lock<std::shared_mutex> guard(region.data_lock());
-          view->data().Scan([&rows](const Row&) {
-            ++rows;
-            return true;
-          });
-        }
+        snap->views[0]->data().Scan([&rows](const Row&) {
+          ++rows;
+          return true;
+        });
+        // A snapshot is internally coherent and publication is monotonic.
         EXPECT_LE(rows, 2u * kWriterOps);
-        EXPECT_GE(region.delivery_epoch(), epoch);
-        EXPECT_GE(region.local_heartbeat(), hb);
+        EXPECT_GE(snap->epoch, last_epoch);
+        EXPECT_GE(snap->heartbeat, last_hb);
+        last_epoch = snap->epoch;
+        last_hb = snap->heartbeat;
       }
     });
   }
   writer.join();
   for (std::thread& r : readers) r.join();
-  EXPECT_EQ(region.delivery_epoch(), static_cast<uint64_t>(kWriterOps));
+  // AddView published epoch 1; every writer iteration published once more.
+  EXPECT_EQ(region.delivery_epoch(), static_cast<uint64_t>(kWriterOps) + 1);
 }
 
 // -- plan cache under contention ----------------------------------------------

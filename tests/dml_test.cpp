@@ -126,7 +126,7 @@ TEST_F(DmlTest, KeyChangingUpdateReplicatesWithoutOrphans) {
 
   // Let the region deliver the change (interval 5s + delay 1s).
   fx_.sys.AdvanceBy(10000);
-  const MaterializedView* copy = fx_.sys.cache()->view("BooksCopy");
+  auto copy = fx_.sys.cache()->view("BooksCopy");
   ASSERT_NE(copy, nullptr);
   EXPECT_EQ(copy->data().Get({Value::Int(7)}), nullptr)
       << "pre-image row orphaned in the cached view";

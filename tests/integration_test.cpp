@@ -190,7 +190,7 @@ TEST(IntegrationTest, MutualConsistencyWithinRegionAlways) {
     const CurrencyRegion* r1 = fx.sys.cache()->region(1);
     ASSERT_NE(r1, nullptr);
     std::vector<semantics::CopyState> copies;
-    for (const MaterializedView* view : r1->views()) {
+    for (const auto& view : r1->views()) {
       copies.push_back(
           semantics::CopyState{view->def().source_table, r1->as_of()});
     }

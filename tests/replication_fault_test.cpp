@@ -117,8 +117,7 @@ class FaultAgentTest : public ::testing::Test {
     region_ = std::make_unique<CurrencyRegion>(def);
     auto view = MaterializedView::Create(FullView(), items_);
     ASSERT_TRUE(view.ok());
-    view_ = std::move(*view);
-    region_->AddView(view_.get());
+    region_->AddView(std::move(*view));
     agent_ = std::make_unique<DistributionAgent>(region_.get(), &log_,
                                                  &heartbeat_, &sched_);
     agent_->set_master_table_provider(
@@ -195,10 +194,17 @@ class FaultAgentTest : public ::testing::Test {
         << "never applied";
   }
 
+  /// The region's *current* published view (delivery and resync publish
+  /// fresh clones, so the originally added object goes stale).
+  std::shared_ptr<const MaterializedView> View() const {
+    return region_->view("items_copy");
+  }
+
   void ExpectViewMatchesMaster() {
-    EXPECT_EQ(view_->data().num_rows(), master_.num_rows());
+    auto view = View();
+    EXPECT_EQ(view->data().num_rows(), master_.num_rows());
     master_.Scan([&](const Row& row) {
-      const Row* replica = view_->data().Get({row[0]});
+      const Row* replica = view->data().Get({row[0]});
       EXPECT_NE(replica, nullptr);
       if (replica != nullptr) {
         EXPECT_EQ(RowToString(*replica), RowToString(row));
@@ -214,7 +220,6 @@ class FaultAgentTest : public ::testing::Test {
   UpdateLog log_;
   HeartbeatStore heartbeat_;
   std::unique_ptr<CurrencyRegion> region_;
-  std::unique_ptr<MaterializedView> view_;
   std::unique_ptr<DistributionAgent> agent_;
   std::vector<std::pair<RegionHealth, RegionHealth>> transitions_;
   TxnTimestamp last_ts_ = 0;
@@ -357,7 +362,7 @@ TEST_F(FaultAgentTest, StallStopsDeliveriesThenHeals) {
   sched_.RunUntil(15000);
   EXPECT_EQ(agent_->fault_injector()->stalls(), 1);
   EXPECT_EQ(region_->health(), RegionHealth::kQuarantined);
-  EXPECT_EQ(view_->data().num_rows(), 0u);
+  EXPECT_EQ(View()->data().num_rows(), 0u);
   // Recovery happens even though the injector would stall every wakeup:
   // quarantine checks recovery before drawing new stalls. Wakeup 20000
   // enters RESYNCING and the rebuilt snapshot lands at 21000.
@@ -407,8 +412,7 @@ TEST_F(FaultAgentTest, ResyncedRegionIsBitIdenticalToNeverFaultedTwin) {
   auto region2 = std::make_unique<CurrencyRegion>(def2);
   auto view2_or = MaterializedView::Create(FullView(2, "items_copy2"), items_);
   ASSERT_TRUE(view2_or.ok());
-  auto view2 = std::move(*view2_or);
-  region2->AddView(view2.get());
+  region2->AddView(std::move(*view2_or));
   DistributionAgent agent2(region2.get(), &log_, &heartbeat_, &sched_);
   agent2.Start(5000);
 
@@ -426,9 +430,11 @@ TEST_F(FaultAgentTest, ResyncedRegionIsBitIdenticalToNeverFaultedTwin) {
   sched_.RunUntil(clock_.Now() + 60000);
   ASSERT_EQ(region_->health(), RegionHealth::kHealthy);
   // Row-for-row identical replicas.
-  EXPECT_EQ(view_->data().num_rows(), view2->data().num_rows());
+  auto mine_view = View();
+  auto view2 = region2->view("items_copy2");
+  EXPECT_EQ(mine_view->data().num_rows(), view2->data().num_rows());
   view2->data().Scan([&](const Row& row) {
-    const Row* mine = view_->data().Get({row[0]});
+    const Row* mine = mine_view->data().Get({row[0]});
     EXPECT_NE(mine, nullptr);
     if (mine != nullptr) {
       EXPECT_EQ(RowToString(*mine), RowToString(row));
@@ -449,7 +455,6 @@ TEST_F(FaultAgentTest, StopCancelsInFlightEventsBeforeDestruction) {
   // otherwise call into freed memory (asan-visible use-after-free).
   agent_.reset();
   region_.reset();
-  view_.reset();
   sched_.RunUntil(60000);  // queued events are skipped, not dispatched
   SUCCEED();
 }
@@ -588,9 +593,10 @@ TEST(ReplicationFaultSystemTest, MetricsExportHealthGaugeAndCounters) {
 TEST(ReplicationFaultSystemTest, PooledReadersNeverSeeDataBehindHeartbeat) {
   // Concurrent batches interleaved with faulty replication: whatever the
   // fault mix does to deliveries, a query that served locally must have read
-  // data at least as new as the heartbeat published for its region — the
-  // exclusive data lock and publication order guarantee it even while
-  // batches drop, reorder and poison. Runs under tsan via the `repl` label.
+  // data at least as new as the heartbeat published for its region — data
+  // and heartbeat travel in one immutable snapshot, so the guarantee holds
+  // even while batches drop, reorder and poison. Runs under tsan via the
+  // `repl` label.
   BookstoreFixture fx(5000, 1000);
   ReplicationFaultConfig faults;
   faults.seed = 99;

@@ -221,8 +221,7 @@ class AgentTest : public ::testing::Test {
     region_ = std::make_unique<CurrencyRegion>(def);
     auto view = MaterializedView::Create(FullView(), items_);
     ASSERT_TRUE(view.ok());
-    view_ = std::move(*view);
-    region_->AddView(view_.get());
+    region_->AddView(std::move(*view));
     agent_ = std::make_unique<DistributionAgent>(region_.get(), &log_,
                                                  &heartbeat_, &sched_);
     agent_->Start(f);
@@ -247,13 +246,18 @@ class AgentTest : public ::testing::Test {
     log_.Append(std::move(txn));
   }
 
+  /// Delivery publishes fresh clones, so assertions must read the *current*
+  /// published view from the region, not the originally added object.
+  std::shared_ptr<const MaterializedView> View() const {
+    return region_->view("items_copy");
+  }
+
   VirtualClock clock_;
   SimulationScheduler sched_;
   TableDef items_;
   UpdateLog log_;
   HeartbeatStore heartbeat_;
   std::unique_ptr<CurrencyRegion> region_;
-  std::unique_ptr<MaterializedView> view_;
   std::unique_ptr<DistributionAgent> agent_;
   TxnTimestamp last_ts_ = 0;
 };
@@ -263,9 +267,9 @@ TEST_F(AgentTest, DeliversAfterDelay) {
   Commit(1000, 1, 9.9);
   // Agent wakes at t=10000, delivery lands at t=15000.
   sched_.RunUntil(14999);
-  EXPECT_EQ(view_->data().num_rows(), 0u);
+  EXPECT_EQ(View()->data().num_rows(), 0u);
   sched_.RunUntil(15000);
-  EXPECT_EQ(view_->data().num_rows(), 1u);
+  EXPECT_EQ(View()->data().num_rows(), 1u);
   EXPECT_EQ(region_->as_of(), 1u);
   EXPECT_EQ(region_->applied_log_pos(), 1u);
 }
@@ -276,7 +280,7 @@ TEST_F(AgentTest, AppliesInCommitOrder) {
   Commit(2000, 2, 2.0);
   Commit(3000, 3, 3.0);
   sched_.RunUntil(10000);
-  EXPECT_EQ(view_->data().num_rows(), 3u);
+  EXPECT_EQ(View()->data().num_rows(), 3u);
   EXPECT_EQ(region_->as_of(), 3u);
 }
 
@@ -286,9 +290,9 @@ TEST_F(AgentTest, SnapshotExcludesLaterCommits) {
   // Committed after the wake-up snapshot at t=10000:
   Commit(12000, 2, 2.0);
   sched_.RunUntil(15000);  // first delivery
-  EXPECT_EQ(view_->data().num_rows(), 1u);
+  EXPECT_EQ(View()->data().num_rows(), 1u);
   sched_.RunUntil(25000);  // second wake at 20000, delivery at 25000
-  EXPECT_EQ(view_->data().num_rows(), 2u);
+  EXPECT_EQ(View()->data().num_rows(), 2u);
 }
 
 TEST_F(AgentTest, HeartbeatBoundsStaleness) {
@@ -337,23 +341,39 @@ TEST_F(AgentTest, DeliveryMatchesTableNamesCaseInsensitively) {
   txn.ops.push_back(std::move(other));
   log_.Append(std::move(txn));
   sched_.RunUntil(10000);
-  EXPECT_EQ(view_->data().num_rows(), 1u);
-  EXPECT_NE(view_->data().Get({Value::Int(1)}), nullptr);
+  EXPECT_EQ(View()->data().num_rows(), 1u);
+  EXPECT_NE(View()->data().Get({Value::Int(1)}), nullptr);
 }
 
-TEST(CurrencyRegionTest, ViewsOfIndexesBySourceTable) {
+TEST(CurrencyRegionTest, SnapshotIndexesViewsBySourceTable) {
   RegionDef def;
   def.cid = 1;
   CurrencyRegion region(def);
   TableDef items = ItemsDef();
   auto view = MaterializedView::Create(FullView(), items);
   ASSERT_TRUE(view.ok());
-  region.AddView(view->get());
-  ASSERT_NE(region.ViewsOf("items"), nullptr);
-  EXPECT_EQ(region.ViewsOf("items")->size(), 1u);
-  // The map is keyed by lower-cased names; unknown tables yield nullptr.
-  EXPECT_EQ(region.ViewsOf("Items"), nullptr);
-  EXPECT_EQ(region.ViewsOf("ghost"), nullptr);
+  region.AddView(std::move(*view));
+  auto snap = region.Snapshot();
+  ASSERT_NE(snap->ViewIndicesOf("items"), nullptr);
+  EXPECT_EQ(snap->ViewIndicesOf("items")->size(), 1u);
+  // The index is keyed by lower-cased names; unknown tables yield nullptr.
+  EXPECT_EQ(snap->ViewIndicesOf("Items"), nullptr);
+  EXPECT_EQ(snap->ViewIndicesOf("ghost"), nullptr);
+  // View-name lookup, also keyed lower-cased.
+  EXPECT_NE(region.view("items_copy"), nullptr);
+  EXPECT_EQ(region.view("ghost"), nullptr);
+}
+
+TEST(CurrencyRegionTest, CurrencyAtClampsAtZero) {
+  RegionDef def;
+  def.cid = 1;
+  CurrencyRegion region(def);
+  region.set_local_heartbeat(5000);
+  // A reader whose (frozen) query clock trails a just-published heartbeat is
+  // current, not negatively stale — mirror of semantics::CurrencyOf's clamp.
+  EXPECT_EQ(region.CurrencyAt(1000), 0);
+  EXPECT_EQ(region.CurrencyAt(5000), 0);
+  EXPECT_EQ(region.CurrencyAt(7500), 2500);
 }
 
 TEST_F(AgentTest, RandomizedViewMatchesMasterSnapshot) {
@@ -394,9 +414,9 @@ TEST_F(AgentTest, RandomizedViewMatchesMasterSnapshot) {
   // Let everything propagate (no more commits).
   sched_.RunUntil(clock_.Now() + 20000);
   ASSERT_EQ(region_->as_of(), last_ts_);
-  EXPECT_EQ(view_->data().num_rows(), master.num_rows());
+  EXPECT_EQ(View()->data().num_rows(), master.num_rows());
   master.Scan([&](const Row& row) {
-    const Row* replica = view_->data().Get({row[0]});
+    const Row* replica = View()->data().Get({row[0]});
     EXPECT_NE(replica, nullptr);
     if (replica != nullptr) {
       EXPECT_EQ(RowToString(*replica), RowToString(row));

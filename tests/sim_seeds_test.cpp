@@ -3,12 +3,16 @@
 // workloads. In the normal build every seed must replay with zero
 // conformance violations; in the mutation builds the same seeds must
 // surface at least one — the matched pair is what demonstrates the
-// oracle's independence from the engine under test. Two planted bugs:
+// oracle's independence from the engine under test. Three planted bugs:
 //  - RCC_SIM_MUTATE: the guard check is skewed by one refresh interval;
 //  - RCC_PLANCACHE_MUTATE: the plan-cache key drops the degrade mode, so
 //    the runner's SET DEGRADE rotation serves plans cached under the wrong
 //    mode (e.g. an ALWAYS-behaving plan on a NONE session — a degraded
-//    answer the session never authorized, oracle rule R3).
+//    answer the session never authorized, oracle rule R3);
+//  - RCC_MVCC_MUTATE: delivery publishes the batch's data with the *old*
+//    heartbeat, so snapshots certify currency bounds the fresh data doesn't
+//    satisfy — the oracle's guard/serve heartbeat cross-check disagrees
+//    with what its own replay of the delivery schedule derives.
 
 #include <gtest/gtest.h>
 
@@ -44,7 +48,8 @@ TEST_P(SimSeedMatrixTest, HistoryConformsToModel) {
   EXPECT_GT(run->commits, 0);
   EXPECT_EQ(run->digest, run->history.Digest());
 
-#if defined(RCC_SIM_MUTATE) || defined(RCC_PLANCACHE_MUTATE)
+#if defined(RCC_SIM_MUTATE) || defined(RCC_PLANCACHE_MUTATE) || \
+    defined(RCC_MVCC_MUTATE)
   // Collected across the matrix by the *IsCaughtSomewhere tests below; a
   // single seed need not trip (loose bounds can mask the skew, and a seed's
   // degrade rotation may never cross a cached plan), so no per-seed
@@ -121,6 +126,29 @@ TEST(SimSeedMatrixTest, PlanCacheMutationIsCaughtSomewhere) {
     cfg.faults = c.faults;
     cfg.workload = c.workload;
     cfg.steps = 200;
+    auto run = RunSimulation(cfg);
+    ASSERT_TRUE(run.ok());
+    total += run->report.violations.size();
+  }
+  EXPECT_GE(total, 1u);
+}
+#endif
+
+#ifdef RCC_MVCC_MUTATE
+TEST(SimSeedMatrixTest, MvccMutationIsCaughtSomewhere) {
+  // The stale-heartbeat publication only matters when a guard probes or a
+  // local serve records a heartbeat *after* a delivery that should have
+  // advanced it — the oracle replays the delivery schedule independently and
+  // derives the heartbeat each snapshot ought to carry, so any region that
+  // receives at least one non-empty batch before being read disagrees. Sweep
+  // the full 25-seed matrix and require at least one flagged violation.
+  size_t total = 0;
+  for (const SeedCase& c : BuildMatrix()) {
+    SimRunConfig cfg;
+    cfg.seed = c.seed;
+    cfg.faults = c.faults;
+    cfg.workload = c.workload;
+    cfg.steps = 80;
     auto run = RunSimulation(cfg);
     ASSERT_TRUE(run.ok());
     total += run->report.violations.size();
