@@ -170,15 +170,25 @@ class CacheDbms {
   /// region locks at all: each pins an epoch and reads immutable published
   /// snapshots (DESIGN.md §13). The scheduler must only be run between
   /// batches (the determinism contract; see DESIGN.md §8).
+  ///
+  /// Begin/End are *counted*, not a flag: the network server holds
+  /// concurrent-batch mode for its whole lifetime while a connection's
+  /// Session::ExecuteBatch opens a nested batch inside it — with a bool,
+  /// the inner End would have switched the still-running server back to
+  /// serial mode (unlocked remote channel, clock allowed to advance).
   void BeginConcurrentBatch() {
-    concurrent_batch_.store(true, std::memory_order_release);
+    concurrent_batch_depth_.fetch_add(1, std::memory_order_acq_rel);
   }
   void EndConcurrentBatch() {
-    concurrent_batch_.store(false, std::memory_order_release);
+    concurrent_batch_depth_.fetch_sub(1, std::memory_order_acq_rel);
   }
   bool in_concurrent_batch() const {
-    return concurrent_batch_.load(std::memory_order_acquire);
+    return concurrent_batch_depth_.load(std::memory_order_acquire) > 0;
   }
+
+  /// The shared epoch manager (read-only use: leak checks assert
+  /// `MinPinnedEpoch() == current_epoch()` once all readers finished).
+  const SnapshotEpochManager& epoch_manager() const { return *epochs_; }
 
   /// -- accessors -------------------------------------------------------------------
   const Catalog& catalog() const { return catalog_; }
@@ -314,7 +324,8 @@ class CacheDbms {
   /// Serializes the remote channel (policy retries/breaker, injector RNG,
   /// back-end executor stats are all single-threaded state).
   mutable std::mutex remote_mutex_;
-  std::atomic<bool> concurrent_batch_{false};
+  /// Nesting depth of BeginConcurrentBatch (see its comment).
+  std::atomic<int> concurrent_batch_depth_{0};
 };
 
 }  // namespace rcc

@@ -8,19 +8,14 @@ namespace rcc {
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
+  for (char& c : out) c = AsciiToLowerChar(c);
   return out;
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
+    if (AsciiToLowerChar(a[i]) != AsciiToLowerChar(b[i])) return false;
   }
   return true;
 }

@@ -7,11 +7,25 @@
 
 namespace rcc {
 
-/// Lower-cases ASCII characters; SQL identifiers/keywords are
-/// case-insensitive in our dialect.
+/// Branchless ASCII-only lowercase of one byte. Deliberately NOT
+/// `std::tolower`: that is locale-dependent (keyword recognition must not
+/// change when the host process runs under tr_TR or a Latin-1 locale) and
+/// UB for negative `char` values, which high-bit bytes inside UTF-8 string
+/// literals produce on signed-char platforms. Bytes outside 'A'..'Z' —
+/// including everything >= 0x80 — pass through unchanged.
+inline char AsciiToLowerChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return static_cast<char>(
+      u | ((static_cast<unsigned>(u - 'A') < 26u) << 5));
+}
+
+/// Lower-cases ASCII characters only; SQL identifiers/keywords are
+/// case-insensitive in our dialect, and non-ASCII bytes (e.g. inside string
+/// literals) are preserved byte-for-byte.
 std::string ToLower(std::string_view s);
 
-/// True if two strings are equal ignoring ASCII case.
+/// True if two strings are equal ignoring ASCII case (non-ASCII bytes must
+/// match exactly).
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 /// Joins `parts` with `sep`.

@@ -12,21 +12,37 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+size_t ThreadPool::CancelPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // After shutdown begins, workers may already have observed an empty
+    // queue and exited — a task enqueued now could never run. Reject it
+    // instead of accepting-and-dropping.
+    if (stop_) return false;
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
@@ -41,11 +57,14 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   auto barrier = std::make_shared<Barrier>();
   barrier->remaining = tasks.size();
   for (std::function<void()>& task : tasks) {
-    Submit([barrier, body = std::move(task)] {
+    std::function<void()> wrapped = [barrier, body = std::move(task)] {
       body();
       std::lock_guard<std::mutex> lock(barrier->mu);
       if (--barrier->remaining == 0) barrier->cv.notify_all();
-    });
+    };
+    // Pool shutting down: run inline so Run's contract (every task
+    // executes exactly once) still holds for the caller.
+    if (!Submit(wrapped)) wrapped();
   }
   std::unique_lock<std::mutex> lock(barrier->mu);
   barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });

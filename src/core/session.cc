@@ -24,8 +24,7 @@ bool MatchWord(const std::string& s, size_t* pos, const char* word) {
   size_t i = SkipSpace(s, *pos);
   size_t j = 0;
   while (word[j] != '\0') {
-    if (i + j >= s.size() ||
-        std::tolower(static_cast<unsigned char>(s[i + j])) != word[j]) {
+    if (i + j >= s.size() || AsciiToLowerChar(s[i + j]) != word[j]) {
       return false;
     }
     ++j;
@@ -110,16 +109,16 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
   // they configure the session rather than run a query).
   DegradeMode mode;
   if (ParseSetDegrade(sql, &mode)) {
-    degrade_mode_ = mode;
+    set_degrade_mode(mode);
     QueryResult out;
-    out.message = std::string("degrade mode ") +
-                  std::string(DegradeModeName(degrade_mode_));
+    out.message =
+        std::string("degrade mode ") + std::string(DegradeModeName(mode));
     out.executed_at = system_->Now();
     return out;
   }
   bool trace_on;
   if (ParseSetTrace(sql, &trace_on)) {
-    trace_enabled_ = trace_on;
+    set_trace_enabled(trace_on);
     QueryResult out;
     out.message = trace_on ? "trace ON" : "trace OFF";
     out.executed_at = system_->Now();
@@ -140,10 +139,15 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
 Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
                                               bool is_explain,
                                               bool is_analyze) {
+  // Read the session modes exactly once: a concurrent SET DEGRADE / BEGIN
+  // TIMEORDERED takes effect at the next query's admission, never mid-query
+  // (the cache lookup, audit mode and floor handling below must agree).
+  const DegradeMode session_degrade = degrade_mode();
+  const bool session_timeordered = in_timeordered();
   CacheDbms* cache = system_->cache();
   PlanCache& plan_cache = cache->plan_cache();
   PlanCache::LookupResult looked =
-      plan_cache.Lookup(body, degrade_mode_, timeordered_);
+      plan_cache.Lookup(body, session_degrade, session_timeordered);
   std::shared_ptr<const PlanCacheEntry> entry;
   std::vector<Value> params;
   bool cached = false;
@@ -167,11 +171,11 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
       }
     }
     fresh->plan = owned;
-    fresh->created_degrade = degrade_mode_;
-    fresh->created_timeordered = timeordered_;
+    fresh->created_degrade = session_degrade;
+    fresh->created_timeordered = session_timeordered;
     entry = fresh;
     params = fresh->creation_values;
-    plan_cache.Insert(looked.norm, body, degrade_mode_, timeordered_,
+    plan_cache.Insert(looked.norm, body, session_degrade, session_timeordered,
                       std::move(fresh), looked.version_at_lookup);
   }
   const QueryPlan& plan = *entry->plan;
@@ -184,9 +188,11 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
     out.executed_at = system_->Now();
     return out;
   }
-  SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
+  SimTimeMs floor = session_timeordered ? timeline_floor() : -1;
   std::shared_ptr<obs::QueryTrace> trace;
-  if (trace_enabled_ || is_analyze) trace = std::make_shared<obs::QueryTrace>();
+  if (trace_enabled() || is_analyze) {
+    trace = std::make_shared<obs::QueryTrace>();
+  }
   CacheDbms::PreparedExecOptions eo;
   eo.timeline_floor = floor;
   // The query *behaves* under the mode the plan was created for and is
@@ -196,16 +202,13 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
   // they diverge and the conformance oracle sees a degraded serve recorded
   // under a mode that never authorized one.
   eo.degrade = entry->created_degrade;
-  eo.audit_degrade = degrade_mode_;
+  eo.audit_degrade = session_degrade;
   eo.trace = trace.get();
   eo.session_tag = id_;
   eo.params = &params;
   RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
                        cache->ExecutePrepared(plan, eo));
-  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
-    timeline_floor_.store(outcome.max_seen_heartbeat,
-                          std::memory_order_release);
-  }
+  if (session_timeordered) RaiseFloor(outcome.max_seen_heartbeat);
   QueryResult result = MakeQueryResult(std::move(outcome));
   if (is_analyze) {
     result.message =
@@ -225,7 +228,7 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
     case StatementKind::kDelete:
       return ExecuteDelete(*stmt.del);
     case StatementKind::kBeginTimeOrdered:
-      timeordered_ = true;
+      timeordered_.store(true, std::memory_order_release);
       timeline_floor_.store(-1, std::memory_order_release);
       if (system_->history_sink() != nullptr) {
         system_->history_sink()->OnSessionMode(id_, true, system_->Now());
@@ -233,7 +236,7 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
       out.message = "timeline consistency ON";
       return out;
     case StatementKind::kEndTimeOrdered:
-      timeordered_ = false;
+      timeordered_.store(false, std::memory_order_release);
       timeline_floor_.store(-1, std::memory_order_release);
       if (system_->history_sink() != nullptr) {
         system_->history_sink()->OnSessionMode(id_, false, system_->Now());
@@ -246,18 +249,16 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
       break;
   }
 
+  const bool session_timeordered = in_timeordered();
   CacheDbms* cache = system_->cache();
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
-  SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
+  SimTimeMs floor = session_timeordered ? timeline_floor() : -1;
   std::shared_ptr<obs::QueryTrace> trace;
-  if (trace_enabled_) trace = std::make_shared<obs::QueryTrace>();
+  if (trace_enabled()) trace = std::make_shared<obs::QueryTrace>();
   RCC_ASSIGN_OR_RETURN(
       CacheQueryOutcome outcome,
-      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get(), id_));
-  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
-    timeline_floor_.store(outcome.max_seen_heartbeat,
-                          std::memory_order_release);
-  }
+      cache->ExecutePrepared(plan, floor, degrade_mode(), trace.get(), id_));
+  if (session_timeordered) RaiseFloor(outcome.max_seen_heartbeat);
   QueryResult result = MakeQueryResult(std::move(outcome));
   result.trace = std::move(trace);
   return result;
@@ -277,15 +278,13 @@ Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
   }
   // ANALYZE: execute for real (timeline floor advances exactly as a plain
   // SELECT would), with a statement-scoped trace regardless of SET TRACE.
-  SimTimeMs floor = timeordered_ ? timeline_floor() : -1;
+  const bool session_timeordered = in_timeordered();
+  SimTimeMs floor = session_timeordered ? timeline_floor() : -1;
   auto trace = std::make_shared<obs::QueryTrace>();
   RCC_ASSIGN_OR_RETURN(
       CacheQueryOutcome outcome,
-      cache->ExecutePrepared(plan, floor, degrade_mode_, trace.get(), id_));
-  if (timeordered_ && outcome.max_seen_heartbeat > timeline_floor()) {
-    timeline_floor_.store(outcome.max_seen_heartbeat,
-                          std::memory_order_release);
-  }
+      cache->ExecutePrepared(plan, floor, degrade_mode(), trace.get(), id_));
+  if (session_timeordered) RaiseFloor(outcome.max_seen_heartbeat);
   QueryResult result = MakeQueryResult(std::move(outcome));
   result.message = obs::RenderExplainAnalyze(plan, result.stats, *trace);
   result.trace = std::move(trace);
@@ -296,9 +295,9 @@ std::vector<Result<QueryResult>> Session::ExecuteBatch(
     const std::vector<std::string>& sqls, int workers) {
   ConcurrentBatchOptions opts;
   opts.workers = workers;
-  opts.degrade = degrade_mode_;
+  opts.degrade = degrade_mode();
   opts.session_tag = id_;
-  if (timeordered_) {
+  if (in_timeordered()) {
     opts.timeline_floor = timeline_floor();
     opts.floor_cell = &timeline_floor_;
   }

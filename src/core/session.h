@@ -54,7 +54,9 @@ class Session {
   /// paper's introduction.
   Status VerifyConstraint(const QueryPlan& plan) const;
 
-  bool in_timeordered() const { return timeordered_; }
+  bool in_timeordered() const {
+    return timeordered_.load(std::memory_order_acquire);
+  }
 
   /// Process-unique session id; tags this session's queries and mode
   /// toggles in the audit history.
@@ -62,14 +64,26 @@ class Session {
 
   /// Degradation policy for remote-branch failures in this session's
   /// queries. Settable in SQL: SET DEGRADE = NONE | BOUNDED | ALWAYS.
-  DegradeMode degrade_mode() const { return degrade_mode_; }
-  void set_degrade_mode(DegradeMode mode) { degrade_mode_ = mode; }
+  /// Atomic: a network connection may apply SET DEGRADE on one thread while
+  /// queries for the same session are in flight on pool workers; each query
+  /// reads the mode exactly once at admission, so it runs entirely under the
+  /// old or entirely under the new policy (never a mix).
+  DegradeMode degrade_mode() const {
+    return degrade_mode_.load(std::memory_order_acquire);
+  }
+  void set_degrade_mode(DegradeMode mode) {
+    degrade_mode_.store(mode, std::memory_order_release);
+  }
 
   /// Per-query structured tracing for this session's serial SELECTs.
   /// Settable in SQL: SET TRACE ON | OFF. When on, each QueryResult carries
   /// its trace. EXPLAIN ANALYZE traces its one statement regardless.
-  bool trace_enabled() const { return trace_enabled_; }
-  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_acquire);
+  }
+  void set_trace_enabled(bool on) {
+    trace_enabled_.store(on, std::memory_order_release);
+  }
 
   /// DML: builds the row operations (evaluating predicates against the
   /// master data) and forwards them as one transaction to the back-end —
@@ -100,14 +114,32 @@ class Session {
   Result<QueryResult> ExecuteSelectSql(const std::string& body,
                                        bool is_explain, bool is_analyze);
 
+  /// CAS-max: lifts the timeline floor to `seen` unless another query
+  /// already published something higher. A plain store would let a slow
+  /// query with an older snapshot *regress* the floor behind a faster
+  /// concurrent one, breaking the "never read older than already seen"
+  /// guarantee of §2.3.
+  void RaiseFloor(SimTimeMs seen) {
+    SimTimeMs cur = timeline_floor_.load(std::memory_order_relaxed);
+    while (seen > cur &&
+           !timeline_floor_.compare_exchange_weak(cur, seen,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
   RccSystem* system_;
   uint64_t id_;
-  bool timeordered_ = false;
-  bool trace_enabled_ = false;
+  // All session modes are atomics: the network front end funnels one
+  // connection's control frames and queries through one Session from
+  // different pool threads, so SET DEGRADE / SET TRACE / BEGIN TIMEORDERED
+  // legitimately race with Execute/ExecuteBatch.
+  std::atomic<bool> timeordered_{false};
+  std::atomic<bool> trace_enabled_{false};
   /// Atomic because ExecuteBatch workers CAS-max their observed snapshot
   /// times into it concurrently; the serial path uses it like a plain field.
   std::atomic<SimTimeMs> timeline_floor_{-1};
-  DegradeMode degrade_mode_ = DegradeMode::kNone;
+  std::atomic<DegradeMode> degrade_mode_{DegradeMode::kNone};
 };
 
 }  // namespace rcc

@@ -1,0 +1,234 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace rcc {
+namespace server {
+
+RccClient::RccClient(RccClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_seq_(other.next_seq_),
+      decoder_(std::move(other.decoder_)) {}
+
+RccClient& RccClient::operator=(RccClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_seq_ = other.next_seq_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Status RccClient::ConnectTcp(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Unavailable("connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status RccClient::ConnectUds(const std::string& path) {
+  Close();
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("uds path too long: " + path);
+  }
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st =
+        Status::Unavailable("connect " + path + ": " + strerror(errno));
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+void RccClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RccClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send: " + std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RccClient::SendFrame(Opcode op, uint32_t seq,
+                            std::string_view payload) {
+  std::string out;
+  AppendFrame(&out, op, seq, payload);
+  return SendRaw(out);
+}
+
+Result<Frame> RccClient::ReadFrame() {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    std::string error;
+    switch (decoder_.Pop(&frame, &error)) {
+      case FrameDecoder::Next::kFrame:
+        return frame;
+      case FrameDecoder::Next::kError:
+        return Status::InvalidArgument("protocol error: " + error);
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::NotFound("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv: " + std::string(strerror(errno)));
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<QueryResponse> RccClient::ReadResponse(uint32_t* seq_out) {
+  QueryResponse resp;
+  bool any = false;
+  uint32_t seq = 0;
+  for (;;) {
+    RCC_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (any && frame.seq != seq) {
+      // Responses are contiguous per request by protocol contract.
+      return Status::Internal("interleaved response frames (seq " +
+                              std::to_string(frame.seq) + " inside " +
+                              std::to_string(seq) + ")");
+    }
+    seq = frame.seq;
+    any = true;
+    switch (frame.op) {
+      case Opcode::kRowsHeader:
+        RCC_RETURN_NOT_OK(DecodeRowsHeaderPayload(
+            frame.payload, &resp.columns, &resp.column_types));
+        break;
+      case Opcode::kRows:
+        RCC_RETURN_NOT_OK(DecodeRowsPayload(frame.payload, &resp.rows));
+        break;
+      case Opcode::kStatus:
+        RCC_RETURN_NOT_OK(DecodeStatusPayload(frame.payload, &resp.status));
+        if (seq_out != nullptr) *seq_out = seq;
+        return resp;
+      case Opcode::kPrepareOk: {
+        // Surfaced through ReadResponse for uniformity: the id rides in
+        // rows_affected.
+        WireReader r(frame.payload);
+        uint32_t id;
+        if (!r.U32(&id) || !r.AtEnd()) {
+          return Status::InvalidArgument("malformed PREPARE_OK");
+        }
+        resp.status.rows_affected = id;
+        if (seq_out != nullptr) *seq_out = seq;
+        return resp;
+      }
+      default:
+        return Status::Internal("unexpected response opcode " +
+                                std::to_string(static_cast<unsigned>(
+                                    frame.op)));
+    }
+  }
+}
+
+Result<HelloReply> RccClient::Hello(const std::string& client_name) {
+  RCC_RETURN_NOT_OK(SendFrame(Opcode::kHello, NextSeq(),
+                              EncodeHelloPayload(kProtocolVersion,
+                                                 client_name)));
+  RCC_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.op == Opcode::kStatus) {
+    StatusFramePayload status;
+    RCC_RETURN_NOT_OK(DecodeStatusPayload(frame.payload, &status));
+    return Status(static_cast<StatusCode>(status.code), status.message);
+  }
+  if (frame.op != Opcode::kHelloOk) {
+    return Status::Internal("expected HELLO_OK");
+  }
+  HelloReply reply;
+  RCC_RETURN_NOT_OK(DecodeHelloOkPayload(frame.payload, &reply.version,
+                                         &reply.session_id, &reply.banner));
+  return reply;
+}
+
+Result<QueryResponse> RccClient::RoundTrip(Opcode op,
+                                           std::string_view payload) {
+  uint32_t seq = NextSeq();
+  RCC_RETURN_NOT_OK(SendFrame(op, seq, payload));
+  uint32_t got = 0;
+  RCC_ASSIGN_OR_RETURN(QueryResponse resp, ReadResponse(&got));
+  if (got != seq) {
+    return Status::Internal("response for seq " + std::to_string(got) +
+                            ", expected " + std::to_string(seq));
+  }
+  return resp;
+}
+
+Result<QueryResponse> RccClient::Query(const std::string& sql) {
+  return RoundTrip(Opcode::kQuery, sql);
+}
+
+Result<QueryResponse> RccClient::Set(const std::string& stmt) {
+  return RoundTrip(Opcode::kSet, stmt);
+}
+
+Result<uint32_t> RccClient::PrepareStmt(const std::string& sql) {
+  RCC_ASSIGN_OR_RETURN(QueryResponse resp,
+                       RoundTrip(Opcode::kPrepare, sql));
+  if (!resp.ok()) {
+    return Status(static_cast<StatusCode>(resp.status.code),
+                  resp.status.message);
+  }
+  return static_cast<uint32_t>(resp.status.rows_affected);
+}
+
+Result<QueryResponse> RccClient::ExecuteStmt(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  return RoundTrip(Opcode::kExecute, payload);
+}
+
+Status RccClient::Goodbye() {
+  return SendFrame(Opcode::kGoodbye, NextSeq(), {});
+}
+
+}  // namespace server
+}  // namespace rcc

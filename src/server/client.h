@@ -1,0 +1,101 @@
+#ifndef RCC_SERVER_CLIENT_H_
+#define RCC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace rcc {
+namespace server {
+
+/// One decoded response: result-set shape + rows (empty for row-less
+/// statements) and the terminal status frame. A transport-level failure is
+/// reported through the Result<> wrapper; a statement-level failure arrives
+/// as a well-formed response whose `status.ok()` is false — the data-vs-
+/// error split the wire protocol preserves end to end.
+struct QueryResponse {
+  std::vector<std::string> columns;
+  std::vector<uint8_t> column_types;  ///< ValueType per column.
+  std::vector<Row> rows;
+  StatusFramePayload status;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct HelloReply {
+  uint16_t version = 0;
+  uint64_t session_id = 0;
+  std::string banner;
+};
+
+/// Blocking client for the rcc.wire.v1 protocol. Used by tests and the
+/// saturation bench; it doubles as the reference protocol implementation.
+/// One instance is one connection — not thread-safe; drive it from one
+/// thread (the bench opens many clients instead).
+///
+/// Two layers:
+///  * Convenience calls (Hello/Query/PrepareStmt/ExecuteStmt/Set) —
+///    synchronous request/response.
+///  * Raw frame calls (SendFrame/SendRaw/ReadFrame/ReadResponse) for
+///    pipelining and for protocol tests that need to send garbage.
+class RccClient {
+ public:
+  RccClient() = default;
+  ~RccClient() { Close(); }
+
+  RccClient(const RccClient&) = delete;
+  RccClient& operator=(const RccClient&) = delete;
+  RccClient(RccClient&& other) noexcept;
+  RccClient& operator=(RccClient&& other) noexcept;
+
+  Status ConnectTcp(const std::string& host, uint16_t port);
+  Status ConnectUds(const std::string& path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends HELLO and waits for HELLO_OK.
+  Result<HelloReply> Hello(const std::string& client_name);
+
+  /// One-shot statement: sends kQuery, reads frames until the terminal
+  /// status.
+  Result<QueryResponse> Query(const std::string& sql);
+
+  /// Registers a prepared statement; returns its id.
+  Result<uint32_t> PrepareStmt(const std::string& sql);
+  /// Runs a prepared statement.
+  Result<QueryResponse> ExecuteStmt(uint32_t stmt_id);
+
+  /// Sends a SET control frame ("SET DEGRADE ...", "SET TRACE ...").
+  Result<QueryResponse> Set(const std::string& stmt);
+
+  /// Flushes pending responses server-side and half-closes politely.
+  Status Goodbye();
+
+  // -- raw layer -------------------------------------------------------------
+
+  uint32_t NextSeq() { return next_seq_++; }
+  Status SendFrame(Opcode op, uint32_t seq, std::string_view payload);
+  /// Writes arbitrary bytes — protocol tests craft malformed frames here.
+  Status SendRaw(std::string_view bytes);
+  /// Blocks for the next complete frame. NotFound on clean EOF.
+  Result<Frame> ReadFrame();
+  /// Reads one request's response frames (header/rows/status) and returns
+  /// the assembled QueryResponse; `*seq_out` reports which request it
+  /// belongs to (pipelining).
+  Result<QueryResponse> ReadResponse(uint32_t* seq_out);
+
+ private:
+  Result<QueryResponse> RoundTrip(Opcode op, std::string_view payload);
+
+  int fd_ = -1;
+  uint32_t next_seq_ = 1;
+  FrameDecoder decoder_{64u << 20};
+};
+
+}  // namespace server
+}  // namespace rcc
+
+#endif  // RCC_SERVER_CLIENT_H_

@@ -1,0 +1,820 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/ioctl.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rcc {
+namespace server {
+
+namespace {
+
+/// How many rows one kRows frame carries. Chunking keeps any single frame
+/// far below max_frame_bytes and lets slow clients stream large results.
+constexpr size_t kRowsPerFrame = 256;
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// First keyword of a statement, lower-cased ASCII.
+std::string FirstWord(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_')) {
+    ++j;
+  }
+  return ToLower(std::string_view(sql).substr(i, j - i));
+}
+
+/// DML mutates the back-end master tables that remote branches scan, so it
+/// needs the engine exclusively; everything else shares.
+bool NeedsExclusiveEngine(const std::string& first_word) {
+  return first_word == "insert" || first_word == "update" ||
+         first_word == "delete";
+}
+
+StatusFramePayload StatusFromResult(const Result<QueryResult>& result) {
+  StatusFramePayload out;
+  if (!result.ok()) {
+    out.code = static_cast<uint16_t>(result.status().code());
+    out.message = result.status().message();
+    return out;
+  }
+  const QueryResult& qr = *result;
+  out.message = qr.message;
+  out.degraded = qr.degraded;
+  out.staleness_ms = qr.staleness_ms;
+  out.rows_affected = qr.rows_affected;
+  out.executed_at = qr.executed_at;
+  if (!qr.advisory.ok()) out.advisory = qr.advisory.ToString();
+  return out;
+}
+
+}  // namespace
+
+/// Per-connection state. The event loop owns the socket and read side; the
+/// write queue is shared with workers under `mu`. The Session is used by one
+/// worker at a time per statement, but pipelined statements of one
+/// connection may overlap — which is exactly the interleaving the Session's
+/// atomic control state is specified for.
+struct RccServer::Connection {
+  explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::unique_ptr<Session> session;
+  bool hello_done = false;
+
+  /// Prepared statements: id -> SQL text. Executing re-enters through the
+  /// plan cache, whose L1 exact-text tier makes re-execution skip even the
+  /// lexer. Guarded by `mu` (kPrepare runs on a worker).
+  std::map<uint32_t, std::string> prepared;
+  uint32_t next_stmt_id = 1;
+
+  std::mutex mu;
+  std::condition_variable write_cv;
+  std::deque<std::string> outq;
+  size_t outq_bytes = 0;
+  size_t front_offset = 0;
+  /// Close once outq flushes (goodbye or protocol error).
+  bool close_after_flush = false;
+
+  std::atomic<bool> closed{false};
+  std::atomic<int> in_flight{0};
+  /// Event-loop-only: whether EPOLLOUT is currently registered.
+  bool epollout_armed = false;
+};
+
+RccServer::RccServer(RccSystem* system, ServerOptions options)
+    : system_(system), opts_(std::move(options)) {}
+
+RccServer::~RccServer() { Stop(); }
+
+Status RccServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  // Listening socket: UDS when a path is given, loopback TCP otherwise.
+  if (!opts_.uds_path.empty()) {
+    sockaddr_un addr{};
+    if (opts_.uds_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("uds path too long: " + opts_.uds_path);
+    }
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+    unlink(opts_.uds_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status st = Status::Internal("bind " + opts_.uds_path + ": " +
+                                   strerror(errno));
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status st = Status::Internal("bind port " + std::to_string(opts_.port) +
+                                   ": " + strerror(errno));
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (listen(listen_fd_, 4096) != 0 || !SetNonBlocking(listen_fd_)) {
+    Status st = Status::Internal("listen: " + std::string(strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  // Instruments (stable pointers; recording is lock-free afterwards).
+  obs::MetricsRegistry& m = system_->metrics();
+  inst_.connections_total = m.counter("rcc.server.connections_total");
+  inst_.frames_rx = m.counter("rcc.server.frames_rx");
+  inst_.frames_tx = m.counter("rcc.server.frames_tx");
+  inst_.bytes_rx = m.counter("rcc.server.bytes_rx");
+  inst_.bytes_tx = m.counter("rcc.server.bytes_tx");
+  inst_.queries = m.counter("rcc.server.queries");
+  inst_.prepares = m.counter("rcc.server.prepares");
+  inst_.executes = m.counter("rcc.server.executes");
+  inst_.sets = m.counter("rcc.server.sets");
+  inst_.protocol_errors = m.counter("rcc.server.protocol_errors");
+  inst_.accept_rejected = m.counter("rcc.server.accept_rejected");
+  inst_.backpressure_stalls = m.counter("rcc.server.backpressure_stalls");
+  inst_.dropped_responses = m.counter("rcc.server.dropped_responses");
+  inst_.connections_open = m.gauge("rcc.server.connections_open");
+  inst_.in_flight = m.gauge("rcc.server.in_flight");
+  inst_.statement_ms = m.histogram("rcc.server.statement_ms");
+
+  // The engine serves every connection under the concurrent-batch contract:
+  // frozen virtual clock, epoch-pinned snapshot reads, serialized remote
+  // channel. Nested Begin/End (e.g. a Session::ExecuteBatch dispatched by a
+  // driver) must not unfreeze the server, hence the counted semantics.
+  system_->cache()->BeginConcurrentBatch();
+
+  int workers = opts_.workers > 0 ? opts_.workers : ThreadPool::DefaultWorkers();
+  pool_ = std::make_unique<ThreadPool>(workers);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void RccServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  WakeLoop();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opts_.drain_timeout_ms);
+
+  // Phase 1: let dispatched statements finish (their responses enqueue).
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_until(lock, deadline, [this] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Phase 2: the event loop keeps flushing write queues; it exits once every
+  // queue is empty (or the deadline passes), closing all sockets.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_until(lock, deadline, [this] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
+  running_.store(false, std::memory_order_release);
+  WakeLoop();
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // Workers are idle (in_flight drained) or blocked on closed connections;
+  // Shutdown drains deterministically — queued tasks run, they observe
+  // closed connections and drop their responses.
+  if (pool_ != nullptr) {
+    pool_->Shutdown();
+    pool_.reset();
+  }
+
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  if (!opts_.uds_path.empty()) unlink(opts_.uds_path.c_str());
+
+  system_->cache()->EndConcurrentBatch();
+}
+
+void RccServer::AdvanceVirtualTime(SimTimeMs delta) {
+  // Exclusive engine access quiesces every in-flight statement; the
+  // scheduler and clock are then safe to run single-threaded.
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  system_->cache()->EndConcurrentBatch();
+  system_->AdvanceBy(delta);
+  system_->cache()->BeginConcurrentBatch();
+}
+
+void RccServer::WakeLoop() {
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void RccServer::NotifyWritable(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_writable_.push_back(conn);
+  }
+  WakeLoop();
+}
+
+void RccServer::EventLoop() {
+  std::vector<epoll_event> events(256);
+  bool draining = false;
+  for (;;) {
+    // Stop() flips running_ off once the drain deadline passes — force exit.
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      // Stop accepting; existing queues keep flushing below.
+      if (listen_fd_ >= 0) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      }
+      draining = true;
+    }
+    if (draining) {
+      bool all_flushed = in_flight_.load(std::memory_order_acquire) == 0;
+      if (all_flushed) {
+        for (auto& [fd, conn] : conns_) {
+          // Requests a client sent before we stopped accepting may still sit
+          // unread in the socket buffer (level-triggered EPOLLIN will hand
+          // them to us next iteration) — closing now would RST them away.
+          int unread = 0;
+          if (ioctl(fd, FIONREAD, &unread) == 0 && unread > 0) {
+            all_flushed = false;
+            break;
+          }
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (!conn->outq.empty()) {
+            all_flushed = false;
+            break;
+          }
+        }
+      }
+      if (all_flushed) break;
+    }
+
+    int n = epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), 50);
+    if (n < 0 && errno != EINTR) break;
+
+    // Arm EPOLLOUT for connections workers just wrote to.
+    std::vector<std::shared_ptr<Connection>> writable;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      writable.swap(pending_writable_);
+    }
+    for (const auto& conn : writable) {
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      // Try an eager flush first; only arm EPOLLOUT when the socket is full.
+      HandleWritable(conn);
+    }
+
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t junk;
+        while (read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+    }
+  }
+
+  // Loop exit: force-close every connection (queues are flushed or the
+  // drain deadline passed and Stop() re-woke us with running_ false).
+  std::vector<std::shared_ptr<Connection>> leftover;
+  leftover.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) leftover.push_back(conn);
+  for (const auto& conn : leftover) CloseConnection(conn);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    running_.store(false, std::memory_order_release);
+  }
+  drain_cv_.notify_all();
+}
+
+void RccServer::HandleAccept() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to epoll
+    if (static_cast<int>(conns_.size()) >= opts_.max_connections ||
+        stopping_.load(std::memory_order_acquire)) {
+      inst_.accept_rejected->Add();
+      close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(opts_.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conns_[fd] = conn;
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    inst_.connections_total->Add();
+    inst_.connections_open->Set(static_cast<double>(conns_.size()));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void RccServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inst_.bytes_rx->Add(n);
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<ssize_t>(sizeof(buf)) > n) break;  // drained socket
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer closed (or hard error) — possibly mid-frame or with statements
+    // still in flight; workers notice via conn->closed and drop responses.
+    CloseConnection(conn);
+    return;
+  }
+  DrainFrames(conn);
+}
+
+void RccServer::DrainFrames(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    if (conn->closed.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->close_after_flush) return;  // error already sent; drop rest
+    }
+    Frame frame;
+    std::string error;
+    FrameDecoder::Next next = conn->decoder.Pop(&frame, &error);
+    if (next == FrameDecoder::Next::kNeedMore) return;
+    if (next == FrameDecoder::Next::kError) {
+      ProtocolError(conn, 0, error);
+      return;
+    }
+    inst_.frames_rx->Add();
+    DispatchFrame(conn, std::move(frame));
+  }
+}
+
+void RccServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                              Frame frame) {
+  if (!IsClientOpcode(static_cast<uint8_t>(frame.op))) {
+    ProtocolError(conn, frame.seq,
+                  "unknown opcode " +
+                      std::to_string(static_cast<unsigned>(frame.op)));
+    return;
+  }
+  if (!conn->hello_done && frame.op != Opcode::kHello) {
+    ProtocolError(conn, frame.seq, "first frame must be HELLO");
+    return;
+  }
+  switch (frame.op) {
+    case Opcode::kHello: {
+      if (conn->hello_done) {
+        ProtocolError(conn, frame.seq, "duplicate HELLO");
+        return;
+      }
+      uint16_t version;
+      std::string client_name;
+      Status st = DecodeHelloPayload(frame.payload, &version, &client_name);
+      if (!st.ok()) {
+        ProtocolError(conn, frame.seq, st.message());
+        return;
+      }
+      if (version != kProtocolVersion) {
+        ProtocolError(conn, frame.seq,
+                      "unsupported protocol version " +
+                          std::to_string(version));
+        return;
+      }
+      conn->session = system_->CreateSession();
+      conn->hello_done = true;
+      std::string out;
+      AppendFrame(&out, Opcode::kHelloOk, frame.seq,
+                  EncodeHelloOkPayload(kProtocolVersion, conn->session->id(),
+                                       "rcc-server/1 (relaxed C&C cache)"));
+      if (EnqueueDirect(conn, std::move(out))) inst_.frames_tx->Add();
+      return;
+    }
+    case Opcode::kSet: {
+      // Control frames are applied inline on the event loop — out-of-band
+      // of any queued or in-flight statements of this connection, which is
+      // the interleaving Session's atomic control state exists for. Only
+      // SET is allowed here; statements must use kQuery.
+      if (FirstWord(frame.payload) != "set") {
+        ProtocolError(conn, frame.seq, "SET frame must carry a SET statement");
+        return;
+      }
+      inst_.sets->Add();
+      std::shared_lock<std::shared_mutex> engine(engine_mu_);
+      Result<QueryResult> result = conn->session->Execute(frame.payload);
+      engine.unlock();
+      SendStatus(conn, frame.seq, StatusFromResult(result));
+      return;
+    }
+    case Opcode::kQuery:
+    case Opcode::kExecute: {
+      std::string sql;
+      if (frame.op == Opcode::kExecute) {
+        uint32_t stmt_id;
+        WireReader r(frame.payload);
+        if (!r.U32(&stmt_id) || !r.AtEnd()) {
+          ProtocolError(conn, frame.seq, "malformed EXECUTE payload");
+          return;
+        }
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          auto it = conn->prepared.find(stmt_id);
+          if (it != conn->prepared.end()) {
+            sql = it->second;
+            found = true;
+          }
+        }
+        if (!found) {
+          StatusFramePayload status;
+          status.code = static_cast<uint16_t>(StatusCode::kNotFound);
+          status.message =
+              "unknown prepared statement id " + std::to_string(stmt_id);
+          SendStatus(conn, frame.seq, status);
+          return;
+        }
+        inst_.executes->Add();
+      } else {
+        sql = std::move(frame.payload);
+        inst_.queries->Add();
+      }
+      conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      inst_.in_flight->Set(in_flight_.load(std::memory_order_relaxed));
+      uint32_t seq = frame.seq;
+      bool accepted = pool_->Submit([this, conn, seq,
+                                     sql = std::move(sql)]() mutable {
+        RunStatement(conn, seq, std::move(sql), false);
+      });
+      if (!accepted) {
+        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        StatusFramePayload status;
+        status.code = static_cast<uint16_t>(StatusCode::kUnavailable);
+        status.message = "server shutting down";
+        SendStatus(conn, seq, status);
+      }
+      return;
+    }
+    case Opcode::kPrepare: {
+      inst_.prepares->Add();
+      conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      uint32_t seq = frame.seq;
+      bool accepted =
+          pool_->Submit([this, conn, seq, sql = std::move(frame.payload)] {
+            RunPrepare(conn, seq, sql);
+          });
+      if (!accepted) {
+        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        StatusFramePayload status;
+        status.code = static_cast<uint16_t>(StatusCode::kUnavailable);
+        status.message = "server shutting down";
+        SendStatus(conn, seq, status);
+      }
+      return;
+    }
+    case Opcode::kGoodbye: {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_flush = true;
+      NotifyWritable(conn);
+      return;
+    }
+    default:
+      ProtocolError(conn, frame.seq, "server-side opcode from client");
+      return;
+  }
+}
+
+void RccServer::RunStatement(const std::shared_ptr<Connection>& conn,
+                             uint32_t seq, std::string sql,
+                             bool /*prepared_only*/) {
+  auto t0 = std::chrono::steady_clock::now();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (conn->closed.load(std::memory_order_acquire)) {
+      return Status::Unavailable("connection closed");
+    }
+    if (NeedsExclusiveEngine(FirstWord(sql))) {
+      std::unique_lock<std::shared_mutex> engine(engine_mu_);
+      return conn->session->Execute(sql);
+    }
+    std::shared_lock<std::shared_mutex> engine(engine_mu_);
+    return conn->session->Execute(sql);
+  }();
+  inst_.statement_ms->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  // Serialize the whole response as one contiguous chunk: header, row
+  // frames, terminal status. Contiguity per request keeps pipelined
+  // responses of one connection from interleaving.
+  std::string out;
+  size_t frames = 0;
+  if (result.ok() && !result->layout.slots().empty()) {
+    AppendFrame(&out, Opcode::kRowsHeader, seq,
+                EncodeRowsHeaderPayload(result->layout));
+    ++frames;
+    const std::vector<Row>& rows = result->rows;
+    for (size_t i = 0; i < rows.size(); i += kRowsPerFrame) {
+      size_t end = std::min(rows.size(), i + kRowsPerFrame);
+      AppendFrame(&out, Opcode::kRows, seq, EncodeRowsPayload(rows, i, end));
+      ++frames;
+    }
+  }
+  AppendFrame(&out, Opcode::kStatus, seq,
+              EncodeStatusPayload(StatusFromResult(result)));
+  ++frames;
+  if (EnqueueResponse(conn, std::move(out))) {
+    inst_.frames_tx->Add(static_cast<int64_t>(frames));
+  } else {
+    inst_.dropped_responses->Add();
+  }
+
+  FinishStatement(conn);
+  inst_.in_flight->Set(in_flight_.load(std::memory_order_relaxed));
+}
+
+/// Decrements both in-flight counters and re-notifies the event loop when
+/// the connection is waiting to close-after-flush (the close condition
+/// includes in_flight == 0, and nothing else would re-trigger it).
+void RccServer::FinishStatement(const std::shared_ptr<Connection>& conn) {
+  conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+  // Checked strictly after the decrement: a goodbye processed in between
+  // sees in_flight > 0 and skips closing, so the notify below is the only
+  // close trigger left and must not be missed.
+  bool flush_close = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    flush_close = conn->close_after_flush;
+  }
+  if (flush_close) NotifyWritable(conn);
+}
+
+void RccServer::RunPrepare(const std::shared_ptr<Connection>& conn,
+                           uint32_t seq, std::string sql) {
+  StatusFramePayload status;
+  uint32_t stmt_id = 0;
+  {
+    std::shared_lock<std::shared_mutex> engine(engine_mu_);
+    // Prepared statements are SELECT-shaped (Session::Prepare contract);
+    // validation here means kExecute can only fail at run time for
+    // engine-side reasons, never parse errors.
+    Result<QueryPlan> plan = conn->session->Prepare(sql);
+    if (!plan.ok()) {
+      status.code = static_cast<uint16_t>(plan.status().code());
+      status.message = plan.status().message();
+    }
+  }
+  std::string out;
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    stmt_id = conn->next_stmt_id++;
+    conn->prepared[stmt_id] = std::move(sql);
+    std::string payload;
+    PutU32(&payload, stmt_id);
+    AppendFrame(&out, Opcode::kPrepareOk, seq, payload);
+  } else {
+    AppendFrame(&out, Opcode::kStatus, seq, EncodeStatusPayload(status));
+  }
+  if (EnqueueResponse(conn, std::move(out))) {
+    inst_.frames_tx->Add();
+  } else {
+    inst_.dropped_responses->Add();
+  }
+  FinishStatement(conn);
+}
+
+bool RccServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                                std::string bytes) {
+  std::unique_lock<std::mutex> lock(conn->mu);
+  // Backpressure: a response that would overflow the queue waits for the
+  // client to drain. An empty queue always accepts (a single response may
+  // legitimately exceed the bound; it streams out in socket-sized pieces).
+  bool stalled = false;
+  while (!conn->closed.load(std::memory_order_acquire) &&
+         conn->outq_bytes > 0 &&
+         conn->outq_bytes + bytes.size() > opts_.max_write_queue_bytes) {
+    if (!stalled) {
+      stalled = true;
+      inst_.backpressure_stalls->Add();
+    }
+    conn->write_cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  if (conn->closed.load(std::memory_order_acquire)) return false;
+  conn->outq_bytes += bytes.size();
+  conn->outq.push_back(std::move(bytes));
+  lock.unlock();
+  NotifyWritable(conn);
+  return true;
+}
+
+bool RccServer::EnqueueDirect(const std::shared_ptr<Connection>& conn,
+                              std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed.load(std::memory_order_acquire)) return false;
+    conn->outq_bytes += bytes.size();
+    conn->outq.push_back(std::move(bytes));
+    // A client pipelining control frames without ever reading responses
+    // would grow this queue without bound (the event loop cannot block on
+    // backpressure — it is the flusher). Past twice the configured bound the
+    // client is abusive: flush what fits and hang up.
+    if (conn->outq_bytes > opts_.max_write_queue_bytes * 2) {
+      conn->close_after_flush = true;
+    }
+  }
+  NotifyWritable(conn);
+  return true;
+}
+
+void RccServer::SendStatus(const std::shared_ptr<Connection>& conn,
+                           uint32_t seq, const StatusFramePayload& status) {
+  std::string out;
+  AppendFrame(&out, Opcode::kStatus, seq, EncodeStatusPayload(status));
+  if (EnqueueDirect(conn, std::move(out))) inst_.frames_tx->Add();
+}
+
+void RccServer::ProtocolError(const std::shared_ptr<Connection>& conn,
+                              uint32_t seq, const std::string& message) {
+  inst_.protocol_errors->Add();
+  StatusFramePayload status;
+  status.code = static_cast<uint16_t>(StatusCode::kInvalidArgument);
+  status.message = "protocol error: " + message;
+  std::string out;
+  AppendFrame(&out, Opcode::kStatus, seq, EncodeStatusPayload(status));
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed.load(std::memory_order_acquire)) return;
+    conn->outq_bytes += out.size();
+    conn->outq.push_back(std::move(out));
+    conn->close_after_flush = true;
+  }
+  inst_.frames_tx->Add();
+  NotifyWritable(conn);
+}
+
+void RccServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  bool want_more = false;
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (!conn->outq.empty()) {
+      const std::string& front = conn->outq.front();
+      size_t remaining = front.size() - conn->front_offset;
+      ssize_t n = send(conn->fd, front.data() + conn->front_offset, remaining,
+                       MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          want_more = true;
+        } else {
+          close_now = true;  // broken pipe etc.
+        }
+        break;
+      }
+      inst_.bytes_tx->Add(n);
+      conn->front_offset += static_cast<size_t>(n);
+      if (conn->front_offset < front.size()) {
+        want_more = true;  // short write: socket buffer full
+        break;
+      }
+      conn->outq_bytes -= front.size();
+      conn->front_offset = 0;
+      conn->outq.pop_front();
+    }
+    // A flush-then-close (goodbye / protocol error) must also wait out this
+    // connection's in-flight statements: their responses have not been
+    // enqueued yet. Workers re-notify after their final decrement.
+    if (conn->outq.empty() && conn->close_after_flush &&
+        conn->in_flight.load(std::memory_order_acquire) == 0) {
+      close_now = true;
+    }
+  }
+  conn->write_cv.notify_all();
+  if (close_now) {
+    CloseConnection(conn);
+    return;
+  }
+  if (want_more != conn->epollout_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_more ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.fd = conn->fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+      conn->epollout_armed = want_more;
+    }
+  }
+}
+
+void RccServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_.erase(conn->fd);
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  inst_.connections_open->Set(static_cast<double>(conns_.size()));
+  // Unblock any worker waiting out backpressure on this connection; it will
+  // observe closed and drop its response. The Session (and any prepared
+  // statements) die with the last shared_ptr, i.e. after in-flight
+  // statements complete — never under a running query.
+  conn->write_cv.notify_all();
+}
+
+}  // namespace server
+}  // namespace rcc

@@ -1,0 +1,190 @@
+#ifndef RCC_SERVER_SERVER_H_
+#define RCC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/rcc.h"
+#include "server/wire.h"
+
+namespace rcc {
+namespace server {
+
+struct ServerOptions {
+  /// Non-empty: listen on a UNIX-domain socket at this path (unlinked and
+  /// re-created by Start). Empty: TCP on 127.0.0.1.
+  std::string uds_path;
+  /// TCP port (ignored for UDS); 0 binds an ephemeral port — read the
+  /// actual one back with RccServer::port().
+  uint16_t port = 0;
+  /// Worker threads executing statements; 0 picks ThreadPool::DefaultWorkers.
+  int workers = 0;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 10000;
+  /// Frames whose length prefix exceeds this kill the connection.
+  size_t max_frame_bytes = 8u << 20;
+  /// Per-connection response backlog. A worker whose response would overflow
+  /// it blocks (backpressure) until the client drains or disconnects.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Real-time budget Stop() spends draining in-flight statements and
+  /// flushing response queues before force-closing.
+  int64_t drain_timeout_ms = 10000;
+};
+
+/// The network front end: accepts client connections on one async epoll
+/// event loop (accept + read + write, all non-blocking) and multiplexes
+/// decoded statements onto a worker ThreadPool running the ordinary
+/// `Session` engine. Each connection owns exactly one Session, so degrade
+/// mode, SET TRACE, and the timeline-consistency floor are per-client state,
+/// exactly as the paper's model assumes (DESIGN.md §14).
+///
+/// Engine contract: Start() puts the cache into concurrent-batch mode
+/// (frozen virtual clock, epoch-pinned snapshot reads, serialized remote
+/// channel) for the server's whole lifetime; Stop() ends it. While the
+/// server is running, do not call RccSystem::ExecuteConcurrent or the
+/// scheduler directly from outside — use AdvanceVirtualTime(), which
+/// quiesces queries first. SELECT-shaped statements run concurrently under
+/// a shared engine lock; DML takes it exclusively (writes mutate the
+/// back-end master tables that remote branches scan).
+class RccServer {
+ public:
+  explicit RccServer(RccSystem* system, ServerOptions options = {});
+  ~RccServer();
+
+  RccServer(const RccServer&) = delete;
+  RccServer& operator=(const RccServer&) = delete;
+
+  /// Binds, listens, spawns the event loop and the worker pool. Fails (and
+  /// leaves the server stopped) if the socket cannot be bound.
+  Status Start();
+
+  /// Drain-on-shutdown: stops accepting, lets in-flight statements finish,
+  /// flushes every connection's response queue (bounded by
+  /// drain_timeout_ms), then closes all connections and joins the event
+  /// loop and workers. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound TCP port (valid after Start; 0 for UDS servers).
+  uint16_t port() const { return bound_port_; }
+
+  int connections_open() const {
+    return connections_open_.load(std::memory_order_relaxed);
+  }
+  /// Statements currently executing or queued on the worker pool.
+  int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// Test/driver hook: quiesces statement execution (exclusive engine
+  /// lock), leaves concurrent-batch mode, runs the discrete-event scheduler
+  /// forward by `delta` virtual ms (heartbeats and deliveries fire), then
+  /// refreezes. Safe while connections are open.
+  void AdvanceVirtualTime(SimTimeMs delta);
+
+ private:
+  struct Connection;
+
+  void EventLoop();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  /// Decodes and dispatches every complete frame buffered on `conn`.
+  void DrainFrames(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  /// Runs one statement on a worker and enqueues its response frames.
+  void RunStatement(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                    std::string sql, bool prepared_only);
+  void RunPrepare(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                  std::string sql);
+  /// Statement-done bookkeeping shared by RunStatement/RunPrepare.
+  void FinishStatement(const std::shared_ptr<Connection>& conn);
+
+  /// Appends one contiguous chunk of response bytes to the connection's
+  /// write queue, blocking for backpressure. False if the connection closed.
+  /// Worker threads only — the event loop must use EnqueueDirect.
+  bool EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       std::string bytes);
+  /// Non-blocking enqueue for responses built on the event loop itself
+  /// (HELLO_OK, SET status): never waits, disconnects clients whose queue
+  /// runs away. False if the connection closed.
+  bool EnqueueDirect(const std::shared_ptr<Connection>& conn,
+                     std::string bytes);
+  /// Sends a kStatus error frame and closes the connection after flushing.
+  void ProtocolError(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                     const std::string& message);
+  void SendStatus(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                  const StatusFramePayload& status);
+  /// I/O-thread-only: closes the socket and releases the connection. Safe
+  /// to call twice.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Worker -> event loop: this connection has bytes to write.
+  void NotifyWritable(const std::shared_ptr<Connection>& conn);
+  void WakeLoop();
+
+  RccSystem* system_;
+  ServerOptions opts_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Statements run under this lock: shared for reads/control, exclusive
+  /// for DML and AdvanceVirtualTime.
+  std::shared_mutex engine_mu_;
+
+  /// I/O-thread-owned map of live connections.
+  std::map<int, std::shared_ptr<Connection>> conns_;
+  std::atomic<int> connections_open_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  /// Connections with freshly queued output, handed to the event loop.
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_writable_;
+
+  /// Drain accounting for Stop().
+  std::atomic<int> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  /// rcc.server.* instruments, resolved once at Start.
+  struct Instruments {
+    obs::Counter* connections_total = nullptr;
+    obs::Counter* frames_rx = nullptr;
+    obs::Counter* frames_tx = nullptr;
+    obs::Counter* bytes_rx = nullptr;
+    obs::Counter* bytes_tx = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Counter* prepares = nullptr;
+    obs::Counter* executes = nullptr;
+    obs::Counter* sets = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* accept_rejected = nullptr;
+    obs::Counter* backpressure_stalls = nullptr;
+    obs::Counter* dropped_responses = nullptr;
+    obs::Gauge* connections_open = nullptr;
+    obs::Gauge* in_flight = nullptr;
+    obs::Histogram* statement_ms = nullptr;
+  } inst_;
+};
+
+}  // namespace server
+}  // namespace rcc
+
+#endif  // RCC_SERVER_SERVER_H_

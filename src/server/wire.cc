@@ -1,0 +1,342 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "storage/value.h"
+
+namespace rcc {
+namespace server {
+
+bool IsClientOpcode(uint8_t op) {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kHello:
+    case Opcode::kQuery:
+    case Opcode::kPrepare:
+    case Opcode::kExecute:
+    case Opcode::kSet:
+    case Opcode::kGoodbye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// -- writers -----------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  out->append(b, 2);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void AppendFrame(std::string* out, Opcode op, uint32_t seq,
+                 std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(kMinFrameLen + payload.size()));
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU32(out, seq);
+  out->append(payload.data(), payload.size());
+}
+
+// -- reader ------------------------------------------------------------------
+
+bool WireReader::Take(size_t n, const char** p) {
+  if (!ok_ || buf_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = buf_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::U16(uint16_t* v) {
+  const char* p;
+  if (!Take(2, &p)) return false;
+  std::memcpy(v, p, 2);
+  return true;
+}
+
+bool WireReader::U32(uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  std::memcpy(v, p, 4);
+  return true;
+}
+
+bool WireReader::U64(uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool WireReader::I64(int64_t* v) {
+  uint64_t u;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::F64(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, 8);
+  return true;
+}
+
+bool WireReader::Str(std::string* v) {
+  uint32_t n;
+  if (!U32(&n)) return false;
+  const char* p;
+  if (!Take(n, &p)) return false;
+  v->assign(p, n);
+  return true;
+}
+
+// -- frame assembly ----------------------------------------------------------
+
+FrameDecoder::Next FrameDecoder::Pop(Frame* out, std::string* error) {
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection does not grow its read buffer without bound.
+  if (consumed_ > 0 && consumed_ * 2 >= buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return Next::kNeedMore;
+  uint32_t len;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  if (len < kMinFrameLen) {
+    *error = "frame length " + std::to_string(len) + " below minimum " +
+             std::to_string(kMinFrameLen);
+    return Next::kError;
+  }
+  if (len > max_) {
+    *error = "frame length " + std::to_string(len) +
+             " exceeds maximum frame size " + std::to_string(max_);
+    return Next::kError;
+  }
+  if (avail - 4 < len) return Next::kNeedMore;
+  const char* p = buf_.data() + consumed_ + 4;
+  out->op = static_cast<Opcode>(static_cast<uint8_t>(p[0]));
+  std::memcpy(&out->seq, p + 1, 4);
+  out->payload.assign(p + 5, len - kMinFrameLen);
+  consumed_ += 4 + static_cast<size_t>(len);
+  return Next::kFrame;
+}
+
+// -- typed payloads ----------------------------------------------------------
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what +
+                                 " payload");
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutI64(out, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutF64(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutStr(out, v.AsString());
+      break;
+  }
+}
+
+bool GetValue(WireReader* r, Value* out) {
+  uint8_t tag;
+  if (!r->U8(&tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt64: {
+      int64_t v;
+      if (!r->I64(&v)) return false;
+      *out = Value::Int(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!r->F64(&v)) return false;
+      *out = Value::Double(v);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string v;
+      if (!r->Str(&v)) return false;
+      *out = Value::Str(std::move(v));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeHelloPayload(uint16_t version, std::string_view client_name) {
+  std::string out;
+  PutU16(&out, version);
+  PutStr(&out, client_name);
+  return out;
+}
+
+Status DecodeHelloPayload(std::string_view payload, uint16_t* version,
+                          std::string* client_name) {
+  WireReader r(payload);
+  if (!r.U16(version) || !r.Str(client_name) || !r.AtEnd()) {
+    return Malformed("hello");
+  }
+  return Status::OK();
+}
+
+std::string EncodeHelloOkPayload(uint16_t version, uint64_t session_id,
+                                 std::string_view banner) {
+  std::string out;
+  PutU16(&out, version);
+  PutU64(&out, session_id);
+  PutStr(&out, banner);
+  return out;
+}
+
+Status DecodeHelloOkPayload(std::string_view payload, uint16_t* version,
+                            uint64_t* session_id, std::string* banner) {
+  WireReader r(payload);
+  if (!r.U16(version) || !r.U64(session_id) || !r.Str(banner) || !r.AtEnd()) {
+    return Malformed("hello-ok");
+  }
+  return Status::OK();
+}
+
+std::string EncodeRowsHeaderPayload(const RowLayout& layout) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(layout.num_slots()));
+  for (size_t i = 0; i < layout.num_slots(); ++i) {
+    PutStr(&out, layout.schema().columns()[i].name);
+    PutU8(&out, static_cast<uint8_t>(layout.schema().columns()[i].type));
+  }
+  return out;
+}
+
+Status DecodeRowsHeaderPayload(std::string_view payload,
+                               std::vector<std::string>* names,
+                               std::vector<uint8_t>* types) {
+  WireReader r(payload);
+  uint32_t n;
+  if (!r.U32(&n)) return Malformed("rows-header");
+  names->clear();
+  types->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint8_t type;
+    if (!r.Str(&name) || !r.U8(&type)) return Malformed("rows-header");
+    names->push_back(std::move(name));
+    types->push_back(type);
+  }
+  if (!r.AtEnd()) return Malformed("rows-header");
+  return Status::OK();
+}
+
+std::string EncodeRowsPayload(const std::vector<Row>& rows, size_t begin,
+                              size_t end) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    PutU32(&out, static_cast<uint32_t>(rows[i].size()));
+    for (const Value& v : rows[i]) PutValue(&out, v);
+  }
+  return out;
+}
+
+Status DecodeRowsPayload(std::string_view payload, std::vector<Row>* rows) {
+  WireReader r(payload);
+  uint32_t nrows;
+  if (!r.U32(&nrows)) return Malformed("rows");
+  for (uint32_t i = 0; i < nrows; ++i) {
+    uint32_t ncols;
+    if (!r.U32(&ncols)) return Malformed("rows");
+    Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Value v;
+      if (!GetValue(&r, &v)) return Malformed("rows");
+      row.push_back(std::move(v));
+    }
+    rows->push_back(std::move(row));
+  }
+  if (!r.AtEnd()) return Malformed("rows");
+  return Status::OK();
+}
+
+std::string EncodeStatusPayload(const StatusFramePayload& status) {
+  std::string out;
+  PutU16(&out, status.code);
+  PutU8(&out, status.degraded ? 1 : 0);
+  PutI64(&out, status.staleness_ms);
+  PutI64(&out, status.rows_affected);
+  PutI64(&out, status.executed_at);
+  PutStr(&out, status.message);
+  PutStr(&out, status.advisory);
+  return out;
+}
+
+Status DecodeStatusPayload(std::string_view payload, StatusFramePayload* out) {
+  WireReader r(payload);
+  uint8_t degraded;
+  if (!r.U16(&out->code) || !r.U8(&degraded) || !r.I64(&out->staleness_ms) ||
+      !r.I64(&out->rows_affected) || !r.I64(&out->executed_at) ||
+      !r.Str(&out->message) || !r.Str(&out->advisory) || !r.AtEnd()) {
+    return Malformed("status");
+  }
+  out->degraded = degraded != 0;
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace rcc

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace rcc {
 namespace {
@@ -170,6 +175,28 @@ TEST(StringsTest, ToLowerAndEquals) {
   EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
 }
 
+TEST(StringsTest, ToLowerIsAsciiOnlyAndLocaleIndependent) {
+  // Exhaustive: exactly 'A'..'Z' map down; every other byte value — digits,
+  // punctuation, control bytes, and everything >= 0x80 (UTF-8 continuation
+  // bytes, Latin-1 letters) — passes through untouched, regardless of the
+  // global locale.
+  for (int b = 0; b < 256; ++b) {
+    char c = static_cast<char>(b);
+    char lowered = AsciiToLowerChar(c);
+    if (b >= 'A' && b <= 'Z') {
+      EXPECT_EQ(lowered, static_cast<char>(b + 32)) << "byte " << b;
+    } else {
+      EXPECT_EQ(lowered, c) << "byte " << b;
+    }
+  }
+  // High-bit bytes inside strings survive byte-for-byte ("café" in UTF-8).
+  std::string utf8 = "CAF\xc3\xa9";
+  EXPECT_EQ(ToLower(utf8), "caf\xc3\xa9");
+  EXPECT_TRUE(EqualsIgnoreCase("caf\xc3\xa9", "CAF\xc3\xa9"));
+  // 0xC9 is 'É' in Latin-1: a locale-aware tolower would fold it to 0xE9.
+  EXPECT_FALSE(EqualsIgnoreCase("\xc9", "\xe9"));
+}
+
 TEST(StringsTest, JoinAndSplit) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(Join({}, ","), "");
@@ -186,6 +213,68 @@ TEST(StringsTest, Trim) {
 TEST(StringsTest, StrPrintf) {
   EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrPrintf("%s", ""), "");
+}
+
+// -- thread pool shutdown determinism -----------------------------------------
+
+TEST(ThreadPoolShutdownTest, ShutdownDrainsEveryAcceptedTask) {
+  // A single worker with a long queue: Shutdown must run all of it, not
+  // silently drop the tail.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 200);
+  pool.Shutdown();  // idempotent
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownIsRejectedNotDropped) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  // Rejected means guaranteed-not-run: the caller knows to handle it, unlike
+  // the old accept-then-drop behaviour where the task vanished.
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolShutdownTest, RunExecutesInlineAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // Run's contract (every task executes exactly once) survives shutdown via
+  // the inline fallback.
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolShutdownTest, CancelPendingDiscardsOnlyQueuedWork) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so everything behind it stays queued.
+  ASSERT_TRUE(pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Wait until the worker owns the blocker, otherwise CancelPending would
+  // discard the blocker itself and the arithmetic below counts 51 tasks.
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  size_t dropped = pool.CancelPending();
+  release.store(true);
+  pool.Shutdown();
+  // Everything is accounted for: ran + explicitly discarded == submitted.
+  EXPECT_EQ(static_cast<int>(dropped) + ran.load(), 50);
+  EXPECT_GT(dropped, 0u);
 }
 
 // -- rng --------------------------------------------------------------------------

@@ -484,5 +484,109 @@ TEST(ConcurrencyTest, ConcurrentSessionsShareCacheAcrossHealthTransitions) {
   run_pool(/*expect_local=*/true);
 }
 
+TEST(ConcurrencyTest, SetDegradeRacesExecuteBatchWithoutTearing) {
+  // Regression for the network front end's interleaving: one connection's
+  // SET DEGRADE / SET TRACE control frames are applied on the server's event
+  // loop while the same Session's queries run on pool workers. The session
+  // mode fields are atomics; each query must observe exactly one mode, and
+  // the timeline floor must only ever ratchet upward. Runs under TSan via
+  // the `tsan` label — a plain-field Session makes this a data race.
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  Session* session = fx.session.get();
+
+  std::vector<std::string> sqls;
+  for (int i = 1; i <= 6; ++i) {
+    sqls.push_back("SELECT price FROM Books B WHERE B.isbn = " +
+                   std::to_string(i) + " CURRENCY BOUND 10 MIN ON (B)");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> batch_failures{0};
+  std::thread executor([&] {
+    for (int round = 0; round < 30 && !stop.load(); ++round) {
+      auto results = session->ExecuteBatch(sqls, 4);
+      for (auto& r : results) {
+        if (!r.ok()) batch_failures.fetch_add(1);
+      }
+    }
+    stop.store(true);
+  });
+  std::thread degrade_toggler([&] {
+    bool bounded = false;
+    while (!stop.load()) {
+      auto r = session->Execute(bounded ? "SET DEGRADE BOUNDED"
+                                        : "SET DEGRADE NONE");
+      EXPECT_TRUE(r.ok());
+      bounded = !bounded;
+    }
+  });
+  std::thread trace_toggler([&] {
+    bool on = false;
+    while (!stop.load()) {
+      auto r = session->Execute(on ? "SET TRACE ON" : "SET TRACE OFF");
+      EXPECT_TRUE(r.ok());
+      on = !on;
+      // Concurrent readers of the mode accessors (what the server's status
+      // paths do) must also be race-free.
+      (void)session->degrade_mode();
+      (void)session->trace_enabled();
+      (void)session->timeline_floor();
+    }
+  });
+  executor.join();
+  degrade_toggler.join();
+  trace_toggler.join();
+  EXPECT_EQ(batch_failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, TimelineFloorNeverRegressesUnderConcurrentRaises) {
+  // The floor update is a CAS-max: a slow worker publishing an *older*
+  // snapshot time after a faster one must not drag the floor backwards.
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  Session* session = fx.session.get();
+  ASSERT_TRUE(session->Execute("BEGIN TIMEORDERED").ok());
+
+  std::vector<std::string> sqls;
+  for (int i = 1; i <= 8; ++i) {
+    sqls.push_back("SELECT price FROM Books B WHERE B.isbn = " +
+                   std::to_string(i) + " CURRENCY BOUND 10 MIN ON (B)");
+  }
+  SimTimeMs last_floor = -1;
+  for (int round = 0; round < 5; ++round) {
+    auto results = session->ExecuteBatch(sqls, 4);
+    for (auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+    SimTimeMs floor = session->timeline_floor();
+    EXPECT_GE(floor, last_floor) << "timeline floor regressed";
+    last_floor = floor;
+    fx.sys.AdvanceBy(5000);  // deliveries land; later batches see newer data
+  }
+  EXPECT_GT(last_floor, -1);
+  ASSERT_TRUE(session->Execute("END TIMEORDERED").ok());
+}
+
+TEST(ConcurrencyTest, NestedConcurrentBatchKeepsOuterModeCounted) {
+  // The server holds concurrent-batch mode for its lifetime; a nested
+  // Begin/End pair (Session::ExecuteBatch does one internally) must not
+  // switch the engine back to serial mode underneath it. Counted semantics:
+  // only the outermost End leaves the mode.
+  BookstoreFixture fx;
+  fx.sys.AdvanceTo(30000);
+  CacheDbms* cache = fx.sys.cache();
+
+  cache->BeginConcurrentBatch();  // the "server" enters for its lifetime
+  EXPECT_TRUE(cache->in_concurrent_batch());
+  auto results = fx.session->ExecuteBatch(
+      {"SELECT price FROM Books B WHERE B.isbn = 1",
+       "SELECT price FROM Books B WHERE B.isbn = 2"},
+      2);
+  for (auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // With a bool flag the nested End above would already have cleared it.
+  EXPECT_TRUE(cache->in_concurrent_batch());
+  cache->EndConcurrentBatch();
+  EXPECT_FALSE(cache->in_concurrent_batch());
+}
+
 }  // namespace
 }  // namespace rcc

@@ -1,0 +1,528 @@
+// Network front end (DESIGN.md §14): wire-protocol framing, the
+// connection -> session ownership model, pipelining, backpressure, and
+// drain-on-shutdown. Malformed input must always produce a terminal status
+// frame and a closed connection — never a crash, a hang, or a leaked pinned
+// snapshot epoch. Registered with the `server` and `tsan` ctest labels; the
+// asan preset runs it too (no label filter there).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using server::Frame;
+using server::Opcode;
+using server::QueryResponse;
+using server::RccClient;
+using server::RccServer;
+using server::ServerOptions;
+using server::StatusFramePayload;
+using testing_util::BookstoreFixture;
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/rcc_server_test_" + std::to_string(getpid()) + "_" + tag +
+         ".sock";
+}
+
+ServerOptions WithPath(ServerOptions opts, const std::string& path) {
+  opts.uds_path = path;
+  if (opts.workers == 0) opts.workers = 4;
+  return opts;
+}
+
+/// Fixture: a bookstore system with an RccServer listening on a UDS.
+struct ServerFixture {
+  BookstoreFixture book;
+  std::string path;
+  RccServer server;
+
+  explicit ServerFixture(const char* tag, ServerOptions opts = {})
+      : book(),
+        path(TestSocketPath(tag)),
+        server(&book.sys, WithPath(opts, TestSocketPath(tag))) {
+    book.sys.AdvanceTo(30000);  // let both regions refresh once
+    EXPECT_TRUE(server.Start().ok());
+  }
+
+  ~ServerFixture() { server.Stop(); }
+
+  RccClient Connect() {
+    RccClient c;
+    EXPECT_TRUE(c.ConnectUds(path).ok());
+    return c;
+  }
+
+  RccClient ConnectAndHello() {
+    RccClient c = Connect();
+    auto hello = c.Hello("server_test");
+    EXPECT_TRUE(hello.ok()) << hello.status().ToString();
+    return c;
+  }
+
+  /// Waits for the server to quiesce, then asserts no query left a snapshot
+  /// epoch pinned (a pinned epoch would block snapshot reclamation forever).
+  void ExpectNoEpochLeak() {
+    for (int i = 0; i < 200 && server.in_flight() > 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server.in_flight(), 0);
+    const SnapshotEpochManager& epochs = book.sys.cache()->epoch_manager();
+    EXPECT_EQ(epochs.MinPinnedEpoch(), epochs.current_epoch());
+  }
+};
+
+// -- happy path ---------------------------------------------------------------
+
+TEST(ServerTest, HelloThenQueryRoundTrip) {
+  ServerFixture fx("hello");
+  RccClient c = fx.Connect();
+
+  auto hello = c.Hello("server_test");
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_EQ(hello->version, server::kProtocolVersion);
+  EXPECT_GT(hello->session_id, 0u);
+  EXPECT_FALSE(hello->banner.empty());
+
+  auto resp = c.Query(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->ok()) << resp->status.message;
+  ASSERT_EQ(resp->columns.size(), 1u);
+  EXPECT_EQ(resp->columns[0], "price");
+  ASSERT_EQ(resp->rows.size(), 1u);
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, TcpLoopbackWorks) {
+  BookstoreFixture book;
+  book.sys.AdvanceTo(30000);
+  ServerOptions opts;
+  opts.workers = 2;  // TCP on an ephemeral port, no uds_path
+  RccServer srv(&book.sys, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  ASSERT_GT(srv.port(), 0);
+
+  RccClient c;
+  ASSERT_TRUE(c.ConnectTcp("127.0.0.1", srv.port()).ok());
+  ASSERT_TRUE(c.Hello("tcp").ok());
+  auto resp = c.Query("SELECT count(*) FROM Books B");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->ok());
+  ASSERT_EQ(resp->rows.size(), 1u);
+  EXPECT_EQ(resp->rows[0][0].AsInt(), 500);
+  srv.Stop();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(ServerTest, StatementErrorArrivesAsStatusNotDisconnect) {
+  ServerFixture fx("error");
+  RccClient c = fx.ConnectAndHello();
+
+  auto resp = c.Query("SELECT nope FROM NoSuchTable");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_FALSE(resp->ok());
+  EXPECT_FALSE(resp->status.message.empty());
+
+  // The connection survives a statement-level failure.
+  auto again = c.Query("SELECT price FROM Books B WHERE B.isbn = 2");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->ok());
+}
+
+TEST(ServerTest, DmlExecutesAndIsVisibleToCurrentReads) {
+  ServerFixture fx("dml");
+  RccClient c = fx.ConnectAndHello();
+
+  auto ins = c.Query(
+      "INSERT INTO Books (isbn, title, price, stock) "
+      "VALUES (9001, 'wire', 42, 7)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  ASSERT_TRUE(ins->ok()) << ins->status.message;
+  EXPECT_EQ(ins->status.rows_affected, 1);
+
+  // No currency clause: a current read served from the back-end master.
+  auto sel = c.Query("SELECT price FROM Books B WHERE B.isbn = 9001");
+  ASSERT_TRUE(sel.ok());
+  ASSERT_TRUE(sel->ok());
+  ASSERT_EQ(sel->rows.size(), 1u);
+  EXPECT_EQ(sel->rows[0][0].AsInt(), 42);
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, PreparedStatementsExecuteRepeatedly) {
+  ServerFixture fx("prepared");
+  RccClient c = fx.ConnectAndHello();
+
+  auto id = c.PrepareStmt(
+      "SELECT price FROM Books B WHERE B.isbn = 3 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto first = c.ExecuteStmt(*id);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok());
+  auto second = c.ExecuteStmt(*id);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->ok());
+  EXPECT_EQ(first->rows, second->rows);
+
+  // Unknown id: a NotFound status, and the connection stays usable.
+  auto missing = c.ExecuteStmt(*id + 100);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status.code,
+            static_cast<uint16_t>(StatusCode::kNotFound));
+  auto after = c.ExecuteStmt(*id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->ok());
+}
+
+TEST(ServerTest, SetDegradeIsPerConnection) {
+  ServerFixture fx("degrade");
+  RccClient a = fx.ConnectAndHello();
+  RccClient b = fx.ConnectAndHello();
+
+  auto set = a.Set("SET DEGRADE ALWAYS");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_TRUE(set->ok());
+  EXPECT_NE(set->status.message.find("degrade mode always"),
+            std::string::npos);
+
+  // Connection B's session is untouched: its SET reports its own mode only.
+  auto other = b.Set("SET DEGRADE NONE");
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->status.message.find("degrade mode none"),
+            std::string::npos);
+
+  // Both still serve queries.
+  EXPECT_TRUE(a.Query("SELECT price FROM Books B WHERE B.isbn = 1")->ok());
+  EXPECT_TRUE(b.Query("SELECT price FROM Books B WHERE B.isbn = 1")->ok());
+}
+
+TEST(ServerTest, AdvanceVirtualTimeWhileConnectionsOpen) {
+  ServerFixture fx("advance");
+  RccClient c = fx.ConnectAndHello();
+  ASSERT_TRUE(c.Query("SELECT price FROM Books B WHERE B.isbn = 1")->ok());
+
+  fx.server.AdvanceVirtualTime(10000);  // heartbeats and deliveries fire
+
+  auto resp = c.Query(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  EXPECT_TRUE(fx.server.running());
+  fx.ExpectNoEpochLeak();
+}
+
+// -- pipelining ---------------------------------------------------------------
+
+TEST(ServerTest, PipelinedQueriesCorrelateBySeq) {
+  ServerFixture fx("pipeline");
+  RccClient c = fx.ConnectAndHello();
+
+  // Send query / SET / query without reading; the SET is applied on the
+  // event loop, queries on workers — responses may arrive in any order but
+  // each one's frames are contiguous and tagged with its seq.
+  uint32_t q1 = c.NextSeq();
+  uint32_t s1 = c.NextSeq();
+  uint32_t q2 = c.NextSeq();
+  std::string batch;
+  server::AppendFrame(&batch, Opcode::kQuery, q1,
+                      "SELECT price FROM Books B WHERE B.isbn = 1");
+  server::AppendFrame(&batch, Opcode::kSet, s1, "SET TRACE ON");
+  server::AppendFrame(&batch, Opcode::kQuery, q2,
+                      "SELECT stock FROM Books B WHERE B.isbn = 2");
+  ASSERT_TRUE(c.SendRaw(batch).ok());
+
+  std::map<uint32_t, QueryResponse> by_seq;
+  for (int i = 0; i < 3; ++i) {
+    uint32_t seq = 0;
+    auto resp = c.ReadResponse(&seq);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    by_seq[seq] = std::move(*resp);
+  }
+  ASSERT_EQ(by_seq.count(q1), 1u);
+  ASSERT_EQ(by_seq.count(s1), 1u);
+  ASSERT_EQ(by_seq.count(q2), 1u);
+  EXPECT_TRUE(by_seq[q1].ok());
+  EXPECT_EQ(by_seq[q1].columns[0], "price");
+  EXPECT_TRUE(by_seq[s1].ok());
+  EXPECT_NE(by_seq[s1].status.message.find("trace ON"), std::string::npos);
+  EXPECT_TRUE(by_seq[q2].ok());
+  EXPECT_EQ(by_seq[q2].columns[0], "stock");
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, GoodbyeFlushesPipelinedResponsesThenCloses) {
+  ServerFixture fx("goodbye");
+  RccClient c = fx.ConnectAndHello();
+
+  constexpr int kQueries = 8;
+  std::string batch;
+  for (int i = 0; i < kQueries; ++i) {
+    server::AppendFrame(&batch, Opcode::kQuery, c.NextSeq(),
+                        "SELECT price FROM Books B WHERE B.isbn = " +
+                            std::to_string(i + 1));
+  }
+  server::AppendFrame(&batch, Opcode::kGoodbye, c.NextSeq(), "");
+  ASSERT_TRUE(c.SendRaw(batch).ok());
+
+  int ok_count = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto resp = c.ReadResponse(nullptr);
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    if (resp->ok()) ++ok_count;
+  }
+  EXPECT_EQ(ok_count, kQueries);
+  // After the flush the server closes: clean EOF, not garbage.
+  auto eof = c.ReadFrame();
+  EXPECT_FALSE(eof.ok());
+  fx.ExpectNoEpochLeak();
+}
+
+// -- malformed input ----------------------------------------------------------
+
+TEST(ServerTest, QueryBeforeHelloIsAProtocolError) {
+  ServerFixture fx("prehello");
+  RccClient c = fx.Connect();
+  ASSERT_TRUE(c.SendFrame(Opcode::kQuery, 7, "SELECT 1").ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  StatusFramePayload status;
+  ASSERT_TRUE(server::DecodeStatusPayload(frame->payload, &status).ok());
+  EXPECT_EQ(status.code,
+            static_cast<uint16_t>(StatusCode::kInvalidArgument));
+  EXPECT_NE(status.message.find("HELLO"), std::string::npos);
+  EXPECT_FALSE(c.ReadFrame().ok());  // then the server hangs up
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, DuplicateHelloIsAProtocolError) {
+  ServerFixture fx("dup_hello");
+  RccClient c = fx.ConnectAndHello();
+  ASSERT_TRUE(
+      c.SendFrame(Opcode::kHello, c.NextSeq(),
+                  server::EncodeHelloPayload(server::kProtocolVersion, "again"))
+          .ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  EXPECT_FALSE(c.ReadFrame().ok());
+}
+
+TEST(ServerTest, UnknownOpcodeClosesWithStatusFrame) {
+  ServerFixture fx("opcode");
+  RccClient c = fx.ConnectAndHello();
+  ASSERT_TRUE(c.SendFrame(static_cast<Opcode>(0x7f), 9, "junk").ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  StatusFramePayload status;
+  ASSERT_TRUE(server::DecodeStatusPayload(frame->payload, &status).ok());
+  EXPECT_NE(status.message.find("opcode"), std::string::npos);
+  EXPECT_FALSE(c.ReadFrame().ok());
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, ServerSideOpcodeFromClientIsRejected) {
+  ServerFixture fx("srv_opcode");
+  RccClient c = fx.ConnectAndHello();
+  ASSERT_TRUE(c.SendFrame(Opcode::kRows, 3, "").ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  EXPECT_FALSE(c.ReadFrame().ok());
+}
+
+TEST(ServerTest, OversizedLengthPrefixKillsConnection) {
+  ServerFixture fx("oversize");
+  RccClient c = fx.ConnectAndHello();
+  std::string evil;
+  server::PutU32(&evil, 512u << 20);  // claims a 512 MiB frame
+  evil.push_back('\x02');
+  ASSERT_TRUE(c.SendRaw(evil).ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  StatusFramePayload status;
+  ASSERT_TRUE(server::DecodeStatusPayload(frame->payload, &status).ok());
+  EXPECT_EQ(status.code,
+            static_cast<uint16_t>(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(c.ReadFrame().ok());
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, UndersizedLengthPrefixKillsConnection) {
+  ServerFixture fx("undersize");
+  RccClient c = fx.ConnectAndHello();
+  std::string evil;
+  server::PutU32(&evil, 2);  // cannot even hold opcode + seq
+  evil.append("\x02\x00", 2);
+  ASSERT_TRUE(c.SendRaw(evil).ok());
+  auto frame = c.ReadFrame();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->op, Opcode::kStatus);
+  EXPECT_FALSE(c.ReadFrame().ok());
+}
+
+TEST(ServerTest, TruncatedFrameThenDisconnectIsHarmless) {
+  ServerFixture fx("truncated");
+  {
+    RccClient c = fx.ConnectAndHello();
+    std::string partial;
+    server::PutU32(&partial, 100);  // frame promises 100 bytes...
+    partial.push_back('\x02');
+    partial.append("SELECT", 6);  // ...but the client dies mid-frame
+    ASSERT_TRUE(c.SendRaw(partial).ok());
+  }  // destructor closes the socket
+  // The server shrugs it off; a fresh connection works.
+  RccClient again = fx.ConnectAndHello();
+  auto resp = again.Query("SELECT price FROM Books B WHERE B.isbn = 1");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, MidQueryDisconnectNeverLeaksAPinnedEpoch) {
+  ServerFixture fx("hangup");
+  for (int round = 0; round < 10; ++round) {
+    RccClient c = fx.ConnectAndHello();
+    // Fire a batch of queries and hang up without reading a byte: workers
+    // finish against a closed connection and must drop their responses and
+    // unpin their snapshot epochs.
+    std::string batch;
+    for (int i = 0; i < 4; ++i) {
+      server::AppendFrame(&batch, Opcode::kQuery, c.NextSeq(),
+                          "SELECT isbn FROM Books B WHERE B.isbn <= 50 "
+                          "CURRENCY BOUND 10 MIN ON (B)");
+    }
+    ASSERT_TRUE(c.SendRaw(batch).ok());
+    c.Close();
+  }
+  fx.ExpectNoEpochLeak();
+  // The engine is still healthy for direct sessions.
+  auto direct = fx.book.session->Execute(
+      "SELECT price FROM Books B WHERE B.isbn = 1");
+  EXPECT_TRUE(direct.ok());
+}
+
+// -- backpressure and shutdown ------------------------------------------------
+
+TEST(ServerTest, BackpressureStreamsLargeResultsThroughTinyQueue) {
+  ServerOptions opts;
+  opts.max_write_queue_bytes = 2048;  // absurdly small response backlog
+  ServerFixture fx("backpressure", opts);
+  RccClient c = fx.ConnectAndHello();
+
+  // Pipeline several full-table scans (500 rows each) without reading, then
+  // drain. Workers must stall on the bounded queue, not drop or reorder.
+  constexpr int kQueries = 5;
+  std::string batch;
+  for (int i = 0; i < kQueries; ++i) {
+    server::AppendFrame(&batch, Opcode::kQuery, c.NextSeq(),
+                        "SELECT isbn, title, price, stock FROM Books B "
+                        "CURRENCY BOUND 10 MIN ON (B)");
+  }
+  ASSERT_TRUE(c.SendRaw(batch).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it stall
+
+  for (int i = 0; i < kQueries; ++i) {
+    auto resp = c.ReadResponse(nullptr);
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    ASSERT_TRUE(resp->ok()) << resp->status.message;
+    EXPECT_EQ(resp->rows.size(), 500u) << "query " << i;
+  }
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, StopDrainsInFlightStatementsAndFlushes) {
+  BookstoreFixture book;
+  book.sys.AdvanceTo(30000);
+  std::string path = TestSocketPath("stop_drain");
+  ServerOptions opts;
+  opts.uds_path = path;
+  opts.workers = 2;
+  RccServer srv(&book.sys, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  RccClient c;
+  ASSERT_TRUE(c.ConnectUds(path).ok());
+  ASSERT_TRUE(c.Hello("drain").ok());
+  constexpr int kQueries = 6;
+  std::string batch;
+  for (int i = 0; i < kQueries; ++i) {
+    server::AppendFrame(&batch, Opcode::kQuery, c.NextSeq(),
+                        "SELECT price FROM Books B WHERE B.isbn = " +
+                            std::to_string(i + 1));
+  }
+  ASSERT_TRUE(c.SendRaw(batch).ok());
+
+  // Stop while those are in flight: accepted statements must complete and
+  // their responses must be flushed before the socket closes.
+  srv.Stop();
+  EXPECT_FALSE(srv.running());
+
+  int ok_count = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto resp = c.ReadResponse(nullptr);
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    if (resp->ok()) ++ok_count;
+  }
+  EXPECT_EQ(ok_count, kQueries);
+  EXPECT_FALSE(c.ReadFrame().ok());  // EOF after the flush
+
+  // After Stop the engine left concurrent-batch mode: the clock advances.
+  const SnapshotEpochManager& epochs = book.sys.cache()->epoch_manager();
+  EXPECT_EQ(epochs.MinPinnedEpoch(), epochs.current_epoch());
+  book.sys.AdvanceBy(1000);
+}
+
+TEST(ServerTest, ManyConcurrentConnections) {
+  ServerOptions opts;
+  opts.workers = 4;
+  ServerFixture fx("many", opts);
+
+  constexpr int kClients = 32;
+  std::vector<RccClient> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(fx.ConnectAndHello());
+  }
+  EXPECT_EQ(fx.server.connections_open(), kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&clients, &failures, t] {
+      for (int i = t; i < kClients; i += 4) {
+        for (int q = 0; q < 3; ++q) {
+          auto resp = clients[i].Query(
+              "SELECT price FROM Books B WHERE B.isbn = " +
+              std::to_string(i * 3 + q + 1) + " CURRENCY BOUND 10 MIN ON (B)");
+          if (!resp.ok() || !resp->ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  fx.ExpectNoEpochLeak();
+}
+
+}  // namespace
+}  // namespace rcc

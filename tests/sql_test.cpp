@@ -51,6 +51,30 @@ TEST(LexerTest, TwoCharOperators) {
   EXPECT_EQ((*tokens)[3].text, "!=");
 }
 
+TEST(LexerTest, HighBitBytesInStringLiteralsSurviveVerbatim) {
+  // UTF-8 "Café" followed by a lone Latin-1 É (0xC9). Keyword folding is
+  // ASCII-only, so bytes >= 0x80 inside literals must pass through the lexer
+  // untouched regardless of the process locale.
+  const std::string literal = "Caf\xC3\xA9 \xC9 \xFF";
+  auto tokens = Tokenize("SELECT title FROM Books WHERE title = '" + literal +
+                         "' AND price > 1");
+  ASSERT_TRUE(tokens.ok());
+  bool saw = false;
+  for (const Token& tok : *tokens) {
+    if (tok.type == TokenType::kString) {
+      EXPECT_EQ(tok.text, literal);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+
+  // The surrounding keywords still fold case-insensitively and the whole
+  // statement parses: high-bit bytes never desugar into keyword matches.
+  auto stmt = ParseSelect("select TITLE from Books where title = '" + literal +
+                          "'");
+  ASSERT_TRUE(stmt.ok());
+}
+
 TEST(LexerTest, Errors) {
   EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
   EXPECT_TRUE(Tokenize("a # b").status().IsParseError());
