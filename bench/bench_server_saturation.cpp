@@ -34,6 +34,7 @@
 #include "bench_util.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "server/wire.h"
 
 namespace rcc {
 namespace bench {
@@ -146,6 +147,117 @@ TierResult RunTier(const std::string& uds_path, int connections) {
   return out;
 }
 
+// -- overload tier ------------------------------------------------------------
+//
+// The survivability tier (DESIGN.md §15): far more pipelined statements than
+// the admission limit, through few connections, so the server's overload
+// machinery — early rejection, queue-delay refusal, C&C-aware shedding,
+// per-statement deadlines — all fire at once. Every connection first runs
+// SET DEGRADE ALWAYS and then pipelines tight-bound lookups (10s bound:
+// plan-time feasible, since the region's refresh delay keeps minimum
+// staleness at 5s, but failing at run time against the replica's current
+// 15s staleness — exactly the switch-union shape where a shed hint can
+// serve degraded-local); every 8th statement carries a 1ms wire deadline
+// that queue wait alone blows. The acceptance bar: every single frame in
+// the storm is answered with rows or a structured status (Overloaded /
+// DeadlineExceeded) — a malformed frame, an unexpected status code, or a
+// dead connection is a protocol failure and fails the bench.
+
+struct OverloadResult {
+  int connections = 0;
+  int statements = 0;
+  int ok = 0;
+  int shed = 0;        ///< answered degraded (client-visible shed marker)
+  int overloaded = 0;  ///< structured kOverloaded refusals
+  int deadline = 0;    ///< structured kDeadlineExceeded timeouts
+  int protocol_failures = 0;
+  double run_ms = 0;
+};
+
+OverloadResult RunOverloadTier(const std::string& uds_path, int connections,
+                               int burst_per_connection) {
+  OverloadResult out;
+  out.connections = connections;
+
+  std::vector<RccClient> clients(static_cast<size_t>(connections));
+  for (auto& c : clients) {
+    if (!c.ConnectUds(uds_path).ok() ||
+        !c.Hello("bench_overload").ok() ||
+        !c.Set("SET DEGRADE ALWAYS").ok()) {
+      out.protocol_failures++;
+    }
+  }
+
+  std::atomic<int> ok{0}, shed{0}, overloaded{0}, deadline{0}, bad{0};
+  out.run_ms = TimeMs([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(connections));
+    for (int i = 0; i < connections; ++i) {
+      threads.emplace_back([&, i] {
+        RccClient& c = clients[static_cast<size_t>(i)];
+        if (!c.connected()) return;
+        // One contiguous burst: the event loop parses it in a few reads and
+        // dispatches the statements back to back, holding in_flight at the
+        // admission limit for the whole storm.
+        std::string batch;
+        for (int q = 0; q < burst_per_connection; ++q) {
+          std::string sql =
+              "SELECT c_custkey, c_acctbal FROM Customer C WHERE "
+              "C.c_custkey = " +
+              std::to_string(1 + (i * 131 + q * 37) % 1000) +
+              " CURRENCY BOUND 10 SEC ON (C)";
+          if (q % 8 == 7) {
+            server::AppendFrame(
+                &batch, server::Opcode::kQueryDeadline, c.NextSeq(),
+                server::EncodeQueryDeadlinePayload(1, sql));
+          } else {
+            server::AppendFrame(&batch, server::Opcode::kQuery, c.NextSeq(),
+                                sql);
+          }
+        }
+        if (!c.SendRaw(batch).ok()) {
+          bad.fetch_add(burst_per_connection);
+          return;
+        }
+        for (int q = 0; q < burst_per_connection; ++q) {
+          auto resp = c.ReadResponse(nullptr);
+          if (!resp.ok()) {
+            // Transport/framing failure mid-storm: everything still
+            // unanswered on this connection counts against the bar.
+            bad.fetch_add(burst_per_connection - q);
+            return;
+          }
+          if (resp->ok()) {
+            ok.fetch_add(1);
+            if (resp->status.degraded) shed.fetch_add(1);
+          } else if (resp->status.code ==
+                     static_cast<uint16_t>(StatusCode::kOverloaded)) {
+            overloaded.fetch_add(1);
+          } else if (resp->status.code ==
+                     static_cast<uint16_t>(StatusCode::kDeadlineExceeded)) {
+            deadline.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+
+  for (auto& c : clients) {
+    if (c.connected()) (void)c.Goodbye();
+  }
+
+  out.statements = connections * burst_per_connection;
+  out.ok = ok.load();
+  out.shed = shed.load();
+  out.overloaded = overloaded.load();
+  out.deadline = deadline.load();
+  out.protocol_failures += bad.load();
+  return out;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace rcc
@@ -174,6 +286,10 @@ int main(int argc, char** argv) {
       "/tmp/rcc_bench_server_" + std::to_string(::getpid()) + ".sock";
   opts.workers = 4;
   opts.max_connections = 12000;
+  // Overload machinery, exercised by the overload tier below. The normal
+  // tiers keep one statement in flight per driver thread, so queue delay
+  // stays ~0 and neither the shed hint nor the admission limit fires there.
+  opts.shed_queue_delay_ms = 1;
   server::RccServer srv(sys.get(), opts);
   Status st = srv.Start();
   if (!st.ok()) {
@@ -199,6 +315,49 @@ int main(int argc, char** argv) {
         .gauge(prefix + ".failures")
         ->Set(static_cast<double>(r.failures));
   }
+
+  // Overload tier: counters snapshot -> storm -> delta, so the gauges show
+  // exactly what this tier drove (the normal tiers leave them untouched).
+  auto& m = sys->metrics();
+  int64_t rejected0 = m.counter("rcc.server.overload_rejected")->value();
+  int64_t timeouts0 = m.counter("rcc.server.deadline_timeouts")->value();
+  int64_t sheds0 = m.counter("rcc.server.shed_statements")->value();
+
+  OverloadResult o = RunOverloadTier(opts.uds_path, /*connections=*/16,
+                                     /*burst_per_connection=*/48);
+  total_failures += o.protocol_failures;
+
+  int64_t rejected = m.counter("rcc.server.overload_rejected")->value() -
+                     rejected0;
+  int64_t timeouts = m.counter("rcc.server.deadline_timeouts")->value() -
+                     timeouts0;
+  int64_t sheds = m.counter("rcc.server.shed_statements")->value() - sheds0;
+
+  std::printf("\n  overload tier: %d conns x %d pipelined statements\n",
+              o.connections, o.statements / o.connections);
+  std::printf(
+      "  %-9s %-9s %-9s %-9s %-9s %s\n"
+      "  %-9d %-9d %-9d %-9d %-9d %d\n",
+      "answered", "rows", "shed", "rejected", "timeout", "protocol_failures",
+      o.ok + o.overloaded + o.deadline, o.ok, o.shed, o.overloaded,
+      o.deadline, o.protocol_failures);
+  std::printf(
+      "  server counters: overload_rejected=%lld deadline_timeouts=%lld "
+      "shed_statements=%lld\n",
+      static_cast<long long>(rejected), static_cast<long long>(timeouts),
+      static_cast<long long>(sheds));
+
+  const std::string op = "rcc.bench.server.overload";
+  m.gauge(op + ".statements")->Set(static_cast<double>(o.statements));
+  m.gauge(op + ".rows")->Set(static_cast<double>(o.ok));
+  m.gauge(op + ".shed")->Set(static_cast<double>(o.shed));
+  m.gauge(op + ".rejected")->Set(static_cast<double>(o.overloaded));
+  m.gauge(op + ".timeout")->Set(static_cast<double>(o.deadline));
+  m.gauge(op + ".protocol_failures")
+      ->Set(static_cast<double>(o.protocol_failures));
+  m.gauge(op + ".server_rejected_delta")->Set(static_cast<double>(rejected));
+  m.gauge(op + ".server_timeouts_delta")->Set(static_cast<double>(timeouts));
+  m.gauge(op + ".server_sheds_delta")->Set(static_cast<double>(sheds));
 
   srv.Stop();
 

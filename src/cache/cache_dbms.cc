@@ -189,7 +189,8 @@ void CacheDbms::ClearReplicationFaults() {
 
 Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
                                               ExecStats* stats,
-                                              obs::QueryTrace* trace) const {
+                                              obs::QueryTrace* trace,
+                                              Deadline deadline) const {
   // The whole remote stack (breaker state, injector RNG, back-end executor
   // counters) is single-threaded; workers of a concurrent batch take turns.
   // Serial mode skips the lock: it is single-threaded by contract, and the
@@ -201,7 +202,7 @@ Result<RemoteResult> CacheDbms::ExecuteRemote(const SelectStmt& stmt,
   std::unique_lock<std::mutex> channel_guard(remote_mutex_, std::defer_lock);
   if (in_concurrent_batch()) channel_guard.lock();
   if (remote_policy_ != nullptr) {
-    return remote_policy_->Execute(stmt, stats, trace);
+    return remote_policy_->Execute(stmt, stats, trace, deadline);
   }
   if (fault_injector_ != nullptr) {
     // Vanilla channel under faults: one bare attempt, failures surface
@@ -256,6 +257,9 @@ ExecContext CacheDbms::MakeExecContext(ExecStats* stats,
     const MaterializedView* v = pin->Acquire(r)->FindView(lower);
     return v == nullptr ? nullptr : &v->data();
   };
+  // Deadline-free binding; ExecutePrepared re-binds this lambda with the
+  // statement's deadline when one is armed (the deadline is per-statement,
+  // this context builder is shared with deadline-less callers).
   ctx.remote_executor = [this, stats, trace](const SelectStmt& stmt) {
     return ExecuteRemote(stmt, stats, trace);
   };
@@ -307,6 +311,19 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
   CacheQueryOutcome out;
   ExecContext ctx = MakeExecContext(&out.stats, timeline_floor, degrade, trace);
   ctx.params = opts.params;
+  ctx.shed_hint = opts.shed_hint;
+  if (opts.deadline.armed()) {
+    ctx.deadline = opts.deadline;
+    // Re-bind the remote channel with the deadline so the retry loop's
+    // cancellation points see it (the MakeExecContext binding is shared with
+    // deadline-less callers).
+    ExecStats* stats = &out.stats;
+    Deadline deadline = opts.deadline;
+    ctx.remote_executor = [this, stats, trace, deadline](
+                              const SelectStmt& stmt) {
+      return ExecuteRemote(stmt, stats, trace, deadline);
+    };
+  }
   if (sink_ != nullptr) {
     ctx.history = sink_;
     ctx.history_query_id = sink_->BeginQuery(backend_->clock()->Now());
@@ -322,6 +339,23 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
   // runs, merely deferring reclamation of versions the pin still covers.
   Result<ExecutedQuery> executed = ExecutePlan(plan, &ctx);
   if (active_trace_ == trace && trace != nullptr) active_trace_ = nullptr;
+  // Release the snapshot pin before answer bookkeeping: a cancelled or
+  // failed statement must not hold its pinned epoch (and thereby defer
+  // snapshot reclamation) for even the bookkeeping below — the epoch-leak
+  // invariant (MinPinnedEpoch == current_epoch once idle) holds the moment
+  // the statement stops executing, not when its result object dies. The
+  // context's callbacks share ownership, so dropping both here frees the
+  // pin deterministically.
+  if (!executed.ok()) {
+    ctx.table_provider = nullptr;
+    ctx.remote_executor = nullptr;
+    ctx.local_heartbeat = nullptr;
+    ctx.region_health = nullptr;
+    ctx.region_epoch = nullptr;
+    ctx.refresh_region = nullptr;
+    ctx.note_local_serve = nullptr;
+    ctx.snapshot_pin.reset();
+  }
   // Failed queries still spent retries / tripped the breaker; account for
   // them in the link-wide counters (worker threads accumulate under a lock).
   {
@@ -392,6 +426,8 @@ void CacheDbms::SetMetricsRegistry(obs::MetricsRegistry* registry) {
   inst_.remote_timeouts = registry->counter("rcc.remote.timeouts");
   inst_.breaker_opens = registry->counter("rcc.remote.breaker_opens");
   inst_.degraded_serves = registry->counter("rcc.degrade.serves");
+  inst_.shed_serves = registry->counter("rcc.degrade.shed_serves");
+  inst_.deadline_timeouts = registry->counter("rcc.cache.deadline_timeouts");
   inst_.replication_deliveries =
       registry->counter("rcc.replication.deliveries");
   inst_.replication_quarantines =
@@ -428,6 +464,8 @@ void CacheDbms::RecordQueryMetrics(const ExecStats& stats,
   inst_.remote_timeouts->Add(stats.remote_timeouts);
   inst_.breaker_opens->Add(stats.breaker_opens);
   inst_.degraded_serves->Add(stats.degraded_serves);
+  inst_.shed_serves->Add(stats.shed_serves);
+  inst_.deadline_timeouts->Add(stats.deadline_timeouts);
   inst_.query_run_ms->Observe(stats.run_ms);
   // Staleness of what the query served: virtual now minus the highest source
   // snapshot it read. Remote-served queries land in the 0 bucket.

@@ -149,6 +149,15 @@ class CacheDbms {
     uint64_t session_tag = 0;
     /// Execution-time parameter values for kParam slots of a cached plan.
     const std::vector<Value>* params = nullptr;
+    /// Real-time cancellation deadline (default: none). Checked at executor
+    /// batch boundaries and in the remote retry loop; an expired statement
+    /// answers DeadlineExceeded and releases its snapshot pin immediately.
+    Deadline deadline;
+    /// Overload-shedding hint from the admission layer: prefer the permitted
+    /// degraded-local branch over a remote round-trip (see
+    /// SwitchUnionIterator::ShedEligible — guard semantics are never
+    /// weakened).
+    bool shed_hint = false;
   };
   Result<CacheQueryOutcome> ExecutePrepared(const QueryPlan& plan,
                                             const PreparedExecOptions& opts);
@@ -262,6 +271,8 @@ class CacheDbms {
     obs::Counter* remote_timeouts = nullptr;
     obs::Counter* breaker_opens = nullptr;
     obs::Counter* degraded_serves = nullptr;
+    obs::Counter* shed_serves = nullptr;
+    obs::Counter* deadline_timeouts = nullptr;
     obs::Counter* replication_deliveries = nullptr;
     obs::Counter* replication_quarantines = nullptr;
     obs::Counter* replication_resyncs = nullptr;
@@ -285,9 +296,11 @@ class CacheDbms {
                       SimTimeMs at);
 
   /// One remote execution through the configured stack: policy (if any) over
-  /// injector (if any) over the back-end adapter.
+  /// injector (if any) over the back-end adapter. `deadline` bounds the
+  /// policy's retry loop in real time.
   Result<RemoteResult> ExecuteRemote(const SelectStmt& stmt, ExecStats* stats,
-                                     obs::QueryTrace* trace) const;
+                                     obs::QueryTrace* trace,
+                                     Deadline deadline = Deadline::None()) const;
   /// The attempt function feeding the policy layer (injector-wrapped or
   /// plain back-end).
   RemoteAttemptFn MakeAttemptFn() const;

@@ -29,6 +29,16 @@ enum class StatusCode {
   /// contract (§1). Carried alongside a result, never returned as the
   /// operation status of a failed call.
   kStaleOk,
+  /// A statement's deadline expired before it finished; the work was
+  /// cancelled at a batch boundary and its snapshot pin released. Retryable
+  /// by the client (with a fresh deadline). Deliberately distinct from
+  /// kUnavailable: the conformance oracle's degrade-refusal rule keys on
+  /// Unavailable refusals, and a timeout is not a currency refusal.
+  kDeadlineExceeded,
+  /// The server's admission queue is over its configured limit or queue
+  /// delay; the statement was rejected before execution. Retryable after
+  /// backoff — an overloaded server sheds load, it does not disconnect.
+  kOverloaded,
 };
 
 /// Returns a short human-readable name such as "ParseError".
@@ -77,6 +87,12 @@ class Status {
   static Status StaleOk(std::string msg) {
     return Status(StatusCode::kStaleOk, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +105,10 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsStaleOk() const { return code_ == StatusCode::kStaleOk; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// Renders "<Code>: <message>" (or "OK").
   std::string ToString() const;

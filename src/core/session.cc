@@ -104,7 +104,43 @@ bool Session::ParseSetTrace(const std::string& sql, bool* on) {
   return true;
 }
 
-Result<QueryResult> Session::Execute(const std::string& sql) {
+bool Session::ParseSetDeadline(const std::string& sql, int64_t* ms) {
+  std::string normalized = sql;
+  for (char& c : normalized) {
+    if (c == '=' || c == ';' || c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  std::vector<std::string> words;
+  for (const std::string& piece : Split(normalized, ' ')) {
+    if (!piece.empty()) words.push_back(piece);
+  }
+  if (words.size() != 3 || !EqualsIgnoreCase(words[0], "SET") ||
+      !EqualsIgnoreCase(words[1], "DEADLINE")) {
+    return false;
+  }
+  // A bare non-negative integer (milliseconds); anything else is not a
+  // SET DEADLINE statement and falls through to the SQL parser's error.
+  const std::string& value = words[2];
+  if (value.empty()) return false;
+  int64_t parsed = 0;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 86400000) return false;  // cap at 24h: reject overflow/typos
+  }
+  *ms = parsed;
+  return true;
+}
+
+Deadline Session::ResolveDeadline(const StatementOptions& opts) const {
+  int64_t ms = opts.deadline_ms;
+  if (ms <= 0) ms = deadline_ms();
+  if (ms <= 0) ms = opts.default_deadline_ms;
+  if (ms <= 0) return Deadline::None();
+  return Deadline::After(opts.enqueued_at, ms);
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql,
+                                     const StatementOptions& opts) {
   // Session options are handled before SQL parsing (like BEGIN TIMEORDERED,
   // they configure the session rather than run a query).
   DegradeMode mode;
@@ -124,21 +160,32 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
     out.executed_at = system_->Now();
     return out;
   }
+  int64_t deadline_ms_value = 0;
+  if (ParseSetDeadline(sql, &deadline_ms_value)) {
+    set_deadline_ms(deadline_ms_value);
+    QueryResult out;
+    out.message = deadline_ms_value > 0
+                      ? "deadline " + std::to_string(deadline_ms_value) + "ms"
+                      : "deadline OFF";
+    out.executed_at = system_->Now();
+    return out;
+  }
   // SELECT (and EXPLAIN [ANALYZE] SELECT) text goes through the plan cache;
   // everything else takes the full parse.
   bool is_explain = false;
   bool is_analyze = false;
   size_t body_pos = 0;
   if (SniffSelect(sql, &body_pos, &is_explain, &is_analyze)) {
-    return ExecuteSelectSql(sql.substr(body_pos), is_explain, is_analyze);
+    return ExecuteSelectSql(sql.substr(body_pos), is_explain, is_analyze,
+                            opts);
   }
   RCC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  return ExecuteStatement(stmt, opts);
 }
 
 Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
-                                              bool is_explain,
-                                              bool is_analyze) {
+                                              bool is_explain, bool is_analyze,
+                                              const StatementOptions& opts) {
   // Read the session modes exactly once: a concurrent SET DEGRADE / BEGIN
   // TIMEORDERED takes effect at the next query's admission, never mid-query
   // (the cache lookup, audit mode and floor handling below must agree).
@@ -206,6 +253,8 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
   eo.trace = trace.get();
   eo.session_tag = id_;
   eo.params = &params;
+  eo.deadline = ResolveDeadline(opts);
+  eo.shed_hint = opts.shed_hint;
   RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
                        cache->ExecutePrepared(plan, eo));
   if (session_timeordered) RaiseFloor(outcome.max_seen_heartbeat);
@@ -218,7 +267,8 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
   return result;
 }
 
-Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
+Result<QueryResult> Session::ExecuteStatement(const Statement& stmt,
+                                              const StatementOptions& opts) {
   QueryResult out;
   switch (stmt.kind) {
     case StatementKind::kInsert:
@@ -252,12 +302,17 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   const bool session_timeordered = in_timeordered();
   CacheDbms* cache = system_->cache();
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
-  SimTimeMs floor = session_timeordered ? timeline_floor() : -1;
   std::shared_ptr<obs::QueryTrace> trace;
   if (trace_enabled()) trace = std::make_shared<obs::QueryTrace>();
-  RCC_ASSIGN_OR_RETURN(
-      CacheQueryOutcome outcome,
-      cache->ExecutePrepared(plan, floor, degrade_mode(), trace.get(), id_));
+  CacheDbms::PreparedExecOptions eo;
+  eo.timeline_floor = session_timeordered ? timeline_floor() : -1;
+  eo.degrade = degrade_mode();
+  eo.trace = trace.get();
+  eo.session_tag = id_;
+  eo.deadline = ResolveDeadline(opts);
+  eo.shed_hint = opts.shed_hint;
+  RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
+                       cache->ExecutePrepared(plan, eo));
   if (session_timeordered) RaiseFloor(outcome.max_seen_heartbeat);
   QueryResult result = MakeQueryResult(std::move(outcome));
   result.trace = std::move(trace);

@@ -2,6 +2,7 @@
 #define RCC_CORE_SESSION_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,12 +26,40 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// Per-statement execution options the admission layer (network server)
+  /// hands down with each request. The deadline base is the request's
+  /// *enqueue* time, so time spent waiting in the admission queue counts
+  /// against the statement's budget.
+  struct StatementOptions {
+    /// When the request entered the system (admission-queue enqueue for
+    /// served statements; defaults to "now" for in-process callers).
+    std::chrono::steady_clock::time_point enqueued_at =
+        std::chrono::steady_clock::now();
+    /// Per-request deadline override (wire field); 0 = not set. Highest
+    /// precedence.
+    int64_t deadline_ms = 0;
+    /// Caller-level default (ServerOptions::default_deadline_ms); 0 = none.
+    /// Lowest precedence — `SET DEADLINE <ms>` sits between the two.
+    int64_t default_deadline_ms = 0;
+    /// Overload-pressure hint: prefer the permitted degraded-local branch
+    /// over a remote round-trip (C&C-aware shedding).
+    bool shed_hint = false;
+  };
+
   /// Executes one SQL statement (SELECT with optional currency clause, or
   /// BEGIN/END TIMEORDERED).
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) {
+    return Execute(sql, StatementOptions{});
+  }
+  Result<QueryResult> Execute(const std::string& sql,
+                              const StatementOptions& opts);
 
   /// Executes a pre-parsed statement.
-  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteStatement(const Statement& stmt) {
+    return ExecuteStatement(stmt, StatementOptions{});
+  }
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       const StatementOptions& opts);
 
   /// Executes a batch of SELECT statements concurrently on the system's
   /// worker pool (RccSystem::ExecuteConcurrent), applying this session's
@@ -85,6 +114,16 @@ class Session {
     trace_enabled_.store(on, std::memory_order_release);
   }
 
+  /// Session-level statement deadline in real ms; 0 = none. Settable in SQL:
+  /// SET DEADLINE <ms> (0 turns it off). Overridden per request by
+  /// StatementOptions::deadline_ms; overrides the caller default.
+  int64_t deadline_ms() const {
+    return deadline_ms_.load(std::memory_order_acquire);
+  }
+  void set_deadline_ms(int64_t ms) {
+    deadline_ms_.store(ms, std::memory_order_release);
+  }
+
   /// DML: builds the row operations (evaluating predicates against the
   /// master data) and forwards them as one transaction to the back-end —
   /// the cache never applies writes itself (paper §3 item 5).
@@ -102,6 +141,12 @@ class Session {
   static bool ParseSetDegrade(const std::string& sql, DegradeMode* mode);
   /// Recognizes "SET TRACE [=] ON|OFF" (handled before SQL parsing).
   static bool ParseSetTrace(const std::string& sql, bool* on);
+  /// Recognizes "SET DEADLINE [=] <ms>" (handled before SQL parsing);
+  /// 0 disables the session deadline.
+  static bool ParseSetDeadline(const std::string& sql, int64_t* ms);
+  /// Resolves the effective deadline for one statement: per-request override
+  /// > session SET DEADLINE > caller default, anchored at opts.enqueued_at.
+  Deadline ResolveDeadline(const StatementOptions& opts) const;
   /// EXPLAIN [ANALYZE]: renders the plan (and, for ANALYZE, executes the
   /// query and renders its trace and stats) into QueryResult::message.
   Result<QueryResult> ExecuteExplain(const Statement& stmt);
@@ -112,7 +157,8 @@ class Session {
   /// keyword so parse-time literal offsets line up with the cache key's
   /// parameter slots.
   Result<QueryResult> ExecuteSelectSql(const std::string& body,
-                                       bool is_explain, bool is_analyze);
+                                       bool is_explain, bool is_analyze,
+                                       const StatementOptions& opts);
 
   /// CAS-max: lifts the timeline floor to `seen` unless another query
   /// already published something higher. A plain store would let a slow
@@ -140,6 +186,9 @@ class Session {
   /// times into it concurrently; the serial path uses it like a plain field.
   std::atomic<SimTimeMs> timeline_floor_{-1};
   std::atomic<DegradeMode> degrade_mode_{DegradeMode::kNone};
+  /// Session statement deadline (real ms); 0 = none. Atomic for the same
+  /// reason as the modes above (SET DEADLINE races with in-flight queries).
+  std::atomic<int64_t> deadline_ms_{0};
 };
 
 }  // namespace rcc

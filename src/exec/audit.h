@@ -58,6 +58,12 @@ struct ServeObservation {
   bool local = false;
   /// true = served past a failed remote branch under SET DEGRADE.
   bool degraded = false;
+  /// true = this degraded serve was a pre-emptive overload shed: the guard
+  /// chose remote, but admission-layer pressure redirected the statement
+  /// down the (permitted) degraded-local branch before any remote attempt.
+  /// Always implies `degraded`; the oracle treats shed serves under exactly
+  /// the same currency rules as failure-driven degraded serves.
+  bool shed = false;
   /// Serving currency region; kBackendRegion for remote fetches.
   RegionId region = kBackendRegion;
   /// The region heartbeat claimed at serve time (local serves only).

@@ -27,6 +27,8 @@ void ExecStats::Accumulate(const ExecStats& other) {
   remote_timeouts += other.remote_timeouts;
   breaker_opens += other.breaker_opens;
   degraded_serves += other.degraded_serves;
+  shed_serves += other.shed_serves;
+  deadline_timeouts += other.deadline_timeouts;
   guard_unknown_region += other.guard_unknown_region;
   guard_quarantined_region += other.guard_quarantined_region;
   degraded_staleness_ms = std::max(degraded_staleness_ms,

@@ -1,6 +1,7 @@
 #ifndef RCC_EXEC_EXEC_CONTEXT_H_
 #define RCC_EXEC_EXEC_CONTEXT_H_
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -45,6 +46,33 @@ enum class DegradeMode {
 
 std::string_view DegradeModeName(DegradeMode mode);
 
+/// A real-time (steady-clock) statement deadline. Unlike the currency
+/// machinery — which runs entirely on the virtual clock — cancellation is
+/// about wall time a client has already waited, so it uses real time. The
+/// default (time_point::max) means "no deadline" and costs one compare per
+/// check.
+struct Deadline {
+  std::chrono::steady_clock::time_point at =
+      std::chrono::steady_clock::time_point::max();
+
+  static Deadline None() { return Deadline(); }
+  static Deadline After(std::chrono::steady_clock::time_point start,
+                        int64_t ms) {
+    Deadline d;
+    d.at = start + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool armed() const {
+    return at != std::chrono::steady_clock::time_point::max();
+  }
+  /// True once the deadline has passed. Cancellation points (executor batch
+  /// boundaries, remote retry-loop iterations) poll this.
+  bool expired() const {
+    return armed() && std::chrono::steady_clock::now() >= at;
+  }
+};
+
 /// Per-query execution counters. Phase timings are real (steady-clock) time
 /// because the currency-guard overhead experiments (paper Tables 4.4/4.5)
 /// measure actual executor work; everything currency-related runs on the
@@ -67,6 +95,14 @@ struct ExecStats {
   int64_t breaker_opens = 0;
   /// Queries answered from a local view after the remote branch failed.
   int64_t degraded_serves = 0;
+  /// Degraded serves taken *pre-emptively* under overload pressure: the
+  /// guard chose remote, but the shed hint redirected the statement down the
+  /// degraded-local branch (only when the degrade mode and timeline floor
+  /// permit — see SwitchUnionIterator). A subset of degraded_serves.
+  int64_t shed_serves = 0;
+  /// Statements cancelled at a batch boundary or retry-loop iteration
+  /// because their real-time deadline expired.
+  int64_t deadline_timeouts = 0;
   /// Guard probes against a region with no known local heartbeat (region
   /// undefined, or defined mid-run and never synced): the guard fails
   /// explicitly instead of treating the region as stale-since-time-0.
@@ -146,6 +182,21 @@ struct ExecContext {
 
   /// Degradation policy for remote-branch failures (see DegradeMode).
   DegradeMode degrade = DegradeMode::kNone;
+
+  /// Real-time deadline for this statement; default = none. Checked at
+  /// executor batch boundaries and inside the remote retry loop, so a
+  /// timed-out statement frees its worker (and snapshot pin) within one
+  /// batch boundary instead of running to completion.
+  Deadline deadline;
+
+  /// Overload-shedding hint from the admission layer: when true, a
+  /// SwitchUnion whose guard chose the remote branch first *tries* the
+  /// degraded-local ladder (same permission checks as a remote failure —
+  /// degrade mode, quarantine, timeline floor, currency bound) and serves
+  /// local if allowed, falling back to normal remote execution if not.
+  /// Never weakens guard semantics; it only re-orders which permitted
+  /// branch is preferred under pressure.
+  bool shed_hint = false;
 
   /// Plans for nested EXISTS/IN subqueries, keyed by AST node.
   const std::map<const SelectStmt*, SubPlan>* subplans = nullptr;

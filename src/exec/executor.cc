@@ -26,13 +26,26 @@ Result<ExecutedQuery> ExecutePlan(const QueryPlan& plan, ExecContext* ctx) {
   double setup_ms = MsSince(t0);
 
   // Run phase: drain the tree batch-at-a-time (vectorized operators produce
-  // natively; row-at-a-time operators go through the NextBatch shim).
+  // natively; row-at-a-time operators go through the NextBatch shim). Every
+  // batch boundary is a cancellation point: a statement whose real-time
+  // deadline has passed stops here, frees its worker, and lets the context
+  // (and with it the snapshot pin) unwind — it never runs to completion
+  // just because it already started.
   constexpr size_t kDrainBatchRows = 256;
   auto t1 = std::chrono::steady_clock::now();
   ExecutedQuery out;
   out.layout = iter->layout();
   RowBatch batch;
   while (true) {
+    if (ctx->deadline.expired()) {
+      if (ctx->stats != nullptr) {
+        ctx->stats->deadline_timeouts += 1;
+        ctx->stats->run_ms += MsSince(t1);
+      }
+      (void)iter->Close();
+      return Status::DeadlineExceeded(
+          "statement deadline expired at executor batch boundary");
+    }
     RCC_ASSIGN_OR_RETURN(bool more, iter->NextBatch(&batch, kDrainBatchRows));
     if (!more) break;
     for (Row& row : batch.rows) out.rows.push_back(std::move(row));

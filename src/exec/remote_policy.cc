@@ -9,7 +9,8 @@ namespace rcc {
 
 Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
                                                       ExecStats* stats,
-                                                      obs::QueryTrace* trace) {
+                                                      obs::QueryTrace* trace,
+                                                      Deadline deadline) {
   if (breaker_open()) {
     if (trace != nullptr) {
       trace->Record(obs::TraceEventKind::kBreakerFastFail, clock_->Now(),
@@ -23,6 +24,14 @@ Result<RemoteResult> ResilientRemoteExecutor::Execute(const SelectStmt& stmt,
 
   Status last = Status::Unavailable("remote query not attempted");
   for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    // Cancellation point: a statement past its real-time deadline neither
+    // attempts nor backs off again — its worker is needed back.
+    if (deadline.expired()) {
+      if (stats != nullptr) ++stats->deadline_timeouts;
+      return Status::DeadlineExceeded(
+          StrPrintf("statement deadline expired before remote attempt %d",
+                    attempt + 1));
+    }
     if (attempt > 0) {
       // Exponential backoff + jitter before retry `attempt`: the delay is
       // backoff_base_ms * backoff_multiplier^attempt (1-based retry index,

@@ -69,9 +69,13 @@ class ResilientRemoteExecutor {
 
   /// Executes `stmt` under the policy. Retry/timeout/breaker events are
   /// recorded into `stats` and, per event with its virtual timestamp, into
-  /// `trace` when non-null.
+  /// `trace` when non-null. `deadline` is the statement's real-time
+  /// cancellation deadline: each retry-loop iteration is a cancellation
+  /// point, so an expired statement stops retrying (and backing off)
+  /// immediately instead of riding out the whole retry budget.
   Result<RemoteResult> Execute(const SelectStmt& stmt, ExecStats* stats,
-                               obs::QueryTrace* trace = nullptr);
+                               obs::QueryTrace* trace = nullptr,
+                               Deadline deadline = Deadline::None());
 
   /// Replaces the attempt function (e.g. when a fault injector is added to
   /// an already-wired link).

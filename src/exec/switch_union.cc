@@ -22,13 +22,14 @@ constexpr SimTimeMs kSimMutateSkewMs = 15000;
 /// delivered by `branch` to `region` (kBackendRegion = remote fetch).
 void RecordServe(ExecContext* ctx, const PhysicalOp& branch, RegionId region,
                  bool local, bool degraded,
-                 std::optional<SimTimeMs> heartbeat) {
+                 std::optional<SimTimeMs> heartbeat, bool shed = false) {
   if (ctx->history == nullptr) return;
   ServeObservation obs;
   obs.query_id = ctx->history_query_id;
   obs.at = ctx->clock != nullptr ? ctx->clock->Now() : 0;
   obs.local = local;
   obs.degraded = degraded;
+  obs.shed = shed;
   obs.region = region;
   obs.heartbeat_known = heartbeat.has_value();
   obs.heartbeat = heartbeat.value_or(-1);
@@ -166,6 +167,18 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
       RecordServe(ctx_, *op_.children[0], op_.guard_region,
                   /*local=*/true, /*degraded=*/false,
                   ctx_->local_heartbeat(op_.guard_region));
+    } else {
+      // Overload shedding: under admission pressure, prefer the (permitted)
+      // degraded-local branch over a remote round-trip. Eligibility runs the
+      // exact DegradeToLocal ladder; when it says no, the statement executes
+      // remote exactly as without the hint — shedding can only re-order
+      // permitted branches, never manufacture a refusal or stretch a bound.
+      SimTimeMs hb = -1;
+      SimTimeMs staleness = 0;
+      bool within_bound = false;
+      if (ShedEligible(&hb, &staleness, &within_bound)) {
+        return ShedServeLocal(outer, hb, staleness, within_bound);
+      }
     }
   }
   chosen_ = cached_decision_ == 1 ? local_.get() : remote_.get();
@@ -180,6 +193,78 @@ Status SwitchUnionIterator::Open(const EvalScope* outer) {
     if (ctx_->stats != nullptr) ++ctx_->stats->switch_remote;
   }
   return st;
+}
+
+bool SwitchUnionIterator::ShedEligible(SimTimeMs* hb_out,
+                                       SimTimeMs* staleness_out,
+                                       bool* within_bound_out) {
+  if (!ctx_->shed_hint || local_ == nullptr) return false;
+  // The ladder's permission checks, evaluated non-fatally. The guard probe
+  // that routed us remote ran a moment ago on the same pinned snapshot, so
+  // no extra refresh is needed — the re-read below observes the identical
+  // published version the (recorded) probe judged.
+  if (ctx_->degrade == DegradeMode::kNone) return false;
+  if (served_remote_) return false;
+  std::optional<SimTimeMs> hb_opt = ctx_->local_heartbeat(op_.guard_region);
+  // Unknown or withdrawn heartbeat (never synced, quarantined, resyncing):
+  // the replica's staleness is uncertifiable, so there is nothing safe to
+  // shed to — same rule that makes DegradeToLocal refuse here.
+  if (!hb_opt.has_value()) return false;
+  if (ctx_->region_health &&
+      !HeartbeatValid(ctx_->region_health(op_.guard_region))) {
+    return false;
+  }
+  SimTimeMs hb = *hb_opt;
+  SimTimeMs now = ctx_->clock->Now();
+  // The timeline floor is never relaxed — not by SET DEGRADE ALWAYS, and
+  // not by overload either.
+  if (ctx_->timeline_floor_ms >= 0 && hb < ctx_->timeline_floor_ms) {
+    return false;
+  }
+  bool within_bound = hb > now - op_.guard_bound_ms;
+  // Past the bound, only kAlways may serve stale-flagged data (paper §1);
+  // kBounded sheds solely within the bound, which the guard verdict already
+  // ruled out on this snapshot.
+  if (!within_bound && ctx_->degrade != DegradeMode::kAlways) return false;
+  *hb_out = hb;
+  *staleness_out = now - hb;
+  *within_bound_out = within_bound;
+  return true;
+}
+
+Status SwitchUnionIterator::ShedServeLocal(const EvalScope* outer,
+                                           SimTimeMs hb, SimTimeMs staleness,
+                                           bool within_bound) {
+  // Mirror of the DegradeToLocal serve block, with the shed flag raised:
+  // later re-opens (inner side of nested-loop joins) stick to the local
+  // branch so all probes read one snapshot.
+  cached_decision_ = 1;
+  if (ctx_->stats != nullptr) {
+    ++ctx_->stats->degraded_serves;
+    ++ctx_->stats->shed_serves;
+    // The guard directed the statement remote (already counted in
+    // switch_remote_attempted), but the local branch serves it.
+    ++ctx_->stats->switch_local;
+    if (staleness > ctx_->stats->degraded_staleness_ms) {
+      ctx_->stats->degraded_staleness_ms = staleness;
+    }
+    if (hb > ctx_->stats->max_seen_heartbeat) {
+      ctx_->stats->max_seen_heartbeat = hb;
+    }
+  }
+  if (ctx_->trace != nullptr) {
+    ctx_->trace->Record(
+        obs::TraceEventKind::kShedServe, ctx_->clock->Now(),
+        StrPrintf("region=%d staleness=%s within_bound=%s",
+                  op_.guard_region, FormatSimTime(staleness).c_str(),
+                  within_bound ? "yes" : "no"),
+        op_.guard_region);
+  }
+  if (ctx_->note_local_serve) ctx_->note_local_serve(op_.guard_region);
+  RecordServe(ctx_, *op_.children[0], op_.guard_region,
+              /*local=*/true, /*degraded=*/true, hb, /*shed=*/true);
+  chosen_ = local_.get();
+  return chosen_->Open(outer);
 }
 
 Status SwitchUnionIterator::DegradeToLocal(const EvalScope* outer,

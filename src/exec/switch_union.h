@@ -44,6 +44,21 @@ class SwitchUnionIterator : public RowIterator {
   /// `remote_error`. The timeline floor is enforced in every mode.
   Status DegradeToLocal(const EvalScope* outer, Status remote_error);
 
+  /// Overload shedding (ctx->shed_hint): before opening the remote branch,
+  /// checks whether the degraded-local ladder would *permit* serving local
+  /// right now — same rules as DegradeToLocal (degrade mode, certified
+  /// heartbeat, pipeline health, timeline floor, currency bound), just
+  /// evaluated non-fatally. Returns true and fills the probe values when a
+  /// shed serve is allowed; false means "execute remote normally". Never
+  /// turns a permitted statement into a refusal.
+  bool ShedEligible(SimTimeMs* hb, SimTimeMs* staleness, bool* within_bound);
+
+  /// Serves the local branch as a pre-emptive shed (degraded + shed flags,
+  /// kShedServe trace, shed serve audit record), pinning later re-opens to
+  /// the local branch exactly like a failure-driven degrade.
+  Status ShedServeLocal(const EvalScope* outer, SimTimeMs hb,
+                        SimTimeMs staleness, bool within_bound);
+
   /// When serving the local branch: one acquire-load of the region's
   /// certified heartbeat. Refuses only if certification was *withdrawn*
   /// (nullopt — quarantine/resync started mid-drain); growing staleness

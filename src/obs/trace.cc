@@ -25,6 +25,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "remote_fetch";
     case TraceEventKind::kDegradedServe:
       return "degraded_serve";
+    case TraceEventKind::kShedServe:
+      return "shed_serve";
     case TraceEventKind::kReplicationDelivery:
       return "replication_delivery";
     case TraceEventKind::kRegionHealth:

@@ -34,6 +34,10 @@ enum class TraceEventKind {
   /// The query was answered from a local view after remote failure: region,
   /// staleness, degrade mode.
   kDegradedServe,
+  /// The query was answered from a local view *pre-emptively* under overload
+  /// pressure (admission-layer shed hint), without attempting the remote
+  /// branch: region, staleness, within_bound.
+  kShedServe,
   /// A replication delivery landed while this query waited (retry backoff):
   /// region, ops applied, new heartbeat.
   kReplicationDelivery,

@@ -1,0 +1,98 @@
+#include "server/chaos.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace rcc {
+namespace server {
+
+ChaosOptions AggressiveChaosOptions(uint64_t seed) {
+  ChaosOptions opts;
+  opts.seed = seed;
+  opts.connect_refusal_prob = 0.1;
+  opts.partial_write_prob = 0.3;
+  opts.trickle_prob = 0.05;
+  opts.short_read_prob = 0.3;
+  opts.delay_prob = 0.1;
+  opts.max_delay_us = 500;
+  opts.reset_prob = 0.02;
+  return opts;
+}
+
+ChaosInjector::ChaosInjector(const ChaosOptions& opts)
+    : enabled_(true), opts_(opts), state_(opts.seed) {}
+
+uint64_t ChaosInjector::NextRand() {
+  // splitmix64: tiny, seedable, plenty for fault rolls.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool ChaosInjector::Roll(double prob) {
+  if (prob <= 0.0) return false;
+  return static_cast<double>(NextRand() >> 11) * 0x1.0p-53 < prob;
+}
+
+void ChaosInjector::MaybeDelay() {
+  if (!Roll(opts_.delay_prob) || opts_.max_delay_us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      static_cast<int64_t>(NextRand() % static_cast<uint64_t>(
+                                            opts_.max_delay_us) +
+                           1)));
+}
+
+bool ChaosInjector::RefuseConnect() {
+  if (!enabled_) return false;
+  // Map attempts onto the outage schedule's timeline, one tick per attempt:
+  // attempt k "happens at" k * tick ms, so every outage window covers a
+  // deterministic, seed-independent range of attempts.
+  int64_t at = connect_attempts_++ * opts_.schedule_tick_ms;
+  if (InOutageAt(opts_.schedule, at)) return true;
+  return Roll(opts_.connect_refusal_prob);
+}
+
+Status ChaosInjector::Send(int fd, std::string_view bytes) {
+  size_t off = 0;
+  const bool trickle = Roll(opts_.trickle_prob);
+  while (off < bytes.size()) {
+    if (Roll(opts_.reset_prob)) {
+      // Mid-frame reset: the peer sees EOF at an arbitrary byte boundary —
+      // possibly after the length prefix, before the body.
+      shutdown(fd, SHUT_RDWR);
+      return Status::Unavailable("chaos: connection reset mid-send after " +
+                                 std::to_string(off) + " bytes");
+    }
+    MaybeDelay();
+    size_t chunk = bytes.size() - off;
+    if (trickle) {
+      chunk = 1;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else if (Roll(opts_.partial_write_prob)) {
+      chunk = 1 + static_cast<size_t>(NextRand() % chunk);
+    }
+    ssize_t n = send(fd, bytes.data() + off, chunk, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send: " + std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+ssize_t ChaosInjector::Recv(int fd, char* buf, size_t len) {
+  MaybeDelay();
+  size_t cap = len;
+  if (Roll(opts_.short_read_prob)) cap = 1;
+  return recv(fd, buf, cap, 0);
+}
+
+}  // namespace server
+}  // namespace rcc

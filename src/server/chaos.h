@@ -1,0 +1,84 @@
+#ifndef RCC_SERVER_CHAOS_H_
+#define RCC_SERVER_CHAOS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/fault_config.h"
+#include "common/status.h"
+
+namespace rcc {
+namespace server {
+
+/// Seeded network-fault layer between RccClient and its socket. Every fault
+/// decision is drawn from one deterministic PRNG stream, so a failing chaos
+/// run is reproducible from its seed alone. The injector never corrupts
+/// bytes — it only re-times and truncates syscalls (partial writes, short
+/// reads, delays that force frame coalescing on the peer) or kills the
+/// transport (mid-frame resets, connect refusals); the protocol layer above
+/// must survive all of that with framing intact.
+struct ChaosOptions {
+  uint64_t seed = 0xFA17;
+  /// Probability a connect() attempt is refused outright (simulated
+  /// listener overload / SYN drop).
+  double connect_refusal_prob = 0.0;
+  /// Probability one send() is split at a random boundary (partial write).
+  double partial_write_prob = 0.0;
+  /// Probability a whole send() trickles out one byte at a time with a
+  /// delay between bytes (slow-loris behaviour toward the server).
+  double trickle_prob = 0.0;
+  /// Probability one recv() is capped at a single byte (short read; the
+  /// peer's frames arrive arbitrarily fragmented).
+  double short_read_prob = 0.0;
+  /// Probability an op is delayed first. Delays also coalesce frames: the
+  /// peer's next read observes several frames in one buffer.
+  double delay_prob = 0.0;
+  int max_delay_us = 2000;
+  /// Probability the connection is reset mid-send — possibly between the
+  /// length prefix and the body of a frame.
+  double reset_prob = 0.0;
+  /// Scheduled outages (shared vocabulary with the replication fault
+  /// layer). Connect attempts are mapped onto the schedule's timeline one
+  /// tick per attempt, so outage windows hit deterministic attempt ranges.
+  FaultScheduleConfig schedule;
+  int64_t schedule_tick_ms = 10;
+};
+
+/// An aggressive everything-on mix for tests: every fault class enabled at
+/// rates high enough that a few hundred requests exercise all of them.
+ChaosOptions AggressiveChaosOptions(uint64_t seed);
+
+class ChaosInjector {
+ public:
+  ChaosInjector() = default;
+  explicit ChaosInjector(const ChaosOptions& opts);
+
+  bool enabled() const { return enabled_; }
+
+  /// True when this connect attempt should fail (refusal roll or scheduled
+  /// outage window).
+  bool RefuseConnect();
+
+  /// Writes `bytes` fully, applying partial writes, trickle and resets.
+  /// A simulated reset shuts the socket down and reports Unavailable.
+  Status Send(int fd, std::string_view bytes);
+
+  /// recv() with chaos: optional delay, optionally capped at one byte.
+  /// Same return convention as recv(2).
+  ssize_t Recv(int fd, char* buf, size_t len);
+
+ private:
+  uint64_t NextRand();
+  bool Roll(double prob);
+  void MaybeDelay();
+
+  bool enabled_ = false;
+  ChaosOptions opts_;
+  uint64_t state_ = 0;
+  int64_t connect_attempts_ = 0;
+};
+
+}  // namespace server
+}  // namespace rcc
+
+#endif  // RCC_SERVER_CHAOS_H_

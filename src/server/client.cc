@@ -8,16 +8,48 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/strings.h"
 
 namespace rcc {
 namespace server {
 
+namespace {
+
+/// First keyword of a statement, lower-cased ASCII (idempotence check for
+/// QueryWithRetry).
+std::string FirstKeyword(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_')) {
+    ++j;
+  }
+  return ToLower(std::string_view(sql).substr(i, j - i));
+}
+
+}  // namespace
+
 RccClient::RccClient(RccClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_seq_(other.next_seq_),
-      decoder_(std::move(other.decoder_)) {}
+      decoder_(std::move(other.decoder_)),
+      chaos_(std::move(other.chaos_)),
+      endpoint_(other.endpoint_),
+      host_or_path_(std::move(other.host_or_path_)),
+      port_(other.port_),
+      hello_name_(std::move(other.hello_name_)),
+      reconnects_(other.reconnects_),
+      replays_(other.replays_) {}
 
 RccClient& RccClient::operator=(RccClient&& other) noexcept {
   if (this != &other) {
@@ -25,12 +57,26 @@ RccClient& RccClient::operator=(RccClient&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_seq_ = other.next_seq_;
     decoder_ = std::move(other.decoder_);
+    chaos_ = std::move(other.chaos_);
+    endpoint_ = other.endpoint_;
+    host_or_path_ = std::move(other.host_or_path_);
+    port_ = other.port_;
+    hello_name_ = std::move(other.hello_name_);
+    reconnects_ = other.reconnects_;
+    replays_ = other.replays_;
   }
   return *this;
 }
 
 Status RccClient::ConnectTcp(const std::string& host, uint16_t port) {
   Close();
+  endpoint_ = Endpoint::kTcp;
+  host_or_path_ = host;
+  port_ = port;
+  decoder_ = FrameDecoder(64u << 20);
+  if (chaos_.enabled() && chaos_.RefuseConnect()) {
+    return Status::Unavailable("chaos: connect refused");
+  }
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
   sockaddr_in addr{};
@@ -54,6 +100,12 @@ Status RccClient::ConnectTcp(const std::string& host, uint16_t port) {
 
 Status RccClient::ConnectUds(const std::string& path) {
   Close();
+  endpoint_ = Endpoint::kUds;
+  host_or_path_ = path;
+  decoder_ = FrameDecoder(64u << 20);
+  if (chaos_.enabled() && chaos_.RefuseConnect()) {
+    return Status::Unavailable("chaos: connect refused");
+  }
   sockaddr_un addr{};
   if (path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("uds path too long: " + path);
@@ -80,6 +132,7 @@ void RccClient::Close() {
 
 Status RccClient::SendRaw(std::string_view bytes) {
   if (fd_ < 0) return Status::Unavailable("not connected");
+  if (chaos_.enabled()) return chaos_.Send(fd_, bytes);
   size_t off = 0;
   while (off < bytes.size()) {
     ssize_t n =
@@ -114,7 +167,8 @@ Result<Frame> RccClient::ReadFrame() {
       case FrameDecoder::Next::kNeedMore:
         break;
     }
-    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    ssize_t n = chaos_.enabled() ? chaos_.Recv(fd_, buf, sizeof(buf))
+                                 : recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) return Status::NotFound("connection closed by server");
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -171,6 +225,7 @@ Result<QueryResponse> RccClient::ReadResponse(uint32_t* seq_out) {
 }
 
 Result<HelloReply> RccClient::Hello(const std::string& client_name) {
+  hello_name_ = client_name;
   RCC_RETURN_NOT_OK(SendFrame(Opcode::kHello, NextSeq(),
                               EncodeHelloPayload(kProtocolVersion,
                                                  client_name)));
@@ -204,6 +259,73 @@ Result<QueryResponse> RccClient::RoundTrip(Opcode op,
 
 Result<QueryResponse> RccClient::Query(const std::string& sql) {
   return RoundTrip(Opcode::kQuery, sql);
+}
+
+Result<QueryResponse> RccClient::QueryWithDeadline(const std::string& sql,
+                                                   uint32_t deadline_ms) {
+  return RoundTrip(Opcode::kQueryDeadline,
+                   EncodeQueryDeadlinePayload(deadline_ms, sql));
+}
+
+Status RccClient::Reconnect() {
+  Status st = endpoint_ == Endpoint::kTcp ? ConnectTcp(host_or_path_, port_)
+                                          : ConnectUds(host_or_path_);
+  if (!st.ok()) return st;
+  if (!hello_name_.empty()) {
+    Result<HelloReply> hello = Hello(hello_name_);
+    if (!hello.ok()) {
+      Close();
+      return hello.status();
+    }
+  }
+  ++reconnects_;
+  return Status::OK();
+}
+
+Result<QueryResponse> RccClient::QueryWithRetry(const std::string& sql,
+                                                const RetryOptions& retry) {
+  const std::string keyword = FirstKeyword(sql);
+  if (keyword != "select" && keyword != "explain") {
+    return Status::InvalidArgument(
+        "QueryWithRetry replays requests and requires an idempotent "
+        "SELECT/EXPLAIN statement; got '" +
+        keyword + "'");
+  }
+  if (endpoint_ == Endpoint::kNone) {
+    return Status::Unavailable("never connected; nothing to redial");
+  }
+  Status last = Status::Unavailable("no attempts made");
+  int backoff_ms = retry.base_backoff_ms;
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, retry.max_backoff_ms);
+    }
+    if (!connected()) {
+      Status rc = Reconnect();
+      if (!rc.ok()) {
+        last = rc;
+        continue;
+      }
+      if (attempt > 0) ++replays_;
+    } else if (attempt > 0) {
+      // The previous attempt failed on a live fd (reset mid-exchange): the
+      // stream's framing is unrecoverable, so redial before replaying.
+      Status rc = Reconnect();
+      if (!rc.ok()) {
+        last = rc;
+        continue;
+      }
+      ++replays_;
+    }
+    Result<QueryResponse> resp = Query(sql);
+    // A well-formed error status (Overloaded, DeadlineExceeded, ...) is an
+    // answer, not a transport failure — return it to the caller untouched.
+    if (resp.ok()) return resp;
+    last = resp.status();
+    Close();
+  }
+  return last;
 }
 
 Result<QueryResponse> RccClient::Set(const std::string& stmt) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "server/chaos.h"
 #include "server/wire.h"
 
 namespace rcc {
@@ -28,6 +29,13 @@ struct HelloReply {
   uint16_t version = 0;
   uint64_t session_id = 0;
   std::string banner;
+};
+
+/// Bounded exponential backoff for QueryWithRetry.
+struct RetryOptions {
+  int max_attempts = 6;
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 250;
 };
 
 /// Blocking client for the rcc.wire.v1 protocol. Used by tests and the
@@ -63,6 +71,30 @@ class RccClient {
   /// status.
   Result<QueryResponse> Query(const std::string& sql);
 
+  /// One-shot statement with a per-request deadline (kQueryDeadline). The
+  /// server starts the budget at admission, so queue wait counts; an
+  /// expired statement answers a DeadlineExceeded status, not a disconnect.
+  Result<QueryResponse> QueryWithDeadline(const std::string& sql,
+                                          uint32_t deadline_ms);
+
+  /// One-shot SELECT with transport-failure recovery: on a connection-level
+  /// error (never on a well-formed error status), reconnects with bounded
+  /// exponential backoff, replays the HELLO handshake, and resends the
+  /// request. Replay is safe only for idempotent statements, so anything
+  /// but SELECT/EXPLAIN is refused up front — a replayed DML could commit
+  /// twice on the back-end.
+  Result<QueryResponse> QueryWithRetry(const std::string& sql,
+                                       const RetryOptions& retry = {});
+
+  /// Routes this client's socket traffic through a seeded fault injector
+  /// (see ChaosOptions). Call before Connect*.
+  void EnableChaos(const ChaosOptions& opts) { chaos_ = ChaosInjector(opts); }
+
+  /// Successful re-connections made by QueryWithRetry.
+  int64_t reconnects() const { return reconnects_; }
+  /// Requests resent after a reconnect.
+  int64_t replays() const { return replays_; }
+
   /// Registers a prepared statement; returns its id.
   Result<uint32_t> PrepareStmt(const std::string& sql);
   /// Runs a prepared statement.
@@ -89,10 +121,23 @@ class RccClient {
 
  private:
   Result<QueryResponse> RoundTrip(Opcode op, std::string_view payload);
+  /// Re-dials the remembered endpoint and repeats HELLO. Discards the old
+  /// decoder state — a reset may have left half a frame buffered.
+  Status Reconnect();
 
   int fd_ = -1;
   uint32_t next_seq_ = 1;
   FrameDecoder decoder_{64u << 20};
+  ChaosInjector chaos_;
+
+  /// Endpoint + handshake memory for Reconnect().
+  enum class Endpoint { kNone, kTcp, kUds };
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string host_or_path_;
+  uint16_t port_ = 0;
+  std::string hello_name_;
+  int64_t reconnects_ = 0;
+  int64_t replays_ = 0;
 };
 
 }  // namespace server

@@ -199,9 +199,13 @@ Status RccServer::Start() {
   inst_.accept_rejected = m.counter("rcc.server.accept_rejected");
   inst_.backpressure_stalls = m.counter("rcc.server.backpressure_stalls");
   inst_.dropped_responses = m.counter("rcc.server.dropped_responses");
+  inst_.overload_rejected = m.counter("rcc.server.overload_rejected");
+  inst_.deadline_timeouts = m.counter("rcc.server.deadline_timeouts");
+  inst_.shed_statements = m.counter("rcc.server.shed_statements");
   inst_.connections_open = m.gauge("rcc.server.connections_open");
   inst_.in_flight = m.gauge("rcc.server.in_flight");
   inst_.statement_ms = m.histogram("rcc.server.statement_ms");
+  inst_.queue_delay_ms = m.histogram("rcc.server.queue_delay_ms");
 
   // The engine serves every connection under the concurrent-batch contract:
   // frozen virtual clock, epoch-pinned snapshot reads, serialized remote
@@ -211,6 +215,11 @@ Status RccServer::Start() {
 
   int workers = opts_.workers > 0 ? opts_.workers : ThreadPool::DefaultWorkers();
   pool_ = std::make_unique<ThreadPool>(workers);
+  // Admission defaults to a small multiple of the worker count: deep enough
+  // to absorb bursts, shallow enough that queue delay stays bounded by a
+  // few statement times rather than growing without limit.
+  admission_limit_ =
+      opts_.admission_limit > 0 ? opts_.admission_limit : workers * 16;
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { EventLoop(); });
   return Status::OK();
@@ -498,8 +507,10 @@ void RccServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       return;
     }
     case Opcode::kQuery:
+    case Opcode::kQueryDeadline:
     case Opcode::kExecute: {
       std::string sql;
+      int64_t deadline_ms = 0;
       if (frame.op == Opcode::kExecute) {
         uint32_t stmt_id;
         WireReader r(frame.payload);
@@ -525,17 +536,42 @@ void RccServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
           return;
         }
         inst_.executes->Add();
+      } else if (frame.op == Opcode::kQueryDeadline) {
+        uint32_t wire_deadline = 0;
+        Status st =
+            DecodeQueryDeadlinePayload(frame.payload, &wire_deadline, &sql);
+        if (!st.ok()) {
+          ProtocolError(conn, frame.seq, st.message());
+          return;
+        }
+        deadline_ms = wire_deadline;
+        inst_.queries->Add();
       } else {
         sql = std::move(frame.payload);
         inst_.queries->Add();
+      }
+      // Admission control: past the limit, answer Overloaded right here on
+      // the event loop — a structured, retryable refusal, not a disconnect.
+      // Cheaper for both sides than queueing work that the queue-delay check
+      // would refuse at pickup anyway.
+      if (in_flight_.load(std::memory_order_acquire) >= admission_limit_) {
+        inst_.overload_rejected->Add();
+        StatusFramePayload status;
+        status.code = static_cast<uint16_t>(StatusCode::kOverloaded);
+        status.message = "admission queue full (" +
+                         std::to_string(admission_limit_) +
+                         " statements in flight); retry after backoff";
+        SendStatus(conn, frame.seq, status);
+        return;
       }
       conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
       inst_.in_flight->Set(in_flight_.load(std::memory_order_relaxed));
       uint32_t seq = frame.seq;
-      bool accepted = pool_->Submit([this, conn, seq,
+      auto enqueued_at = std::chrono::steady_clock::now();
+      bool accepted = pool_->Submit([this, conn, seq, deadline_ms, enqueued_at,
                                      sql = std::move(sql)]() mutable {
-        RunStatement(conn, seq, std::move(sql), false);
+        RunStatement(conn, seq, std::move(sql), deadline_ms, enqueued_at);
       });
       if (!accepted) {
         conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
@@ -578,25 +614,72 @@ void RccServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   }
 }
 
-void RccServer::RunStatement(const std::shared_ptr<Connection>& conn,
-                             uint32_t seq, std::string sql,
-                             bool /*prepared_only*/) {
+void RccServer::RunStatement(
+    const std::shared_ptr<Connection>& conn, uint32_t seq, std::string sql,
+    int64_t deadline_ms, std::chrono::steady_clock::time_point enqueued_at) {
   auto t0 = std::chrono::steady_clock::now();
+  const int64_t queue_delay_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(t0 - enqueued_at)
+          .count();
+  inst_.queue_delay_ms->Observe(static_cast<double>(queue_delay_ms));
+
+  // Second admission gate, at pickup: a statement that waited past the
+  // queue-delay bound is refused rather than executed — running it now only
+  // deepens the backlog that delayed it, and its client has likely timed
+  // out or retried already. Same structured, retryable refusal as at
+  // dispatch; the connection stays open.
+  if (opts_.max_queue_delay_ms > 0 &&
+      queue_delay_ms > opts_.max_queue_delay_ms) {
+    inst_.overload_rejected->Add();
+    StatusFramePayload status;
+    status.code = static_cast<uint16_t>(StatusCode::kOverloaded);
+    status.message = "admission queue delay " +
+                     std::to_string(queue_delay_ms) + "ms exceeds " +
+                     std::to_string(opts_.max_queue_delay_ms) +
+                     "ms; retry after backoff";
+    std::string out;
+    AppendFrame(&out, Opcode::kStatus, seq, EncodeStatusPayload(status));
+    if (EnqueueResponse(conn, std::move(out))) {
+      inst_.frames_tx->Add();
+    } else {
+      inst_.dropped_responses->Add();
+    }
+    FinishStatement(conn);
+    inst_.in_flight->Set(in_flight_.load(std::memory_order_relaxed));
+    return;
+  }
+
+  Session::StatementOptions sopts;
+  sopts.enqueued_at = enqueued_at;
+  sopts.deadline_ms = deadline_ms;
+  sopts.default_deadline_ms = opts_.default_deadline_ms;
+  // C&C-aware shedding: under queue pressure, ask the executor to prefer
+  // the degraded-local branch — it serves only when the statement's
+  // currency bound and timeline floor permit (guard semantics intact),
+  // trading an authorized bounded-staleness answer for a remote round-trip.
+  sopts.shed_hint = opts_.shed_queue_delay_ms > 0 &&
+                    queue_delay_ms > opts_.shed_queue_delay_ms;
+
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (conn->closed.load(std::memory_order_acquire)) {
       return Status::Unavailable("connection closed");
     }
     if (NeedsExclusiveEngine(FirstWord(sql))) {
       std::unique_lock<std::shared_mutex> engine(engine_mu_);
-      return conn->session->Execute(sql);
+      return conn->session->Execute(sql, sopts);
     }
     std::shared_lock<std::shared_mutex> engine(engine_mu_);
-    return conn->session->Execute(sql);
+    return conn->session->Execute(sql, sopts);
   }();
   inst_.statement_ms->Observe(
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  if (result.ok()) {
+    if (result->stats.shed_serves > 0) inst_.shed_statements->Add();
+  } else if (result.status().IsDeadlineExceeded()) {
+    inst_.deadline_timeouts->Add();
+  }
 
   // Serialize the whole response as one contiguous chunk: header, row
   // frames, terminal status. Contiguity per request keeps pipelined

@@ -2,6 +2,7 @@
 #define RCC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,24 @@ struct ServerOptions {
   /// Real-time budget Stop() spends draining in-flight statements and
   /// flushing response queues before force-closing.
   int64_t drain_timeout_ms = 10000;
+
+  /// -- overload survivability --------------------------------------------
+
+  /// Admission limit: statements executing or queued on the worker pool
+  /// beyond this are answered immediately with a retryable Overloaded
+  /// status (the connection stays open). 0 picks workers * 16.
+  int admission_limit = 0;
+  /// A statement whose admission-queue wait exceeds this by worker pickup
+  /// is answered Overloaded instead of executed — it would only add to the
+  /// backlog that delayed it. 0 disables the check.
+  int64_t max_queue_delay_ms = 0;
+  /// Queue wait beyond which statements run with a shed hint: the executor
+  /// prefers the degraded-local plan branch when (and only when) the
+  /// statement's currency bound and timeline floor permit it. 0 disables.
+  int64_t shed_queue_delay_ms = 0;
+  /// Server-wide default statement deadline (real ms), overridable per
+  /// session (SET DEADLINE) and per request (kQueryDeadline). 0 = none.
+  int64_t default_deadline_ms = 0;
 };
 
 /// The network front end: accepts client connections on one async epoll
@@ -102,8 +121,12 @@ class RccServer {
   void DrainFrames(const std::shared_ptr<Connection>& conn);
   void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   /// Runs one statement on a worker and enqueues its response frames.
+  /// `deadline_ms` is the per-request wire override (0 = none);
+  /// `enqueued_at` anchors both the deadline budget and the admission
+  /// queue-delay check.
   void RunStatement(const std::shared_ptr<Connection>& conn, uint32_t seq,
-                    std::string sql, bool prepared_only);
+                    std::string sql, int64_t deadline_ms,
+                    std::chrono::steady_clock::time_point enqueued_at);
   void RunPrepare(const std::shared_ptr<Connection>& conn, uint32_t seq,
                   std::string sql);
   /// Statement-done bookkeeping shared by RunStatement/RunPrepare.
@@ -158,6 +181,9 @@ class RccServer {
   std::mutex pending_mu_;
   std::vector<std::shared_ptr<Connection>> pending_writable_;
 
+  /// Admission limit resolved at Start (options value or workers * 16).
+  int admission_limit_ = 0;
+
   /// Drain accounting for Stop().
   std::atomic<int> in_flight_{0};
   std::mutex drain_mu_;
@@ -178,9 +204,17 @@ class RccServer {
     obs::Counter* accept_rejected = nullptr;
     obs::Counter* backpressure_stalls = nullptr;
     obs::Counter* dropped_responses = nullptr;
+    /// Statements refused with Overloaded (at dispatch or at pickup).
+    obs::Counter* overload_rejected = nullptr;
+    /// Statements answered DeadlineExceeded.
+    obs::Counter* deadline_timeouts = nullptr;
+    /// Statements that took the degraded-local shed branch.
+    obs::Counter* shed_statements = nullptr;
     obs::Gauge* connections_open = nullptr;
     obs::Gauge* in_flight = nullptr;
     obs::Histogram* statement_ms = nullptr;
+    /// Admission-queue wait (dispatch to worker pickup), real ms.
+    obs::Histogram* queue_delay_ms = nullptr;
   } inst_;
 };
 

@@ -15,6 +15,7 @@ bool IsClientOpcode(uint8_t op) {
     case Opcode::kExecute:
     case Opcode::kSet:
     case Opcode::kGoodbye:
+    case Opcode::kQueryDeadline:
       return true;
     default:
       return false;
@@ -335,6 +336,23 @@ Status DecodeStatusPayload(std::string_view payload, StatusFramePayload* out) {
     return Malformed("status");
   }
   out->degraded = degraded != 0;
+  return Status::OK();
+}
+
+std::string EncodeQueryDeadlinePayload(uint32_t deadline_ms,
+                                       std::string_view sql) {
+  std::string out;
+  PutU32(&out, deadline_ms);
+  PutStr(&out, sql);
+  return out;
+}
+
+Status DecodeQueryDeadlinePayload(std::string_view payload,
+                                  uint32_t* deadline_ms, std::string* sql) {
+  WireReader r(payload);
+  if (!r.U32(deadline_ms) || !r.Str(sql) || !r.AtEnd()) {
+    return Malformed("query-deadline");
+  }
   return Status::OK();
 }
 

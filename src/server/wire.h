@@ -40,6 +40,11 @@ enum class Opcode : uint8_t {
   kExecute = 0x04,  ///< u32 stmt_id — run a prepared statement.
   kSet = 0x05,      ///< str "SET ..." — control frame, applied out-of-band.
   kGoodbye = 0x06,  ///< empty — flush pending responses, then close.
+  /// u32 deadline_ms, str sql — kQuery with a per-request deadline carried
+  /// in-band. The budget starts at server-side admission (enqueue), so queue
+  /// wait counts against it; 0 means "no per-request override" and falls
+  /// back to SET DEADLINE / the server default.
+  kQueryDeadline = 0x07,
   // server -> client
   kHelloOk = 0x81,     ///< u16 version, u64 session_id, str banner.
   kRowsHeader = 0x82,  ///< u32 ncols, ncols x { str name, u8 value_type }.
@@ -169,6 +174,11 @@ Status DecodeRowsPayload(std::string_view payload, std::vector<Row>* rows);
 
 std::string EncodeStatusPayload(const StatusFramePayload& status);
 Status DecodeStatusPayload(std::string_view payload, StatusFramePayload* out);
+
+std::string EncodeQueryDeadlinePayload(uint32_t deadline_ms,
+                                       std::string_view sql);
+Status DecodeQueryDeadlinePayload(std::string_view payload,
+                                  uint32_t* deadline_ms, std::string* sql);
 
 }  // namespace server
 }  // namespace rcc

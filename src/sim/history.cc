@@ -121,11 +121,13 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
     case HistoryEvent::Kind::kServe:
       std::snprintf(
           buf, sizeof(buf),
-          "serve seq=%llu at=%lld q=%llu region=%d local=%d degraded=%d",
+          "serve seq=%llu at=%lld q=%llu region=%d local=%d degraded=%d "
+          "shed=%d",
           static_cast<unsigned long long>(ev.seq),
           static_cast<long long>(ev.at),
           static_cast<unsigned long long>(ev.query),
-          static_cast<int>(ev.region), ev.local ? 1 : 0, ev.degraded ? 1 : 0);
+          static_cast<int>(ev.region), ev.local ? 1 : 0, ev.degraded ? 1 : 0,
+          ev.shed ? 1 : 0);
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
       std::snprintf(buf, sizeof(buf), " epoch=%llu",
@@ -302,6 +304,8 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     ev.local = local != 0;
     RCC_ASSIGN_OR_RETURN(int64_t degraded, map.GetInt("degraded"));
     ev.degraded = degraded != 0;
+    RCC_ASSIGN_OR_RETURN(int64_t shed, map.GetInt("shed"));
+    ev.shed = shed != 0;
     RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
     RCC_ASSIGN_OR_RETURN(ev.epoch, map.GetUint("epoch"));
     RCC_ASSIGN_OR_RETURN(std::string operands, map.Get("operands"));
@@ -418,6 +422,7 @@ void HistoryRecorder::OnServe(const ServeObservation& obs) {
   ev.region = obs.region;
   ev.local = obs.local;
   ev.degraded = obs.degraded;
+  ev.shed = obs.shed;
   ev.heartbeat_known = obs.heartbeat_known;
   ev.heartbeat = obs.heartbeat;
   ev.epoch = obs.epoch;

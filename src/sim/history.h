@@ -72,6 +72,10 @@ struct HistoryEvent {
   // kServe.
   bool local = false;
   bool degraded = false;
+  /// Pre-emptive overload shed (implies degraded): the guard chose remote
+  /// but admission pressure redirected the serve to the permitted
+  /// degraded-local branch.
+  bool shed = false;
   std::vector<InputOperandId> operands;
 
   // kAnswer.

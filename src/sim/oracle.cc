@@ -242,6 +242,17 @@ OracleReport CheckHistory(const History& history) {
       case HistoryEvent::Kind::kServe: {
         ++report.serves_checked;
         PendingQuery& sq = pending[ev.query];
+        // R7 (structural): an overload shed is by definition a pre-emptive
+        // *degraded local* serve — a shed flag on a remote fetch or on an
+        // un-degraded serve means the engine shed outside the degrade
+        // ladder, i.e. outside the currency rules R3 holds degraded serves
+        // to.
+        if (ev.shed && (!ev.degraded || !ev.local)) {
+          violate("shed-shape", ev.query, ev.seq,
+                  StrPrintf("shed serve must be a degraded local serve "
+                            "(local=%d degraded=%d)",
+                            ev.local ? 1 : 0, ev.degraded ? 1 : 0));
+        }
         ServeRec rec;
         rec.ev = ev;
         if (ev.local) {

@@ -193,7 +193,14 @@ Result<SimRunOutcome> RunSimulation(const SimRunConfig& config) {
     int64_t roll = rng.Uniform(0, 99);
     if (roll < 45) {
       ++out.statements;
-      (void)main_session->Execute(pick());
+      // A seeded fraction of queries carries the admission layer's shed
+      // hint, exactly as RccServer sets it under queue pressure. The hint
+      // is advisory: the guard ladder still decides, so histories must stay
+      // oracle-clean at any shed rate.
+      Session::StatementOptions sopts;
+      sopts.shed_hint = rng.Uniform(0, 99) <
+                        static_cast<int64_t>(config.shed_percent);
+      (void)main_session->Execute(pick(), sopts);
     } else if (roll < 60) {
       ++out.statements;
       (void)time_session->Execute(pick());
@@ -264,6 +271,7 @@ Result<SimRunOutcome> RunSimulation(const SimRunConfig& config) {
   out.report = CheckHistory(out.history);
   for (const HistoryEvent& ev : out.history.events) {
     if (ev.kind == HistoryEvent::Kind::kCommit) ++out.commits;
+    if (ev.kind == HistoryEvent::Kind::kServe && ev.shed) ++out.shed_serves;
     if (ev.kind == HistoryEvent::Kind::kAnswer) {
       ++(ev.ok ? out.answered : out.failed);
     }

@@ -37,6 +37,11 @@ struct SimRunConfig {
   /// Scheduled steps; each step advances virtual time and issues one
   /// statement, batch, mode toggle or DML.
   int steps = 80;
+  /// Percent [0,100] of main-session queries issued with an overload shed
+  /// hint (as the network server's admission layer would under queue
+  /// pressure). Sheds serve degraded-local only when the guard ladder
+  /// permits, so the oracle must stay violation-free at any rate.
+  int shed_percent = 25;
 };
 
 struct SimRunOutcome {
@@ -51,6 +56,8 @@ struct SimRunOutcome {
   int64_t failed = 0;
   /// Back-end commits recorded (DML + update traffic).
   int64_t commits = 0;
+  /// Serves that took the shed (degraded-local under overload) branch.
+  int64_t shed_serves = 0;
 };
 
 /// Builds a system, records its full audit history while driving a seeded

@@ -1,0 +1,228 @@
+// Network chaos suite (DESIGN.md §15): a seeded fault injector sits between
+// RccClient and its socket — partial writes, one-byte trickle sends, short
+// reads, delays, mid-frame resets and connect refusals — while the client's
+// retry layer (reconnect + HELLO replay + bounded backoff + SELECT-only
+// resend) keeps the conversation alive. The survivability contract under
+// test: every request issued through QueryWithRetry ends in rows or a
+// well-formed statement status — never a protocol error, a hang, or a
+// leaked pinned snapshot epoch. Registered under the `chaos` ctest label
+// (and `server`/`tsan`), so `ctest --preset chaos[-tsan]` runs exactly this
+// battery.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/chaos.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using server::AggressiveChaosOptions;
+using server::ChaosOptions;
+using server::QueryResponse;
+using server::RccClient;
+using server::RccServer;
+using server::ServerOptions;
+using testing_util::BookstoreFixture;
+
+std::string ChaosSocketPath(const char* tag) {
+  return "/tmp/rcc_chaos_test_" + std::to_string(getpid()) + "_" + tag +
+         ".sock";
+}
+
+ServerOptions ChaosServerOptions(ServerOptions opts, const std::string& path) {
+  opts.uds_path = path;
+  if (opts.workers == 0) opts.workers = 4;
+  return opts;
+}
+
+struct ChaosFixture {
+  BookstoreFixture book;
+  std::string path;
+  RccServer server;
+
+  explicit ChaosFixture(const char* tag, ServerOptions opts = {})
+      : book(),
+        path(ChaosSocketPath(tag)),
+        server(&book.sys, ChaosServerOptions(opts, ChaosSocketPath(tag))) {
+    book.sys.AdvanceTo(30000);  // let both regions refresh once
+    EXPECT_TRUE(server.Start().ok());
+  }
+
+  ~ChaosFixture() { server.Stop(); }
+
+  RccClient ConnectWithChaos(const ChaosOptions& chaos) {
+    RccClient c;
+    c.EnableChaos(chaos);
+    // The first dial may be chaos-refused; QueryWithRetry recovers from a
+    // dead connection on its own as long as the endpoint is remembered, so
+    // only repeated refusals at setup are worth retrying here.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      if (c.ConnectUds(path).ok()) break;
+    }
+    EXPECT_TRUE(c.connected());
+    auto hello = c.Hello("chaos-test");
+    EXPECT_TRUE(hello.ok()) << hello.status().ToString();
+    return c;
+  }
+
+  void ExpectNoEpochLeak() {
+    for (int i = 0; i < 200 && server.in_flight() > 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server.in_flight(), 0);
+    const SnapshotEpochManager& epochs = book.sys.cache()->epoch_manager();
+    EXPECT_EQ(epochs.MinPinnedEpoch(), epochs.current_epoch());
+  }
+};
+
+// The headline chaos run: an aggressive everything-on fault mix while a
+// client issues a few hundred SELECTs through the retry layer. Every
+// outcome must be structured — rows, or a well-formed error status the
+// server chose to send (e.g. Overloaded under admission pressure). Any
+// transport failure surviving the retry budget fails the test, as does a
+// framing error (those surface as InvalidArgument from the decoder).
+TEST(ChaosTest, AggressiveFaultMixEveryRequestAnswered) {
+  ChaosFixture fx("aggressive");
+  const char* queries[] = {
+      "SELECT price FROM Books B WHERE B.isbn = 1",
+      "SELECT isbn, title FROM Books B WHERE B.isbn = 7",
+      "SELECT price FROM Books B WHERE B.isbn = 3 CURRENCY BOUND 10 MIN ON "
+      "(B)",
+      "SELECT COUNT(*) FROM Books B",
+  };
+  for (uint64_t seed : {0xFA17u, 1u, 42u}) {
+    RccClient c = fx.ConnectWithChaos(AggressiveChaosOptions(seed));
+    int answered = 0;
+    for (int i = 0; i < 120; ++i) {
+      auto resp = c.QueryWithRetry(queries[i % 4]);
+      ASSERT_TRUE(resp.ok())
+          << "seed " << seed << " request " << i << ": transport failure "
+          << resp.status().ToString();
+      // A statement-level error is an acceptable answer only if it is one
+      // of the structured retryable statuses the overload layer emits; this
+      // workload never trips those gates (no admission limit configured),
+      // so in practice every answer carries rows.
+      if (resp->ok()) ++answered;
+    }
+    EXPECT_GT(answered, 0) << "seed " << seed;
+  }
+  fx.ExpectNoEpochLeak();
+}
+
+// Mid-frame resets are the harshest fault: the server may observe half a
+// frame, the client may lose a response it already half-read. The retry
+// layer must reconnect (fresh decoder, HELLO replay) and resend. With
+// reset_prob cranked up, reconnects and replays must actually happen —
+// otherwise the test is vacuous.
+TEST(ChaosTest, MidFrameResetsForceReconnectAndReplay) {
+  ChaosFixture fx("resets");
+  ChaosOptions chaos;
+  chaos.seed = 0xC0FFEE;
+  chaos.reset_prob = 0.15;
+  chaos.partial_write_prob = 0.5;
+  RccClient c = fx.ConnectWithChaos(chaos);
+  server::RetryOptions retry;
+  retry.max_attempts = 10;
+  int rows_seen = 0;
+  for (int i = 0; i < 80; ++i) {
+    auto resp =
+        c.QueryWithRetry("SELECT price FROM Books B WHERE B.isbn = 2", retry);
+    ASSERT_TRUE(resp.ok()) << "request " << i << ": "
+                           << resp.status().ToString();
+    ASSERT_TRUE(resp->ok()) << resp->status.message;
+    rows_seen += static_cast<int>(resp->rows.size());
+  }
+  EXPECT_EQ(rows_seen, 80);
+  EXPECT_GT(c.reconnects(), 0);
+  EXPECT_GT(c.replays(), 0);
+  fx.ExpectNoEpochLeak();
+}
+
+// Short reads and delays fragment and coalesce the server's response
+// stream arbitrarily; the client-side FrameDecoder must reassemble exact
+// frames from any byte-boundary slicing without a single retry.
+TEST(ChaosTest, ShortReadsNeverCorruptFraming) {
+  ChaosFixture fx("shortread");
+  ChaosOptions chaos;
+  chaos.seed = 7;
+  chaos.short_read_prob = 0.9;
+  chaos.delay_prob = 0.2;
+  chaos.max_delay_us = 500;
+  RccClient c = fx.ConnectWithChaos(chaos);
+  for (int i = 0; i < 40; ++i) {
+    auto resp = c.Query("SELECT isbn, title, price FROM Books B");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp->ok());
+    EXPECT_FALSE(resp->rows.empty());
+  }
+  EXPECT_EQ(c.reconnects(), 0);
+  fx.ExpectNoEpochLeak();
+}
+
+// Replaying DML after a reconnect could commit twice on the back-end, so
+// the retry entry point refuses anything but SELECT/EXPLAIN outright.
+TEST(ChaosTest, RetryRefusesNonIdempotentStatements) {
+  ChaosFixture fx("dml");
+  RccClient c = fx.ConnectWithChaos(ChaosOptions{});  // chaos disabled
+  auto ins = c.QueryWithRetry(
+      "INSERT INTO Books (isbn, title, price) VALUES (99999, 'x', 1)");
+  ASSERT_FALSE(ins.ok());
+  EXPECT_EQ(ins.status().code(), StatusCode::kInvalidArgument)
+      << ins.status().ToString();
+  auto upd = c.QueryWithRetry("UPDATE Books SET price = 1 WHERE isbn = 1");
+  EXPECT_FALSE(upd.ok());
+  // The connection itself is untouched by the refusals.
+  auto sel = c.QueryWithRetry("SELECT price FROM Books B WHERE B.isbn = 1");
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_TRUE(sel->ok());
+}
+
+// Overload + chaos together: a one-worker server with a tiny admission
+// limit, hammered through the fault injector. The acceptance bar from the
+// issue: every admitted request is answered with rows or a structured
+// retryable status — zero protocol errors, zero hung connections, zero
+// leaked pins.
+TEST(ChaosTest, OverloadPlusChaosYieldsOnlyStructuredOutcomes) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.admission_limit = 2;
+  ChaosFixture fx("overload", opts);
+  ChaosOptions chaos;
+  chaos.seed = 0xBEEF;
+  chaos.partial_write_prob = 0.3;
+  chaos.short_read_prob = 0.3;
+  chaos.delay_prob = 0.1;
+  chaos.max_delay_us = 300;
+  RccClient c = fx.ConnectWithChaos(chaos);
+  int rows = 0;
+  int overloaded = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto resp = c.QueryWithRetry("SELECT COUNT(*) FROM Books B");
+    ASSERT_TRUE(resp.ok()) << "request " << i << ": "
+                           << resp.status().ToString();
+    if (resp->ok()) {
+      ++rows;
+    } else {
+      ASSERT_EQ(resp->status.code,
+                static_cast<uint16_t>(StatusCode::kOverloaded))
+          << resp->status.message;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(rows + overloaded, 60);
+  EXPECT_GT(rows, 0);
+  fx.ExpectNoEpochLeak();
+}
+
+}  // namespace
+}  // namespace rcc

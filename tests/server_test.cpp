@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -419,6 +420,148 @@ TEST(ServerTest, MidQueryDisconnectNeverLeaksAPinnedEpoch) {
   auto direct = fx.book.session->Execute(
       "SELECT price FROM Books B WHERE B.isbn = 1");
   EXPECT_TRUE(direct.ok());
+}
+
+// -- overload survivability ---------------------------------------------------
+
+TEST(ServerTest, SlowLorisClientDoesNotStallHealthyConnections) {
+  ServerFixture fx("loris");
+  RccClient healthy = fx.ConnectAndHello();
+  RccClient loris = fx.Connect();
+
+  // The slow client trickles a whole HELLO + query exchange one byte per
+  // write. The event loop is non-blocking, so healthy traffic must keep
+  // flowing the entire time.
+  std::string trickle;
+  server::AppendFrame(&trickle, Opcode::kHello, 1,
+                      server::EncodeHelloPayload(server::kProtocolVersion,
+                                                 "loris"));
+  server::AppendFrame(&trickle, Opcode::kQuery, 2,
+                      "SELECT price FROM Books B WHERE B.isbn = 1");
+  std::atomic<bool> done{false};
+  std::thread slow([&] {
+    for (char byte : trickle) {
+      if (!loris.SendRaw(std::string_view(&byte, 1)).ok()) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done.store(true);
+  });
+  int healthy_ok = 0;
+  while (!done.load()) {
+    auto resp = healthy.Query("SELECT price FROM Books B WHERE B.isbn = 2");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp->ok()) << resp->status.message;
+    ++healthy_ok;
+  }
+  slow.join();
+  EXPECT_GT(healthy_ok, 0);
+  // The trickled frames were valid: the slow client gets real answers too.
+  auto hello_frame = loris.ReadFrame();
+  ASSERT_TRUE(hello_frame.ok()) << hello_frame.status().ToString();
+  EXPECT_EQ(hello_frame->op, Opcode::kHelloOk);
+  auto resp = loris.ReadResponse(nullptr);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->ok());
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, MidFrameResetAfterLengthPrefixIsHarmless) {
+  ServerFixture fx("midreset");
+  for (int round = 0; round < 5; ++round) {
+    RccClient c = fx.ConnectAndHello();
+    // Promise a frame, deliver only the length prefix (and for later rounds
+    // a byte or two of the header), then reset the connection.
+    std::string partial;
+    server::PutU32(&partial, 64);
+    partial.append("\x02\x01", std::min(round, 2));
+    ASSERT_TRUE(c.SendRaw(partial).ok());
+    c.Close();
+  }
+  // No worker is wedged waiting for the missing bytes; service continues.
+  RccClient again = fx.ConnectAndHello();
+  auto resp = again.Query("SELECT price FROM Books B WHERE B.isbn = 1");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, AdmissionLimitRejectsWithRetryableStatusNotDisconnect) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.admission_limit = 1;  // one statement in flight; the rest refused
+  ServerFixture fx("admission", opts);
+  RccClient c = fx.ConnectAndHello();
+
+  constexpr int kQueries = 24;
+  std::string batch;
+  for (int i = 0; i < kQueries; ++i) {
+    server::AppendFrame(&batch, Opcode::kQuery, c.NextSeq(),
+                        "SELECT isbn, title, price FROM Books B "
+                        "CURRENCY BOUND 10 MIN ON (B)");
+  }
+  ASSERT_TRUE(c.SendRaw(batch).ok());
+
+  int ok_count = 0;
+  int overloaded = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto resp = c.ReadResponse(nullptr);
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    if (resp->ok()) {
+      ++ok_count;
+    } else {
+      // Every refusal is the structured retryable kind — never a protocol
+      // error, never a hangup.
+      ASSERT_EQ(resp->status.code,
+                static_cast<uint16_t>(StatusCode::kOverloaded))
+          << resp->status.message;
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(ok_count, 0);
+  EXPECT_GT(overloaded, 0);
+  EXPECT_EQ(ok_count + overloaded, kQueries);
+  // The connection survived the overload episode. A refusal here is still
+  // legal — the last admitted statement's in-flight slot is released just
+  // *after* its response enqueues — so follow the status's own contract and
+  // retry after backoff.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 50 && !recovered; ++attempt) {
+    auto after = c.Query("SELECT price FROM Books B WHERE B.isbn = 1");
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    if (after->ok()) {
+      recovered = true;
+    } else {
+      ASSERT_EQ(after->status.code,
+                static_cast<uint16_t>(StatusCode::kOverloaded));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  fx.ExpectNoEpochLeak();
+}
+
+TEST(ServerTest, SetDeadlineAndQueryDeadlineRoundTrip) {
+  ServerFixture fx("deadline");
+  RccClient c = fx.ConnectAndHello();
+
+  auto set = c.Set("SET DEADLINE 5000");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_TRUE(set->ok());
+  EXPECT_NE(set->status.message.find("deadline 5000ms"), std::string::npos);
+
+  // A roomy per-request deadline: the statement completes normally.
+  auto resp = c.QueryWithDeadline(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 10 MIN ON (B)",
+      60000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->ok()) << resp->status.message;
+  ASSERT_EQ(resp->rows.size(), 1u);
+
+  auto off = c.Set("SET DEADLINE 0");
+  ASSERT_TRUE(off.ok());
+  EXPECT_NE(off->status.message.find("deadline OFF"), std::string::npos);
+  fx.ExpectNoEpochLeak();
 }
 
 // -- backpressure and shutdown ------------------------------------------------

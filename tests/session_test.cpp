@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "test_util.h"
 
 namespace rcc {
@@ -162,6 +164,116 @@ TEST(SessionTest, ToTableTruncates) {
   std::string table = r.ToTable(5);
   EXPECT_NE(table.find("more rows"), std::string::npos);
   EXPECT_NE(table.find("(30 rows)"), std::string::npos);
+}
+
+// -- deadlines and shedding ---------------------------------------------------
+
+TEST(SessionTest, SetDeadlineParsesAndClears) {
+  BookstoreFixture fx;
+  auto set = fx.session->Execute("SET DEADLINE 250");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_NE(set->message.find("deadline 250ms"), std::string::npos);
+  auto off = fx.session->Execute("SET DEADLINE = 0;");
+  ASSERT_TRUE(off.ok());
+  EXPECT_NE(off->message.find("deadline OFF"), std::string::npos);
+  // Garbage values are not swallowed as SETs: the parser reports them.
+  EXPECT_FALSE(fx.session->Execute("SET DEADLINE soon").ok());
+}
+
+TEST(SessionTest, ExpiredDeadlineAnswersTimeoutAndReleasesPins) {
+  BookstoreFixture fx;
+  // A deadline whose budget was consumed entirely by (simulated) queue
+  // wait: expired before the executor pulls its first batch, so the
+  // cancellation point at the batch boundary must fire deterministically.
+  Session::StatementOptions opts;
+  opts.enqueued_at =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1000);
+  opts.deadline_ms = 1;
+  auto r = fx.session->Execute(
+      "SELECT isbn FROM Books B WHERE B.isbn <= 30 "
+      "CURRENCY BOUND 1 HOUR ON (B)",
+      opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  // The timed-out statement released its snapshot pin on the way out.
+  const SnapshotEpochManager& epochs = fx.sys.cache()->epoch_manager();
+  EXPECT_EQ(epochs.MinPinnedEpoch(), epochs.current_epoch());
+  // A statement-level timeout, not a session-level failure: the session
+  // still serves.
+  EXPECT_TRUE(fx.session
+                  ->Execute("SELECT isbn FROM Books B WHERE B.isbn = 1 "
+                            "CURRENCY BOUND 1 HOUR ON (B)")
+                  .ok());
+}
+
+TEST(SessionTest, UnexpiredDeadlineDoesNotDisturbExecution) {
+  BookstoreFixture fx;
+  Session::StatementOptions opts;
+  opts.deadline_ms = 60000;
+  auto r = fx.session->Execute(
+      "SELECT isbn FROM Books B WHERE B.isbn <= 30 "
+      "CURRENCY BOUND 1 HOUR ON (B)",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 30u);
+  EXPECT_EQ(r->stats.deadline_timeouts, 0);
+}
+
+TEST(SessionTest, ShedHintServesDegradedLocalWhenModePermits) {
+  BookstoreFixture fx(/*interval_ms=*/10000, /*delay_ms=*/2000);
+  fx.sys.AdvanceTo(30000);
+  // Replica staleness (>= delay, here ~10s at t=30000) exceeds the 5s
+  // bound, so the guard routes remote. Under DEGRADE ALWAYS the shed hint
+  // may preempt that round-trip with an authorized degraded local serve.
+  ASSERT_TRUE(fx.session->Execute("SET DEGRADE ALWAYS").ok());
+  Session::StatementOptions opts;
+  opts.shed_hint = true;
+  auto r = fx.session->Execute(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 5 SECONDS ON (B)",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.shed_serves, 1);
+  EXPECT_EQ(r->stats.degraded_serves, 1);
+  EXPECT_EQ(r->stats.switch_local, 1);
+  EXPECT_EQ(r->stats.switch_remote, 0);
+  EXPECT_TRUE(r->degraded);
+  EXPECT_GT(r->staleness_ms, 5000);
+}
+
+TEST(SessionTest, ShedHintNeverOverridesStrictMode) {
+  BookstoreFixture fx(10000, 2000);
+  fx.sys.AdvanceTo(30000);
+  // DEGRADE NONE: the hint must be ignored — guard semantics win and the
+  // query takes the remote branch as usual.
+  Session::StatementOptions opts;
+  opts.shed_hint = true;
+  auto r = fx.session->Execute(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 5 SECONDS ON (B)",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.shed_serves, 0);
+  EXPECT_EQ(r->stats.switch_remote, 1);
+  EXPECT_FALSE(r->degraded);
+}
+
+TEST(SessionTest, ShedHintIgnoredWhenReplicaWithinBound) {
+  BookstoreFixture fx(10000, 2000);
+  fx.sys.AdvanceTo(30000);
+  ASSERT_TRUE(fx.session->Execute("SET DEGRADE ALWAYS").ok());
+  // The guard already authorizes the local branch (1h bound), so the serve
+  // is an ordinary local serve, not a shed.
+  Session::StatementOptions opts;
+  opts.shed_hint = true;
+  auto r = fx.session->Execute(
+      "SELECT price FROM Books B WHERE B.isbn = 1 "
+      "CURRENCY BOUND 1 HOUR ON (B)",
+      opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.shed_serves, 0);
+  EXPECT_EQ(r->stats.switch_local, 1);
+  EXPECT_FALSE(r->degraded);
 }
 
 }  // namespace

@@ -78,6 +78,33 @@ std::vector<SeedCase> BuildMatrix() {
   return cases;
 }
 
+#if !defined(RCC_SIM_MUTATE) && !defined(RCC_PLANCACHE_MUTATE) && \
+    !defined(RCC_MVCC_MUTATE)
+TEST(SimSeedMatrixTest, ShedHintsProduceRecordedOracleCleanSheds) {
+  // Overload shedding must be *visible* in histories (serve lines carry
+  // shed=1) and *sound* (the oracle's R3/R7 rules hold: every shed is a
+  // degraded local serve the session's mode authorized). Drive a slice of
+  // the matrix with every main-session query carrying the admission
+  // layer's shed hint; at that rate the stale-replica windows that make a
+  // guard fail while DEGRADE ALWAYS permits a local serve are hit reliably.
+  int64_t total_sheds = 0;
+  for (uint64_t seed : {1000u, 1037u, 1111u, 1259u}) {
+    SimRunConfig cfg;
+    cfg.seed = seed;
+    cfg.faults = FaultMix::kCombined;
+    cfg.steps = 120;
+    cfg.shed_percent = 100;
+    auto run = RunSimulation(cfg);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->report.ok())
+        << "seed " << seed << "\n"
+        << run->report.Summary();
+    total_sheds += run->shed_serves;
+  }
+  EXPECT_GT(total_sheds, 0);
+}
+#endif
+
 std::string SeedCaseName(const ::testing::TestParamInfo<SeedCase>& info) {
   return std::string("seed") + std::to_string(info.param.seed) + "_" +
          FaultMixName(info.param.faults) + "_" +
