@@ -326,7 +326,9 @@ Result<CacheQueryOutcome> CacheDbms::ExecutePrepared(
   }
   if (sink_ != nullptr) {
     ctx.history = sink_;
-    ctx.history_query_id = sink_->BeginQuery(backend_->clock()->Now());
+    ctx.history_query_id = opts.history_query_id != 0
+                               ? opts.history_query_id
+                               : sink_->BeginQuery(backend_->clock()->Now());
   }
   // Serial mode only: expose the trace to the delivery observer, so
   // replication batches landing while the policy waits show up in the trace.

@@ -158,6 +158,11 @@ class CacheDbms {
     /// SwitchUnionIterator::ShedEligible — guard semantics are never
     /// weakened).
     bool shed_hint = false;
+    /// Audit query id pre-allocated by the caller (the fleet router opens
+    /// the query with BeginQuery so its route observation and this
+    /// execution's guard/serve/answer events correlate). 0 = allocate here,
+    /// as every non-routed caller does.
+    uint64_t history_query_id = 0;
   };
   Result<CacheQueryOutcome> ExecutePrepared(const QueryPlan& plan,
                                             const PreparedExecOptions& opts);

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/strings.h"
+#include "core/statement_router.h"
 #include "exec/switch_union.h"
 #include "obs/explain.h"
 #include "plan/plan_cache.h"
@@ -191,6 +192,14 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
   // (the cache lookup, audit mode and floor handling below must agree).
   const DegradeMode session_degrade = degrade_mode();
   const bool session_timeordered = in_timeordered();
+  // Fleet routing: plain SELECTs dispatch through the router, which prepares
+  // on the chosen node (per-node plan caches — the anchor's cache key would
+  // be wrong for a peer's view set). EXPLAIN stays local: it describes the
+  // anchor's plan, not a dispatch decision.
+  if (router_ != nullptr && !is_explain) {
+    RCC_ASSIGN_OR_RETURN(auto select, ParseSelect(body));
+    return ExecuteRouted(*select, session_degrade, session_timeordered, opts);
+  }
   CacheDbms* cache = system_->cache();
   PlanCache& plan_cache = cache->plan_cache();
   PlanCache::LookupResult looked =
@@ -267,6 +276,22 @@ Result<QueryResult> Session::ExecuteSelectSql(const std::string& body,
   return result;
 }
 
+Result<QueryResult> Session::ExecuteRouted(const SelectStmt& stmt,
+                                           DegradeMode degrade,
+                                           bool timeordered,
+                                           const StatementOptions& opts) {
+  RoutedStatementOptions ro;
+  ro.timeline_floor = timeordered ? timeline_floor() : -1;
+  ro.degrade = degrade;
+  ro.session_tag = id_;
+  ro.deadline = ResolveDeadline(opts);
+  ro.shed_hint = opts.shed_hint;
+  RCC_ASSIGN_OR_RETURN(CacheQueryOutcome outcome,
+                       router_->RouteSelect(stmt, ro));
+  if (timeordered) RaiseFloor(outcome.max_seen_heartbeat);
+  return MakeQueryResult(std::move(outcome));
+}
+
 Result<QueryResult> Session::ExecuteStatement(const Statement& stmt,
                                               const StatementOptions& opts) {
   QueryResult out;
@@ -300,6 +325,10 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt,
   }
 
   const bool session_timeordered = in_timeordered();
+  if (router_ != nullptr) {
+    return ExecuteRouted(*stmt.select, degrade_mode(), session_timeordered,
+                         opts);
+  }
   CacheDbms* cache = system_->cache();
   RCC_ASSIGN_OR_RETURN(QueryPlan plan, cache->Prepare(*stmt.select));
   std::shared_ptr<obs::QueryTrace> trace;

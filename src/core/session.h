@@ -13,6 +13,8 @@
 
 namespace rcc {
 
+class StatementRouter;
+
 /// An application session against the cache DBMS. Parses statements,
 /// runs the C&C-aware pipeline, and implements timeline consistency
 /// (paper §2.3): inside BEGIN TIMEORDERED ... END TIMEORDERED, a query never
@@ -136,6 +138,13 @@ class Session {
     return timeline_floor_.load(std::memory_order_acquire);
   }
 
+  /// Installs a fleet router: every subsequent plain SELECT (not EXPLAIN,
+  /// not DML, not session statements) dispatches through it instead of the
+  /// system's single cache. Wire-up time only — set before the session
+  /// serves traffic, never concurrently with Execute.
+  void set_router(StatementRouter* router) { router_ = router; }
+  StatementRouter* router() const { return router_; }
+
  private:
   /// Recognizes "SET DEGRADE [=] <mode>" (handled before SQL parsing).
   static bool ParseSetDegrade(const std::string& sql, DegradeMode* mode);
@@ -159,6 +168,12 @@ class Session {
   Result<QueryResult> ExecuteSelectSql(const std::string& body,
                                        bool is_explain, bool is_analyze,
                                        const StatementOptions& opts);
+  /// Dispatches one parsed SELECT through the installed router, carrying the
+  /// session's floor/degrade/deadline exactly as the local path would, and
+  /// raises the timeline floor from the routed outcome.
+  Result<QueryResult> ExecuteRouted(const SelectStmt& stmt,
+                                    DegradeMode degrade, bool timeordered,
+                                    const StatementOptions& opts);
 
   /// CAS-max: lifts the timeline floor to `seen` unless another query
   /// already published something higher. A plain store would let a slow
@@ -189,6 +204,9 @@ class Session {
   /// Session statement deadline (real ms); 0 = none. Atomic for the same
   /// reason as the modes above (SET DEADLINE races with in-flight queries).
   std::atomic<int64_t> deadline_ms_{0};
+  /// Fleet dispatch target; nullptr = execute on the system's single cache.
+  /// Set once at wire-up (see set_router), so a plain pointer suffices.
+  StatementRouter* router_ = nullptr;
 };
 
 }  // namespace rcc

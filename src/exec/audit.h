@@ -31,6 +31,10 @@ namespace rcc {
 /// even when the served data happens to be fresh.
 struct GuardObservation {
   uint64_t query_id = 0;
+  /// Cache node the probe ran on (fleet topology); 0 = the only node of a
+  /// single-cache system. Stamped by NodeTaggingSink, never by the engine —
+  /// a CacheDbms has no idea it is part of a fleet.
+  int node = 0;
   RegionId region = kBackendRegion;
   SimTimeMs at = 0;
   /// The certified heartbeat the guard read; heartbeat_known = false when
@@ -53,6 +57,8 @@ struct GuardObservation {
 /// attributed to the first fetch; see DESIGN.md §11).
 struct ServeObservation {
   uint64_t query_id = 0;
+  /// Serving cache node (see GuardObservation::node).
+  int node = 0;
   SimTimeMs at = 0;
   /// true = local view branch; false = remote (back-end) fetch.
   bool local = false;
@@ -84,6 +90,8 @@ struct ServeObservation {
 /// events recorded under the same query_id.
 struct AnswerObservation {
   uint64_t query_id = 0;
+  /// Cache node that produced the answer (see GuardObservation::node).
+  int node = 0;
   /// Issuing session tag (0 = anonymous caller).
   uint64_t session = 0;
   SimTimeMs at = 0;
@@ -113,6 +121,8 @@ struct AnswerObservation {
 struct InstallObservation {
   enum class Kind { kInitial, kDelivery, kResync };
   Kind kind = Kind::kDelivery;
+  /// Cache node owning the region (see GuardObservation::node).
+  int node = 0;
   RegionId region = kBackendRegion;
   SimTimeMs at = 0;
   /// Back-end snapshot (last applied transaction id) after the install.
@@ -121,6 +131,48 @@ struct InstallObservation {
   SimTimeMs heartbeat = 0;
   /// Row ops applied by the batch (0 for initial population / resync).
   int64_t ops = 0;
+};
+
+/// One fleet-router eligibility probe: what the router saw when it asked
+/// whether `node` could satisfy a constraint tuple over `region` at route
+/// time. The oracle re-derives the certified heartbeat from the install and
+/// health streams and recomputes the eligibility verdict, so a router that
+/// trusts a withdrawn heartbeat (the RCC_FLEET_MUTATE planted bug) is caught
+/// even when the node's own guards later refuse to serve.
+struct RouteProbe {
+  int node = 0;
+  /// Region the probed view lives in; kBackendRegion when the probe failed
+  /// on view coverage (the node materializes no view over a constrained
+  /// operand, so there is no region to certify).
+  RegionId region = kBackendRegion;
+  SimTimeMs bound_ms = 0;
+  /// Session timeline floor at route time (< 0 = timeline mode off).
+  SimTimeMs floor_ms = -1;
+  /// The certified heartbeat the router read (LocalHeartbeat semantics:
+  /// known = false when the region is unknown, never synced, or its
+  /// replication pipeline withdrew certification).
+  bool heartbeat_known = false;
+  SimTimeMs heartbeat = -1;
+  /// The router's verdict for this probe. A node is eligible for the query
+  /// only if every one of its probes is.
+  bool eligible = false;
+};
+
+/// One routing decision of the fleet front end: the chosen node (or the
+/// backend tier), the degrade mode the attempt runs under, and every
+/// per-node probe that fed the choice. A query that falls through records a
+/// fresh route observation per attempt, each under its own query id.
+struct RouteObservation {
+  uint64_t query_id = 0;
+  SimTimeMs at = 0;
+  /// Node the statement was dispatched to.
+  int node = 0;
+  /// true = no cache node was eligible (or all eligible ones failed) and the
+  /// statement ran as an all-remote plan against the backend.
+  bool backend_tier = false;
+  /// DegradeMode of the attempt, as its enum integer.
+  int degrade_mode = 0;
+  std::vector<RouteProbe> probes;
 };
 
 /// Receiver of the audit stream. Implementations must be thread-safe:
@@ -143,14 +195,77 @@ class HistorySink {
   /// A back-end commit (the formal model's xtime source).
   virtual void OnCommit(const CommittedTxn& txn, SimTimeMs at) = 0;
   virtual void OnInstall(const InstallObservation& obs) = 0;
+  /// `node` identifies the cache node owning the region (0 = single-cache
+  /// system); the default keeps single-node call sites unchanged.
   virtual void OnHealth(RegionId region, RegionHealth from, RegionHealth to,
-                        SimTimeMs at) = 0;
+                        SimTimeMs at, int node = 0) = 0;
+
+  /// A fleet-router dispatch decision. Default no-op: single-node systems
+  /// never route, and pre-fleet sinks need no override.
+  virtual void OnRoute(const RouteObservation& obs) { (void)obs; }
 
   /// A session toggled timeline mode; `timeordered` = the new state. Entering
   /// timeline mode resets the session's floor, so the oracle restarts its
   /// monotonicity tracking here.
   virtual void OnSessionMode(uint64_t session, bool timeordered,
                              SimTimeMs at) = 0;
+};
+
+/// Stamps a fixed node id onto every observation before forwarding to an
+/// inner sink. The fleet wraps each CacheDbms's sink in one of these, so
+/// node identity flows into histories without the engine knowing about
+/// fleets: a CacheDbms records exactly as it always did, and the wrapper
+/// owns the topology fact. BeginQuery forwards untouched — query ids are
+/// fleet-global so one routed statement's guard/serve/answer events
+/// correlate across nodes. Thread-safety is inherited from the inner sink
+/// (the wrapper itself is stateless beyond the immutable node id).
+class NodeTaggingSink : public HistorySink {
+ public:
+  NodeTaggingSink(HistorySink* inner, int node) : inner_(inner), node_(node) {}
+
+  uint64_t BeginQuery(SimTimeMs at) override { return inner_->BeginQuery(at); }
+
+  void OnGuardProbe(const GuardObservation& obs) override {
+    GuardObservation tagged = obs;
+    tagged.node = node_;
+    inner_->OnGuardProbe(tagged);
+  }
+  void OnServe(const ServeObservation& obs) override {
+    ServeObservation tagged = obs;
+    tagged.node = node_;
+    inner_->OnServe(tagged);
+  }
+  void OnAnswer(const AnswerObservation& obs) override {
+    AnswerObservation tagged = obs;
+    tagged.node = node_;
+    inner_->OnAnswer(tagged);
+  }
+  void OnCommit(const CommittedTxn& txn, SimTimeMs at) override {
+    inner_->OnCommit(txn, at);  // commits are backend-global, not per-node
+  }
+  void OnInstall(const InstallObservation& obs) override {
+    InstallObservation tagged = obs;
+    tagged.node = node_;
+    inner_->OnInstall(tagged);
+  }
+  void OnHealth(RegionId region, RegionHealth from, RegionHealth to,
+                SimTimeMs at, int node = 0) override {
+    (void)node;
+    inner_->OnHealth(region, from, to, at, node_);
+  }
+  void OnRoute(const RouteObservation& obs) override {
+    inner_->OnRoute(obs);  // routes carry their own node (the chosen one)
+  }
+  void OnSessionMode(uint64_t session, bool timeordered,
+                     SimTimeMs at) override {
+    inner_->OnSessionMode(session, timeordered, at);
+  }
+
+  int node() const { return node_; }
+
+ private:
+  HistorySink* inner_;
+  int node_;
 };
 
 }  // namespace rcc

@@ -1,0 +1,129 @@
+#ifndef RCC_FLEET_FLEET_H_
+#define RCC_FLEET_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "core/system.h"
+#include "workload/bookstore.h"
+
+namespace rcc {
+namespace fleet {
+
+class FleetRouter;
+
+/// One cache node of the fleet: which bookstore views it materializes and
+/// how its distribution agents propagate. Node ids are 1-based; node 1 is
+/// the anchor (the RccSystem's own cache, and the execution target of
+/// backend-tier dispatches).
+struct FleetNodeConfig {
+  int node = 1;
+  /// Propagation cadence of the node's regions (heterogeneous across the
+  /// fleet: a fast small node and a slow complete node deliver different
+  /// currencies for the same query).
+  SimTimeMs update_interval = 8000;
+  SimTimeMs update_delay = 3000;
+  /// View subset. Books and Sales share one region (node*100+1, so queries
+  /// can require Books/Sales consistency on any node that has both);
+  /// Reviews lives in its own (node*100+2).
+  bool books = true;
+  bool sales = true;
+  bool reviews = true;
+  /// Backend shard this node's remote channel and replication pull from.
+  /// Node 1 must use shard 0 (the anchor backend). Shards mirror the full
+  /// schema and data — sharding here models fan-out, not partitioning.
+  int shard = 0;
+};
+
+struct FleetConfig {
+  uint64_t seed = 42;
+  CostParams costs;
+  /// Node ids must be exactly 1..N in order.
+  std::vector<FleetNodeConfig> nodes;
+  int backend_shards = 1;
+};
+
+/// Region-id scheme: fleet-unique cids keep the conformance oracle's
+/// per-region state per-node for free (DESIGN.md §16).
+inline RegionId BooksRegion(int node) { return node * 100 + 1; }
+inline RegionId ReviewsRegion(int node) { return node * 100 + 2; }
+inline int NodeOfRegion(RegionId cid) { return cid / 100; }
+
+/// N CacheDbms nodes with heterogeneous view sets and propagation intervals
+/// in front of an (optionally mirrored-sharded) backend, sharing one virtual
+/// clock and one discrete-event scheduler. The anchor RccSystem contributes
+/// node 1 and the primary backend; extra nodes and shards hang off the same
+/// scheduler so one AdvanceTo drives every agent in the fleet.
+class FleetSystem {
+ public:
+  explicit FleetSystem(FleetConfig config);
+  ~FleetSystem();
+
+  FleetSystem(const FleetSystem&) = delete;
+  FleetSystem& operator=(const FleetSystem&) = delete;
+
+  int node_count() const { return static_cast<int>(config_.nodes.size()); }
+  /// 1-based; nullptr for out-of-range ids.
+  CacheDbms* node(int node);
+  const FleetNodeConfig* node_config(int node) const;
+  RccSystem* anchor() { return &anchor_; }
+  /// Shard 0 is the anchor backend; higher indices are mirrors.
+  BackendServer* shard(int index);
+  int shard_count() const { return 1 + static_cast<int>(extra_shards_.size()); }
+  FleetRouter* router() { return router_.get(); }
+
+  SimTimeMs Now() const { return anchor_.Now(); }
+  void AdvanceTo(SimTimeMs t) { anchor_.AdvanceTo(t); }
+  void AdvanceBy(SimTimeMs delta) { anchor_.AdvanceBy(delta); }
+
+  /// An anchor session with the fleet router installed: every plain SELECT
+  /// it executes dispatches across the fleet.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Loads the bookstore schema + data on every shard and builds every
+  /// node's shadow catalog.
+  Status LoadBookstore(const BookstoreConfig& config);
+
+  /// Defines each node's regions and view subset per its FleetNodeConfig.
+  /// Call after LoadBookstore; install the history sink first so initial
+  /// populations are recorded.
+  Status SetupBookstore();
+
+  /// Points every node at `sink` through a per-node NodeTaggingSink, and the
+  /// router at `sink` directly (route observations carry their own node).
+  /// nullptr stops recording everywhere.
+  void SetHistorySink(HistorySink* sink);
+
+  /// Installs replication faults on one node (its regions fault
+  /// independently of every other node's: the injector seeds with
+  /// config.seed + region id and region ids are fleet-unique).
+  void SetNodeReplicationFaults(int node, const ReplicationFaultConfig& config);
+
+  /// Concurrent-batch mode on every node cache (counted, like
+  /// CacheDbms::BeginConcurrentBatch). Required when routed statements run
+  /// from multiple threads — e.g. an RccServer dispatching through the
+  /// router — since a routed statement executes on whichever node wins.
+  void BeginConcurrentBatch();
+  void EndConcurrentBatch();
+
+  /// Applies one update transaction to every shard (mirrored sharding keeps
+  /// shard data identical; commit timestamps may differ per shard). Returns
+  /// the anchor shard's timestamp. With one shard this is exactly
+  /// BackendServer::ExecuteTransaction.
+  Result<TxnTimestamp> ExecuteMirrored(std::vector<RowOp> ops);
+
+ private:
+  FleetConfig config_;
+  RccSystem anchor_;
+  std::vector<std::unique_ptr<BackendServer>> extra_shards_;
+  /// Nodes 2..N (node 1 is anchor_.cache()).
+  std::vector<std::unique_ptr<CacheDbms>> extra_nodes_;
+  std::vector<std::unique_ptr<NodeTaggingSink>> tag_sinks_;
+  std::unique_ptr<FleetRouter> router_;
+};
+
+}  // namespace fleet
+}  // namespace rcc
+
+#endif  // RCC_FLEET_FLEET_H_

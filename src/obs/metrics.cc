@@ -129,5 +129,15 @@ std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {
           500,  1000, 5000, 10000, 50000, 100000};
 }
 
+std::string MetricsRegistry::NodeMetricName(std::string_view prefix, int node,
+                                            std::string_view leaf) {
+  std::string name(prefix);
+  name += ".node.";
+  name += std::to_string(node);
+  name += '.';
+  name += leaf;
+  return name;
+}
+
 }  // namespace obs
 }  // namespace rcc

@@ -102,6 +102,13 @@ class MetricsRegistry {
   /// Process-wide registry.
   static MetricsRegistry* Global();
 
+  /// Builds a per-node instrument name: prefix + ".node." + node + "." +
+  /// leaf (e.g. "rcc.fleet" / 3 / "routed" → "rcc.fleet.node.3.routed").
+  /// The fleet vocabulary's analogue of the per-region
+  /// `rcc.replication.region_health.<cid>` convention.
+  static std::string NodeMetricName(std::string_view prefix, int node,
+                                    std::string_view leaf);
+
   /// Exponential ms buckets suitable for both sub-ms guard probes and
   /// multi-second degraded staleness: 0.01ms .. ~100s.
   static std::vector<double> DefaultLatencyBucketsMs();

@@ -482,6 +482,7 @@ void RccServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
         return;
       }
       conn->session = system_->CreateSession();
+      if (router_ != nullptr) conn->session->set_router(router_);
       conn->hello_done = true;
       std::string out;
       AppendFrame(&out, Opcode::kHelloOk, frame.seq,

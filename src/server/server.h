@@ -19,6 +19,9 @@
 #include "server/wire.h"
 
 namespace rcc {
+
+class StatementRouter;
+
 namespace server {
 
 struct ServerOptions {
@@ -95,6 +98,14 @@ class RccServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Installs a fleet router on every *subsequently accepted* connection's
+  /// Session: plain SELECTs dispatch across the fleet, everything else runs
+  /// on the anchor as before. Call before Start. The caller keeps ownership
+  /// and must also hold the fleet in concurrent-batch mode for the server's
+  /// lifetime (FleetSystem::BeginConcurrentBatch) — Start only freezes the
+  /// anchor cache.
+  void SetRouter(StatementRouter* router) { router_ = router; }
+
   /// Bound TCP port (valid after Start; 0 for UDS servers).
   uint16_t port() const { return bound_port_; }
 
@@ -156,6 +167,8 @@ class RccServer {
 
   RccSystem* system_;
   ServerOptions opts_;
+  /// Fleet dispatch for connection sessions; nullptr = single-cache system.
+  StatementRouter* router_ = nullptr;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

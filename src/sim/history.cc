@@ -47,6 +47,30 @@ std::string SanitizeText(const std::string& text) {
   return out;
 }
 
+/// Route probes, one `|`-separated token per probe:
+/// `node:region:bound:floor:hb:eligible` with `none` for a withdrawn
+/// heartbeat. "-" = no probes (an unconstrained statement).
+std::string JoinProbes(const std::vector<RouteProbe>& probes) {
+  if (probes.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const RouteProbe& p = probes[i];
+    if (i > 0) out += '|';
+    out += std::to_string(p.node);
+    out += ':';
+    out += std::to_string(static_cast<int>(p.region));
+    out += ':';
+    out += std::to_string(static_cast<long long>(p.bound_ms));
+    out += ':';
+    out += std::to_string(static_cast<long long>(p.floor_ms));
+    out += ':';
+    out += FormatHb(p.heartbeat_known, p.heartbeat);
+    out += ':';
+    out += p.eligible ? '1' : '0';
+  }
+  return out;
+}
+
 const char* InstallKindName(InstallObservation::Kind kind) {
   switch (kind) {
     case InstallObservation::Kind::kInitial:
@@ -80,17 +104,17 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
                     static_cast<long long>(ev.as_of));
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
-      std::snprintf(buf, sizeof(buf), " ops=%lld",
-                    static_cast<long long>(ev.ops));
+      std::snprintf(buf, sizeof(buf), " ops=%lld node=%d",
+                    static_cast<long long>(ev.ops), ev.node);
       add(buf);
       break;
     case HistoryEvent::Kind::kHealth:
       std::snprintf(buf, sizeof(buf),
-                    "health seq=%llu at=%lld region=%d from=%d to=%d",
+                    "health seq=%llu at=%lld region=%d from=%d to=%d node=%d",
                     static_cast<unsigned long long>(ev.seq),
                     static_cast<long long>(ev.at), static_cast<int>(ev.region),
                     static_cast<int>(ev.health_from),
-                    static_cast<int>(ev.health_to));
+                    static_cast<int>(ev.health_to), ev.node);
       add(buf);
       break;
     case HistoryEvent::Kind::kSession:
@@ -111,11 +135,11 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
       std::snprintf(buf, sizeof(buf),
-                    " bound=%lld floor=%lld verdict=%s epoch=%llu",
+                    " bound=%lld floor=%lld verdict=%s epoch=%llu node=%d",
                     static_cast<long long>(ev.bound_ms),
                     static_cast<long long>(ev.floor_ms),
                     ev.verdict_local ? "local" : "stale",
-                    static_cast<unsigned long long>(ev.epoch));
+                    static_cast<unsigned long long>(ev.epoch), ev.node);
       add(buf);
       break;
     case HistoryEvent::Kind::kServe:
@@ -130,8 +154,8 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
           ev.shed ? 1 : 0);
       add(buf);
       *out += " hb=" + FormatHb(ev.heartbeat_known, ev.heartbeat);
-      std::snprintf(buf, sizeof(buf), " epoch=%llu",
-                    static_cast<unsigned long long>(ev.epoch));
+      std::snprintf(buf, sizeof(buf), " epoch=%llu node=%d",
+                    static_cast<unsigned long long>(ev.epoch), ev.node);
       add(buf);
       *out += " operands=" + JoinOperands(ev.operands);
       break;
@@ -164,8 +188,20 @@ void AppendEventLine(const HistoryEvent& ev, std::string* out) {
         }
       }
       *out += " error=" + SanitizeText(ev.error);
+      std::snprintf(buf, sizeof(buf), " node=%d", ev.node);
+      add(buf);
       break;
     }
+    case HistoryEvent::Kind::kRoute:
+      std::snprintf(buf, sizeof(buf),
+                    "route seq=%llu at=%lld q=%llu node=%d tier=%s mode=%d",
+                    static_cast<unsigned long long>(ev.seq),
+                    static_cast<long long>(ev.at),
+                    static_cast<unsigned long long>(ev.query), ev.node,
+                    ev.backend_tier ? "backend" : "cache", ev.degrade_mode);
+      add(buf);
+      *out += " probes=" + JoinProbes(ev.probes);
+      break;
   }
   *out += '\n';
 }
@@ -213,6 +249,18 @@ class TokenMap {
     return static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
   }
 
+  /// Lenient integer lookup for tokens added after v1 shipped (`node=`):
+  /// pre-fleet histories parse with the single-node default instead of
+  /// failing, so recorded evidence never goes stale on a schema extension.
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) {
+        return static_cast<int64_t>(std::strtoll(v.c_str(), nullptr, 10));
+      }
+    }
+    return fallback;
+  }
+
  private:
   std::string kind_;
   std::vector<std::pair<std::string, std::string>> values_;
@@ -243,6 +291,37 @@ Result<bool> ParseHb(const TokenMap& map, SimTimeMs* hb) {
   return true;
 }
 
+/// One serialized route probe (`node:region:bound:floor:hb:eligible`).
+/// Route lines are new with the fleet schema, so parsing is strict — there
+/// is no legacy shape to stay lenient for.
+Result<RouteProbe> ParseProbe(const std::string& piece) {
+  std::vector<std::string> fields = Split(piece, ':');
+  if (fields.size() != 6) {
+    return Status::InvalidArgument("malformed route probe: " + piece);
+  }
+  RouteProbe p;
+  p.node = static_cast<int>(std::strtol(fields[0].c_str(), nullptr, 10));
+  p.region =
+      static_cast<RegionId>(std::strtol(fields[1].c_str(), nullptr, 10));
+  p.bound_ms =
+      static_cast<SimTimeMs>(std::strtoll(fields[2].c_str(), nullptr, 10));
+  p.floor_ms =
+      static_cast<SimTimeMs>(std::strtoll(fields[3].c_str(), nullptr, 10));
+  if (fields[4] == "none") {
+    p.heartbeat_known = false;
+    p.heartbeat = -1;
+  } else {
+    p.heartbeat_known = true;
+    p.heartbeat =
+        static_cast<SimTimeMs>(std::strtoll(fields[4].c_str(), nullptr, 10));
+  }
+  if (fields[5] != "0" && fields[5] != "1") {
+    return Status::InvalidArgument("malformed route probe verdict: " + piece);
+  }
+  p.eligible = fields[5] == "1";
+  return p;
+}
+
 Result<HistoryEvent> ParseEventLine(const std::string& line) {
   RCC_ASSIGN_OR_RETURN(TokenMap map, TokenMap::FromLine(line));
   HistoryEvent ev;
@@ -271,6 +350,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(ev.as_of, map.GetInt("as_of"));
     RCC_ASSIGN_OR_RETURN(ev.heartbeat_known, ParseHb(map, &ev.heartbeat));
     RCC_ASSIGN_OR_RETURN(ev.ops, map.GetInt("ops"));
+    ev.node = static_cast<int>(map.GetIntOr("node", 0));
   } else if (kind == "health") {
     ev.kind = HistoryEvent::Kind::kHealth;
     RCC_ASSIGN_OR_RETURN(int64_t region, map.GetInt("region"));
@@ -279,6 +359,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(int64_t to, map.GetInt("to"));
     ev.health_from = static_cast<RegionHealth>(from);
     ev.health_to = static_cast<RegionHealth>(to);
+    ev.node = static_cast<int>(map.GetIntOr("node", 0));
   } else if (kind == "session") {
     ev.kind = HistoryEvent::Kind::kSession;
     RCC_ASSIGN_OR_RETURN(ev.session, map.GetUint("session"));
@@ -295,6 +376,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(std::string verdict, map.Get("verdict"));
     ev.verdict_local = verdict == "local";
     RCC_ASSIGN_OR_RETURN(ev.epoch, map.GetUint("epoch"));
+    ev.node = static_cast<int>(map.GetIntOr("node", 0));
   } else if (kind == "serve") {
     ev.kind = HistoryEvent::Kind::kServe;
     RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
@@ -310,6 +392,7 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     RCC_ASSIGN_OR_RETURN(ev.epoch, map.GetUint("epoch"));
     RCC_ASSIGN_OR_RETURN(std::string operands, map.Get("operands"));
     ev.operands = ParseOperands(operands);
+    ev.node = static_cast<int>(map.GetIntOr("node", 0));
   } else if (kind == "answer") {
     ev.kind = HistoryEvent::Kind::kAnswer;
     RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
@@ -340,6 +423,29 @@ Result<HistoryEvent> ParseEventLine(const std::string& line) {
     }
     RCC_ASSIGN_OR_RETURN(std::string error, map.Get("error"));
     if (error != "-") ev.error = error;
+    ev.node = static_cast<int>(map.GetIntOr("node", 0));
+  } else if (kind == "route") {
+    ev.kind = HistoryEvent::Kind::kRoute;
+    RCC_ASSIGN_OR_RETURN(ev.query, map.GetUint("q"));
+    RCC_ASSIGN_OR_RETURN(int64_t node, map.GetInt("node"));
+    ev.node = static_cast<int>(node);
+    RCC_ASSIGN_OR_RETURN(std::string tier, map.Get("tier"));
+    if (tier == "cache") {
+      ev.backend_tier = false;
+    } else if (tier == "backend") {
+      ev.backend_tier = true;
+    } else {
+      return Status::InvalidArgument("unknown route tier: " + tier);
+    }
+    RCC_ASSIGN_OR_RETURN(int64_t mode, map.GetInt("mode"));
+    ev.degrade_mode = static_cast<int>(mode);
+    RCC_ASSIGN_OR_RETURN(std::string probes, map.Get("probes"));
+    if (probes != "-") {
+      for (const std::string& piece : Split(probes, '|')) {
+        RCC_ASSIGN_OR_RETURN(RouteProbe p, ParseProbe(piece));
+        ev.probes.push_back(p);
+      }
+    }
   } else {
     return Status::InvalidArgument("unknown history event kind: " + kind);
   }
@@ -403,6 +509,7 @@ void HistoryRecorder::OnGuardProbe(const GuardObservation& obs) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kGuard;
   ev.at = obs.at;
+  ev.node = obs.node;
   ev.query = obs.query_id;
   ev.region = obs.region;
   ev.heartbeat_known = obs.heartbeat_known;
@@ -418,6 +525,7 @@ void HistoryRecorder::OnServe(const ServeObservation& obs) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kServe;
   ev.at = obs.at;
+  ev.node = obs.node;
   ev.query = obs.query_id;
   ev.region = obs.region;
   ev.local = obs.local;
@@ -434,6 +542,7 @@ void HistoryRecorder::OnAnswer(const AnswerObservation& obs) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kAnswer;
   ev.at = obs.at;
+  ev.node = obs.node;
   ev.query = obs.query_id;
   ev.session = obs.session;
   ev.ok = obs.ok;
@@ -473,6 +582,7 @@ void HistoryRecorder::OnInstall(const InstallObservation& obs) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kInstall;
   ev.at = obs.at;
+  ev.node = obs.node;
   ev.region = obs.region;
   ev.install_kind = obs.kind;
   ev.as_of = obs.as_of;
@@ -483,13 +593,26 @@ void HistoryRecorder::OnInstall(const InstallObservation& obs) {
 }
 
 void HistoryRecorder::OnHealth(RegionId region, RegionHealth from,
-                               RegionHealth to, SimTimeMs at) {
+                               RegionHealth to, SimTimeMs at, int node) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kHealth;
   ev.at = at;
+  ev.node = node;
   ev.region = region;
   ev.health_from = from;
   ev.health_to = to;
+  Append(std::move(ev));
+}
+
+void HistoryRecorder::OnRoute(const RouteObservation& obs) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kRoute;
+  ev.at = obs.at;
+  ev.node = obs.node;
+  ev.query = obs.query_id;
+  ev.backend_tier = obs.backend_tier;
+  ev.degrade_mode = obs.degrade_mode;
+  ev.probes = obs.probes;
   Append(std::move(ev));
 }
 

@@ -29,11 +29,18 @@ struct HistoryEvent {
     kGuard,    // currency-guard probe
     kServe,    // a branch served operands
     kAnswer,   // query completed
+    kRoute,    // fleet-router dispatch decision
   };
 
   Kind kind = Kind::kCommit;
   uint64_t seq = 0;
   SimTimeMs at = 0;
+
+  // kInstall / kHealth / kGuard / kServe / kAnswer: owning/serving cache
+  // node; kRoute: the chosen node. 0 = the single cache of a non-fleet
+  // system (and the value parsed from pre-fleet histories, whose lines have
+  // no node token).
+  int node = 0;
 
   // kCommit: txn id + touched tables. kAnswer: operand base tables
   // (index = InputOperandId).
@@ -80,12 +87,16 @@ struct HistoryEvent {
 
   // kAnswer.
   bool ok = false;
-  int degrade_mode = 0;
+  int degrade_mode = 0;  // also kRoute: mode of the routed attempt
   SimTimeMs max_seen_heartbeat = -1;
   SimTimeMs degraded_staleness_ms = 0;
   int64_t rows = 0;
   std::vector<std::pair<SimTimeMs, std::vector<InputOperandId>>> tuples;
   std::string error;
+
+  // kRoute.
+  bool backend_tier = false;
+  std::vector<RouteProbe> probes;
 };
 
 /// A seed-stamped, replayable execution history. Everything in it is virtual
@@ -125,7 +136,8 @@ class HistoryRecorder : public HistorySink {
   void OnCommit(const CommittedTxn& txn, SimTimeMs at) override;
   void OnInstall(const InstallObservation& obs) override;
   void OnHealth(RegionId region, RegionHealth from, RegionHealth to,
-                SimTimeMs at) override;
+                SimTimeMs at, int node = 0) override;
+  void OnRoute(const RouteObservation& obs) override;
   void OnSessionMode(uint64_t session, bool timeordered, SimTimeMs at) override;
 
   /// Copy of the history recorded so far.

@@ -57,6 +57,11 @@ struct PendingQuery {
   /// local serve of one region within one query must come from the same
   /// published snapshot.
   std::map<RegionId, uint64_t> serve_epoch;
+  /// Fleet dispatch decision for this query, when a route event preceded
+  /// its guard/serve/answer events (route-serve-node).
+  bool routed = false;
+  int route_node = 0;
+  bool route_backend = false;
 };
 
 struct SessionState {
@@ -100,11 +105,12 @@ std::string Violation::ToString() const {
 
 std::string OracleReport::Summary() const {
   std::string out = StrPrintf(
-      "oracle: %lld answers, %lld guards, %lld serves checked; "
+      "oracle: %lld answers, %lld guards, %lld serves, %lld routes checked; "
       "%lld operands uncovered; %zu violations",
       static_cast<long long>(answers_checked),
       static_cast<long long>(guards_checked),
       static_cast<long long>(serves_checked),
+      static_cast<long long>(routes_checked),
       static_cast<long long>(operands_uncovered), violations.size());
   for (const Violation& v : violations) {
     out += "\n  " + v.ToString();
@@ -119,6 +125,10 @@ OracleReport CheckHistory(const History& history) {
   std::map<RegionId, RegionState> regions;
   std::map<uint64_t, PendingQuery> pending;
   std::map<uint64_t, SessionState> sessions;
+  /// Node that first installed each region (node-region-binding). Region ids
+  /// are fleet-unique by construction, so one owner per region is the
+  /// topology invariant every cross-node rule rests on.
+  std::map<RegionId, int> region_owner;
 
   auto violate = [&report](const char* rule, uint64_t query, uint64_t seq,
                            std::string detail) {
@@ -128,6 +138,21 @@ OracleReport CheckHistory(const History& history) {
     v.seq = seq;
     v.detail = std::move(detail);
     report.violations.push_back(std::move(v));
+  };
+
+  // First event naming a (non-backend) region binds it to that node; every
+  // later event must agree. kBackendRegion is shared by construction (remote
+  // fetches and coverage-failure probes from any node) and is skipped.
+  auto check_owner = [&](RegionId region, int node, uint64_t query,
+                         uint64_t seq) {
+    if (region == kBackendRegion) return;
+    auto [it, first] = region_owner.emplace(region, node);
+    if (!first && it->second != node) {
+      violate("node-region-binding", query, seq,
+              StrPrintf("region %d event from node %d, but node %d owns the "
+                        "region",
+                        static_cast<int>(region), node, it->second));
+    }
   };
 
   for (const HistoryEvent& ev : history.events) {
@@ -149,6 +174,7 @@ OracleReport CheckHistory(const History& history) {
         break;
       }
       case HistoryEvent::Kind::kInstall: {
+        check_owner(ev.region, ev.node, 0, ev.seq);
         RegionState& r = regions[ev.region];
         r.known = true;
         r.as_of = ev.as_of;
@@ -166,6 +192,7 @@ OracleReport CheckHistory(const History& history) {
         break;
       }
       case HistoryEvent::Kind::kHealth:
+        check_owner(ev.region, ev.node, 0, ev.seq);
         regions[ev.region].health = ev.health_to;
         break;
       case HistoryEvent::Kind::kSession: {
@@ -177,6 +204,13 @@ OracleReport CheckHistory(const History& history) {
       case HistoryEvent::Kind::kGuard: {
         ++report.guards_checked;
         PendingQuery& gq = pending[ev.query];
+        check_owner(ev.region, ev.node, ev.query, ev.seq);
+        if (gq.routed && ev.node != gq.route_node) {
+          violate("route-serve-node", ev.query, ev.seq,
+                  StrPrintf("guard probe ran on node %d, query was routed to "
+                            "node %d",
+                            ev.node, gq.route_node));
+        }
         // R2: the heartbeat the guard claims must be the one the install
         // stream last published — withdrawn while quarantined/resyncing —
         // or one this query already validly claimed for the region: once the
@@ -242,6 +276,19 @@ OracleReport CheckHistory(const History& history) {
       case HistoryEvent::Kind::kServe: {
         ++report.serves_checked;
         PendingQuery& sq = pending[ev.query];
+        if (ev.local) check_owner(ev.region, ev.node, ev.query, ev.seq);
+        if (sq.routed) {
+          if (ev.node != sq.route_node) {
+            violate("route-serve-node", ev.query, ev.seq,
+                    StrPrintf("serve from node %d, query was routed to "
+                              "node %d",
+                              ev.node, sq.route_node));
+          }
+          if (sq.route_backend && ev.local) {
+            violate("route-serve-node", ev.query, ev.seq,
+                    "local serve on a backend-tier dispatch");
+          }
+        }
         // R7 (structural): an overload shed is by definition a pre-emptive
         // *degraded local* serve — a shed flag on a remote fetch or on an
         // un-degraded serve means the engine shed outside the degrade
@@ -322,6 +369,73 @@ OracleReport CheckHistory(const History& history) {
         sq.serves.push_back(std::move(rec));
         break;
       }
+      case HistoryEvent::Kind::kRoute: {
+        ++report.routes_checked;
+        PendingQuery& rq = pending[ev.query];
+        rq.routed = true;
+        rq.route_node = ev.node;
+        rq.route_backend = ev.backend_tier;
+        for (const RouteProbe& p : ev.probes) {
+          check_owner(p.region, p.node, ev.query, ev.seq);
+          // route-heartbeat: the router reads the region's *current*
+          // certified heartbeat — no MVCC pin allowance, unlike the guard's
+          // R2. A probe claiming a heartbeat the install/health streams have
+          // withdrawn is the planted RCC_FLEET_MUTATE bug.
+          if (p.region != kBackendRegion) {
+            auto rit = regions.find(p.region);
+            bool derived_known =
+                rit != regions.end() && rit->second.certified();
+            if (derived_known != p.heartbeat_known) {
+              violate("route-heartbeat", ev.query, ev.seq,
+                      StrPrintf("probe of node %d region %d claims "
+                                "heartbeat_known=%d, install/health streams "
+                                "say %d",
+                                p.node, static_cast<int>(p.region),
+                                p.heartbeat_known ? 1 : 0,
+                                derived_known ? 1 : 0));
+            } else if (derived_known && rit->second.hb != p.heartbeat) {
+              violate("route-heartbeat", ev.query, ev.seq,
+                      StrPrintf("probe of node %d region %d claims heartbeat "
+                                "%lld, install stream published %lld",
+                                p.node, static_cast<int>(p.region),
+                                static_cast<long long>(p.heartbeat),
+                                static_cast<long long>(rit->second.hb)));
+            }
+          }
+          // route-verdict: eligibility recomputes from the probe's recorded
+          // inputs. Under DEGRADE ALWAYS any certified staleness is
+          // eligible (the node may serve stale-flagged); otherwise the
+          // guard's own within-bound rule applies.
+          bool expected =
+              p.heartbeat_known &&
+              !(p.floor_ms >= 0 && p.heartbeat < p.floor_ms) &&
+              (p.heartbeat > ev.at - p.bound_ms ||
+               ev.degrade_mode == static_cast<int>(DegradeMode::kAlways));
+          if (expected != p.eligible) {
+            violate("route-verdict", ev.query, ev.seq,
+                    StrPrintf("probe of node %d region %d marked %s but "
+                              "hb_known=%d hb=%lld bound=%lld floor=%lld "
+                              "now=%lld mode=%d requires %s",
+                              p.node, static_cast<int>(p.region),
+                              p.eligible ? "eligible" : "ineligible",
+                              p.heartbeat_known ? 1 : 0,
+                              static_cast<long long>(p.heartbeat),
+                              static_cast<long long>(p.bound_ms),
+                              static_cast<long long>(p.floor_ms),
+                              static_cast<long long>(ev.at), ev.degrade_mode,
+                              expected ? "eligible" : "ineligible"));
+          }
+          // route-choice: a cache-tier dispatch requires every probe of the
+          // chosen node eligible.
+          if (!ev.backend_tier && p.node == ev.node && !p.eligible) {
+            violate("route-choice", ev.query, ev.seq,
+                    StrPrintf("dispatched to node %d whose probe of region "
+                              "%d was ineligible",
+                              ev.node, static_cast<int>(p.region)));
+          }
+        }
+        break;
+      }
       case HistoryEvent::Kind::kAnswer: {
         ++report.answers_checked;
         PendingQuery pq;
@@ -329,6 +443,11 @@ OracleReport CheckHistory(const History& history) {
         if (pit != pending.end()) {
           pq = std::move(pit->second);
           pending.erase(pit);
+        }
+        if (pq.routed && ev.node != pq.route_node) {
+          violate("route-serve-node", ev.query, ev.seq,
+                  StrPrintf("answer from node %d, query was routed to node %d",
+                            ev.node, pq.route_node));
         }
         // The final serving branch per operand (a degraded serve supersedes
         // the failed remote attempt it replaced).

@@ -15,7 +15,8 @@ namespace sim {
 struct Violation {
   /// Which rule fired: "guard-verdict", "heartbeat-divergence",
   /// "currency-bound", "consistency-class", "timeline-floor",
-  /// "timeline-tracking".
+  /// "timeline-tracking", "node-region-binding", "route-heartbeat",
+  /// "route-verdict", "route-choice", "route-serve-node".
   std::string rule;
   uint64_t query_id = 0;
   /// Sequence number of the event the violation anchors to.
@@ -31,6 +32,8 @@ struct OracleReport {
   int64_t answers_checked = 0;
   int64_t guards_checked = 0;
   int64_t serves_checked = 0;
+  /// Fleet-router dispatch decisions re-derived (0 on single-node runs).
+  int64_t routes_checked = 0;
   /// Answered operands with no serve record (unguarded scans, zero-table
   /// statements): skipped, not violated — reported so a vacuously green run
   /// is visible as such.
@@ -63,6 +66,32 @@ struct OracleReport {
 ///     and answer (mid-query deliveries landing during policy waits).
 ///  R5 timeline: per time-ordered session, query floors track the session's
 ///     high-water snapshot exactly and no local serve reads below the floor.
+///
+/// Multi-node (fleet) histories get four more rules. R1–R7 already hold
+/// per-node for free: region ids are fleet-unique, so per-region state never
+/// mixes nodes. The cross-node rules pin the topology and the router:
+///
+///  node-region-binding: a region has exactly one owning node — every
+///     install/health/guard/local-serve event (and every route probe) naming
+///     a region carries the node that first installed it. Catches
+///     misattributed events before any per-region rule silently blends two
+///     nodes' streams.
+///  route-heartbeat: the certified heartbeat a route probe claims equals the
+///     one derived from the probed region's install + health streams at
+///     route time — withdrawn (unknown) while quarantined/resyncing. Unlike
+///     the guard-side R2 there is no pinned-claim allowance: the router
+///     reads the *current* certified state, never an MVCC pin. This is the
+///     rule that catches RCC_FLEET_MUTATE (a router trusting a withdrawn
+///     heartbeat).
+///  route-verdict: each probe's eligibility bit recomputes from its recorded
+///     inputs — heartbeat known, not below the timeline floor, and within
+///     bound (or any staleness under DEGRADE ALWAYS, where the node may
+///     serve stale-flagged).
+///  route-choice: a cache-tier dispatch went to a node all of whose probes
+///     were eligible.
+///  route-serve-node: every guard/serve/answer event of a routed query
+///     carries the routed node, and a backend-tier dispatch serves no local
+///     branch.
 ///
 /// The oracle assumes answers of a time-ordered session are serial (the
 /// harness never runs a time-ordered session on a multi-worker batch).

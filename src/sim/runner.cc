@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/session.h"
+#include "fleet/fleet.h"
 #include "workload/bookstore.h"
 #include "workload/tpcd.h"
 
@@ -100,6 +101,199 @@ Status ArmFaults(RccSystem* sys, const SimRunConfig& config) {
   return Status::OK();
 }
 
+/// Heterogeneous node specs, cycled for fleets larger than three: a
+/// complete node at the default cadence, a fast partial node (no Reviews —
+/// review-constrained queries must route around it), and a slow complete
+/// node whose delivered currency misses tight bounds most of the time.
+fleet::FleetConfig BuildFleetConfig(const SimRunConfig& config) {
+  fleet::FleetConfig fc;
+  fc.seed = config.seed;
+  for (int i = 0; i < config.fleet_nodes; ++i) {
+    fleet::FleetNodeConfig n;
+    switch (i % 3) {
+      case 0:
+        n.update_interval = 8000;
+        n.update_delay = 3000;
+        break;
+      case 1:
+        n.update_interval = 4000;
+        n.update_delay = 1500;
+        n.reviews = false;
+        break;
+      default:
+        n.update_interval = 12000;
+        n.update_delay = 5000;
+        break;
+    }
+    fc.nodes.push_back(n);
+  }
+  return fc;
+}
+
+/// The single-node fault schedules, armed per node with node-distinct seeds
+/// so outages and delivery faults hit the fleet asynchronously. Poison is
+/// boosted: node quarantines (and the router routing around them) are the
+/// point of the fleet run.
+Status ArmFleetFaults(fleet::FleetSystem* fleet, const SimRunConfig& config) {
+  bool outage = config.faults == FaultMix::kOutage ||
+                config.faults == FaultMix::kCombined;
+  bool replication = config.faults == FaultMix::kReplication ||
+                     config.faults == FaultMix::kCombined;
+  for (int node = 1; node <= fleet->node_count(); ++node) {
+    if (outage) {
+      FaultInjectorConfig fi;
+      fi.seed =
+          config.seed ^ 0xFA17ABCDu ^ (static_cast<uint64_t>(node) << 17);
+      fi.outage_period_ms = 20000;
+      fi.outage_down_ms = 6000;
+      fi.base_latency_ms = 2;
+      fi.transient_error_probability = 0.05;
+      fleet->node(node)->SetFaultInjector(fi);
+      RemotePolicy policy;
+      policy.timeout_ms = 400;
+      policy.max_retries = 2;
+      policy.backoff_base_ms = 200;
+      policy.backoff_jitter_ms = 60;
+      policy.breaker_threshold = 4;
+      policy.breaker_cooldown_ms = 4000;
+      policy.seed = config.seed ^ 0x5EED51u ^ static_cast<uint64_t>(node);
+      fleet->node(node)->SetRemotePolicy(policy);
+    }
+    if (replication) {
+      ReplicationFaultConfig rf;
+      rf.seed = config.seed ^ 0x7E911u ^ (static_cast<uint64_t>(node) << 9);
+      rf.drop_probability = 0.15;
+      rf.delay_probability = 0.2;
+      rf.delay_ms = 9000;
+      rf.duplicate_probability = 0.1;
+      rf.stall_probability = 0.08;
+      rf.stall_wakeups = 2;
+      rf.poison_probability = 0.05;
+      fleet->SetNodeReplicationFaults(node, rf);
+    }
+  }
+  return Status::OK();
+}
+
+/// The fleet counterpart of RunSimulation: same seeded statement schedule
+/// and step mix, but every plain SELECT goes through the FleetRouter, nodes
+/// fault independently, and the recorded history carries route events for
+/// the oracle's cross-node rules. Serial batches become three sequential
+/// routed queries — the router owns dispatch, so the batch executor's
+/// concurrent-batch contract does not apply here.
+Result<SimRunOutcome> RunFleetSimulation(const SimRunConfig& config) {
+  // The recorder must outlive the system (raw sink pointers).
+  HistoryRecorder recorder(config.seed);
+  fleet::FleetSystem fleet(BuildFleetConfig(config));
+  // Before regions exist, so initial populations are on record.
+  fleet.SetHistorySink(&recorder);
+
+  BookstoreConfig w;
+  w.books = 120;
+  w.reviews_per_book = 2;
+  w.sales_per_book = 3;
+  w.seed = config.seed * 977 + 11;
+  RCC_RETURN_NOT_OK(fleet.LoadBookstore(w));
+  RCC_RETURN_NOT_OK(fleet.SetupBookstore());
+  RCC_RETURN_NOT_OK(ArmFleetFaults(&fleet, config));
+
+  std::unique_ptr<Session> main_session = fleet.CreateSession();
+  std::unique_ptr<Session> time_session = fleet.CreateSession();
+
+  // Steady state: a few full refresh cycles on the slowest node.
+  fleet.AdvanceTo(30000);
+
+  Rng rng(config.seed * 0x9E3779B9u + 1);
+  SimRunOutcome out;
+  int64_t next_sale_id = 1000000;
+  const int64_t pool_size = static_cast<int64_t>(std::size(kBookstoreQueries));
+  auto pick = [&]() { return kBookstoreQueries[rng.Uniform(0, pool_size - 1)]; };
+
+  {
+    static const char* kInitModes[] = {"SET DEGRADE = NONE",
+                                       "SET DEGRADE = BOUNDED",
+                                       "SET DEGRADE = ALWAYS"};
+    ++out.statements;
+    (void)main_session->Execute(kInitModes[rng.Uniform(0, 2)]);
+  }
+
+  for (int step = 0; step < config.steps; ++step) {
+    fleet.AdvanceBy(rng.Uniform(300, 2600));
+    int64_t roll = rng.Uniform(0, 99);
+    if (roll < 45) {
+      ++out.statements;
+      Session::StatementOptions sopts;
+      sopts.shed_hint =
+          rng.Uniform(0, 99) < static_cast<int64_t>(config.shed_percent);
+      (void)main_session->Execute(pick(), sopts);
+    } else if (roll < 60) {
+      ++out.statements;
+      (void)time_session->Execute(pick());
+    } else if (roll < 72) {
+      ++out.statements;
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          (void)main_session->Execute(StrPrintf(
+              "UPDATE Books SET price = price + 1 WHERE isbn <= %lld",
+              static_cast<long long>(rng.Uniform(2, 12))));
+          break;
+        case 1:
+          (void)main_session->Execute(StrPrintf(
+              "UPDATE Reviews SET rating = %lld WHERE isbn = %lld",
+              static_cast<long long>(rng.Uniform(1, 5)),
+              static_cast<long long>(rng.Uniform(1, 100))));
+          break;
+        default:
+          (void)main_session->Execute(StrPrintf(
+              "INSERT INTO Sales (sale_id, isbn, year, amount) "
+              "VALUES (%lld, %lld, 2004, 9.99)",
+              static_cast<long long>(next_sale_id++),
+              static_cast<long long>(rng.Uniform(1, 100))));
+          break;
+      }
+    } else if (roll < 80) {
+      ++out.statements;
+      static const char* kModes[] = {"SET DEGRADE = NONE",
+                                     "SET DEGRADE = BOUNDED",
+                                     "SET DEGRADE = ALWAYS"};
+      (void)main_session->Execute(kModes[rng.Uniform(0, 2)]);
+    } else if (roll < 83) {
+      // Statistics churn on every node: the router prices per-node plans, so
+      // each node's plan cache must survive re-optimization independently.
+      for (int node = 1; node <= fleet.node_count(); ++node) {
+        (void)fleet.node(node)->UpdateStatistics(
+            "Books", fleet.node(node)->catalog().GetStats("Books"));
+      }
+    } else if (roll < 92) {
+      for (int i = 0; i < 3; ++i) {
+        ++out.statements;
+        (void)main_session->Execute(pick());
+      }
+    } else {
+      ++out.statements;
+      (void)time_session->Execute(time_session->in_timeordered()
+                                      ? "END TIMEORDERED"
+                                      : "BEGIN TIMEORDERED");
+    }
+  }
+  // Drain: let in-flight deliveries land so histories end at a quiet point.
+  fleet.AdvanceBy(15000);
+
+  out.history = recorder.Snapshot();
+  out.digest = out.history.Digest();
+  out.report = CheckHistory(out.history);
+  for (const HistoryEvent& ev : out.history.events) {
+    if (ev.kind == HistoryEvent::Kind::kCommit) ++out.commits;
+    if (ev.kind == HistoryEvent::Kind::kServe && ev.shed) ++out.shed_serves;
+    if (ev.kind == HistoryEvent::Kind::kRoute) ++out.routes;
+    if (ev.kind == HistoryEvent::Kind::kAnswer) {
+      ++(ev.ok ? out.answered : out.failed);
+    }
+  }
+  fleet.SetHistorySink(nullptr);
+  return out;
+}
+
 }  // namespace
 
 const char* FaultMixName(FaultMix mix) {
@@ -127,6 +321,7 @@ const char* SimWorkloadName(SimWorkload workload) {
 }
 
 Result<SimRunOutcome> RunSimulation(const SimRunConfig& config) {
+  if (config.fleet_nodes >= 2) return RunFleetSimulation(config);
   // The recorder must outlive the system (the system holds a raw pointer to
   // it until destruction).
   HistoryRecorder recorder(config.seed);

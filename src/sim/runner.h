@@ -42,6 +42,12 @@ struct SimRunConfig {
   /// pressure). Sheds serve degraded-local only when the guard ladder
   /// permits, so the oracle must stay violation-free at any rate.
   int shed_percent = 25;
+  /// >= 2 runs the fleet simulation instead: that many heterogeneous cache
+  /// nodes behind one backend, every SELECT dispatched by the FleetRouter,
+  /// per-node fault injection, and the multi-node oracle rules in force.
+  /// The fleet path is bookstore-only (a TPCD `workload` is mapped to
+  /// bookstore). 0 or 1 is the unchanged single-node run.
+  int fleet_nodes = 0;
 };
 
 struct SimRunOutcome {
@@ -58,6 +64,8 @@ struct SimRunOutcome {
   int64_t commits = 0;
   /// Serves that took the shed (degraded-local under overload) branch.
   int64_t shed_serves = 0;
+  /// Fleet-router dispatch decisions recorded (0 on single-node runs).
+  int64_t routes = 0;
 };
 
 /// Builds a system, records its full audit history while driving a seeded

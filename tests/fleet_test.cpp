@@ -1,0 +1,556 @@
+// Fleet conformance suite: the C&C-aware router over N heterogeneous cache
+// nodes. Unit tests pin the eligibility ladder (cheapest eligible node,
+// lowest-id tie-break, coverage failures, quarantine withdrawal, backend
+// fall-through, deadline short-circuit), a property test randomizes per-node
+// heartbeats against an independent re-derivation of the router's choice,
+// and every recorded history replays clean through the multi-node
+// conformance oracle. Epoch-pin hygiene is asserted after every scenario:
+// routed statements must never leak an MVCC snapshot pin on any node.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/fault_injector.h"
+#include "core/statement_router.h"
+#include "fleet/fleet.h"
+#include "fleet/router.h"
+#include "replication/fault_injector.h"
+#include "sim/history.h"
+#include "sim/oracle.h"
+#include "sql/parser.h"
+
+namespace rcc {
+namespace {
+
+using fleet::BooksRegion;
+using fleet::FleetConfig;
+using fleet::FleetNodeConfig;
+using fleet::FleetSystem;
+
+/// The canonical heterogeneous three-node topology (mirrors the sim
+/// runner's): a complete default-cadence node, a fast partial node without
+/// Reviews, and a slow complete node.
+FleetConfig ThreeNodeConfig(uint64_t seed = 42) {
+  FleetConfig fc;
+  fc.seed = seed;
+  FleetNodeConfig n1;
+  n1.update_interval = 8000;
+  n1.update_delay = 3000;
+  FleetNodeConfig n2;
+  n2.update_interval = 4000;
+  n2.update_delay = 1500;
+  n2.reviews = false;
+  FleetNodeConfig n3;
+  n3.update_interval = 12000;
+  n3.update_delay = 5000;
+  fc.nodes = {n1, n2, n3};
+  return fc;
+}
+
+Status SetupFleet(FleetSystem* f, sim::HistoryRecorder* recorder = nullptr) {
+  if (recorder != nullptr) f->SetHistorySink(recorder);
+  BookstoreConfig w;
+  w.books = 80;
+  w.reviews_per_book = 2;
+  w.sales_per_book = 2;
+  w.seed = 7;
+  RCC_RETURN_NOT_OK(f->LoadBookstore(w));
+  return f->SetupBookstore();
+}
+
+Result<CacheQueryOutcome> RouteSql(FleetSystem* f, const std::string& sql,
+                                   RoutedStatementOptions opts = {}) {
+  RCC_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  return f->router()->RouteSelect(*stmt, opts);
+}
+
+std::vector<const sim::HistoryEvent*> EventsOfKind(
+    const sim::History& h, sim::HistoryEvent::Kind kind) {
+  std::vector<const sim::HistoryEvent*> out;
+  for (const sim::HistoryEvent& ev : h.events) {
+    if (ev.kind == kind) out.push_back(&ev);
+  }
+  return out;
+}
+
+void ExpectNoLeakedPins(FleetSystem* f) {
+  for (int n = 1; n <= f->node_count(); ++n) {
+    const SnapshotEpochManager& em = f->node(n)->epoch_manager();
+    EXPECT_EQ(em.MinPinnedEpoch(), em.current_epoch()) << "node " << n;
+  }
+}
+
+TEST(FleetRouterTest, UnconstrainedQueryKeepsTraditionalSemantics) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(1);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // No currency clause: constraint normalization gives every operand the
+  // default bound 0 ("current"), which no replica's delivered currency can
+  // meet — the query keeps traditional semantics and serves from the
+  // backend, on every node's probes recorded as ineligible.
+  auto out = RouteSql(&f, "SELECT isbn FROM Books B WHERE B.isbn < 30");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  sim::History h = recorder.Snapshot();
+  auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_TRUE(routes[0]->backend_tier);
+  ASSERT_EQ(routes[0]->probes.size(), 3u);
+  for (const RouteProbe& p : routes[0]->probes) {
+    EXPECT_EQ(p.bound_ms, 0);
+    EXPECT_FALSE(p.eligible);
+  }
+
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.routes_checked, 1);
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, LooseBoundRoutesToCheapestEligibleNode) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(1);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // A loose bound every replica meets: all three nodes are eligible and the
+  // choice is pure Eq. 1 cost (lowest id on ties), re-derived independently
+  // from per-node Prepare.
+  const std::string sql =
+      "SELECT isbn FROM Books B WHERE B.isbn < 30 "
+      "CURRENCY BOUND 1 HOUR ON (B)";
+  auto out = RouteSql(&f, sql);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  sim::History h = recorder.Snapshot();
+  auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_FALSE(routes[0]->backend_tier);
+  ASSERT_EQ(routes[0]->probes.size(), 3u);
+  for (const RouteProbe& p : routes[0]->probes) EXPECT_TRUE(p.eligible);
+
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  int best = 0;
+  double best_cost = 0;
+  for (int n = 1; n <= 3; ++n) {
+    auto plan = f.node(n)->Prepare(**stmt);
+    ASSERT_TRUE(plan.ok());
+    if (best == 0 || plan->est_cost < best_cost) {
+      best = n;
+      best_cost = plan->est_cost;
+    }
+  }
+  EXPECT_EQ(routes[0]->node, best);
+
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.routes_checked, 1);
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, CoverageFailureExcludesPartialNode) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(2);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // Node 2 materializes no Reviews view, so a Reviews-constrained query must
+  // record a coverage-failure probe for it and never choose it.
+  auto out = RouteSql(&f,
+                      "SELECT isbn, rating FROM Reviews R WHERE R.isbn < 20 "
+                      "CURRENCY BOUND 1 HOUR ON (R)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  sim::History h = recorder.Snapshot();
+  auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_FALSE(routes[0]->backend_tier);
+  EXPECT_NE(routes[0]->node, 2);
+  ASSERT_EQ(routes[0]->probes.size(), 3u);
+  bool saw_coverage_failure = false;
+  for (const RouteProbe& p : routes[0]->probes) {
+    if (p.node == 2) {
+      EXPECT_EQ(p.region, kBackendRegion);
+      EXPECT_FALSE(p.heartbeat_known);
+      EXPECT_FALSE(p.eligible);
+      saw_coverage_failure = true;
+    } else {
+      EXPECT_EQ(p.region, fleet::ReviewsRegion(p.node));
+      EXPECT_TRUE(p.eligible);
+    }
+  }
+  EXPECT_TRUE(saw_coverage_failure);
+
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, TightBoundFallsThroughToBackendTier) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(3);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // The minimum steady-state heartbeat lag across the fleet is node 2's
+  // 1500ms delivery delay, so a 1s bound can never be met from any cache
+  // node: the only eligible tier is the backend, whose data is current by
+  // definition.
+  auto out = RouteSql(&f,
+                      "SELECT isbn, price FROM Books B WHERE B.isbn < 25 "
+                      "CURRENCY BOUND 1 SECONDS ON (B)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  sim::History h = recorder.Snapshot();
+  auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_TRUE(routes[0]->backend_tier);
+  for (const RouteProbe& p : routes[0]->probes) EXPECT_FALSE(p.eligible);
+  for (const sim::HistoryEvent* serve :
+       EventsOfKind(h, sim::HistoryEvent::Kind::kServe)) {
+    EXPECT_FALSE(serve->local) << "backend-tier dispatch served locally";
+  }
+  EXPECT_GE(
+      f.anchor()->metrics().counter("rcc.fleet.backend_serves")->value(), 1);
+
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, FailedNodeFallsThroughToPeer) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(4);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // Break node 1's query channel completely. The (B, R) consistency class
+  // spans two regions on every node, so no local placement can serve it and
+  // every plan is all-remote; node 2 lacks Reviews (ineligible), nodes 1 and
+  // 3 price identical all-remote plans and the tie goes to node 1 — whose
+  // remote fetch now fails, so the router must fall through to node 3.
+  FaultInjectorConfig fi;
+  fi.transient_error_probability = 1.0;
+  f.node(1)->SetFaultInjector(fi);
+
+  auto out = RouteSql(&f,
+                      "SELECT B.isbn, R.rating FROM Books B, Reviews R "
+                      "WHERE B.isbn = R.isbn AND B.isbn < 10 "
+                      "CURRENCY BOUND 1 HOUR ON (B, R)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  sim::History h = recorder.Snapshot();
+  auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_FALSE(routes[0]->backend_tier);
+  EXPECT_EQ(routes[0]->node, 1);
+  EXPECT_FALSE(routes[1]->backend_tier);
+  EXPECT_EQ(routes[1]->node, 3);
+  EXPECT_EQ(f.anchor()->metrics().counter("rcc.fleet.fallthroughs")->value(),
+            1);
+
+  // Each attempt runs under its own query id, so the failed attempt's
+  // answer and the successful one never blend in the oracle's view.
+  EXPECT_NE(routes[0]->query, routes[1]->query);
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, ExpiredDeadlineDoesNotFallThrough) {
+  FleetSystem f(ThreeNodeConfig());
+  ASSERT_TRUE(SetupFleet(&f).ok());
+  f.AdvanceTo(30000);
+
+  RoutedStatementOptions opts;
+  opts.deadline = Deadline::After(std::chrono::steady_clock::now(), 0);
+  auto out = RouteSql(&f,
+                      "SELECT isbn, price FROM Books B WHERE B.isbn < 25 "
+                      "CURRENCY BOUND 1 HOUR ON (B)",
+                      opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDeadlineExceeded()) << out.status().ToString();
+  // The budget is spent: no retry on a peer was attempted.
+  EXPECT_EQ(f.anchor()->metrics().counter("rcc.fleet.fallthroughs")->value(),
+            0);
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, QuarantinedNodeIsNeverServedFrom) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(5);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  // Poison node 2's delivery pipeline deterministically: the next delivery
+  // carrying ops quarantines its region and withdraws the certified
+  // heartbeat.
+  ReplicationFaultConfig rf;
+  rf.seed = 99;
+  rf.poison_probability = 1.0;
+  f.SetNodeReplicationFaults(2, rf);
+  auto dml = f.anchor()->CreateSession();
+  ASSERT_TRUE(
+      dml->Execute("UPDATE Books SET price = price + 1 WHERE isbn <= 40")
+          .ok());
+  // Step in small increments so a check lands inside the quarantine window
+  // (the auto-resync only fires at the region's next wakeup, several
+  // intervals later).
+  bool withdrawn = false;
+  for (int i = 0; i < 60 && !withdrawn; ++i) {
+    f.AdvanceBy(500);
+    withdrawn = !f.node(2)->LocalHeartbeat(BooksRegion(2)).has_value();
+  }
+  ASSERT_TRUE(withdrawn) << "node 2 never quarantined";
+
+  uint64_t quarantine_seq = 0;
+  for (const sim::HistoryEvent& ev : recorder.Snapshot().events) {
+    if (ev.kind == sim::HistoryEvent::Kind::kHealth && ev.node == 2 &&
+        ev.health_to == RegionHealth::kQuarantined) {
+      quarantine_seq = ev.seq;
+    }
+  }
+  ASSERT_GT(quarantine_seq, 0u);
+
+  // Queries issued while the heartbeat is withdrawn (virtual time frozen, so
+  // no resync can land in between) must route around node 2.
+  for (int i = 0; i < 8; ++i) {
+    auto out = RouteSql(&f,
+                        "SELECT isbn, price FROM Books B WHERE B.isbn < 30 "
+                        "CURRENCY BOUND 1 HOUR ON (B)");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+
+  sim::History h = recorder.Snapshot();
+  int64_t post_routes = 0;
+  for (const sim::HistoryEvent& ev : h.events) {
+    if (ev.seq <= quarantine_seq) continue;
+    if (ev.kind == sim::HistoryEvent::Kind::kRoute) {
+      ++post_routes;
+      if (!ev.backend_tier) {
+        EXPECT_NE(ev.node, 2) << "routed to a quarantined node, seq "
+                              << ev.seq;
+      }
+    }
+    if (ev.kind == sim::HistoryEvent::Kind::kGuard ||
+        ev.kind == sim::HistoryEvent::Kind::kServe) {
+      EXPECT_NE(ev.node, 2) << "served from a quarantined node, seq "
+                            << ev.seq;
+    }
+  }
+  EXPECT_EQ(post_routes, 8);
+
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetRouterTest, PerNodeRoutedMetricsMatchHistory) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(6);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  const char* kPool[] = {
+      "SELECT isbn FROM Books B WHERE B.isbn < 30",
+      "SELECT isbn, price FROM Books B WHERE B.isbn < 40 "
+      "CURRENCY BOUND 1 HOUR ON (B)",
+      "SELECT isbn, rating FROM Reviews R WHERE R.isbn < 20 "
+      "CURRENCY BOUND 1 HOUR ON (R)",
+  };
+  for (int i = 0; i < 9; ++i) {
+    auto out = RouteSql(&f, kPool[i % 3]);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+
+  sim::History h = recorder.Snapshot();
+  int64_t cache_routes[4] = {0, 0, 0, 0};
+  for (const sim::HistoryEvent* r :
+       EventsOfKind(h, sim::HistoryEvent::Kind::kRoute)) {
+    if (!r->backend_tier) ++cache_routes[r->node];
+  }
+  obs::MetricsRegistry& m = f.anchor()->metrics();
+  for (int n = 1; n <= 3; ++n) {
+    EXPECT_EQ(m.counter(obs::MetricsRegistry::NodeMetricName("rcc.fleet", n,
+                                                             "routed"))
+                  ->value(),
+              cache_routes[n])
+        << "node " << n;
+  }
+  sim::OracleReport report = sim::CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(FleetSessionTest, SessionSelectsRouteAcrossTheFleet) {
+  FleetSystem f(ThreeNodeConfig());
+  sim::HistoryRecorder recorder(7);
+  ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+  f.AdvanceTo(30000);
+
+  std::unique_ptr<Session> session = f.CreateSession();
+  auto res = session->Execute(
+      "SELECT isbn, price FROM Books B WHERE B.isbn < 40 "
+      "CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  // EXPLAIN and DML stay on the anchor: no new route events.
+  size_t routes_before =
+      EventsOfKind(recorder.Snapshot(), sim::HistoryEvent::Kind::kRoute)
+          .size();
+  EXPECT_GE(routes_before, 1u);
+  ASSERT_TRUE(
+      session->Execute("EXPLAIN SELECT isbn FROM Books B WHERE B.isbn < 10")
+          .ok());
+  ASSERT_TRUE(
+      session->Execute("UPDATE Books SET price = price + 1 WHERE isbn = 1")
+          .ok());
+  EXPECT_EQ(EventsOfKind(recorder.Snapshot(), sim::HistoryEvent::Kind::kRoute)
+                .size(),
+            routes_before);
+
+  // Timeline mode flows into routed statements: the floor raised by one
+  // query holds for the next, fleet-wide.
+  ASSERT_TRUE(session->Execute("BEGIN TIMEORDERED").ok());
+  ASSERT_TRUE(session
+                  ->Execute("SELECT isbn, price FROM Books B "
+                            "WHERE B.isbn < 40 CURRENCY BOUND 1 HOUR ON (B)")
+                  .ok());
+  ASSERT_TRUE(session
+                  ->Execute("SELECT isbn, price FROM Books B "
+                            "WHERE B.isbn < 40 CURRENCY BOUND 1 HOUR ON (B)")
+                  .ok());
+  ASSERT_TRUE(session->Execute("END TIMEORDERED").ok());
+
+  sim::OracleReport report = sim::CheckHistory(recorder.Snapshot());
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ExpectNoLeakedPins(&f);
+}
+
+TEST(FleetPropertyTest, RouterAlwaysPicksCheapestEligibleNode) {
+  // Randomized per-node heartbeats (seeded fleets advanced to arbitrary
+  // points in their refresh cycles) against an independent re-derivation of
+  // the eligibility ladder and the cost argmin. Every recorded history must
+  // also replay clean through the multi-node oracle.
+  const SimTimeMs kBounds[] = {2000, 5000, 12000, 3600000};
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FleetSystem f(ThreeNodeConfig(seed));
+    sim::HistoryRecorder recorder(seed);
+    ASSERT_TRUE(SetupFleet(&f, &recorder).ok());
+    f.AdvanceTo(20000 + static_cast<SimTimeMs>(seed * 1711));
+
+    for (int step = 0; step < 12; ++step) {
+      f.AdvanceBy(700 +
+                  static_cast<SimTimeMs>((seed * 131 + step * 977) % 2300));
+      SimTimeMs bound = kBounds[(seed + step) % 4];
+      std::string sql =
+          "SELECT isbn, price FROM Books B WHERE B.isbn < 35 "
+          "CURRENCY BOUND " +
+          std::to_string(bound) + " MILLISECONDS ON (B)";
+      auto stmt = ParseSelect(sql);
+      ASSERT_TRUE(stmt.ok());
+
+      // Independent expectation, derived before the router runs: per node,
+      // the certified heartbeat of the view's region and the router's
+      // eligibility formula, then the Eq. 1 cost argmin with the lowest-id
+      // tie-break.
+      const SimTimeMs now = f.Now();
+      int best = 0;
+      double best_cost = 0;
+      for (int n = 1; n <= 3; ++n) {
+        auto views = f.node(n)->catalog().ViewsOnTable("Books");
+        ASSERT_FALSE(views.empty());
+        std::optional<SimTimeMs> hb =
+            f.node(n)->LocalHeartbeat(views.front()->region);
+        if (!hb.has_value() || *hb <= now - bound) continue;
+        auto plan = f.node(n)->Prepare(**stmt);
+        if (!plan.ok()) continue;
+        if (best == 0 || plan->est_cost < best_cost) {
+          best = n;
+          best_cost = plan->est_cost;
+        }
+      }
+
+      size_t routes_before =
+          EventsOfKind(recorder.Snapshot(), sim::HistoryEvent::Kind::kRoute)
+              .size();
+      auto out = f.router()->RouteSelect(**stmt, {});
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      sim::History h = recorder.Snapshot();
+      auto routes = EventsOfKind(h, sim::HistoryEvent::Kind::kRoute);
+      ASSERT_GT(routes.size(), routes_before);
+      const sim::HistoryEvent* first = routes[routes_before];
+      if (best == 0) {
+        EXPECT_TRUE(first->backend_tier) << "seed " << seed << " step "
+                                         << step;
+      } else {
+        EXPECT_FALSE(first->backend_tier) << "seed " << seed << " step "
+                                          << step;
+        EXPECT_EQ(first->node, best) << "seed " << seed << " step " << step;
+      }
+    }
+
+    sim::OracleReport report = sim::CheckHistory(recorder.Snapshot());
+    EXPECT_TRUE(report.ok()) << "seed " << seed << "\n" << report.Summary();
+    ExpectNoLeakedPins(&f);
+  }
+}
+
+TEST(FleetShardingTest, MirroredShardsServeIdenticalData) {
+  FleetConfig fc = ThreeNodeConfig();
+  fc.backend_shards = 2;
+  fc.nodes[1].shard = 1;
+  fc.nodes[2].shard = 1;
+  FleetSystem f(fc);
+  ASSERT_TRUE(SetupFleet(&f).ok());
+  ASSERT_EQ(f.shard_count(), 2);
+  ASSERT_NE(f.shard(1), nullptr);
+  f.AdvanceTo(30000);
+
+  // Routed reads work no matter which shard backs the chosen node. (No
+  // oracle replay here: mirrored shards have independent commit timestamp
+  // spaces, and the recorded commit stream would be the anchor's only.)
+  auto out = RouteSql(&f,
+                      "SELECT isbn, price FROM Books B WHERE B.isbn < 25 "
+                      "CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(out->result.rows.size(), 0u);
+
+  // Mirrored DML lands on every shard; the same rows must then be visible
+  // both through the backend tier (anchor shard) and, after propagation,
+  // from mirror-backed cache nodes.
+  std::vector<RowOp> ops;
+  for (int64_t isbn : {9001, 9002}) {
+    RowOp op;
+    op.kind = RowOp::Kind::kInsert;
+    op.table = "Books";
+    op.row = {Value::Int(isbn), Value::Str("mirrored"), Value::Double(12.5),
+              Value::Int(3)};
+    ops.push_back(std::move(op));
+  }
+  auto ts = f.ExecuteMirrored(std::move(ops));
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  f.AdvanceBy(20000);
+
+  auto strict = RouteSql(&f,
+                         "SELECT isbn FROM Books B WHERE B.isbn >= 9001 "
+                         "CURRENCY BOUND 1 SECONDS ON (B)");
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->result.rows.size(), 2u);
+  auto loose = RouteSql(&f,
+                        "SELECT isbn FROM Books B WHERE B.isbn >= 9001 "
+                        "CURRENCY BOUND 1 HOUR ON (B)");
+  ASSERT_TRUE(loose.ok()) << loose.status().ToString();
+  EXPECT_EQ(loose->result.rows.size(), 2u);
+  ExpectNoLeakedPins(&f);
+}
+
+}  // namespace
+}  // namespace rcc

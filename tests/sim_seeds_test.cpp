@@ -12,7 +12,12 @@
 //  - RCC_MVCC_MUTATE: delivery publishes the batch's data with the *old*
 //    heartbeat, so snapshots certify currency bounds the fresh data doesn't
 //    satisfy — the oracle's guard/serve heartbeat cross-check disagrees
-//    with what its own replay of the delivery schedule derives.
+//    with what its own replay of the delivery schedule derives;
+//  - RCC_FLEET_MUTATE: the fleet router's probes on the highest-numbered
+//    node fall back to the raw snapshot heartbeat when certification was
+//    withdrawn, so quarantined nodes keep receiving dispatches — the
+//    oracle's route-heartbeat rule re-derives certified state from the
+//    install + health streams and disagrees (fleet runs only).
 
 #include <gtest/gtest.h>
 
@@ -49,7 +54,7 @@ TEST_P(SimSeedMatrixTest, HistoryConformsToModel) {
   EXPECT_EQ(run->digest, run->history.Digest());
 
 #if defined(RCC_SIM_MUTATE) || defined(RCC_PLANCACHE_MUTATE) || \
-    defined(RCC_MVCC_MUTATE)
+    defined(RCC_MVCC_MUTATE) || defined(RCC_FLEET_MUTATE)
   // Collected across the matrix by the *IsCaughtSomewhere tests below; a
   // single seed need not trip (loose bounds can mask the skew, and a seed's
   // degrade rotation may never cross a cached plan), so no per-seed
@@ -79,7 +84,7 @@ std::vector<SeedCase> BuildMatrix() {
 }
 
 #if !defined(RCC_SIM_MUTATE) && !defined(RCC_PLANCACHE_MUTATE) && \
-    !defined(RCC_MVCC_MUTATE)
+    !defined(RCC_MVCC_MUTATE) && !defined(RCC_FLEET_MUTATE)
 TEST(SimSeedMatrixTest, ShedHintsProduceRecordedOracleCleanSheds) {
   // Overload shedding must be *visible* in histories (serve lines carry
   // shed=1) and *sound* (the oracle's R3/R7 rules hold: every shed is a
@@ -102,6 +107,30 @@ TEST(SimSeedMatrixTest, ShedHintsProduceRecordedOracleCleanSheds) {
     total_sheds += run->shed_serves;
   }
   EXPECT_GT(total_sheds, 0);
+}
+
+TEST(SimSeedMatrixTest, FleetMatrixStaysOracleClean) {
+  // A slice of the matrix re-run as a three-node fleet: every SELECT goes
+  // through the FleetRouter, nodes fault independently, and the four
+  // cross-node oracle rules (node-region-binding, route-heartbeat,
+  // route-verdict, route-choice / route-serve-node) are in force on top of
+  // R1–R7. The slice covers every fault mix; routes_checked > 0 guards
+  // against a vacuously green run where nothing was actually dispatched.
+  for (const SeedCase& c : BuildMatrix()) {
+    if (c.seed % 3 == 2) continue;  // ~2/3 of the matrix, all mixes
+    SimRunConfig cfg;
+    cfg.seed = c.seed;
+    cfg.faults = c.faults;
+    cfg.steps = 80;
+    cfg.fleet_nodes = 3;
+    auto run = RunSimulation(cfg);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_GT(run->report.routes_checked, 0) << "seed " << c.seed;
+    EXPECT_GT(run->report.answers_checked, 0) << "seed " << c.seed;
+    EXPECT_TRUE(run->report.ok())
+        << "seed " << c.seed << " mix " << FaultMixName(c.faults) << "\n"
+        << run->report.Summary();
+  }
 }
 #endif
 
@@ -153,6 +182,30 @@ TEST(SimSeedMatrixTest, PlanCacheMutationIsCaughtSomewhere) {
     cfg.faults = c.faults;
     cfg.workload = c.workload;
     cfg.steps = 200;
+    auto run = RunSimulation(cfg);
+    ASSERT_TRUE(run.ok());
+    total += run->report.violations.size();
+  }
+  EXPECT_GE(total, 1u);
+}
+#endif
+
+#ifdef RCC_FLEET_MUTATE
+TEST(SimSeedMatrixTest, FleetMutationIsCaughtSomewhere) {
+  // The mutated probe only lies when the highest-numbered node's
+  // certification is withdrawn at route time, i.e. while a poisoned delivery
+  // has it quarantined or resyncing — and only replication-fault mixes
+  // poison. Queries are ~60% of steps, so any quarantine window of the
+  // mutated node that overlaps one routed query is caught by the
+  // route-heartbeat rule. Sweep the full 25-seed matrix as three-node fleets
+  // and require at least one flagged violation.
+  size_t total = 0;
+  for (const SeedCase& c : BuildMatrix()) {
+    SimRunConfig cfg;
+    cfg.seed = c.seed;
+    cfg.faults = c.faults;
+    cfg.steps = 80;
+    cfg.fleet_nodes = 3;
     auto run = RunSimulation(cfg);
     ASSERT_TRUE(run.ok());
     total += run->report.violations.size();

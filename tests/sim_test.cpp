@@ -430,6 +430,261 @@ TEST(OracleRuleTest, CleanHistoryPasses) {
   EXPECT_EQ(report.serves_checked, 1);
 }
 
+// -- multi-node (fleet) rules -----------------------------------------------------
+// Fleet histories carry node tags and route events; each cross-node rule
+// gets a minimal synthetic history proving it can fire, plus a clean fleet
+// history proving they stay quiet on conforming runs.
+
+HistoryEvent NodeInstall(uint64_t seq, SimTimeMs at, int node, RegionId region,
+                         TxnTimestamp as_of, SimTimeMs hb) {
+  HistoryEvent ev = Install(seq, at, region, as_of, hb);
+  ev.node = node;
+  return ev;
+}
+
+RouteProbe Probe(int node, RegionId region, SimTimeMs bound, SimTimeMs hb,
+                 bool eligible, SimTimeMs floor = -1) {
+  RouteProbe p;
+  p.node = node;
+  p.region = region;
+  p.bound_ms = bound;
+  p.floor_ms = floor;
+  p.heartbeat_known = hb >= 0;
+  p.heartbeat = hb;
+  p.eligible = eligible;
+  return p;
+}
+
+HistoryEvent Route(uint64_t seq, SimTimeMs at, uint64_t query, int node,
+                   bool backend_tier, std::vector<RouteProbe> probes,
+                   int degrade_mode = 0) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kRoute;
+  ev.seq = seq;
+  ev.at = at;
+  ev.query = query;
+  ev.node = node;
+  ev.backend_tier = backend_tier;
+  ev.degrade_mode = degrade_mode;
+  ev.probes = std::move(probes);
+  return ev;
+}
+
+TEST(OracleFleetRuleTest, CatchesForeignNodeRegionEvent) {
+  History h;
+  h.events.push_back(NodeInstall(1, 500, 1, 101, 0, 500));
+  // Node 2 installing into node 1's region: two nodes' streams would blend
+  // under every per-region rule, so the binding itself is the violation.
+  h.events.push_back(NodeInstall(2, 800, 2, 101, 0, 800));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "node-region-binding"), nullptr)
+      << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CatchesRouteProbeTrustingWithdrawnHeartbeat) {
+  // The RCC_FLEET_MUTATE shape: region 201 is quarantined, so its certified
+  // heartbeat is withdrawn — yet the route probe still claims one.
+  History h;
+  h.events.push_back(NodeInstall(1, 5000, 2, 201, 0, 5000));
+  HistoryEvent health;
+  health.kind = HistoryEvent::Kind::kHealth;
+  health.seq = 2;
+  health.at = 6000;
+  health.region = 201;
+  health.node = 2;
+  health.health_from = RegionHealth::kHealthy;
+  health.health_to = RegionHealth::kQuarantined;
+  h.events.push_back(health);
+  h.events.push_back(
+      Route(3, 7000, 1, 1, false, {Probe(2, 201, 10000, 5000, true)}));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-heartbeat"), nullptr) << report.Summary();
+  EXPECT_EQ(report.routes_checked, 1);
+}
+
+TEST(OracleFleetRuleTest, CatchesRouteProbeHeartbeatValueDivergence) {
+  History h;
+  h.events.push_back(NodeInstall(1, 5000, 1, 101, 0, 5000));
+  // The probe invents 9000; the install stream only ever published 5000.
+  // The claimed value makes the eligibility self-consistent, so only the
+  // heartbeat cross-check can notice.
+  h.events.push_back(
+      Route(2, 10000, 1, 1, false, {Probe(1, 101, 2000, 9000, true)}));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-heartbeat"), nullptr) << report.Summary();
+  EXPECT_EQ(FindRule(report, "route-verdict"), nullptr) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CatchesWrongRouteVerdict) {
+  History h;
+  h.events.push_back(NodeInstall(1, 1000, 1, 101, 0, 1000));
+  // 19s stale against a 2s bound under DEGRADE NONE, yet marked eligible.
+  h.events.push_back(
+      Route(2, 20000, 1, 1, false, {Probe(1, 101, 2000, 1000, true)}));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-verdict"), nullptr) << report.Summary();
+  EXPECT_EQ(FindRule(report, "route-heartbeat"), nullptr) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, AlwaysDegradeMakesAnyStalenessEligible) {
+  History h;
+  h.events.push_back(NodeInstall(1, 1000, 1, 101, 0, 1000));
+  // Same staleness, but the attempt runs under DEGRADE ALWAYS (mode 2): the
+  // node may serve stale-flagged, so the eligible mark is correct.
+  h.events.push_back(Route(2, 20000, 1, 1, false,
+                           {Probe(1, 101, 2000, 1000, true)},
+                           /*degrade_mode=*/2));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CatchesDispatchToIneligibleNode) {
+  History h;
+  h.events.push_back(NodeInstall(1, 1000, 1, 101, 0, 1000));
+  // The probe's verdict is honest (ineligible) — but the router dispatched
+  // to the node anyway.
+  h.events.push_back(
+      Route(2, 20000, 1, 1, false, {Probe(1, 101, 2000, 1000, false)}));
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-choice"), nullptr) << report.Summary();
+  EXPECT_EQ(FindRule(report, "route-verdict"), nullptr) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CatchesServeFromUnroutedNode) {
+  History h;
+  h.events.push_back(NodeInstall(1, 4000, 2, 201, 0, 3500));
+  h.events.push_back(
+      Route(2, 5000, 1, 2, false, {Probe(2, 201, 5000, 3500, true)}));
+  // Routed to node 2, but node 1 serves and answers.
+  HistoryEvent serve = LocalServe(3, 5000, 1, 101, 3500, {0});
+  serve.node = 1;
+  h.events.push_back(serve);
+  HistoryEvent ans = Answer(4, 5000, 1, {"Books"}, {{5000, {0}}});
+  ans.node = 1;
+  h.events.push_back(ans);
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-serve-node"), nullptr) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CatchesLocalServeOnBackendTierDispatch) {
+  History h;
+  h.events.push_back(NodeInstall(1, 4000, 1, 101, 0, 3500));
+  // Backend tier promises an all-remote plan; a local serve contradicts it.
+  h.events.push_back(Route(2, 5000, 1, 1, true, {}));
+  HistoryEvent serve = LocalServe(3, 5000, 1, 101, 3500, {0});
+  serve.node = 1;
+  h.events.push_back(serve);
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_NE(FindRule(report, "route-serve-node"), nullptr) << report.Summary();
+}
+
+TEST(OracleFleetRuleTest, CleanFleetHistoryPasses) {
+  History h;
+  h.events.push_back(NodeInstall(1, 500, 1, 101, 0, 500));
+  h.events.push_back(NodeInstall(2, 600, 2, 201, 0, 550));
+  h.events.push_back(Commit(3, 1000, 1, {"Books"}));
+  h.events.push_back(NodeInstall(4, 4000, 1, 101, 1, 3500));
+  h.events.push_back(NodeInstall(5, 4200, 2, 201, 1, 3800));
+  h.events.push_back(Route(6, 5000, 1, 2, false,
+                           {Probe(1, 101, 5000, 3500, true),
+                            Probe(2, 201, 5000, 3800, true)}));
+  HistoryEvent guard;
+  guard.kind = HistoryEvent::Kind::kGuard;
+  guard.seq = 7;
+  guard.at = 5000;
+  guard.query = 1;
+  guard.region = 201;
+  guard.node = 2;
+  guard.heartbeat_known = true;
+  guard.heartbeat = 3800;
+  guard.bound_ms = 5000;
+  guard.verdict_local = true;
+  h.events.push_back(guard);
+  HistoryEvent serve = LocalServe(8, 5000, 1, 201, 3800, {0});
+  serve.node = 2;
+  h.events.push_back(serve);
+  HistoryEvent ans = Answer(9, 5000, 1, {"Books"}, {{5000, {0}}});
+  ans.node = 2;
+  h.events.push_back(ans);
+
+  OracleReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.routes_checked, 1);
+  EXPECT_EQ(report.answers_checked, 1);
+}
+
+TEST(HistorySerializationTest, FleetHistoryRoundTripsThroughParse) {
+  History h;
+  h.seed = 9;
+  h.events.push_back(NodeInstall(1, 500, 1, 101, 0, 500));
+  // A cache-tier route with a real probe plus a coverage-failure probe
+  // (kBackendRegion, withdrawn heartbeat), and a probe-less backend route —
+  // every branch of the probes token format.
+  RouteProbe coverage_failure;
+  coverage_failure.node = 2;
+  h.events.push_back(Route(2, 1000, 1, 1, false,
+                           {Probe(1, 101, 5000, 400, true), coverage_failure}));
+  h.events.push_back(Route(3, 2000, 2, 1, true, {}));
+
+  std::string text = h.Serialize();
+  EXPECT_NE(text.find("route "), std::string::npos);
+  EXPECT_NE(text.find("tier=backend"), std::string::npos);
+  EXPECT_NE(text.find("probes=-"), std::string::npos);
+  EXPECT_NE(text.find("node=1"), std::string::npos);
+
+  auto parsed = History::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), h.events.size());
+  ASSERT_EQ(parsed->events[1].probes.size(), 2u);
+  EXPECT_EQ(parsed->events[1].probes[0].heartbeat, 400);
+  EXPECT_FALSE(parsed->events[1].probes[1].heartbeat_known);
+  EXPECT_EQ(parsed->Serialize(), text);
+  EXPECT_EQ(parsed->Digest(), h.Digest());
+}
+
+TEST(HistorySerializationTest, ParseRejectsMalformedRouteLines) {
+  const std::string header = "rcc.history.v1 seed=1\n";
+  // Unknown tier.
+  EXPECT_FALSE(History::Parse(header +
+                              "route seq=1 at=0 q=1 node=1 tier=wat mode=0 "
+                              "probes=-\n")
+                   .ok());
+  // Probe with too few fields.
+  EXPECT_FALSE(History::Parse(header +
+                              "route seq=1 at=0 q=1 node=1 tier=cache mode=0 "
+                              "probes=1:101:5000\n")
+                   .ok());
+  // Route lines are strict about the node token — they were born with it,
+  // so a missing one is corruption, not a legacy file.
+  EXPECT_FALSE(History::Parse(header +
+                              "route seq=1 at=0 q=1 tier=cache mode=0 "
+                              "probes=-\n")
+                   .ok());
+}
+
+TEST(HistorySerializationTest, PreFleetLinesParseAsNodeZero) {
+  // Histories recorded before the fleet existed have no node tokens; they
+  // must parse with node 0 (the single-cache default), not fail.
+  const std::string text =
+      "rcc.history.v1 seed=1\n"
+      "install seq=1 at=0 region=1 kind=initial as_of=0 hb=0 ops=0\n"
+      "guard seq=2 at=5000 q=1 region=1 hb=4000 bound=5000 floor=-1 "
+      "verdict=local epoch=0\n";
+  auto parsed = History::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[0].node, 0);
+  EXPECT_EQ(parsed->events[1].node, 0);
+}
+
 // -- determinism ------------------------------------------------------------------
 
 TEST(SimRunnerTest, SameSeedSameDigest) {
